@@ -1,0 +1,47 @@
+//! Ablation of Sec. IV-F: the O(nnz) sparse-to-block-dense mapping used to
+//! fill the solver workspace versus a naive O(n·b²) dense per-block extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dalia_bench::build_instance;
+use dalia_data::sa1;
+use dalia_la::Matrix;
+use dalia_model::ModelHyper;
+use std::hint::black_box;
+
+fn bench_mapping(c: &mut Criterion) {
+    let inst = build_instance(&sa1(), 30, 4, 7);
+    let hyper = ModelHyper::from_theta(inst.model.dims.nv, &inst.theta0);
+    let qc = inst.model.assemble_qc_csr(&hyper, true);
+    let d = inst.model.dims;
+    let b = d.block_size();
+
+    let mut group = c.benchmark_group("sparse_to_dense_mapping");
+    group.sample_size(10);
+    // O(nnz): visit stored entries only.
+    group.bench_function("o_nnz_mapping", |bencher| {
+        bencher.iter(|| {
+            let mut total = 0.0;
+            for t in 0..d.nt {
+                let mut block = Matrix::zeros(b, b);
+                qc.add_dense_block_into(t * b, t * b, 1.0, &mut block, 0, 0);
+                total += block[(0, 0)];
+            }
+            black_box(total)
+        });
+    });
+    // O(n·b²): materialize every dense block entry through indexed lookups.
+    group.bench_function("o_nb2_extraction", |bencher| {
+        bencher.iter(|| {
+            let mut total = 0.0;
+            for t in 0..d.nt {
+                let block = qc.dense_block(t * b, t * b, b, b);
+                total += block[(0, 0)];
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

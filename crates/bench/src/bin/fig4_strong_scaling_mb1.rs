@@ -1,0 +1,50 @@
+//! Fig. 4: strong scaling of DALIA vs INLA_DIST vs R-INLA on the univariate
+//! spatio-temporal model MB1 (ns = 4002, nt = 250), 1 to 18 GPUs.
+
+use dalia_bench::{build_instance, header, row};
+use dalia_core::{InlaEngine, InlaSettings};
+use dalia_data::mb1;
+use dalia_hpc::{dalia_iteration_time, gh200, inladist_iteration_time, rinla_iteration_time, xeon_fritz};
+
+fn main() {
+    let cfg = mb1();
+    header("Fig. 4", "strong scaling on MB1 (univariate, ns=4002, nt=250)");
+
+    // ----- Measured (scaled-down, single CPU core) -----
+    println!("\n[measured] scaled-down MB1 (ns~120, nt=8), seconds per BFGS iteration:");
+    let inst = build_instance(&cfg, 120, 8, 4);
+    println!("  model: ns={} nt={} N={} obs={}", inst.model.dims.ns, inst.model.dims.nt,
+             inst.model.dims.latent_dim(), inst.n_obs);
+    for (name, settings) in [
+        ("DALIA (BTA)", InlaSettings::dalia(1)),
+        ("DALIA (BTA, S3=4)", InlaSettings::dalia(4)),
+        ("INLA_DIST-like", InlaSettings::inladist_like()),
+        ("R-INLA-like (sparse)", InlaSettings::rinla_like()),
+    ] {
+        let engine = InlaEngine::new(&inst.model, &inst.theta0, settings);
+        let (total, solver) = engine.time_one_iteration(&inst.theta0).expect("evaluation failed");
+        println!("  {name:<24} total {total:8.3} s   solver {solver:8.3} s");
+    }
+
+    // ----- Modeled at paper scale -----
+    println!("\n[modeled] paper-scale MB1 on GH200 devices (seconds per iteration):");
+    let dims = cfg.model_dims(cfg.nt);
+    let hw = gh200();
+    let rinla = rinla_iteration_time(&dims, 9, &xeon_fritz());
+    println!("  R-INLA reference (Fritz, 9x8 threads): {:9.1} s/iter", rinla.total);
+    println!("{}", row(&["GPUs", "DALIA s/iter", "INLA_DIST s/iter", "DALIA speedup vs R-INLA", "vs INLA_DIST"]
+        .map(String::from).to_vec()));
+    for gpus in [1usize, 2, 4, 9, 18] {
+        let d = dalia_iteration_time(&dims, gpus, &hw);
+        let i = inladist_iteration_time(&dims, gpus, &hw);
+        println!("{}", row(&[
+            format!("{gpus}"),
+            format!("{:.2}", d.total),
+            format!("{:.2}", i.total),
+            format!("{:.1}x", rinla.total / d.total),
+            format!("{:.2}x", i.total / d.total),
+        ]));
+    }
+    println!("\nPaper reference points: 12.6x over R-INLA on 1 GPU, 180x on 18 GPUs,");
+    println!("~2x over INLA_DIST at 18 GPUs (DALIA 4.3 s/iter vs R-INLA 780 s/iter).");
+}

@@ -1,0 +1,51 @@
+//! Fig. 6a: weak scaling of the trivariate coregional model through the time
+//! domain (dataset WA1: ns = 1247, nt = 2 .. 512, 1 .. 248 GPUs).
+
+use dalia_bench::{build_instance, header, row};
+use dalia_core::{InlaEngine, InlaSettings};
+use dalia_data::wa1;
+use dalia_hpc::{dalia_iteration_time, gh200, rinla_iteration_time, xeon_fritz};
+
+fn main() {
+    let cfg = wa1();
+    header("Fig. 6a", "weak scaling in time, trivariate coregional model (WA1)");
+
+    // ----- Measured (scaled-down) -----
+    println!("\n[measured] scaled-down WA1 (ns~40), seconds per BFGS iteration:");
+    println!("{}", row(&["nt", "DALIA s/iter", "solver share"].map(String::from).to_vec()));
+    for nt in [2usize, 4, 8] {
+        let inst = build_instance(&cfg, 40, nt, 6);
+        let engine = InlaEngine::new(&inst.model, &inst.theta0, InlaSettings::dalia(1));
+        let (total, solver) = engine.time_one_iteration(&inst.theta0).expect("evaluation failed");
+        println!("{}", row(&[
+            format!("{nt}"),
+            format!("{total:.3}"),
+            format!("{:.0}%", 100.0 * solver / total),
+        ]));
+    }
+
+    // ----- Modeled at paper scale -----
+    println!("\n[modeled] paper-scale WA1 on GH200 (weak scaling: nt grows with devices):");
+    println!("{}", row(&["nt", "GPUs", "DALIA s/iter", "R-INLA s/iter", "speedup", "solver share"]
+        .map(String::from).to_vec()));
+    let hw = gh200();
+    let cpu = xeon_fritz();
+    let series = [
+        (2usize, 1usize), (4, 2), (8, 4), (16, 8), (32, 16), (64, 31), (128, 62), (256, 124), (512, 248),
+    ];
+    for (nt, gpus) in series {
+        let dims = cfg.model_dims(nt);
+        let d = dalia_iteration_time(&dims, gpus, &hw);
+        let r = rinla_iteration_time(&dims, 8, &cpu);
+        println!("{}", row(&[
+            format!("{nt}"),
+            format!("{gpus}"),
+            format!("{:.2}", d.total),
+            format!("{:.1}", r.total),
+            format!("{:.1}x", r.total / d.total),
+            format!("{:.0}%", 100.0 * d.solver / d.total),
+        ]));
+    }
+    println!("\nPaper reference points: 1.48x over R-INLA at nt=2 (1 GPU), >100x from 32");
+    println!("time-steps (16 GPUs) onward, 124x at nt=512 (248 GPUs) on an 8x larger model.");
+}

@@ -1,0 +1,89 @@
+//! Fig. 8 and Sec. VI: the air-pollution application — joint modeling of
+//! PM2.5, PM10 and O3 over a northern-Italy-like domain, spatial downscaling
+//! of the coarse input grid, elevation effects and inter-pollutant
+//! correlations.
+//!
+//! The CAMS reanalysis is replaced by a synthetic trivariate dataset with
+//! known ground truth (elevation effects −0.45 / −0.55 / +1.27 µg/m³ per km
+//! and a strong PM2.5–PM10 coupling), so in addition to the paper's summary
+//! quantities this harness reports recovery errors.
+
+use dalia_bench::header;
+use dalia_core::{predict, response_correlations, InlaEngine, InlaSettings};
+use dalia_data::{generate_pollution_dataset, observation_grid};
+use dalia_mesh::{Domain, TriangleMesh};
+use dalia_model::{CoregionalModel, ModelHyper, PredictionTarget};
+
+fn main() {
+    header("Fig. 8 / Sec. VI", "air-pollution application: trivariate downscaling");
+    let domain = Domain::northern_italy_like();
+
+    // Scaled-down AP1: coarse observation grid (the "0.1 degree CAMS grid"),
+    // a modest mesh and a handful of days.
+    let nt = 6;
+    let coarse = observation_grid(&domain, 10, 5);
+    let (obs, truth) = generate_pollution_dataset(&domain, &coarse, nt, 42);
+    let mesh = TriangleMesh::with_approx_nodes(domain, 72);
+    println!("\nmesh nodes: {}, coarse grid cells: {}, days: {nt}, observations: {}",
+             mesh.n_nodes(), coarse.len(), obs.len());
+
+    let model = CoregionalModel::new(&mesh, nt, 1.0, 3, 2, obs).expect("model must build");
+    let mut hyper0 = ModelHyper::default_for(3, 0.3 * domain.width(), 4.0);
+    hyper0.lambdas = vec![0.8, -0.3, -0.2];
+    let theta0 = hyper0.to_theta();
+
+    let mut settings = InlaSettings::dalia(2);
+    settings.max_iter = 3;
+    let engine = InlaEngine::new(&model, &theta0, settings);
+    let result = engine.run(&theta0).expect("INLA run failed");
+    println!("BFGS iterations: {}, f_obj at mode: {:.2}, {:.1} s/iteration",
+             result.trace.len(), result.fobj_at_mode, result.seconds_per_iteration);
+
+    // --- Elevation effects (paper: -0.45 PM2.5, -0.55 PM10, +1.27 O3 per km) ---
+    println!("\nElevation effects (posterior mean [2.5%, 97.5%], true value):");
+    let names = ["PM2.5", "PM10", "O3"];
+    for fx in &result.fixed_effects {
+        if fx.effect == 1 {
+            println!(
+                "  {:<6} {:+.3} [{:+.3}, {:+.3}]   (true {:+.2})",
+                names[fx.process], fx.mean, fx.q025, fx.q975, truth.elevation_effects[fx.process]
+            );
+        }
+    }
+
+    // --- Inter-pollutant correlations (paper: 0.97, -0.61, -0.63) ---
+    let corr = response_correlations(&result.hyper_mode);
+    let corr_true = response_correlations(&truth.hyper);
+    println!("\nInter-pollutant correlations (estimated / ground truth):");
+    println!("  corr(PM2.5, PM10) = {:+.2} / {:+.2}", corr[(1, 0)], corr_true[(1, 0)]);
+    println!("  corr(PM2.5, O3)   = {:+.2} / {:+.2}", corr[(2, 0)], corr_true[(2, 0)]);
+    println!("  corr(PM10,  O3)   = {:+.2} / {:+.2}", corr[(2, 1)], corr_true[(2, 1)]);
+
+    // --- Spatial downscaling: predict O3 on a 5x finer grid (Fig. 8) ---
+    let fine = observation_grid(&domain, 50, 25);
+    for day in [0usize, nt - 1] {
+        let targets: Vec<PredictionTarget> = fine
+            .iter()
+            .map(|p| PredictionTarget {
+                var: 2,
+                t: day,
+                loc: *p,
+                covariates: vec![1.0, dalia_data::elevation_km(&domain, p)],
+            })
+            .collect();
+        let pred = predict(&model, &result.hyper_mode, &result.latent, &targets)
+            .expect("prediction failed");
+        let mean: f64 = pred.mean.iter().sum::<f64>() / pred.mean.len() as f64;
+        let min = pred.mean.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = pred.mean.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let sd: f64 = pred.sd.iter().sum::<f64>() / pred.sd.len() as f64;
+        println!(
+            "\nDownscaled O3 surface, day {day}: {} fine cells (25x the coarse resolution)",
+            fine.len()
+        );
+        println!("  predictive mean field: avg {mean:.2}, range [{min:.2}, {max:.2}], avg sd {sd:.2}");
+    }
+    println!("\nThe coarse input resolves {} cells; the downscaled surface resolves {} cells,",
+             coarse.len(), fine.len());
+    println!("reproducing the paper's 25-fold increase in spatial detail (0.1° -> 0.02°).");
+}

@@ -1,0 +1,37 @@
+//! Table IV: dataset configurations used in the performance evaluation.
+
+use dalia_bench::{header, row};
+use dalia_data::all_configs;
+
+fn main() {
+    header("Table IV", "datasets used in the performance evaluation");
+    println!(
+        "{}",
+        row(&["name", "dim(theta)/nv", "ns/nr", "nt", "N (latent dim)", "role"]
+            .map(String::from)
+            .to_vec())
+    );
+    for c in all_configs() {
+        let nt_str = if c.nt == c.nt_max {
+            format!("{}", c.nt)
+        } else {
+            format!("{}-{}", c.nt, c.nt_max)
+        };
+        let n_str = if c.nt == c.nt_max {
+            format!("{}", c.latent_dim(c.nt))
+        } else {
+            format!("{}-{}", c.latent_dim(c.nt), c.latent_dim(c.nt_max))
+        };
+        println!(
+            "{}",
+            row(&[
+                c.name.to_string(),
+                format!("{}/{}", c.dim_theta, c.nv),
+                format!("{}/{}", c.ns, c.nr),
+                nt_str,
+                n_str,
+                c.role.to_string(),
+            ])
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! # dalia-bench — benchmark harnesses for every table and figure
+//!
+//! One binary per table/figure of the paper's evaluation section (see
+//! `src/bin/`), plus Criterion micro-benchmarks (`benches/`). Each harness
+//! prints two kinds of numbers:
+//!
+//! * **measured** — wall-clock timings of the real Rust implementation on a
+//!   scaled-down version of the paper's dataset (this machine has one CPU core
+//!   and no GPU, so absolute values are not comparable to the paper), and
+//! * **modeled** — the analytic GH200/Alps performance model of `dalia-hpc`
+//!   evaluated at the paper's full scale, which is what reproduces the shape
+//!   of the published scaling curves.
+
+use dalia_data::{generate_pollution_dataset, observation_grid, DatasetConfig};
+use dalia_mesh::{Domain, TriangleMesh};
+use dalia_model::{CoregionalModel, ModelHyper, Observation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A scaled-down instantiation of one of the paper's datasets, ready to run.
+pub struct ScaledInstance {
+    /// The model (mesh, observations, design).
+    pub model: CoregionalModel,
+    /// A reasonable starting hyperparameter vector.
+    pub theta0: Vec<f64>,
+    /// The mesh used.
+    pub mesh: TriangleMesh,
+    /// Number of observations.
+    pub n_obs: usize,
+}
+
+/// Build a runnable scaled-down instance of a Table IV dataset configuration.
+///
+/// `ns_target` and `nt` control the scaled size; observations are placed on a
+/// regular grid with roughly 1.5 observations per mesh node per time step per
+/// response variable (mirroring the dense CAMS grids of the application).
+pub fn build_instance(config: &DatasetConfig, ns_target: usize, nt: usize, seed: u64) -> ScaledInstance {
+    let domain = Domain::northern_italy_like();
+    let mesh = TriangleMesh::with_approx_nodes(domain, ns_target);
+    let nv = config.nv;
+    let nr = config.nr.max(1);
+
+    let obs: Vec<Observation> = if nv == 3 {
+        let grid_n = ((mesh.n_nodes() as f64).sqrt() * 1.2).ceil() as usize;
+        let grid = observation_grid(&domain, grid_n.max(3), (grid_n / 2).max(2));
+        let (mut obs, _) = generate_pollution_dataset(&domain, &grid, nt, seed);
+        // Trim or pad covariates to nr entries.
+        for o in &mut obs {
+            o.covariates.resize(nr, 0.5);
+        }
+        obs
+    } else {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let grid_n = ((mesh.n_nodes() as f64).sqrt() * 1.2).ceil() as usize;
+        let grid = observation_grid(&domain, grid_n.max(3), (grid_n / 2).max(2));
+        let mut obs = Vec::new();
+        for t in 0..nt {
+            for p in &grid {
+                let covs: Vec<f64> = (0..nr).map(|_| rng.random_range(-1.0..1.0)).collect();
+                let value = (p.x * 0.8 + p.y * 0.3 + t as f64 * 0.1).sin()
+                    + covs.iter().sum::<f64>() * 0.4
+                    + rng.random_range(-0.1..0.1);
+                obs.push(Observation { var: 0, t, loc: *p, covariates: covs, value });
+            }
+        }
+        obs
+    };
+
+    let n_obs = obs.len();
+    let model = CoregionalModel::new(&mesh, nt, 1.0, nv, nr, obs).expect("scaled instance must be valid");
+    let mut hyper = ModelHyper::default_for(nv, 0.3 * domain.width(), 4.0);
+    if nv == 3 {
+        hyper.lambdas = vec![0.8, -0.3, -0.2];
+    }
+    let theta0 = hyper.to_theta();
+    ScaledInstance { model, theta0, mesh, n_obs }
+}
+
+/// Format a table row with fixed-width columns.
+pub fn row(cells: &[String]) -> String {
+    cells.iter().map(|c| format!("{c:>16}")).collect::<Vec<_>>().join(" | ")
+}
+
+/// Print a standard harness header.
+pub fn header(figure: &str, description: &str) {
+    println!("==============================================================================");
+    println!("{figure}: {description}");
+    println!("==============================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalia_data::{sa1, wa1};
+
+    #[test]
+    fn scaled_instance_builds_for_trivariate_config() {
+        let inst = build_instance(&sa1(), 40, 3, 1);
+        assert_eq!(inst.model.dims.nv, 3);
+        assert!(inst.n_obs > 0);
+        assert!(inst.model.dims.ns >= 16);
+    }
+
+    #[test]
+    fn scaled_instance_builds_for_univariate_like_config() {
+        let mut cfg = wa1();
+        cfg.nv = 1;
+        cfg.dim_theta = 4;
+        let inst = build_instance(&cfg, 30, 2, 2);
+        assert_eq!(inst.model.dims.nv, 1);
+        assert_eq!(inst.theta0.len(), 4);
+    }
+
+    #[test]
+    fn row_formatting() {
+        let r = row(&["a".to_string(), "b".to_string()]);
+        assert!(r.contains('|'));
+    }
+}

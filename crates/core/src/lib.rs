@@ -1,0 +1,94 @@
+//! # dalia-core — the DALIA INLA engine
+//!
+//! The paper's primary contribution: integrated nested Laplace approximations
+//! for multivariate spatio-temporal Gaussian processes on top of the
+//! structured BTA solver stack, with the three nested parallelization
+//! strategies and the R-INLA / INLA_DIST baseline configurations.
+//!
+//! * [`settings`] — solver backends and framework presets (Table I),
+//! * [`objective`] — the objective `f_obj(θ)` of Eq. 8,
+//! * [`optimizer`] — parallel central-difference gradients (Eq. 10, S1) and
+//!   BFGS, plus the finite-difference Hessian at the mode,
+//! * [`posterior`] — hyperparameter marginals, latent marginals via selected
+//!   inversion, fixed-effect summaries, response correlations and prediction,
+//! * [`engine`] — the end-to-end [`engine::InlaEngine`].
+
+pub mod engine;
+pub mod objective;
+pub mod optimizer;
+pub mod posterior;
+pub mod settings;
+
+pub use engine::{InlaEngine, InlaResult};
+pub use objective::{evaluate_fobj, FobjResult};
+pub use optimizer::{evaluate_gradient, maximize_fobj, negative_hessian, OptimizationResult};
+pub use posterior::{
+    fixed_effect_summaries, latent_marginals, predict, response_correlations, FixedEffectSummary,
+    HyperMarginals, LatentMarginals, Prediction,
+};
+pub use settings::{feature_table, InlaSettings, SolverBackend};
+
+/// Errors produced by the INLA engine.
+#[derive(Clone, Debug)]
+pub enum CoreError {
+    /// The structured solver failed (matrix not positive definite).
+    Solver(serinv::SerinvError),
+    /// The general sparse solver failed.
+    SparseSolver(dalia_sparse::SparseError),
+    /// A model-building error (bad observations, locations outside the mesh).
+    Model(dalia_model::ModelError),
+    /// The objective evaluated to a non-finite value.
+    NonFiniteObjective,
+    /// The Hessian at the mode could not be inverted.
+    HessianNotPositiveDefinite,
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Solver(e) => write!(f, "structured solver error: {e}"),
+            CoreError::SparseSolver(e) => write!(f, "sparse solver error: {e}"),
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::NonFiniteObjective => write!(f, "objective evaluated to a non-finite value"),
+            CoreError::HessianNotPositiveDefinite => {
+                write!(f, "negative Hessian at the mode is not positive definite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<serinv::SerinvError> for CoreError {
+    fn from(e: serinv::SerinvError) -> Self {
+        CoreError::Solver(e)
+    }
+}
+
+impl From<dalia_sparse::SparseError> for CoreError {
+    fn from(e: dalia_sparse::SparseError) -> Self {
+        CoreError::SparseSolver(e)
+    }
+}
+
+impl From<dalia_model::ModelError> for CoreError {
+    fn from(e: dalia_model::ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_from() {
+        let e: CoreError = serinv::SerinvError::Factorization {
+            block: 0,
+            source: dalia_la::LaError::NotPositiveDefinite { pivot: 0, value: -1.0 },
+        }
+        .into();
+        assert!(e.to_string().contains("structured solver"));
+        assert!(CoreError::NonFiniteObjective.to_string().contains("non-finite"));
+    }
+}

@@ -1,0 +1,415 @@
+//! Hyperparameter optimization: central-difference gradients evaluated in
+//! parallel (strategy S1) and a BFGS quasi-Newton loop (Sec. III.2).
+
+use crate::objective::{evaluate_fobj, FobjResult};
+use crate::settings::InlaSettings;
+use crate::CoreError;
+use dalia_la::{blas, Matrix};
+use dalia_model::{CoregionalModel, ThetaPrior};
+use rayon::prelude::*;
+
+/// Result of one gradient evaluation.
+#[derive(Clone, Debug)]
+pub struct GradientResult {
+    /// Objective value at the central point.
+    pub value: f64,
+    /// Central-difference gradient of `f_obj`.
+    pub gradient: Vec<f64>,
+    /// The central-point evaluation (kept for the conditional mean).
+    pub central: FobjResult,
+    /// Number of objective evaluations performed (`2·dim(θ) + 1`).
+    pub n_evaluations: usize,
+    /// Total solver seconds accumulated over all evaluations.
+    pub solver_seconds: f64,
+}
+
+/// Evaluate `f_obj` and its central-difference gradient (Eq. 10). When
+/// `settings.parallel_feval` is set, the `2·dim(θ) + 1` evaluations run in
+/// parallel — this is the S1 layer of the paper.
+pub fn evaluate_gradient(
+    model: &CoregionalModel,
+    prior: &ThetaPrior,
+    theta: &[f64],
+    settings: &InlaSettings,
+) -> Result<GradientResult, CoreError> {
+    let dim = theta.len();
+    let h = settings.fd_step;
+    // Build the list of evaluation points: central, then ±h per component.
+    let mut points: Vec<Vec<f64>> = Vec::with_capacity(2 * dim + 1);
+    points.push(theta.to_vec());
+    for i in 0..dim {
+        let mut plus = theta.to_vec();
+        plus[i] += h;
+        points.push(plus);
+        let mut minus = theta.to_vec();
+        minus[i] -= h;
+        points.push(minus);
+    }
+
+    let evaluate = |p: &Vec<f64>| evaluate_fobj(model, prior, p, settings);
+    let results: Vec<Result<FobjResult, CoreError>> = if settings.parallel_feval {
+        points.par_iter().map(evaluate).collect()
+    } else {
+        points.iter().map(evaluate).collect()
+    };
+
+    let mut iter = results.into_iter();
+    let central = iter.next().unwrap()?;
+    let mut gradient = vec![0.0; dim];
+    let mut solver_seconds = central.solver_seconds;
+    let mut collected: Vec<FobjResult> = Vec::with_capacity(2 * dim);
+    for r in iter {
+        let r = r?;
+        solver_seconds += r.solver_seconds;
+        collected.push(r);
+    }
+    for i in 0..dim {
+        let plus = &collected[2 * i];
+        let minus = &collected[2 * i + 1];
+        gradient[i] = (plus.value - minus.value) / (2.0 * h);
+    }
+    Ok(GradientResult {
+        value: central.value,
+        gradient,
+        central,
+        n_evaluations: 2 * dim + 1,
+        solver_seconds,
+    })
+}
+
+/// One BFGS iteration record.
+#[derive(Clone, Debug)]
+pub struct IterationRecord {
+    /// Iteration index.
+    pub iter: usize,
+    /// Objective value.
+    pub value: f64,
+    /// Gradient norm.
+    pub grad_norm: f64,
+    /// Step length accepted by the line search.
+    pub step: f64,
+    /// Wall-clock seconds of this iteration.
+    pub seconds: f64,
+    /// Solver seconds of this iteration.
+    pub solver_seconds: f64,
+}
+
+/// Result of the BFGS optimization of `-f_obj`.
+#[derive(Clone, Debug)]
+pub struct OptimizationResult {
+    /// The hyperparameter mode θ*.
+    pub theta: Vec<f64>,
+    /// Objective value at the mode.
+    pub value: f64,
+    /// The final central evaluation (conditional mean at the mode).
+    pub central: FobjResult,
+    /// Per-iteration records.
+    pub trace: Vec<IterationRecord>,
+    /// Whether the gradient tolerance was reached.
+    pub converged: bool,
+}
+
+/// Maximize `f_obj(θ)` with BFGS + backtracking line search.
+pub fn maximize_fobj(
+    model: &CoregionalModel,
+    prior: &ThetaPrior,
+    theta0: &[f64],
+    settings: &InlaSettings,
+) -> Result<OptimizationResult, CoreError> {
+    let dim = theta0.len();
+    let mut theta = theta0.to_vec();
+    let mut h_inv = Matrix::identity(dim);
+    let mut trace = Vec::new();
+
+    let mut grad_res = evaluate_gradient(model, prior, &theta, settings)?;
+    let mut converged = false;
+
+    for iter in 0..settings.max_iter {
+        let t0 = std::time::Instant::now();
+        let grad_norm = blas::nrm2(&grad_res.gradient);
+        if grad_norm < settings.grad_tol {
+            converged = true;
+            trace.push(IterationRecord {
+                iter,
+                value: grad_res.value,
+                grad_norm,
+                step: 0.0,
+                seconds: t0.elapsed().as_secs_f64(),
+                solver_seconds: grad_res.solver_seconds,
+            });
+            break;
+        }
+
+        // Ascent direction d = H⁻¹ ∇f (we are maximizing).
+        let direction = blas::matvec(&h_inv, &grad_res.gradient);
+
+        // Backtracking line search on f_obj along `direction`.
+        let mut step = 1.0;
+        let mut accepted: Option<(Vec<f64>, GradientResult)> = None;
+        for _ in 0..12 {
+            let candidate: Vec<f64> =
+                theta.iter().zip(&direction).map(|(t, d)| t + step * d).collect();
+            match evaluate_gradient(model, prior, &candidate, settings) {
+                Ok(res) if res.value > grad_res.value + 1e-10 => {
+                    accepted = Some((candidate, res));
+                    break;
+                }
+                _ => {
+                    step *= 0.5;
+                }
+            }
+        }
+
+        let Some((new_theta, new_grad)) = accepted else {
+            // No improving step: treat the current point as (locally) optimal.
+            converged = grad_norm < 10.0 * settings.grad_tol;
+            trace.push(IterationRecord {
+                iter,
+                value: grad_res.value,
+                grad_norm,
+                step: 0.0,
+                seconds: t0.elapsed().as_secs_f64(),
+                solver_seconds: grad_res.solver_seconds,
+            });
+            break;
+        };
+
+        // BFGS inverse-Hessian update (on the maximization problem, using the
+        // negative gradients so the usual minimization formulas apply).
+        let s: Vec<f64> = new_theta.iter().zip(&theta).map(|(a, b)| a - b).collect();
+        let yk: Vec<f64> = new_grad
+            .gradient
+            .iter()
+            .zip(&grad_res.gradient)
+            .map(|(a, b)| -(a - b))
+            .collect();
+        let sy = blas::dot(&s, &yk);
+        if sy > 1e-12 {
+            let rho = 1.0 / sy;
+            // H ← (I − ρ s yᵀ) H (I − ρ y sᵀ) + ρ s sᵀ.
+            let mut i_rho_sy = Matrix::identity(dim);
+            for r in 0..dim {
+                for c in 0..dim {
+                    i_rho_sy[(r, c)] -= rho * s[r] * yk[c];
+                }
+            }
+            let left = blas::matmul(&i_rho_sy, &h_inv);
+            let mut h_new = blas::matmul(&left, &i_rho_sy.transpose());
+            for r in 0..dim {
+                for c in 0..dim {
+                    h_new[(r, c)] += rho * s[r] * s[c];
+                }
+            }
+            h_inv = h_new;
+        }
+
+        trace.push(IterationRecord {
+            iter,
+            value: new_grad.value,
+            grad_norm,
+            step,
+            seconds: t0.elapsed().as_secs_f64(),
+            solver_seconds: new_grad.solver_seconds,
+        });
+        theta = new_theta;
+        grad_res = new_grad;
+    }
+
+    Ok(OptimizationResult {
+        theta,
+        value: grad_res.value,
+        central: grad_res.central,
+        trace,
+        converged,
+    })
+}
+
+/// Negative Hessian of `f_obj` at `theta` via second-order central differences
+/// (used for the Gaussian approximation of the hyperparameter posterior).
+pub fn negative_hessian(
+    model: &CoregionalModel,
+    prior: &ThetaPrior,
+    theta: &[f64],
+    settings: &InlaSettings,
+) -> Result<Matrix, CoreError> {
+    let dim = theta.len();
+    let h = settings.fd_step.max(1e-4) * 5.0;
+    let f0 = evaluate_fobj(model, prior, theta, settings)?.value;
+
+    // All shifted evaluation points (±h e_i, ±h e_i ± h e_j).
+    let eval = |p: &[f64]| -> Result<f64, CoreError> {
+        Ok(evaluate_fobj(model, prior, p, settings)?.value)
+    };
+
+    // Diagonal terms.
+    let diag_points: Vec<(usize, Vec<f64>, Vec<f64>)> = (0..dim)
+        .map(|i| {
+            let mut p = theta.to_vec();
+            let mut m = theta.to_vec();
+            p[i] += h;
+            m[i] -= h;
+            (i, p, m)
+        })
+        .collect();
+    let diag_results: Vec<Result<(usize, f64, f64), CoreError>> = if settings.parallel_feval {
+        diag_points
+            .par_iter()
+            .map(|(i, p, m)| Ok((*i, eval(p)?, eval(m)?)))
+            .collect()
+    } else {
+        diag_points.iter().map(|(i, p, m)| Ok((*i, eval(p)?, eval(m)?))).collect()
+    };
+
+    let mut f_plus = vec![0.0; dim];
+    let mut f_minus = vec![0.0; dim];
+    let mut hess = Matrix::zeros(dim, dim);
+    for r in diag_results {
+        let (i, fp, fm) = r?;
+        f_plus[i] = fp;
+        f_minus[i] = fm;
+        hess[(i, i)] = -((fp - 2.0 * f0 + fm) / (h * h));
+    }
+
+    // Off-diagonal terms.
+    let mut pairs = Vec::new();
+    for i in 0..dim {
+        for j in (i + 1)..dim {
+            pairs.push((i, j));
+        }
+    }
+    let off_results: Vec<Result<(usize, usize, f64), CoreError>> = if settings.parallel_feval {
+        pairs
+            .par_iter()
+            .map(|&(i, j)| {
+                let mut pp = theta.to_vec();
+                pp[i] += h;
+                pp[j] += h;
+                let mut mm = theta.to_vec();
+                mm[i] -= h;
+                mm[j] -= h;
+                let fpp = eval(&pp)?;
+                let fmm = eval(&mm)?;
+                let val = (fpp - f_plus[i] - f_plus[j] + 2.0 * f0 - f_minus[i] - f_minus[j] + fmm)
+                    / (2.0 * h * h);
+                Ok((i, j, -val))
+            })
+            .collect()
+    } else {
+        pairs
+            .iter()
+            .map(|&(i, j)| {
+                let mut pp = theta.to_vec();
+                pp[i] += h;
+                pp[j] += h;
+                let mut mm = theta.to_vec();
+                mm[i] -= h;
+                mm[j] -= h;
+                let fpp = eval(&pp)?;
+                let fmm = eval(&mm)?;
+                let val = (fpp - f_plus[i] - f_plus[j] + 2.0 * f0 - f_minus[i] - f_minus[j] + fmm)
+                    / (2.0 * h * h);
+                Ok((i, j, -val))
+            })
+            .collect()
+    };
+    for r in off_results {
+        let (i, j, v) = r?;
+        hess[(i, j)] = v;
+        hess[(j, i)] = v;
+    }
+    Ok(hess)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::InlaSettings;
+    use dalia_mesh::{Domain, Point, TriangleMesh};
+    use dalia_model::{ModelHyper, Observation};
+
+    fn toy() -> (CoregionalModel, ThetaPrior, Vec<f64>) {
+        let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+        let nt = 2;
+        let mut obs = Vec::new();
+        for t in 0..nt {
+            for &(x, y, v) in &[(0.2, 0.3, 0.5), (0.7, 0.6, -0.2), (0.5, 0.9, 0.1), (0.9, 0.2, 0.3)] {
+                obs.push(Observation {
+                    var: 0,
+                    t,
+                    loc: Point::new(x, y),
+                    covariates: vec![1.0],
+                    value: v + 0.1 * t as f64,
+                });
+            }
+        }
+        let model = CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs).unwrap();
+        let theta = ModelHyper::default_for(1, 0.7, 2.0).to_theta();
+        let prior = ThetaPrior::weakly_informative(&theta, 1.5);
+        (model, prior, theta)
+    }
+
+    #[test]
+    fn gradient_matches_serial_and_parallel() {
+        let (model, prior, theta) = toy();
+        let mut s_par = InlaSettings::dalia(1);
+        s_par.parallel_feval = true;
+        let mut s_seq = InlaSettings::dalia(1);
+        s_seq.parallel_feval = false;
+        let g_par = evaluate_gradient(&model, &prior, &theta, &s_par).unwrap();
+        let g_seq = evaluate_gradient(&model, &prior, &theta, &s_seq).unwrap();
+        assert_eq!(g_par.n_evaluations, 2 * theta.len() + 1);
+        for (a, b) in g_par.gradient.iter().zip(&g_seq.gradient) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gradient_is_consistent_with_objective_differences() {
+        let (model, prior, theta) = toy();
+        let settings = InlaSettings::dalia(1);
+        let g = evaluate_gradient(&model, &prior, &theta, &settings).unwrap();
+        // Compare component 0 against a wider finite difference.
+        let h = 0.01;
+        let mut plus = theta.clone();
+        plus[0] += h;
+        let mut minus = theta.clone();
+        minus[0] -= h;
+        let fp = evaluate_fobj(&model, &prior, &plus, &settings).unwrap().value;
+        let fm = evaluate_fobj(&model, &prior, &minus, &settings).unwrap().value;
+        let wide = (fp - fm) / (2.0 * h);
+        assert!(
+            (g.gradient[0] - wide).abs() < 0.05 * (1.0 + wide.abs()),
+            "gradient {} vs wide difference {wide}",
+            g.gradient[0]
+        );
+    }
+
+    #[test]
+    fn bfgs_improves_objective() {
+        let (model, prior, theta) = toy();
+        // Start away from the prior center.
+        let mut start = theta.clone();
+        start[0] -= 0.8;
+        start[3] += 0.8;
+        let mut settings = InlaSettings::dalia(1);
+        settings.max_iter = 5;
+        let f_start = evaluate_fobj(&model, &prior, &start, &settings).unwrap().value;
+        let result = maximize_fobj(&model, &prior, &start, &settings).unwrap();
+        assert!(result.value >= f_start, "BFGS decreased the objective");
+        assert!(!result.trace.is_empty());
+    }
+
+    #[test]
+    fn negative_hessian_is_symmetric_and_spd_near_mode() {
+        let (model, prior, theta) = toy();
+        let mut settings = InlaSettings::dalia(1);
+        settings.max_iter = 8;
+        let result = maximize_fobj(&model, &prior, &theta, &settings).unwrap();
+        let hess = negative_hessian(&model, &prior, &result.theta, &settings).unwrap();
+        // Symmetric by construction; near the mode it should be (close to)
+        // positive definite: all diagonal entries positive.
+        for i in 0..hess.nrows() {
+            assert!(hess[(i, i)] > 0.0, "H[{i},{i}] = {}", hess[(i, i)]);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Posterior summaries: hyperparameter marginals from the Hessian at the mode
+//! (Sec. III.3), latent marginals from the conditional mean and the selected
+//! inverse of `Q_c` (Sec. III.4), and posterior prediction / downscaling.
+
+use crate::settings::{InlaSettings, SolverBackend};
+use crate::CoreError;
+use dalia_la::{chol, eigen, Matrix};
+use dalia_model::{CoregionalModel, ModelHyper, PredictionTarget};
+use dalia_sparse::SparseCholesky;
+use serinv::{d_pobtaf, d_pobtasi, pobtaf, pobtasi, Partitioning};
+
+/// Gaussian approximation of the hyperparameter posterior.
+#[derive(Clone, Debug)]
+pub struct HyperMarginals {
+    /// Posterior mode θ*.
+    pub mode: Vec<f64>,
+    /// Posterior covariance (inverse of the negative Hessian at the mode).
+    pub covariance: Matrix,
+    /// Marginal standard deviations.
+    pub sd: Vec<f64>,
+}
+
+impl HyperMarginals {
+    /// Build from the mode and the negative Hessian of `f_obj`.
+    pub fn from_hessian(mode: Vec<f64>, neg_hessian: &Matrix) -> Result<Self, CoreError> {
+        let dim = mode.len();
+        // Regularize if needed: the finite-difference Hessian can have small
+        // negative eigenvalues away from the exact mode.
+        let mut h = neg_hessian.clone();
+        h.symmetrize();
+        let min_eig = eigen::min_eigenvalue(&h);
+        if min_eig <= 1e-10 {
+            let shift = 1e-6 + min_eig.abs();
+            for i in 0..dim {
+                h[(i, i)] += shift;
+            }
+        }
+        let covariance = chol::spd_inverse(&h).map_err(|_| CoreError::HessianNotPositiveDefinite)?;
+        let sd = (0..dim).map(|i| covariance[(i, i)].max(0.0).sqrt()).collect();
+        Ok(Self { mode, covariance, sd })
+    }
+
+    /// `(lower, upper)` quantiles of component `i` at the ±1.96 sd level.
+    pub fn credible_interval(&self, i: usize) -> (f64, f64) {
+        (self.mode[i] - 1.96 * self.sd[i], self.mode[i] + 1.96 * self.sd[i])
+    }
+}
+
+/// Marginal posterior summaries of the latent field.
+#[derive(Clone, Debug)]
+pub struct LatentMarginals {
+    /// Posterior means (permuted latent ordering).
+    pub mean: Vec<f64>,
+    /// Posterior standard deviations (permuted latent ordering).
+    pub sd: Vec<f64>,
+}
+
+/// Compute the latent marginals at the hyperparameter mode: the conditional
+/// mean is provided by the final objective evaluation, the variances come from
+/// the selected inversion of `Q_c`.
+pub fn latent_marginals(
+    model: &CoregionalModel,
+    hyper: &ModelHyper,
+    mean: Vec<f64>,
+    settings: &InlaSettings,
+) -> Result<LatentMarginals, CoreError> {
+    let variances = match settings.backend {
+        SolverBackend::Bta { partitions, load_balance } => {
+            let (qc, _) = model.assemble_qc_bta(hyper);
+            let p = partitions.clamp(1, model.dims.nt);
+            if p > 1 {
+                let part = Partitioning::load_balanced(model.dims.nt, p, load_balance);
+                let f = d_pobtaf(&qc, &part).map_err(CoreError::Solver)?;
+                d_pobtasi(&f).diagonal()
+            } else {
+                let f = pobtaf(&qc).map_err(CoreError::Solver)?;
+                pobtasi(&f).diagonal()
+            }
+        }
+        SolverBackend::SparseGeneral => {
+            let qc = model.assemble_qc_csr(hyper, true);
+            let f = SparseCholesky::factor(&qc).map_err(CoreError::SparseSolver)?;
+            f.marginal_variances()
+        }
+    };
+    let sd = variances.iter().map(|v| v.max(0.0).sqrt()).collect();
+    Ok(LatentMarginals { mean, sd })
+}
+
+/// Posterior summary of one fixed effect.
+#[derive(Clone, Debug)]
+pub struct FixedEffectSummary {
+    /// Latent process index.
+    pub process: usize,
+    /// Fixed-effect index within the process.
+    pub effect: usize,
+    /// Posterior mean.
+    pub mean: f64,
+    /// Posterior standard deviation.
+    pub sd: f64,
+    /// 2.5% quantile.
+    pub q025: f64,
+    /// 97.5% quantile.
+    pub q975: f64,
+}
+
+/// Extract the fixed-effect summaries from the latent marginals.
+pub fn fixed_effect_summaries(
+    model: &CoregionalModel,
+    marginals: &LatentMarginals,
+) -> Vec<FixedEffectSummary> {
+    let mut out = Vec::new();
+    for l in 0..model.dims.nv {
+        for r in 0..model.dims.nr {
+            let idx = model.fixed_effect_index(l, r);
+            let mean = marginals.mean[idx];
+            let sd = marginals.sd[idx];
+            out.push(FixedEffectSummary {
+                process: l,
+                effect: r,
+                mean,
+                sd,
+                q025: mean - 1.96 * sd,
+                q975: mean + 1.96 * sd,
+            });
+        }
+    }
+    out
+}
+
+/// Posterior correlations between the response variables implied by the
+/// coregionalization matrix at the hyperparameter mode (the quantities the
+/// paper reports for the air-pollution application: 0.97 between PM2.5 and
+/// PM10, ≈ −0.6 with O3).
+pub fn response_correlations(hyper: &ModelHyper) -> Matrix {
+    let lambda = hyper.lambda_matrix();
+    let cov = dalia_la::blas::matmul(&lambda, &lambda.transpose());
+    let nv = hyper.nv();
+    Matrix::from_fn(nv, nv, |i, j| cov[(i, j)] / (cov[(i, i)] * cov[(j, j)]).sqrt())
+}
+
+/// Posterior predictive summary at arbitrary space-time targets
+/// (used for the spatial downscaling of Fig. 8).
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    /// Predictive means, one per target.
+    pub mean: Vec<f64>,
+    /// Approximate predictive standard deviations (latent contribution only,
+    /// computed from the selected-inverse variances; cross-covariances outside
+    /// the BTA pattern are not included).
+    pub sd: Vec<f64>,
+}
+
+/// Predict the latent response surface at `targets` given the latent
+/// marginals.
+pub fn predict(
+    model: &CoregionalModel,
+    hyper: &ModelHyper,
+    marginals: &LatentMarginals,
+    targets: &[PredictionTarget],
+) -> Result<Prediction, CoreError> {
+    let design = model.prediction_design(hyper, targets).map_err(CoreError::Model)?;
+    let mean = design.spmv(&marginals.mean);
+    // Variance approximation: Var(aᵀx) ≈ Σ_j a_j² Var(x_j) (diagonal part).
+    let mut sd = Vec::with_capacity(targets.len());
+    for r in 0..design.nrows() {
+        let mut v = 0.0;
+        for (c, w) in design.row_iter(r) {
+            v += w * w * marginals.sd[c] * marginals.sd[c];
+        }
+        sd.push(v.sqrt());
+    }
+    Ok(Prediction { mean, sd })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalia_mesh::{Domain, Point, TriangleMesh};
+    use dalia_model::{ModelHyper, Observation};
+
+    fn toy_model() -> (CoregionalModel, ModelHyper) {
+        let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+        let nt = 2;
+        let mut obs = Vec::new();
+        for t in 0..nt {
+            for &(x, y, v) in &[(0.2, 0.3, 0.5), (0.7, 0.6, -0.2), (0.5, 0.9, 0.1)] {
+                obs.push(Observation {
+                    var: 0,
+                    t,
+                    loc: Point::new(x, y),
+                    covariates: vec![1.0],
+                    value: v,
+                });
+            }
+        }
+        let model = CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs).unwrap();
+        let hyper = ModelHyper::default_for(1, 0.7, 2.0);
+        (model, hyper)
+    }
+
+    #[test]
+    fn hyper_marginals_from_spd_hessian() {
+        let h = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let m = HyperMarginals::from_hessian(vec![0.5, -0.2], &h).unwrap();
+        assert_eq!(m.sd.len(), 2);
+        assert!(m.sd[0] > 0.0);
+        let (lo, hi) = m.credible_interval(0);
+        assert!(lo < 0.5 && hi > 0.5);
+    }
+
+    #[test]
+    fn hyper_marginals_regularizes_indefinite_hessian() {
+        let h = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // indefinite
+        let m = HyperMarginals::from_hessian(vec![0.0, 0.0], &h).unwrap();
+        assert!(m.sd.iter().all(|s| s.is_finite() && *s > 0.0));
+    }
+
+    #[test]
+    fn latent_marginals_bta_and_sparse_agree() {
+        let (model, hyper) = toy_model();
+        let mean = vec![0.0; model.dims.latent_dim()];
+        let bta = latent_marginals(&model, &hyper, mean.clone(), &InlaSettings::dalia(1)).unwrap();
+        let sparse = latent_marginals(&model, &hyper, mean, &InlaSettings::rinla_like()).unwrap();
+        for (a, b) in bta.sd.iter().zip(&sparse.sd) {
+            assert!((a - b).abs() < 1e-7, "sd mismatch {a} vs {b}");
+        }
+        // Distributed solver agrees too.
+        let dist = latent_marginals(
+            &model,
+            &hyper,
+            vec![0.0; model.dims.latent_dim()],
+            &InlaSettings::dalia(2),
+        )
+        .unwrap();
+        for (a, b) in bta.sd.iter().zip(&dist.sd) {
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn observed_locations_have_reduced_uncertainty() {
+        let (model, hyper) = toy_model();
+        let marg = latent_marginals(
+            &model,
+            &hyper,
+            vec![0.0; model.dims.latent_dim()],
+            &InlaSettings::dalia(1),
+        )
+        .unwrap();
+        // The prior marginal sd (without data) is larger on average.
+        let qp = model.assemble_qp_bta(&hyper);
+        let fp = pobtaf(&qp).unwrap();
+        let prior_sd: Vec<f64> = pobtasi(&fp).diagonal().iter().map(|v| v.sqrt()).collect();
+        let ns = model.dims.ns;
+        let avg_post: f64 = marg.sd[..ns].iter().sum::<f64>() / ns as f64;
+        let avg_prior: f64 = prior_sd[..ns].iter().sum::<f64>() / ns as f64;
+        assert!(avg_post < avg_prior, "data did not reduce uncertainty ({avg_post} vs {avg_prior})");
+    }
+
+    #[test]
+    fn fixed_effect_summaries_cover_all_processes() {
+        let (model, hyper) = toy_model();
+        let marg = latent_marginals(
+            &model,
+            &hyper,
+            vec![0.1; model.dims.latent_dim()],
+            &InlaSettings::dalia(1),
+        )
+        .unwrap();
+        let fx = fixed_effect_summaries(&model, &marg);
+        assert_eq!(fx.len(), model.dims.nv * model.dims.nr);
+        assert!(fx[0].q025 < fx[0].mean && fx[0].mean < fx[0].q975);
+    }
+
+    #[test]
+    fn response_correlations_match_lambda() {
+        let hyper = ModelHyper {
+            range_s: vec![1.0; 3],
+            range_t: vec![1.0; 3],
+            sigmas: vec![1.0, 1.0, 1.0],
+            lambdas: vec![0.95, -0.5, -0.3],
+            noise_prec: vec![1.0; 3],
+        };
+        let corr = response_correlations(&hyper);
+        assert!((corr[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!(corr[(1, 0)] > 0.6, "strong positive coupling expected");
+        assert!(corr[(2, 0)] < 0.0, "negative coupling expected");
+        assert!(corr.max_abs_diff(&corr.transpose()) < 1e-12);
+    }
+
+    #[test]
+    fn prediction_at_observed_location_tracks_mean_field() {
+        let (model, hyper) = toy_model();
+        let mean: Vec<f64> = (0..model.dims.latent_dim()).map(|i| 0.01 * i as f64).collect();
+        let marg = LatentMarginals { sd: vec![0.1; mean.len()], mean };
+        let targets = vec![PredictionTarget {
+            var: 0,
+            t: 1,
+            loc: Point::new(0.5, 0.5),
+            covariates: vec![0.0],
+        }];
+        let pred = predict(&model, &hyper, &marg, &targets).unwrap();
+        assert_eq!(pred.mean.len(), 1);
+        assert!(pred.sd[0] > 0.0);
+        assert!(pred.mean[0].is_finite());
+    }
+}

@@ -1,0 +1,192 @@
+//! The dataset configurations of the paper's Table IV and their scaled-down
+//! counterparts used for measured runs on a single CPU core.
+
+use dalia_hpc::ModelDims;
+
+/// One dataset configuration (a row of Table IV).
+#[derive(Clone, Debug)]
+pub struct DatasetConfig {
+    /// Dataset identifier (MB1, MB2, WA1, WA2, SA1, AP1).
+    pub name: &'static str,
+    /// Number of hyperparameters.
+    pub dim_theta: usize,
+    /// Number of response variables.
+    pub nv: usize,
+    /// Spatial mesh size (per process, per partition for MB2).
+    pub ns: usize,
+    /// Number of fixed effects per process.
+    pub nr: usize,
+    /// Number of time steps (smallest configuration for sweeps).
+    pub nt: usize,
+    /// Largest number of time steps (for sweep datasets), equal to `nt` for
+    /// fixed-size datasets.
+    pub nt_max: usize,
+    /// Short description of the role the dataset plays in the evaluation.
+    pub role: &'static str,
+}
+
+impl DatasetConfig {
+    /// Total latent dimension `N = nv(ns·nt + nr)` at `nt` time steps.
+    pub fn latent_dim(&self, nt: usize) -> usize {
+        self.nv * (self.ns * nt + self.nr)
+    }
+
+    /// Model dimensions for the performance model at `nt` time steps.
+    pub fn model_dims(&self, nt: usize) -> ModelDims {
+        ModelDims { nv: self.nv, ns: self.ns, nt, nr: self.nr, dim_theta: self.dim_theta }
+    }
+
+    /// A scaled-down version (spatial mesh and time steps reduced by roughly
+    /// `factor`) used for measured runs of the real algorithms.
+    pub fn scaled(&self, factor: usize) -> DatasetConfig {
+        DatasetConfig {
+            ns: (self.ns / factor).max(16),
+            nt: (self.nt / factor).max(2),
+            nt_max: (self.nt_max / factor).max(2),
+            ..self.clone()
+        }
+    }
+}
+
+/// MB1: univariate spatio-temporal model used for the strong-scaling
+/// comparison against INLA_DIST and R-INLA (Fig. 4).
+pub fn mb1() -> DatasetConfig {
+    DatasetConfig {
+        name: "MB1",
+        dim_theta: 4,
+        nv: 1,
+        ns: 4002,
+        nr: 6,
+        nt: 250,
+        nt_max: 250,
+        role: "Fig. 4 strong scaling vs INLA_DIST / R-INLA",
+    }
+}
+
+/// MB2: univariate model used for the solver weak-scaling microbenchmarks
+/// (Fig. 5); `nt` is the number of time steps *per process*.
+pub fn mb2() -> DatasetConfig {
+    DatasetConfig {
+        name: "MB2",
+        dim_theta: 4,
+        nv: 1,
+        ns: 1675,
+        nr: 6,
+        nt: 128,
+        nt_max: 2048,
+        role: "Fig. 5 distributed solver weak scaling",
+    }
+}
+
+/// WA1: trivariate coregional model for weak scaling in time (Fig. 6a).
+pub fn wa1() -> DatasetConfig {
+    DatasetConfig {
+        name: "WA1",
+        dim_theta: 15,
+        nv: 3,
+        ns: 1247,
+        nr: 1,
+        nt: 2,
+        nt_max: 512,
+        role: "Fig. 6a weak scaling through the time domain",
+    }
+}
+
+/// WA2: trivariate coregional model for weak scaling in space through mesh
+/// refinement (Fig. 6b); `ns` here is the coarsest mesh of the ladder
+/// 72 → 282 → 1119 → 4485.
+pub fn wa2() -> DatasetConfig {
+    DatasetConfig {
+        name: "WA2",
+        dim_theta: 15,
+        nv: 3,
+        ns: 72,
+        nr: 1,
+        nt: 48,
+        nt_max: 48,
+        role: "Fig. 6b weak scaling through spatial mesh refinement",
+    }
+}
+
+/// The WA2 mesh-refinement ladder of Fig. 6b/6c.
+pub fn wa2_mesh_ladder() -> Vec<usize> {
+    vec![72, 282, 1119, 4485]
+}
+
+/// SA1: trivariate coregional model for the application-level strong scaling
+/// (Fig. 7).
+pub fn sa1() -> DatasetConfig {
+    DatasetConfig {
+        name: "SA1",
+        dim_theta: 15,
+        nv: 3,
+        ns: 1675,
+        nr: 1,
+        nt: 192,
+        nt_max: 192,
+        role: "Fig. 7 application-level strong scaling",
+    }
+}
+
+/// AP1: the air-pollution application over northern Italy (Fig. 8, Sec. VI).
+pub fn ap1() -> DatasetConfig {
+    DatasetConfig {
+        name: "AP1",
+        dim_theta: 15,
+        nv: 3,
+        ns: 4210,
+        nr: 2,
+        nt: 48,
+        nt_max: 48,
+        role: "Fig. 8 air-pollution downscaling application",
+    }
+}
+
+/// All Table IV rows in paper order.
+pub fn all_configs() -> Vec<DatasetConfig> {
+    vec![mb1(), mb2(), wa1(), wa2(), sa1(), ap1()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_dimensions_match_paper() {
+        // N values reported in Table IV.
+        assert_eq!(mb1().latent_dim(250), 1_000_506);
+        assert_eq!(sa1().latent_dim(192), 964_803);
+        assert_eq!(ap1().latent_dim(48), 606_246);
+        // WA1 at nt = 2: N = 7485; at nt = 512: N = 1,915,395.
+        assert_eq!(wa1().latent_dim(2), 7_485);
+        assert_eq!(wa1().latent_dim(512), 1_915_395);
+    }
+
+    #[test]
+    fn hyperparameter_counts() {
+        assert_eq!(mb1().dim_theta, 4);
+        for c in [wa1(), wa2(), sa1(), ap1()] {
+            assert_eq!(c.dim_theta, 15);
+            assert_eq!(c.nv, 3);
+        }
+    }
+
+    #[test]
+    fn scaled_configs_shrink() {
+        let s = sa1().scaled(8);
+        assert!(s.ns < sa1().ns);
+        assert!(s.nt < sa1().nt);
+        assert!(s.ns >= 16 && s.nt >= 2);
+    }
+
+    #[test]
+    fn mesh_ladder_matches_figure() {
+        assert_eq!(wa2_mesh_ladder(), vec![72, 282, 1119, 4485]);
+    }
+
+    #[test]
+    fn all_configs_listed() {
+        let names: Vec<&str> = all_configs().iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["MB1", "MB2", "WA1", "WA2", "SA1", "AP1"]);
+    }
+}

@@ -1,0 +1,17 @@
+//! # dalia-data — dataset configurations and synthetic data generators
+//!
+//! * [`configs`] — the paper's Table IV dataset configurations (MB1, MB2, WA1,
+//!   WA2, SA1, AP1), both at paper scale (for the performance model) and in
+//!   scaled-down form (for measured runs),
+//! * [`synthetic`] — synthetic multivariate air-pollution-like datasets with
+//!   known ground truth (the CAMS reanalysis substitute), smooth random
+//!   spatio-temporal fields, an elevation covariate and observation grids.
+
+pub mod configs;
+pub mod synthetic;
+
+pub use configs::{all_configs, ap1, mb1, mb2, sa1, wa1, wa2, wa2_mesh_ladder, DatasetConfig};
+pub use synthetic::{
+    correlation, elevation_km, generate_pollution_dataset, generate_univariate_dataset,
+    observation_grid, GroundTruth, SmoothField,
+};

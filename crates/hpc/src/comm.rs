@@ -1,0 +1,282 @@
+//! In-process SPMD communicator.
+//!
+//! The original DALIA framework distributes work over MPI ranks and NCCL
+//! communicators. This module provides the same collective primitives
+//! (barrier, broadcast, all-reduce, gather) over operating-system threads of a
+//! single process, together with per-rank traffic accounting. The INLA engine
+//! expresses its three nested parallel groups (G_S1, G_S2, G_S3) against this
+//! API, and the recorded message counts/volumes feed the cluster performance
+//! model in [`crate::perfmodel`].
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Aggregate communication statistics of one SPMD execution.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    /// Total number of point-to-point / collective messages sent.
+    pub messages: AtomicU64,
+    /// Total number of payload bytes moved.
+    pub bytes: AtomicU64,
+}
+
+impl TrafficStats {
+    fn record(&self, messages: u64, bytes: u64) {
+        self.messages.fetch_add(messages, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Snapshot `(messages, bytes)`.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.messages.load(Ordering::Relaxed), self.bytes.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared state backing a communicator of `size` ranks.
+struct CommShared {
+    size: usize,
+    /// Mailboxes `mailbox[to][from]`.
+    mailboxes: Vec<Vec<(Sender<Vec<f64>>, Receiver<Vec<f64>>)>>,
+    /// Scratch buffer used by the collectives.
+    reduce_buf: Mutex<Vec<Vec<f64>>>,
+    traffic: TrafficStats,
+}
+
+/// Handle owned by one rank of an SPMD execution.
+pub struct Communicator {
+    rank: usize,
+    shared: Arc<CommShared>,
+}
+
+impl Communicator {
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// Point-to-point send of a vector of `f64` to `dest`.
+    pub fn send(&self, dest: usize, data: Vec<f64>) {
+        let bytes = (data.len() * 8) as u64;
+        self.shared.traffic.record(1, bytes);
+        self.shared.mailboxes[dest][self.rank].0.send(data).expect("receiver dropped");
+    }
+
+    /// Blocking receive from `src`.
+    pub fn recv(&self, src: usize) -> Vec<f64> {
+        self.shared.mailboxes[self.rank][src].1.recv().expect("sender dropped")
+    }
+
+    /// Barrier across all ranks (implemented as an all-reduce of nothing).
+    pub fn barrier(&self) {
+        self.all_reduce_sum(&[]);
+    }
+
+    /// All-reduce (sum) of a slice; every rank receives the element-wise sum.
+    pub fn all_reduce_sum(&self, data: &[f64]) -> Vec<f64> {
+        let size = self.shared.size;
+        if size == 1 {
+            return data.to_vec();
+        }
+        // Gather to rank 0 through the shared buffer, then broadcast.
+        {
+            let mut buf = self.shared.reduce_buf.lock();
+            if buf.len() != size {
+                buf.clear();
+                buf.resize(size, Vec::new());
+            }
+            buf[self.rank] = data.to_vec();
+        }
+        self.shared.traffic.record(1, (data.len() * 8) as u64);
+        self.naive_barrier();
+        let result = {
+            let buf = self.shared.reduce_buf.lock();
+            let mut acc = vec![0.0; data.len()];
+            for contrib in buf.iter() {
+                for (a, b) in acc.iter_mut().zip(contrib) {
+                    *a += b;
+                }
+            }
+            acc
+        };
+        self.naive_barrier();
+        result
+    }
+
+    /// Broadcast `data` from `root` to every rank; returns the broadcast value.
+    pub fn broadcast(&self, root: usize, data: Option<Vec<f64>>) -> Vec<f64> {
+        let size = self.shared.size;
+        if size == 1 {
+            return data.unwrap_or_default();
+        }
+        if self.rank == root {
+            let payload = data.expect("root must provide data");
+            for dest in 0..size {
+                if dest != root {
+                    self.send(dest, payload.clone());
+                }
+            }
+            payload
+        } else {
+            self.recv(root)
+        }
+    }
+
+    /// Gather every rank's contribution at `root` (ordered by rank). Non-root
+    /// ranks receive an empty vector.
+    pub fn gather(&self, root: usize, data: Vec<f64>) -> Vec<Vec<f64>> {
+        let size = self.shared.size;
+        if size == 1 {
+            return vec![data];
+        }
+        if self.rank == root {
+            let mut out = vec![Vec::new(); size];
+            out[root] = data;
+            for src in 0..size {
+                if src != root {
+                    out[src] = self.recv(src);
+                }
+            }
+            out
+        } else {
+            self.send(root, data);
+            Vec::new()
+        }
+    }
+
+    /// Pairwise sense-reversing barrier based on the mailboxes (used inside
+    /// the collectives so they do not depend on an external barrier).
+    fn naive_barrier(&self) {
+        let size = self.shared.size;
+        if self.rank == 0 {
+            for src in 1..size {
+                let _ = self.recv(src);
+            }
+            for dest in 1..size {
+                self.shared.mailboxes[dest][0].0.send(Vec::new()).unwrap();
+            }
+        } else {
+            self.shared.mailboxes[0][self.rank].0.send(Vec::new()).unwrap();
+            let _ = self.recv(0);
+        }
+    }
+}
+
+/// Run `f` as an SPMD program over `size` in-process ranks and return the
+/// per-rank results (ordered by rank) together with the traffic statistics.
+pub fn run_spmd<T, F>(size: usize, f: F) -> (Vec<T>, (u64, u64))
+where
+    T: Send,
+    F: Fn(&Communicator) -> T + Sync,
+{
+    assert!(size >= 1, "need at least one rank");
+    let mailboxes: Vec<Vec<(Sender<Vec<f64>>, Receiver<Vec<f64>>)>> = (0..size)
+        .map(|_| (0..size).map(|_| bounded(size * 4 + 16)).collect())
+        .collect();
+    let shared = Arc::new(CommShared {
+        size,
+        mailboxes,
+        reduce_buf: Mutex::new(Vec::new()),
+        traffic: TrafficStats::default(),
+    });
+
+    let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (rank, slot) in results.iter_mut().enumerate() {
+            let shared = Arc::clone(&shared);
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let comm = Communicator { rank, shared };
+                *slot = Some(f(&comm));
+            }));
+        }
+        for h in handles {
+            h.join().expect("SPMD rank panicked");
+        }
+    });
+    let traffic = shared.traffic.snapshot();
+    (results.into_iter().map(|r| r.unwrap()).collect(), traffic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_reduce_sums_rank_contributions() {
+        let (results, _) = run_spmd(4, |comm| {
+            let data = vec![comm.rank() as f64, 1.0];
+            comm.all_reduce_sum(&data)
+        });
+        for r in &results {
+            assert_eq!(r, &vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all_ranks() {
+        let (results, _) = run_spmd(3, |comm| {
+            let data = if comm.rank() == 1 { Some(vec![3.5, -1.0]) } else { None };
+            comm.broadcast(1, data)
+        });
+        for r in &results {
+            assert_eq!(r, &vec![3.5, -1.0]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let (results, _) = run_spmd(4, |comm| comm.gather(0, vec![comm.rank() as f64]));
+        assert_eq!(results[0].len(), 4);
+        for (i, v) in results[0].iter().enumerate() {
+            assert_eq!(v, &vec![i as f64]);
+        }
+        assert!(results[1].is_empty());
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let (results, traffic) = run_spmd(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, vec![1.0, 2.0, 3.0]);
+                comm.recv(1)
+            } else {
+                let got = comm.recv(0);
+                let doubled: Vec<f64> = got.iter().map(|x| x * 2.0).collect();
+                comm.send(0, doubled.clone());
+                doubled
+            }
+        });
+        assert_eq!(results[0], vec![2.0, 4.0, 6.0]);
+        assert_eq!(results[1], vec![2.0, 4.0, 6.0]);
+        let (msgs, bytes) = traffic;
+        assert!(msgs >= 2);
+        assert!(bytes >= 48);
+    }
+
+    #[test]
+    fn single_rank_degenerate() {
+        let (results, _) = run_spmd(1, |comm| {
+            assert_eq!(comm.size(), 1);
+            comm.barrier();
+            comm.all_reduce_sum(&[5.0])
+        });
+        assert_eq!(results[0], vec![5.0]);
+    }
+
+    #[test]
+    fn traffic_is_recorded() {
+        let (_, (msgs, bytes)) = run_spmd(3, |comm| {
+            comm.all_reduce_sum(&[1.0, 2.0, 3.0, 4.0]);
+        });
+        assert!(msgs >= 3);
+        assert!(bytes >= 3 * 32);
+    }
+}

@@ -1,0 +1,25 @@
+//! # dalia-hpc — parallel execution substrate and cluster performance model
+//!
+//! Stands in for the MPI + NCCL + 496-GPU substrate of the original DALIA
+//! framework:
+//!
+//! * [`comm`] — in-process SPMD communicator (threads + channels) with
+//!   barrier / broadcast / all-reduce / gather and traffic accounting,
+//! * [`alloc`] — allocation of devices across the three nested
+//!   parallelization strategies S1/S2/S3 following the paper's policy,
+//! * [`perfmodel`] — analytic GH200/Alps and Xeon/Fritz performance model used
+//!   by the benchmark harnesses to evaluate the scaling experiments at paper
+//!   scale.
+
+pub mod alloc;
+pub mod comm;
+pub mod perfmodel;
+
+pub use alloc::{allocate, AllocationInput, StrategyAllocation};
+pub use comm::{run_spmd, Communicator, TrafficStats};
+pub use perfmodel::{
+    bta_factor_flops, bta_selinv_flops, bta_solve_flops, d_bta_factor_time, d_bta_selinv_time,
+    d_bta_solve_time, dalia_iteration_time, gh200, inladist_iteration_time, parallel_efficiency,
+    rinla_iteration_time, sparse_chol_flops, weak_efficiency, xeon_fritz, BtaDims, HardwareProfile,
+    IterationCost, ModelDims,
+};

@@ -1,0 +1,503 @@
+//! BLAS-like dense kernels (level 1/2/3) on [`Matrix`].
+//!
+//! These are straightforward cache-aware loops rather than hand-tuned SIMD
+//! kernels: the DALIA algorithms only need *correct* block kernels with the
+//! standard operation counts — absolute throughput is handled by the
+//! performance model in `dalia-hpc`.
+
+use crate::matrix::Matrix;
+
+/// Transposition flag for level-3 kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+/// Which triangle of a triangular operand is referenced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Triangle {
+    Lower,
+    Upper,
+}
+
+/// Side of a triangular solve (`AX = B` vs `XA = B`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    Left,
+    Right,
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y += alpha * x` for slices.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn nrm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// General matrix-vector product `y = alpha * op(A) x + beta * y`.
+pub fn gemv(trans: Trans, alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
+    let (m, n) = a.shape();
+    match trans {
+        Trans::No => {
+            assert_eq!(x.len(), n, "gemv: x length mismatch");
+            assert_eq!(y.len(), m, "gemv: y length mismatch");
+            for yi in y.iter_mut() {
+                *yi *= beta;
+            }
+            for j in 0..n {
+                let xj = alpha * x[j];
+                if xj != 0.0 {
+                    axpy(xj, a.col(j), y);
+                }
+            }
+        }
+        Trans::Yes => {
+            assert_eq!(x.len(), m, "gemv^T: x length mismatch");
+            assert_eq!(y.len(), n, "gemv^T: y length mismatch");
+            for (j, yj) in y.iter_mut().enumerate() {
+                *yj = beta * *yj + alpha * dot(a.col(j), x);
+            }
+        }
+    }
+}
+
+/// Convenience: `A x` as a new vector.
+pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; a.nrows()];
+    gemv(Trans::No, 1.0, a, x, 0.0, &mut y);
+    y
+}
+
+/// Convenience: `A^T x` as a new vector.
+pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; a.ncols()];
+    gemv(Trans::Yes, 1.0, a, x, 0.0, &mut y);
+    y
+}
+
+/// General matrix-matrix product `C = alpha * op(A) op(B) + beta * C`.
+///
+/// The inner loops are arranged so the innermost traversal is down columns
+/// (contiguous in the column-major layout).
+pub fn gemm(
+    trans_a: Trans,
+    trans_b: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (am, an) = a.shape();
+    let (bm, bn) = b.shape();
+    let (opa_m, opa_k) = match trans_a {
+        Trans::No => (am, an),
+        Trans::Yes => (an, am),
+    };
+    let (opb_k, opb_n) = match trans_b {
+        Trans::No => (bm, bn),
+        Trans::Yes => (bn, bm),
+    };
+    assert_eq!(opa_k, opb_k, "gemm: inner dimension mismatch");
+    assert_eq!(c.shape(), (opa_m, opb_n), "gemm: output shape mismatch");
+
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.fill_zero();
+        } else {
+            c.scale(beta);
+        }
+    }
+    let k = opa_k;
+
+    match (trans_a, trans_b) {
+        (Trans::No, Trans::No) => {
+            // C[:, j] += alpha * A[:, l] * B[l, j]
+            for j in 0..opb_n {
+                for l in 0..k {
+                    let blj = alpha * b[(l, j)];
+                    if blj != 0.0 {
+                        axpy(blj, a.col(l), c.col_mut(j));
+                    }
+                }
+            }
+        }
+        (Trans::Yes, Trans::No) => {
+            // C[i, j] += alpha * dot(A[:, i], B[:, j])
+            for j in 0..opb_n {
+                let bcol = b.col(j);
+                for i in 0..opa_m {
+                    c[(i, j)] += alpha * dot(a.col(i), bcol);
+                }
+            }
+        }
+        (Trans::No, Trans::Yes) => {
+            // C[:, j] += alpha * A[:, l] * B[j, l]
+            for j in 0..opb_n {
+                for l in 0..k {
+                    let bjl = alpha * b[(j, l)];
+                    if bjl != 0.0 {
+                        axpy(bjl, a.col(l), c.col_mut(j));
+                    }
+                }
+            }
+        }
+        (Trans::Yes, Trans::Yes) => {
+            // C[i, j] += alpha * dot(A[:, i], B[j, :]) — fall back to explicit loop.
+            for j in 0..opb_n {
+                for i in 0..opa_m {
+                    let mut s = 0.0;
+                    for l in 0..k {
+                        s += a[(l, i)] * b[(j, l)];
+                    }
+                    c[(i, j)] += alpha * s;
+                }
+            }
+        }
+    }
+}
+
+/// `A * B` as a new matrix.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.nrows(), b.ncols());
+    gemm(Trans::No, Trans::No, 1.0, a, b, 0.0, &mut c);
+    c
+}
+
+/// Symmetric rank-k update restricted to the lower triangle:
+/// `C := alpha * op(A) op(A)^T + beta * C` (only the lower triangle of C is written).
+pub fn syrk_lower(trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+    let n = match trans {
+        Trans::No => a.nrows(),
+        Trans::Yes => a.ncols(),
+    };
+    let k = match trans {
+        Trans::No => a.ncols(),
+        Trans::Yes => a.nrows(),
+    };
+    assert_eq!(c.shape(), (n, n), "syrk: output must be n x n");
+    // Scale lower triangle of C by beta.
+    for j in 0..n {
+        for i in j..n {
+            c[(i, j)] *= beta;
+        }
+    }
+    match trans {
+        Trans::No => {
+            for l in 0..k {
+                let col = a.col(l);
+                for j in 0..n {
+                    let ajl = alpha * col[j];
+                    if ajl != 0.0 {
+                        for i in j..n {
+                            c[(i, j)] += ajl * col[i];
+                        }
+                    }
+                }
+            }
+        }
+        Trans::Yes => {
+            for j in 0..n {
+                for i in j..n {
+                    c[(i, j)] += alpha * dot(a.col(i), a.col(j));
+                }
+            }
+        }
+    }
+}
+
+/// Full symmetric rank-k update (both triangles written), convenience wrapper.
+pub fn syrk_full(trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+    syrk_lower(trans, alpha, a, beta, c);
+    c.mirror_lower();
+}
+
+/// Triangular solve with multiple right-hand sides.
+///
+/// Solves `op(A) X = B` (`Side::Left`) or `X op(A) = B` (`Side::Right`) in
+/// place on `b`, where `A` is triangular (only the triangle indicated by
+/// `uplo` is referenced; the other triangle is assumed zero).
+pub fn trsm(side: Side, uplo: Triangle, trans: Trans, a: &Matrix, b: &mut Matrix) {
+    assert!(a.is_square(), "trsm: A must be square");
+    let n = a.nrows();
+    match side {
+        Side::Left => {
+            assert_eq!(b.nrows(), n, "trsm-left: dimension mismatch");
+            let ncols = b.ncols();
+            for j in 0..ncols {
+                let col = b.col_mut(j);
+                trsv_in_place(uplo, trans, a, col);
+            }
+            let _ = ncols;
+        }
+        Side::Right => {
+            assert_eq!(b.ncols(), n, "trsm-right: dimension mismatch");
+            // X op(A) = B  <=>  op(A)^T X^T = B^T.
+            // Solve row by row: for each row r of B, solve op(A)^T x = r.
+            let flipped = match trans {
+                Trans::No => Trans::Yes,
+                Trans::Yes => Trans::No,
+            };
+            let m = b.nrows();
+            let mut row = vec![0.0; n];
+            for i in 0..m {
+                for j in 0..n {
+                    row[j] = b[(i, j)];
+                }
+                trsv_in_place(uplo, flipped, a, &mut row);
+                for j in 0..n {
+                    b[(i, j)] = row[j];
+                }
+            }
+        }
+    }
+}
+
+/// Triangular solve for a single vector: solves `op(A) x = b` in place.
+pub fn trsv_in_place(uplo: Triangle, trans: Trans, a: &Matrix, x: &mut [f64]) {
+    let n = a.nrows();
+    assert_eq!(x.len(), n, "trsv: dimension mismatch");
+    match (uplo, trans) {
+        (Triangle::Lower, Trans::No) => {
+            // Forward substitution.
+            for i in 0..n {
+                let mut s = x[i];
+                for k in 0..i {
+                    s -= a[(i, k)] * x[k];
+                }
+                x[i] = s / a[(i, i)];
+            }
+        }
+        (Triangle::Lower, Trans::Yes) => {
+            // Backward substitution with L^T (upper triangular).
+            for i in (0..n).rev() {
+                let mut s = x[i];
+                for k in (i + 1)..n {
+                    s -= a[(k, i)] * x[k];
+                }
+                x[i] = s / a[(i, i)];
+            }
+        }
+        (Triangle::Upper, Trans::No) => {
+            for i in (0..n).rev() {
+                let mut s = x[i];
+                for k in (i + 1)..n {
+                    s -= a[(i, k)] * x[k];
+                }
+                x[i] = s / a[(i, i)];
+            }
+        }
+        (Triangle::Upper, Trans::Yes) => {
+            for i in 0..n {
+                let mut s = x[i];
+                for k in 0..i {
+                    s -= a[(k, i)] * x[k];
+                }
+                x[i] = s / a[(i, i)];
+            }
+        }
+    }
+}
+
+/// Triangular matrix-matrix multiply `B := op(A) B` with `A` triangular
+/// (referenced triangle given by `uplo`). Only `Side::Left` is needed by the
+/// solver stack.
+pub fn trmm_left(uplo: Triangle, trans: Trans, a: &Matrix, b: &mut Matrix) {
+    assert!(a.is_square());
+    let n = a.nrows();
+    assert_eq!(b.nrows(), n);
+    let mut tmp = vec![0.0; n];
+    for j in 0..b.ncols() {
+        {
+            let col = b.col(j);
+            for i in 0..n {
+                let mut s = 0.0;
+                match (uplo, trans) {
+                    (Triangle::Lower, Trans::No) => {
+                        for k in 0..=i {
+                            s += a[(i, k)] * col[k];
+                        }
+                    }
+                    (Triangle::Lower, Trans::Yes) => {
+                        for k in i..n {
+                            s += a[(k, i)] * col[k];
+                        }
+                    }
+                    (Triangle::Upper, Trans::No) => {
+                        for k in i..n {
+                            s += a[(i, k)] * col[k];
+                        }
+                    }
+                    (Triangle::Upper, Trans::Yes) => {
+                        for k in 0..=i {
+                            s += a[(k, i)] * col[k];
+                        }
+                    }
+                }
+                tmp[i] = s;
+            }
+        }
+        b.col_mut(j).copy_from_slice(&tmp);
+    }
+}
+
+/// Number of floating-point operations for a `m x k` by `k x n` GEMM.
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        a.max_abs_diff(b) < tol
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gemv_no_trans() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let y = matvec(&a, &[1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 7.0, 11.0]);
+    }
+
+    #[test]
+    fn gemv_trans() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let y = matvec_t(&a, &[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn gemm_all_transposes() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]); // 2x3
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]); // 3x2
+        let expected = Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]);
+
+        let c = matmul(&a, &b);
+        assert!(approx_eq(&c, &expected, 1e-12));
+
+        // A^T variant: (A^T)^T B = A B.
+        let at = a.transpose();
+        let mut c2 = Matrix::zeros(2, 2);
+        gemm(Trans::Yes, Trans::No, 1.0, &at, &b, 0.0, &mut c2);
+        assert!(approx_eq(&c2, &expected, 1e-12));
+
+        // B^T variant.
+        let bt = b.transpose();
+        let mut c3 = Matrix::zeros(2, 2);
+        gemm(Trans::No, Trans::Yes, 1.0, &a, &bt, 0.0, &mut c3);
+        assert!(approx_eq(&c3, &expected, 1e-12));
+
+        // Both transposed.
+        let mut c4 = Matrix::zeros(2, 2);
+        gemm(Trans::Yes, Trans::Yes, 1.0, &at, &bt, 0.0, &mut c4);
+        assert!(approx_eq(&c4, &expected, 1e-12));
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = Matrix::identity(2);
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut c = Matrix::filled(2, 2, 10.0);
+        gemm(Trans::No, Trans::No, 2.0, &a, &b, 0.5, &mut c);
+        assert_eq!(c[(0, 0)], 7.0); // 2*1 + 0.5*10
+        assert_eq!(c[(1, 1)], 13.0); // 2*4 + 0.5*10
+    }
+
+    #[test]
+    fn syrk_matches_gemm() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut c = Matrix::zeros(3, 3);
+        syrk_full(Trans::No, 1.0, &a, 0.0, &mut c);
+        let expected = matmul(&a, &a.transpose());
+        assert!(approx_eq(&c, &expected, 1e-12));
+
+        let mut ct = Matrix::zeros(2, 2);
+        syrk_full(Trans::Yes, 1.0, &a, 0.0, &mut ct);
+        let expected_t = matmul(&a.transpose(), &a);
+        assert!(approx_eq(&ct, &expected_t, 1e-12));
+    }
+
+    #[test]
+    fn trsv_lower_and_upper() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]);
+        let mut x = vec![4.0, 11.0];
+        trsv_in_place(Triangle::Lower, Trans::No, &l, &mut x);
+        assert!((x[0] - 2.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+
+        // L^T x = b.
+        let mut y = vec![7.0, 9.0];
+        trsv_in_place(Triangle::Lower, Trans::Yes, &l, &mut y);
+        // L^T = [[2,1],[0,3]]; solve: x1 = 3, x0 = (7-3)/2 = 2.
+        assert!((y[0] - 2.0).abs() < 1e-14);
+        assert!((y[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn trsm_left_lower() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[1.0, 3.0, 0.0], &[4.0, 5.0, 6.0]]);
+        let x_true = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut b = matmul(&l, &x_true);
+        trsm(Side::Left, Triangle::Lower, Trans::No, &l, &mut b);
+        assert!(approx_eq(&b, &x_true, 1e-12));
+    }
+
+    #[test]
+    fn trsm_right_lower_transpose() {
+        // Solve X L^T = B, the operation used in block Cholesky (B_i L_ii^{-T}).
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]);
+        let x_true = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut b = matmul(&x_true, &l.transpose());
+        trsm(Side::Right, Triangle::Lower, Trans::Yes, &l, &mut b);
+        assert!(approx_eq(&b, &x_true, 1e-12));
+    }
+
+    #[test]
+    fn trmm_left_lower() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]);
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut b = x.clone();
+        trmm_left(Triangle::Lower, Trans::No, &l, &mut b);
+        let expected = matmul(&l, &x);
+        assert!(approx_eq(&b, &expected, 1e-12));
+
+        let mut bt = x.clone();
+        trmm_left(Triangle::Lower, Trans::Yes, &l, &mut bt);
+        let expected_t = matmul(&l.transpose(), &x);
+        assert!(approx_eq(&bt, &expected_t, 1e-12));
+    }
+
+    #[test]
+    fn flop_count() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+}

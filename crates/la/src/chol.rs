@@ -1,0 +1,306 @@
+//! Dense Cholesky factorization and related solves.
+//!
+//! These kernels are the building blocks of the block-tridiagonal-arrowhead
+//! (BTA) factorization in the `serinv` crate: `potrf` on the diagonal blocks,
+//! `trsm` on the off-diagonal/arrow blocks and `syrk`/`gemm` on the Schur
+//! updates.
+
+use crate::blas::{self, Side, Trans, Triangle};
+use crate::matrix::Matrix;
+use crate::LaError;
+
+/// In-place lower Cholesky factorization `A = L L^T`.
+///
+/// On success the lower triangle (including the diagonal) of `a` contains `L`
+/// and the strict upper triangle is zeroed. Fails with
+/// [`LaError::NotPositiveDefinite`] when a non-positive pivot is encountered.
+pub fn potrf(a: &mut Matrix) -> Result<(), LaError> {
+    assert!(a.is_square(), "potrf requires a square matrix");
+    let n = a.nrows();
+    for j in 0..n {
+        // Update diagonal entry.
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            let l = a[(j, k)];
+            d -= l * l;
+        }
+        if !(d > 0.0) || !d.is_finite() {
+            return Err(LaError::NotPositiveDefinite { pivot: j, value: d });
+        }
+        let djj = d.sqrt();
+        a[(j, j)] = djj;
+        // Update column below the diagonal.
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= a[(i, k)] * a[(j, k)];
+            }
+            a[(i, j)] = s / djj;
+        }
+    }
+    a.zero_upper();
+    Ok(())
+}
+
+/// Cholesky factorization returning a new matrix containing `L`.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LaError> {
+    let mut l = a.clone();
+    potrf(&mut l)?;
+    Ok(l)
+}
+
+/// Log-determinant of the SPD matrix whose Cholesky factor is `l`:
+/// `log |A| = 2 * sum_i log(L_ii)`.
+pub fn logdet_from_cholesky(l: &Matrix) -> f64 {
+    2.0 * l.diag().iter().map(|d| d.ln()).sum::<f64>()
+}
+
+/// Solve `A x = b` given the Cholesky factor `L` of `A` (vector RHS, in place).
+pub fn potrs_vec(l: &Matrix, x: &mut [f64]) {
+    blas::trsv_in_place(Triangle::Lower, Trans::No, l, x);
+    blas::trsv_in_place(Triangle::Lower, Trans::Yes, l, x);
+}
+
+/// Solve `A X = B` given the Cholesky factor `L` of `A` (matrix RHS, in place).
+pub fn potrs(l: &Matrix, b: &mut Matrix) {
+    blas::trsm(Side::Left, Triangle::Lower, Trans::No, l, b);
+    blas::trsm(Side::Left, Triangle::Lower, Trans::Yes, l, b);
+}
+
+/// Inverse of an SPD matrix via its Cholesky factorization.
+pub fn spd_inverse(a: &Matrix) -> Result<Matrix, LaError> {
+    let l = cholesky(a)?;
+    let mut inv = Matrix::identity(a.nrows());
+    potrs(&l, &mut inv);
+    Ok(inv)
+}
+
+/// Solve `A x = b` for SPD `A` (convenience, factorizes internally).
+pub fn spd_solve_vec(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LaError> {
+    let l = cholesky(a)?;
+    let mut x = b.to_vec();
+    potrs_vec(&l, &mut x);
+    Ok(x)
+}
+
+/// General LU factorization with partial pivoting, returning `(lu, piv, sign)`.
+///
+/// Used for small non-symmetric systems (e.g. the coregionalization matrix Λ)
+/// and for log-determinants of general matrices.
+pub fn lu_factor(a: &Matrix) -> Result<(Matrix, Vec<usize>, f64), LaError> {
+    assert!(a.is_square());
+    let n = a.nrows();
+    let mut lu = a.clone();
+    let mut piv: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+    for k in 0..n {
+        // Pivot search.
+        let mut p = k;
+        let mut max = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            if lu[(i, k)].abs() > max {
+                max = lu[(i, k)].abs();
+                p = i;
+            }
+        }
+        if max == 0.0 || !max.is_finite() {
+            return Err(LaError::Singular { pivot: k });
+        }
+        if p != k {
+            for j in 0..n {
+                let tmp = lu[(k, j)];
+                lu[(k, j)] = lu[(p, j)];
+                lu[(p, j)] = tmp;
+            }
+            piv.swap(k, p);
+            sign = -sign;
+        }
+        let pivot = lu[(k, k)];
+        for i in (k + 1)..n {
+            let m = lu[(i, k)] / pivot;
+            lu[(i, k)] = m;
+            if m != 0.0 {
+                for j in (k + 1)..n {
+                    let v = lu[(k, j)];
+                    lu[(i, j)] -= m * v;
+                }
+            }
+        }
+    }
+    Ok((lu, piv, sign))
+}
+
+/// Solve `A x = b` using a precomputed LU factorization from [`lu_factor`].
+pub fn lu_solve(lu: &Matrix, piv: &[usize], b: &[f64]) -> Vec<f64> {
+    let n = lu.nrows();
+    assert_eq!(b.len(), n);
+    // Apply the permutation.
+    let mut x: Vec<f64> = piv.iter().map(|&p| b[p]).collect();
+    // Forward substitution with unit lower triangle.
+    for i in 0..n {
+        let mut s = x[i];
+        for k in 0..i {
+            s -= lu[(i, k)] * x[k];
+        }
+        x[i] = s;
+    }
+    // Backward substitution with upper triangle.
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for k in (i + 1)..n {
+            s -= lu[(i, k)] * x[k];
+        }
+        x[i] = s / lu[(i, i)];
+    }
+    x
+}
+
+/// Solve the general square system `A x = b`.
+pub fn solve_vec(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LaError> {
+    let (lu, piv, _) = lu_factor(a)?;
+    Ok(lu_solve(&lu, &piv, b))
+}
+
+/// General matrix inverse via LU.
+pub fn inverse(a: &Matrix) -> Result<Matrix, LaError> {
+    let n = a.nrows();
+    let (lu, piv, _) = lu_factor(a)?;
+    let mut inv = Matrix::zeros(n, n);
+    let mut e = vec![0.0; n];
+    for j in 0..n {
+        e.iter_mut().for_each(|x| *x = 0.0);
+        e[j] = 1.0;
+        let col = lu_solve(&lu, &piv, &e);
+        inv.col_mut(j).copy_from_slice(&col);
+    }
+    Ok(inv)
+}
+
+/// Log |det(A)| and sign for a general square matrix.
+pub fn logdet_general(a: &Matrix) -> Result<(f64, f64), LaError> {
+    let (lu, _, mut sign) = lu_factor(a)?;
+    let mut logdet = 0.0;
+    for i in 0..a.nrows() {
+        let d = lu[(i, i)];
+        if d < 0.0 {
+            sign = -sign;
+        }
+        logdet += d.abs().ln();
+    }
+    Ok((logdet, sign))
+}
+
+/// Flop count of an `n x n` Cholesky factorization (`n^3 / 3` leading term).
+pub fn potrf_flops(n: usize) -> u64 {
+    let n = n as u64;
+    n * n * n / 3 + n * n / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::matmul;
+
+    fn spd_test_matrix(n: usize) -> Matrix {
+        // A = B B^T + n*I with a deterministic B.
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 7) % 11) as f64 / 11.0);
+        let mut a = matmul(&b, &b.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd_test_matrix(8);
+        let l = cholesky(&a).unwrap();
+        let rec = matmul(&l, &l.transpose());
+        assert!(rec.max_abs_diff(&a) < 1e-10);
+        // Upper triangle must be zero.
+        for j in 0..8 {
+            for i in 0..j {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(cholesky(&a), Err(LaError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn logdet_matches_2x2_formula() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let l = cholesky(&a).unwrap();
+        let expected = (4.0_f64 * 3.0 - 1.0).ln();
+        assert!((logdet_from_cholesky(&l) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn potrs_solves() {
+        let a = spd_test_matrix(6);
+        let x_true: Vec<f64> = (0..6).map(|i| (i as f64) - 2.5).collect();
+        let b = blas::matvec(&a, &x_true);
+        let x = spd_solve_vec(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn potrs_matrix_rhs() {
+        let a = spd_test_matrix(5);
+        let x_true = Matrix::from_fn(5, 3, |i, j| (i + j) as f64);
+        let mut b = matmul(&a, &x_true);
+        let l = cholesky(&a).unwrap();
+        potrs(&l, &mut b);
+        assert!(b.max_abs_diff(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn spd_inverse_is_inverse() {
+        let a = spd_test_matrix(7);
+        let inv = spd_inverse(&a).unwrap();
+        let prod = matmul(&a, &inv);
+        assert!(prod.max_abs_diff(&Matrix::identity(7)) < 1e-9);
+    }
+
+    #[test]
+    fn lu_solve_general() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, -1.0, 3.0], &[4.0, 0.0, -2.0]]);
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = blas::matvec(&a, &x_true);
+        let x = solve_vec(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(lu_factor(&a), Err(LaError::Singular { .. })));
+    }
+
+    #[test]
+    fn general_inverse_and_logdet() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let inv = inverse(&a).unwrap();
+        let prod = matmul(&a, &inv);
+        assert!(prod.max_abs_diff(&Matrix::identity(2)) < 1e-12);
+        let (ld, sign) = logdet_general(&a).unwrap();
+        assert!((ld - 5.0_f64.ln()).abs() < 1e-12);
+        assert_eq!(sign, 1.0);
+    }
+
+    #[test]
+    fn logdet_general_negative_det() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]); // det = -1
+        let (ld, sign) = logdet_general(&a).unwrap();
+        assert!(ld.abs() < 1e-12);
+        assert_eq!(sign, -1.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Used by the INLA engine to analyse the Hessian of the objective at the
+//! hyperparameter mode (Gaussian approximation of the hyperparameter
+//! posterior, reparameterization along eigenvector directions) — these
+//! matrices are tiny (dim(θ) ≤ ~20) so the Jacobi method is more than
+//! adequate.
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition `A = V diag(λ) V^T`.
+#[derive(Clone, Debug)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Column `k` of `vectors` is the eigenvector for `values[k]`.
+    pub vectors: Matrix,
+}
+
+/// Compute all eigenvalues/eigenvectors of a symmetric matrix using cyclic
+/// Jacobi rotations. The input is symmetrized first to be robust against tiny
+/// asymmetries from finite-difference Hessians.
+pub fn symmetric_eigen(a: &Matrix) -> SymmetricEigen {
+    assert!(a.is_square(), "symmetric_eigen requires a square matrix");
+    let n = a.nrows();
+    let mut m = a.clone();
+    m.symmetrize();
+    let mut v = Matrix::identity(n);
+
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for j in 0..n {
+            for i in (j + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-14 * (1.0 + m.frobenius_norm()) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation to rows/columns p and q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, new_col)] = v[(i, old_col)];
+        }
+    }
+    SymmetricEigen { values, vectors }
+}
+
+/// Smallest eigenvalue of a symmetric matrix.
+pub fn min_eigenvalue(a: &Matrix) -> f64 {
+    symmetric_eigen(a).values[0]
+}
+
+/// `true` if a symmetric matrix is positive definite (all eigenvalues > tol).
+pub fn is_positive_definite(a: &Matrix, tol: f64) -> bool {
+    min_eigenvalue(a) > tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::matmul;
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = symmetric_eigen(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, -0.2],
+            &[0.5, -0.2, 2.0],
+        ]);
+        let e = symmetric_eigen(&a);
+        // Reconstruct V diag(λ) V^T.
+        let lam = Matrix::from_diag(&e.values);
+        let rec = matmul(&matmul(&e.vectors, &lam), &e.vectors.transpose());
+        assert!(rec.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = symmetric_eigen(&a);
+        let vtv = matmul(&e.vectors.transpose(), &e.vectors);
+        assert!(vtv.max_abs_diff(&Matrix::identity(2)) < 1e-12);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_definite_check() {
+        let pd = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
+        let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(is_positive_definite(&pd, 0.0));
+        assert!(!is_positive_definite(&indef, 0.0));
+        assert!((min_eigenvalue(&indef) + 1.0).abs() < 1e-12);
+    }
+}

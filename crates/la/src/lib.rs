@@ -1,0 +1,74 @@
+//! # dalia-la — dense linear algebra kernels
+//!
+//! From-scratch dense column-major linear algebra used throughout the DALIA-RS
+//! workspace. It plays the role of the cuBLAS/cuSOLVER block kernels that the
+//! original DALIA framework invokes through CuPy on GH200 GPUs:
+//!
+//! * [`matrix::Matrix`] — column-major dense storage,
+//! * [`blas`] — GEMM / SYRK / TRSM / GEMV level-1/2/3 kernels,
+//! * [`chol`] — dense Cholesky (POTRF/POTRS), LU, inverses and log-determinants,
+//! * [`eigen`] — symmetric Jacobi eigendecomposition (hyperparameter Hessians).
+//!
+//! All kernels are deliberately dependency-free and validated against naive
+//! reference implementations plus property-based tests.
+
+pub mod blas;
+pub mod chol;
+pub mod eigen;
+pub mod matrix;
+
+pub use blas::{Side, Trans, Triangle};
+pub use chol::{cholesky, logdet_from_cholesky, potrf, potrs, potrs_vec, spd_inverse, spd_solve_vec};
+pub use eigen::{symmetric_eigen, SymmetricEigen};
+pub use matrix::Matrix;
+
+/// Errors produced by the dense kernels.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LaError {
+    /// A Cholesky pivot was non-positive: the matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Index of the offending pivot.
+        pivot: usize,
+        /// Value of the offending pivot.
+        value: f64,
+    },
+    /// An LU pivot vanished: the matrix is singular to working precision.
+    Singular {
+        /// Index of the offending pivot.
+        pivot: usize,
+    },
+    /// Dimensions of the operands do not agree.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for LaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaError::NotPositiveDefinite { pivot, value } => {
+                write!(f, "matrix not positive definite at pivot {pivot} (value {value:.3e})")
+            }
+            LaError::Singular { pivot } => write!(f, "matrix singular at pivot {pivot}"),
+            LaError::DimensionMismatch { context } => write!(f, "dimension mismatch: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for LaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = LaError::NotPositiveDefinite { pivot: 3, value: -1.0 };
+        assert!(e.to_string().contains("pivot 3"));
+        let s = LaError::Singular { pivot: 1 };
+        assert!(s.to_string().contains("singular"));
+        let d = LaError::DimensionMismatch { context: "gemm".into() };
+        assert!(d.to_string().contains("gemm"));
+    }
+}

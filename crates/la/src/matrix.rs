@@ -1,0 +1,478 @@
+//! Column-major dense matrix type used by every other crate in the workspace.
+//!
+//! The storage layout intentionally matches LAPACK conventions (column major,
+//! leading dimension = number of rows) so that the block kernels in
+//! [`crate::blas`] and [`crate::chol`] translate directly from the textbook
+//! formulations used by the DALIA paper's GPU kernels.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// Dense column-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// Matrix filled with a constant value.
+    pub fn filled(nrows: usize, ncols: usize, value: f64) -> Self {
+        Self { nrows, ncols, data: vec![value; nrows * ncols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Diagonal matrix from a slice.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Build from a closure `f(row, col)`.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(nrows, ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Build from row-major nested slices (convenient in tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let nrows = rows.len();
+        let ncols = if nrows == 0 { 0 } else { rows[0].len() };
+        let mut m = Self::zeros(nrows, ncols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), ncols, "ragged rows");
+            for (j, &v) in r.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Build from a column-major data vector.
+    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "data length mismatch");
+        Self { nrows, ncols, data }
+    }
+
+    /// Column vector from a slice.
+    pub fn col_vector(v: &[f64]) -> Self {
+        Self::from_col_major(v.len(), 1, v.to_vec())
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `true` when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.nrows == self.ncols
+    }
+
+    /// Underlying column-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable underlying column-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// A single column as a slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// A single column as a mutable slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        let n = self.nrows;
+        &mut self.data[j * n..(j + 1) * n]
+    }
+
+    /// Copy of row `i`.
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        (0..self.ncols).map(|j| self[(i, j)]).collect()
+    }
+
+    /// Diagonal entries (up to `min(nrows, ncols)`).
+    pub fn diag(&self) -> Vec<f64> {
+        (0..self.nrows.min(self.ncols)).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.ncols, self.nrows);
+        for j in 0..self.ncols {
+            for i in 0..self.nrows {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Set every entry to zero without reallocating.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Set every entry to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    /// Scale every entry in place.
+    pub fn scale(&mut self, alpha: f64) {
+        self.data.iter_mut().for_each(|x| *x *= alpha);
+    }
+
+    /// `self += alpha * other` (entry-wise).
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Shape as `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Extract the sub-matrix `rows x cols` starting at `(r0, c0)`.
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
+        assert!(r0 + rows <= self.nrows && c0 + cols <= self.ncols, "block out of range");
+        let mut b = Matrix::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                b[(i, j)] = self[(r0 + i, c0 + j)];
+            }
+        }
+        b
+    }
+
+    /// Write `block` into `self` at offset `(r0, c0)`.
+    pub fn set_block(&mut self, r0: usize, c0: usize, block: &Matrix) {
+        assert!(
+            r0 + block.nrows <= self.nrows && c0 + block.ncols <= self.ncols,
+            "set_block out of range"
+        );
+        for j in 0..block.ncols {
+            for i in 0..block.nrows {
+                self[(r0 + i, c0 + j)] = block[(i, j)];
+            }
+        }
+    }
+
+    /// `self[r0.., c0..] += alpha * block`.
+    pub fn add_block(&mut self, r0: usize, c0: usize, alpha: f64, block: &Matrix) {
+        assert!(
+            r0 + block.nrows <= self.nrows && c0 + block.ncols <= self.ncols,
+            "add_block out of range"
+        );
+        for j in 0..block.ncols {
+            for i in 0..block.nrows {
+                self[(r0 + i, c0 + j)] += alpha * block[(i, j)];
+            }
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()))
+    }
+
+    /// Symmetrize in place: `A = (A + A^T) / 2`. Requires a square matrix.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square(), "symmetrize requires a square matrix");
+        for j in 0..self.ncols {
+            for i in (j + 1)..self.nrows {
+                let s = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = s;
+                self[(j, i)] = s;
+            }
+        }
+    }
+
+    /// Mirror the lower triangle into the upper triangle.
+    pub fn mirror_lower(&mut self) {
+        assert!(self.is_square());
+        for j in 0..self.ncols {
+            for i in (j + 1)..self.nrows {
+                self[(j, i)] = self[(i, j)];
+            }
+        }
+    }
+
+    /// Zero the strict upper triangle (keep lower + diagonal).
+    pub fn zero_upper(&mut self) {
+        assert!(self.is_square());
+        for j in 0..self.ncols {
+            for i in 0..j {
+                self[(i, j)] = 0.0;
+            }
+        }
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square());
+        (0..self.nrows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Maximum absolute difference to another matrix of the same shape.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .fold(0.0_f64, |acc, (a, b)| acc.max((a - b).abs()))
+    }
+
+    /// `true` when all entries are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        &self.data[j * self.nrows + i]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        &mut self.data[j * self.nrows + i]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.nrows, self.ncols)?;
+        let max_show = 8;
+        for i in 0..self.nrows.min(max_show) {
+            write!(f, "  ")?;
+            for j in 0..self.ncols.min(max_show) {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            if self.ncols > max_show {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.nrows > max_show {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape());
+        let mut out = self.clone();
+        out.axpy(1.0, rhs);
+        out
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape());
+        let mut out = self.clone();
+        out.axpy(-1.0, rhs);
+        out
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        self.axpy(-1.0, rhs);
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        let mut out = self.clone();
+        out.scale(-1.0);
+        out
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        crate::blas::matmul(self, rhs)
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale(rhs);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(3, 2);
+        assert_eq!(z.shape(), (3, 2));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(1, 0)], 0.0);
+        assert_eq!(i.trace(), 3.0);
+    }
+
+    #[test]
+    fn indexing_is_column_major() {
+        let m = Matrix::from_col_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 0)], 2.0);
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn from_rows_matches_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.row(1), vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 7 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (4, 3));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn block_get_set() {
+        let mut m = Matrix::zeros(4, 4);
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.set_block(1, 2, &b);
+        assert_eq!(m[(1, 2)], 1.0);
+        assert_eq!(m[(2, 3)], 4.0);
+        let back = m.block(1, 2, 2, 2);
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn add_block_accumulates() {
+        let mut m = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::identity(2);
+        m.add_block(0, 0, 2.0, &b);
+        assert_eq!(m[(0, 0)], 3.0);
+        assert_eq!(m[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::identity(2);
+        let s = &a + &b;
+        assert_eq!(s[(0, 0)], 2.0);
+        let d = &s - &b;
+        assert_eq!(d, a);
+        let n = -&a;
+        assert_eq!(n[(1, 1)], -4.0);
+        let scaled = &a * 2.0;
+        assert_eq!(scaled[(1, 0)], 6.0);
+    }
+
+    #[test]
+    fn symmetrize_and_mirror() {
+        let mut m = Matrix::from_rows(&[&[1.0, 5.0], &[3.0, 2.0]]);
+        m.symmetrize();
+        assert_eq!(m[(0, 1)], 4.0);
+        assert_eq!(m[(1, 0)], 4.0);
+
+        let mut l = Matrix::from_rows(&[&[1.0, 0.0], &[7.0, 2.0]]);
+        l.mirror_lower();
+        assert_eq!(l[(0, 1)], 7.0);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, -4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-14);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn diag_extraction() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 5.0, 0.0]]);
+        assert_eq!(m.diag(), vec![1.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn block_out_of_range_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.block(1, 1, 2, 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the dense kernels.
+
+use dalia_la::blas::{self, Side, Trans, Triangle};
+use dalia_la::chol;
+use dalia_la::eigen;
+use dalia_la::Matrix;
+use proptest::prelude::*;
+
+/// Strategy producing a random matrix with entries in [-1, 1].
+fn matrix_strategy(nrows: usize, ncols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f64..1.0, nrows * ncols)
+        .prop_map(move |data| Matrix::from_col_major(nrows, ncols, data))
+}
+
+/// Strategy producing a random SPD matrix of order `n` (B Bᵀ + n·I).
+fn spd_strategy(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix_strategy(n, n).prop_map(move |b| {
+        let mut a = blas::matmul(&b, &b.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_matches_naive(a in matrix_strategy(5, 4), b in matrix_strategy(4, 6)) {
+        let c = blas::matmul(&a, &b);
+        for i in 0..5 {
+            for j in 0..6 {
+                let mut s = 0.0;
+                for k in 0..4 {
+                    s += a[(i, k)] * b[(k, j)];
+                }
+                prop_assert!((c[(i, j)] - s).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_transpose_consistency(a in matrix_strategy(4, 3), b in matrix_strategy(3, 5)) {
+        // (A B)^T == B^T A^T
+        let ab_t = blas::matmul(&a, &b).transpose();
+        let bt_at = blas::matmul(&b.transpose(), &a.transpose());
+        prop_assert!(ab_t.max_abs_diff(&bt_at) < 1e-12);
+    }
+
+    #[test]
+    fn syrk_equals_gemm(a in matrix_strategy(5, 3)) {
+        let mut c = Matrix::zeros(5, 5);
+        blas::syrk_full(Trans::No, 1.0, &a, 0.0, &mut c);
+        let expected = blas::matmul(&a, &a.transpose());
+        prop_assert!(c.max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_reconstruction(a in spd_strategy(6)) {
+        let l = chol::cholesky(&a).unwrap();
+        let rec = blas::matmul(&l, &l.transpose());
+        prop_assert!(rec.max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn cholesky_solve_residual(a in spd_strategy(6), x in proptest::collection::vec(-2.0f64..2.0, 6)) {
+        let b = blas::matvec(&a, &x);
+        let sol = chol::spd_solve_vec(&a, &b).unwrap();
+        for (s, t) in sol.iter().zip(&x) {
+            prop_assert!((s - t).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn logdet_consistency_cholesky_vs_lu(a in spd_strategy(5)) {
+        let l = chol::cholesky(&a).unwrap();
+        let ld_chol = chol::logdet_from_cholesky(&l);
+        let (ld_lu, sign) = chol::logdet_general(&a).unwrap();
+        prop_assert_eq!(sign, 1.0);
+        prop_assert!((ld_chol - ld_lu).abs() < 1e-8 * (1.0 + ld_chol.abs()));
+    }
+
+    #[test]
+    fn trsm_left_inverse_of_trmm(l0 in matrix_strategy(5, 5), x in matrix_strategy(5, 3)) {
+        // Build a well-conditioned lower-triangular matrix from l0.
+        let n = 5;
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            for i in j..n {
+                l[(i, j)] = l0[(i, j)];
+            }
+            l[(j, j)] = 1.5 + l0[(j, j)].abs();
+        }
+        let mut b = x.clone();
+        blas::trmm_left(Triangle::Lower, Trans::No, &l, &mut b);
+        blas::trsm(Side::Left, Triangle::Lower, Trans::No, &l, &mut b);
+        prop_assert!(b.max_abs_diff(&x) < 1e-9);
+    }
+
+    #[test]
+    fn trsm_right_transpose_roundtrip(l0 in matrix_strategy(4, 4), x in matrix_strategy(3, 4)) {
+        let n = 4;
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            for i in j..n {
+                l[(i, j)] = l0[(i, j)];
+            }
+            l[(j, j)] = 1.5 + l0[(j, j)].abs();
+        }
+        // B = X L^T, then solve X = B L^{-T}.
+        let mut b = blas::matmul(&x, &l.transpose());
+        blas::trsm(Side::Right, Triangle::Lower, Trans::Yes, &l, &mut b);
+        prop_assert!(b.max_abs_diff(&x) < 1e-9);
+    }
+
+    #[test]
+    fn spd_inverse_roundtrip(a in spd_strategy(5)) {
+        let inv = chol::spd_inverse(&a).unwrap();
+        let prod = blas::matmul(&a, &inv);
+        prop_assert!(prod.max_abs_diff(&Matrix::identity(5)) < 1e-7);
+    }
+
+    #[test]
+    fn eigen_reconstruction(a0 in matrix_strategy(5, 5)) {
+        let mut a = a0.clone();
+        a.symmetrize();
+        let e = eigen::symmetric_eigen(&a);
+        let lam = Matrix::from_diag(&e.values);
+        let rec = blas::matmul(&blas::matmul(&e.vectors, &lam), &e.vectors.transpose());
+        prop_assert!(rec.max_abs_diff(&a) < 1e-9);
+        // Eigenvalues sorted ascending.
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigen_trace_and_det_invariants(a in spd_strategy(4)) {
+        let e = eigen::symmetric_eigen(&a);
+        let trace_sum: f64 = e.values.iter().sum();
+        prop_assert!((trace_sum - a.trace()).abs() < 1e-8 * (1.0 + a.trace().abs()));
+        let logdet_eig: f64 = e.values.iter().map(|v| v.ln()).sum();
+        let l = chol::cholesky(&a).unwrap();
+        let logdet_chol = chol::logdet_from_cholesky(&l);
+        prop_assert!((logdet_eig - logdet_chol).abs() < 1e-7 * (1.0 + logdet_chol.abs()));
+    }
+
+    #[test]
+    fn matvec_linearity(a in matrix_strategy(4, 4), x in proptest::collection::vec(-1.0f64..1.0, 4), y in proptest::collection::vec(-1.0f64..1.0, 4)) {
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let ax = blas::matvec(&a, &x);
+        let ay = blas::matvec(&a, &y);
+        let asum = blas::matvec(&a, &sum);
+        for i in 0..4 {
+            prop_assert!((asum[i] - ax[i] - ay[i]).abs() < 1e-12);
+        }
+    }
+}

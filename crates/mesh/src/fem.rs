@@ -1,0 +1,274 @@
+//! P1 finite element assembly on triangulated meshes.
+//!
+//! Provides the spatial matrices needed by the SPDE representation of
+//! Matérn/Whittle Gaussian fields (Lindgren et al. 2011, 2024):
+//! the consistent and lumped mass matrices `C`, the stiffness matrix `G`,
+//! and observation/projection matrices mapping mesh nodes to arbitrary
+//! locations.
+
+use crate::mesh2d::{Point, TriangleMesh};
+use dalia_sparse::{CooMatrix, CsrMatrix};
+
+/// Assemble the consistent P1 mass matrix `C` with
+/// `C_ij = ∫ φ_i φ_j dx` (per-triangle: area/12 * [[2,1,1],[1,2,1],[1,1,2]]).
+pub fn mass_matrix(mesh: &TriangleMesh) -> CsrMatrix {
+    let n = mesh.n_nodes();
+    let mut coo = CooMatrix::with_capacity(n, n, 9 * mesh.n_triangles());
+    for t in 0..mesh.n_triangles() {
+        let area = mesh.triangle_area(t);
+        let v = mesh.triangles[t].v;
+        for a in 0..3 {
+            for b in 0..3 {
+                let val = if a == b { area / 6.0 } else { area / 12.0 };
+                coo.push(v[a], v[b], val);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Assemble the lumped (diagonal) mass matrix: row sums of the consistent mass
+/// matrix. The SPDE literature uses the lumped form because it keeps
+/// `C⁻¹` diagonal, which preserves the sparsity of higher-order operators
+/// such as `G C⁻¹ G`.
+pub fn lumped_mass_matrix(mesh: &TriangleMesh) -> CsrMatrix {
+    let n = mesh.n_nodes();
+    let mut diag = vec![0.0f64; n];
+    for t in 0..mesh.n_triangles() {
+        let area = mesh.triangle_area(t);
+        for &vi in &mesh.triangles[t].v {
+            diag[vi] += area / 3.0;
+        }
+    }
+    CsrMatrix::from_diag(&diag)
+}
+
+/// Diagonal of the lumped mass matrix.
+pub fn lumped_mass_diag(mesh: &TriangleMesh) -> Vec<f64> {
+    lumped_mass_matrix(mesh).diag()
+}
+
+/// Assemble the P1 stiffness matrix `G` with `G_ij = ∫ ∇φ_i · ∇φ_j dx`.
+pub fn stiffness_matrix(mesh: &TriangleMesh) -> CsrMatrix {
+    let n = mesh.n_nodes();
+    let mut coo = CooMatrix::with_capacity(n, n, 9 * mesh.n_triangles());
+    for t in 0..mesh.n_triangles() {
+        let v = mesh.triangles[t].v;
+        let p: Vec<Point> = v.iter().map(|&i| mesh.vertices[i]).collect();
+        let area = mesh.triangle_area(t);
+        // Gradients of the barycentric basis functions.
+        // ∇φ_a = (1 / 2A) * (y_b - y_c, x_c - x_b) for (a, b, c) cyclic.
+        let grads = [
+            [(p[1].y - p[2].y) / (2.0 * area), (p[2].x - p[1].x) / (2.0 * area)],
+            [(p[2].y - p[0].y) / (2.0 * area), (p[0].x - p[2].x) / (2.0 * area)],
+            [(p[0].y - p[1].y) / (2.0 * area), (p[1].x - p[0].x) / (2.0 * area)],
+        ];
+        for a in 0..3 {
+            for b in 0..3 {
+                let val = area * (grads[a][0] * grads[b][0] + grads[a][1] * grads[b][1]);
+                coo.push(v[a], v[b], val);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Projection (observation) matrix `A` with `A[k, j] = φ_j(location_k)`:
+/// each row holds the barycentric weights of the triangle containing the
+/// location. Locations outside the domain produce an all-zero row and are
+/// reported in the returned mask.
+pub fn projection_matrix(mesh: &TriangleMesh, locations: &[Point]) -> (CsrMatrix, Vec<bool>) {
+    let n = mesh.n_nodes();
+    let m = locations.len();
+    let mut coo = CooMatrix::with_capacity(m, n, 3 * m);
+    let mut inside = vec![false; m];
+    for (k, p) in locations.iter().enumerate() {
+        if let Some((t, bary)) = mesh.locate(p) {
+            inside[k] = true;
+            let v = mesh.triangles[t].v;
+            for a in 0..3 {
+                coo.push(k, v[a], bary[a]);
+            }
+        }
+    }
+    (coo.to_csr(), inside)
+}
+
+/// One-dimensional temporal discretization matrices used by the
+/// spatio-temporal SPDE (the `M0`, `M1`, `M2` matrices of the
+/// diffusion-based extension of Matérn fields).
+///
+/// * `m0` — lumped temporal mass matrix (trapezoidal weights),
+/// * `m1` — "boundary"/first-derivative matrix, antisymmetric part handled as
+///   in the DEMF construction (here: half the boundary contribution),
+/// * `m2` — temporal stiffness matrix (second-derivative penalty).
+#[derive(Clone, Debug)]
+pub struct TemporalMatrices {
+    pub m0: CsrMatrix,
+    pub m1: CsrMatrix,
+    pub m2: CsrMatrix,
+    /// Number of time steps.
+    pub nt: usize,
+    /// Time step size.
+    pub dt: f64,
+}
+
+/// Assemble the temporal matrices for `nt` equally spaced time steps with
+/// spacing `dt`.
+pub fn temporal_matrices(nt: usize, dt: f64) -> TemporalMatrices {
+    assert!(nt >= 1, "need at least one time step");
+    assert!(dt > 0.0, "time step must be positive");
+    // Lumped mass: dt * diag(1/2, 1, ..., 1, 1/2) (trapezoidal rule).
+    let mut d0 = vec![dt; nt];
+    if nt > 1 {
+        d0[0] = dt / 2.0;
+        d0[nt - 1] = dt / 2.0;
+    }
+    let m0 = CsrMatrix::from_diag(&d0);
+
+    // Boundary matrix: diag(1/2, 0, ..., 0, 1/2) — the symmetric part of the
+    // first-derivative operator over [0, T] (boundary terms).
+    let mut coo1 = CooMatrix::new(nt, nt);
+    if nt > 1 {
+        coo1.push(0, 0, 0.5);
+        coo1.push(nt - 1, nt - 1, 0.5);
+    } else {
+        coo1.push(0, 0, 1.0);
+    }
+    let m1 = coo1.to_csr();
+
+    // Stiffness: (1/dt) * tridiag(-1, 2, -1) with Neumann boundary rows
+    // (1 on the diagonal corners).
+    let mut coo2 = CooMatrix::new(nt, nt);
+    if nt == 1 {
+        coo2.push(0, 0, 1.0 / dt);
+    } else {
+        for i in 0..nt {
+            let diag = if i == 0 || i == nt - 1 { 1.0 } else { 2.0 };
+            coo2.push(i, i, diag / dt);
+            if i + 1 < nt {
+                coo2.push(i, i + 1, -1.0 / dt);
+                coo2.push(i + 1, i, -1.0 / dt);
+            }
+        }
+    }
+    let m2 = coo2.to_csr();
+
+    TemporalMatrices { m0, m1, m2, nt, dt }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh2d::Domain;
+
+    fn mesh() -> TriangleMesh {
+        TriangleMesh::structured(Domain::unit_square(), 5, 4)
+    }
+
+    #[test]
+    fn mass_matrix_rows_sum_to_areas() {
+        let m = mesh();
+        let c = mass_matrix(&m);
+        // Sum of all entries equals the domain area (partition of unity).
+        let total: f64 = c.values().iter().sum();
+        assert!((total - m.total_area()).abs() < 1e-12);
+        assert!(c.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn lumped_mass_equals_row_sums() {
+        let m = mesh();
+        let c = mass_matrix(&m);
+        let cl = lumped_mass_matrix(&m);
+        let ones = vec![1.0; m.n_nodes()];
+        let row_sums = c.spmv(&ones);
+        let lumped = cl.diag();
+        for (a, b) in row_sums.iter().zip(&lumped) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let total: f64 = lumped.iter().sum();
+        assert!((total - m.total_area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stiffness_annihilates_constants() {
+        let m = mesh();
+        let g = stiffness_matrix(&m);
+        assert!(g.is_symmetric(1e-12));
+        let ones = vec![1.0; m.n_nodes()];
+        let g1 = g.spmv(&ones);
+        for v in g1 {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stiffness_is_positive_semidefinite() {
+        let m = mesh();
+        let g = stiffness_matrix(&m);
+        for seed in 0..5 {
+            let x: Vec<f64> = (0..m.n_nodes()).map(|i| ((i * 7 + seed * 3) as f64 * 0.37).sin()).collect();
+            assert!(g.quadratic_form(&x) >= -1e-10);
+        }
+    }
+
+    #[test]
+    fn stiffness_exact_for_linear_function() {
+        // For u(x, y) = x on the unit square, ∫|∇u|² = 1.
+        let m = TriangleMesh::structured(Domain::unit_square(), 6, 6);
+        let g = stiffness_matrix(&m);
+        let u: Vec<f64> = m.vertices.iter().map(|p| p.x).collect();
+        assert!((g.quadratic_form(&u) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_interpolates_linear_functions_exactly() {
+        let m = mesh();
+        let pts = vec![Point::new(0.21, 0.33), Point::new(0.77, 0.52), Point::new(0.05, 0.95)];
+        let (a, inside) = projection_matrix(&m, &pts);
+        assert!(inside.iter().all(|&b| b));
+        // P1 interpolation is exact for linear functions f(x,y) = 2x - 3y + 1.
+        let nodal: Vec<f64> = m.vertices.iter().map(|p| 2.0 * p.x - 3.0 * p.y + 1.0).collect();
+        let interp = a.spmv(&nodal);
+        for (val, p) in interp.iter().zip(&pts) {
+            let expected = 2.0 * p.x - 3.0 * p.y + 1.0;
+            assert!((val - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_flags_outside_points() {
+        let m = mesh();
+        let pts = vec![Point::new(0.5, 0.5), Point::new(2.0, 2.0)];
+        let (a, inside) = projection_matrix(&m, &pts);
+        assert!(inside[0] && !inside[1]);
+        // Outside row is empty.
+        assert_eq!(a.row_iter(1).count(), 0);
+    }
+
+    #[test]
+    fn temporal_matrices_properties() {
+        let tm = temporal_matrices(6, 0.5);
+        assert_eq!(tm.m0.shape(), (6, 6));
+        // Trapezoidal mass sums to the interval length (nt-1)*dt.
+        let total: f64 = tm.m0.diag().iter().sum();
+        assert!((total - 2.5).abs() < 1e-12);
+        // Stiffness annihilates constants.
+        let ones = vec![1.0; 6];
+        for v in tm.m2.spmv(&ones) {
+            assert!(v.abs() < 1e-12);
+        }
+        assert!(tm.m2.is_symmetric(1e-12));
+        // Boundary matrix only touches the first and last step.
+        assert_eq!(tm.m1.nnz(), 2);
+    }
+
+    #[test]
+    fn temporal_single_step_degenerate() {
+        let tm = temporal_matrices(1, 1.0);
+        assert_eq!(tm.m0.shape(), (1, 1));
+        assert!(tm.m0.get(0, 0) > 0.0);
+        assert!(tm.m2.get(0, 0) > 0.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # dalia-mesh — meshes and P1 finite element assembly
+//!
+//! Spatial and temporal discretization substrate for the SPDE representation
+//! of Gaussian fields:
+//!
+//! * [`mesh2d`] — structured 2-D triangulations of rectangular domains with
+//!   refinement, point location and barycentric interpolation,
+//! * [`fem`] — P1 mass/stiffness assembly, observation projection matrices and
+//!   the 1-D temporal matrices `M0`, `M1`, `M2` of the spatio-temporal SPDE.
+
+pub mod fem;
+pub mod mesh2d;
+
+pub use fem::{
+    lumped_mass_diag, lumped_mass_matrix, mass_matrix, projection_matrix, stiffness_matrix,
+    temporal_matrices, TemporalMatrices,
+};
+pub use mesh2d::{Domain, Point, Triangle, TriangleMesh};

@@ -1,0 +1,296 @@
+//! Two-dimensional triangulated meshes of rectangular domains.
+//!
+//! The paper discretizes the spatial domain (northern Italy) with an
+//! unstructured finite-element mesh at several refinement levels (Fig. 6c).
+//! Here meshes are structured triangulations of a rectangle, which keeps mesh
+//! generation dependency-free while producing the same kind of P1 finite
+//! element matrices (sparse mass and stiffness) that the SPDE approach needs.
+
+/// A 2-D point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Create a new point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Rectangular spatial domain `[x0, x1] x [y0, y1]`.
+#[derive(Clone, Copy, Debug)]
+pub struct Domain {
+    pub x0: f64,
+    pub x1: f64,
+    pub y0: f64,
+    pub y1: f64,
+}
+
+impl Domain {
+    /// Unit square domain.
+    pub fn unit_square() -> Self {
+        Self { x0: 0.0, x1: 1.0, y0: 0.0, y1: 1.0 }
+    }
+
+    /// A domain roughly shaped like the paper's northern-Italy study region
+    /// (about 490 km x 250 km, expressed in degrees at ~0.1° resolution).
+    pub fn northern_italy_like() -> Self {
+        Self { x0: 6.6, x1: 13.1, y0: 44.0, y1: 46.5 }
+    }
+
+    /// Domain width.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Domain height.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Area of the domain.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// `true` when the point lies inside (or on the boundary of) the domain.
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.x0 - 1e-12 && p.x <= self.x1 + 1e-12 && p.y >= self.y0 - 1e-12 && p.y <= self.y1 + 1e-12
+    }
+}
+
+/// Triangle given by three vertex indices (counter-clockwise).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Triangle {
+    pub v: [usize; 3],
+}
+
+/// A P1 triangulated mesh.
+#[derive(Clone, Debug)]
+pub struct TriangleMesh {
+    /// Mesh vertices.
+    pub vertices: Vec<Point>,
+    /// Triangles (counter-clockwise vertex indices).
+    pub triangles: Vec<Triangle>,
+    /// The domain the mesh covers.
+    pub domain: Domain,
+    /// Number of vertex columns of the underlying structured grid.
+    nx: usize,
+    /// Number of vertex rows of the underlying structured grid.
+    ny: usize,
+}
+
+impl TriangleMesh {
+    /// Structured triangulation of `domain` with `nx` x `ny` vertices
+    /// (so `(nx-1) x (ny-1)` cells, each split into two triangles).
+    pub fn structured(domain: Domain, nx: usize, ny: usize) -> Self {
+        assert!(nx >= 2 && ny >= 2, "mesh needs at least 2x2 vertices");
+        let mut vertices = Vec::with_capacity(nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                let x = domain.x0 + domain.width() * i as f64 / (nx - 1) as f64;
+                let y = domain.y0 + domain.height() * j as f64 / (ny - 1) as f64;
+                vertices.push(Point::new(x, y));
+            }
+        }
+        let mut triangles = Vec::with_capacity(2 * (nx - 1) * (ny - 1));
+        let idx = |i: usize, j: usize| j * nx + i;
+        for j in 0..ny - 1 {
+            for i in 0..nx - 1 {
+                let a = idx(i, j);
+                let b = idx(i + 1, j);
+                let c = idx(i + 1, j + 1);
+                let d = idx(i, j + 1);
+                // Split the quad along the a-c diagonal, counter-clockwise.
+                triangles.push(Triangle { v: [a, b, c] });
+                triangles.push(Triangle { v: [a, c, d] });
+            }
+        }
+        Self { vertices, triangles, domain, nx, ny }
+    }
+
+    /// Structured mesh with approximately `target_nodes` vertices, preserving
+    /// the domain aspect ratio. Used to build the paper's mesh-refinement
+    /// ladder (72, 282, 1119, 4485 nodes in WA2) at arbitrary scales.
+    pub fn with_approx_nodes(domain: Domain, target_nodes: usize) -> Self {
+        let aspect = domain.width() / domain.height();
+        let nyf = ((target_nodes as f64) / aspect).sqrt();
+        let ny = nyf.round().max(2.0) as usize;
+        let nx = ((target_nodes as f64) / ny as f64).round().max(2.0) as usize;
+        Self::structured(domain, nx, ny)
+    }
+
+    /// Number of mesh nodes (`n_s` in the paper's notation).
+    pub fn n_nodes(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of triangles.
+    pub fn n_triangles(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Grid resolution `(nx, ny)` of the underlying structured grid.
+    pub fn grid_shape(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Uniform refinement: every edge is split, every triangle becomes four.
+    /// For the structured meshes used here this is equivalent to doubling the
+    /// grid resolution, which keeps the mesh structured (and point location
+    /// O(1)).
+    pub fn refine(&self) -> TriangleMesh {
+        TriangleMesh::structured(self.domain, self.nx * 2 - 1, self.ny * 2 - 1)
+    }
+
+    /// Signed area of triangle `t` (positive for counter-clockwise).
+    pub fn triangle_area(&self, t: usize) -> f64 {
+        let tri = &self.triangles[t];
+        let p0 = self.vertices[tri.v[0]];
+        let p1 = self.vertices[tri.v[1]];
+        let p2 = self.vertices[tri.v[2]];
+        0.5 * ((p1.x - p0.x) * (p2.y - p0.y) - (p2.x - p0.x) * (p1.y - p0.y))
+    }
+
+    /// Total mesh area (should equal the domain area).
+    pub fn total_area(&self) -> f64 {
+        (0..self.n_triangles()).map(|t| self.triangle_area(t)).sum()
+    }
+
+    /// Locate the triangle containing point `p` and return `(triangle index,
+    /// barycentric coordinates)`. Returns `None` when `p` is outside the
+    /// domain.
+    pub fn locate(&self, p: &Point) -> Option<(usize, [f64; 3])> {
+        if !self.domain.contains(p) {
+            return None;
+        }
+        // Structured grid: find the cell directly.
+        let fx = (p.x - self.domain.x0) / self.domain.width() * (self.nx - 1) as f64;
+        let fy = (p.y - self.domain.y0) / self.domain.height() * (self.ny - 1) as f64;
+        let i = (fx.floor() as usize).min(self.nx - 2);
+        let j = (fy.floor() as usize).min(self.ny - 2);
+        let cell = j * (self.nx - 1) + i;
+        // Each cell holds two triangles at indices 2*cell and 2*cell + 1.
+        for t in [2 * cell, 2 * cell + 1] {
+            if let Some(b) = self.barycentric(t, p) {
+                return Some((t, b));
+            }
+        }
+        None
+    }
+
+    /// Barycentric coordinates of `p` in triangle `t`, or `None` if outside
+    /// (with a small tolerance so boundary points are accepted).
+    pub fn barycentric(&self, t: usize, p: &Point) -> Option<[f64; 3]> {
+        let tri = &self.triangles[t];
+        let p0 = self.vertices[tri.v[0]];
+        let p1 = self.vertices[tri.v[1]];
+        let p2 = self.vertices[tri.v[2]];
+        let area2 = (p1.x - p0.x) * (p2.y - p0.y) - (p2.x - p0.x) * (p1.y - p0.y);
+        if area2.abs() < 1e-300 {
+            return None;
+        }
+        let l1 = ((p1.x - p.x) * (p2.y - p.y) - (p2.x - p.x) * (p1.y - p.y)) / area2;
+        let l2 = ((p2.x - p.x) * (p0.y - p.y) - (p0.x - p.x) * (p2.y - p.y)) / area2;
+        let l3 = 1.0 - l1 - l2;
+        let tol = -1e-10;
+        if l1 >= tol && l2 >= tol && l3 >= tol {
+            Some([l1.max(0.0), l2.max(0.0), l3.max(0.0)])
+        } else {
+            None
+        }
+    }
+
+    /// `true` when node `v` lies on the domain boundary.
+    pub fn is_boundary_node(&self, v: usize) -> bool {
+        let i = v % self.nx;
+        let j = v / self.nx;
+        i == 0 || j == 0 || i == self.nx - 1 || j == self.ny - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structured_mesh_counts() {
+        let m = TriangleMesh::structured(Domain::unit_square(), 4, 3);
+        assert_eq!(m.n_nodes(), 12);
+        assert_eq!(m.n_triangles(), 2 * 3 * 2);
+    }
+
+    #[test]
+    fn areas_sum_to_domain_area() {
+        let d = Domain::northern_italy_like();
+        let m = TriangleMesh::structured(d, 7, 5);
+        assert!((m.total_area() - d.area()).abs() < 1e-10);
+        // All triangles counter-clockwise (positive area).
+        for t in 0..m.n_triangles() {
+            assert!(m.triangle_area(t) > 0.0);
+        }
+    }
+
+    #[test]
+    fn refinement_quadruples_triangles() {
+        let m = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+        let r = m.refine();
+        assert_eq!(r.n_triangles(), 4 * m.n_triangles());
+        assert!((r.total_area() - m.total_area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approx_nodes_close_to_target() {
+        for target in [72usize, 282, 1119] {
+            let m = TriangleMesh::with_approx_nodes(Domain::northern_italy_like(), target);
+            let n = m.n_nodes() as f64;
+            assert!(n > target as f64 * 0.6 && n < target as f64 * 1.6, "n={n} target={target}");
+        }
+    }
+
+    #[test]
+    fn locate_interior_point() {
+        let m = TriangleMesh::structured(Domain::unit_square(), 5, 5);
+        let p = Point::new(0.33, 0.71);
+        let (t, b) = m.locate(&p).expect("point should be found");
+        // Barycentric coordinates sum to 1 and reproduce the point.
+        assert!((b[0] + b[1] + b[2] - 1.0).abs() < 1e-12);
+        let tri = &m.triangles[t];
+        let x = b[0] * m.vertices[tri.v[0]].x + b[1] * m.vertices[tri.v[1]].x + b[2] * m.vertices[tri.v[2]].x;
+        let y = b[0] * m.vertices[tri.v[0]].y + b[1] * m.vertices[tri.v[1]].y + b[2] * m.vertices[tri.v[2]].y;
+        assert!((x - p.x).abs() < 1e-12 && (y - p.y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locate_vertex_and_outside() {
+        let m = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+        // Exact vertex.
+        let (_, b) = m.locate(&Point::new(0.5, 0.5)).unwrap();
+        assert!(b.iter().any(|&v| (v - 1.0).abs() < 1e-9) || (b.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Outside.
+        assert!(m.locate(&Point::new(1.5, 0.5)).is_none());
+    }
+
+    #[test]
+    fn boundary_nodes() {
+        let m = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+        assert!(m.is_boundary_node(0));
+        assert!(m.is_boundary_node(2));
+        assert!(!m.is_boundary_node(4)); // center node of a 3x3 grid
+    }
+
+    #[test]
+    fn point_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,285 @@
+//! Hyperparameter vector of the (multivariate) spatio-temporal model and the
+//! coregionalization matrix Λ.
+//!
+//! For `nv` response variables the model has
+//! `dim(θ) = 2·nv (ranges) + nv (scales σ) + nv(nv−1)/2 (couplings λ) + nv (noise precisions)`
+//! hyperparameters — 15 for the trivariate model of the paper and 4 for a
+//! univariate model. Positive parameters are optimized on the log scale,
+//! couplings on the natural scale.
+
+use dalia_la::{chol, Matrix};
+use dalia_spde::{InternalHyper, StHyper};
+
+/// Structured view of the model hyperparameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelHyper {
+    /// Spatial correlation range of each latent process.
+    pub range_s: Vec<f64>,
+    /// Temporal correlation range of each latent process.
+    pub range_t: Vec<f64>,
+    /// Marginal standard deviations σ_i (the diagonal scaling of Λ).
+    pub sigmas: Vec<f64>,
+    /// Coregionalization couplings λ, ordered as the strict lower triangle of
+    /// the unit coupling matrix column-by-column (λ_1 = W_21, λ_2 = W_32,
+    /// λ_3 = direct 3←1 coupling, matching the paper's trivariate Λ).
+    pub lambdas: Vec<f64>,
+    /// Observation noise precisions τ_i, one per response variable.
+    pub noise_prec: Vec<f64>,
+}
+
+impl ModelHyper {
+    /// Number of response variables.
+    pub fn nv(&self) -> usize {
+        self.sigmas.len()
+    }
+
+    /// Number of hyperparameters.
+    pub fn dim(&self) -> usize {
+        theta_dim(self.nv())
+    }
+
+    /// A reasonable default configuration for `nv` processes (unit scales,
+    /// moderate ranges, unit noise precision, zero couplings).
+    pub fn default_for(nv: usize, range_s: f64, range_t: f64) -> Self {
+        Self {
+            range_s: vec![range_s; nv],
+            range_t: vec![range_t; nv],
+            sigmas: vec![1.0; nv],
+            lambdas: vec![0.0; nv * (nv - 1) / 2],
+            noise_prec: vec![10.0; nv],
+        }
+    }
+
+    /// Internal SPDE coefficients of latent process `i` (unit variance by the
+    /// LMC convention: the scale lives in Λ).
+    pub fn internal(&self, i: usize) -> InternalHyper {
+        StHyper::new(1.0, self.range_s[i], self.range_t[i]).to_internal()
+    }
+
+    /// Pack into the unconstrained optimizer vector θ.
+    ///
+    /// Layout: `[log ρ_s(i), log ρ_t(i)]_{i<nv}, [log σ_i]_{i<nv}, [λ_j], [log τ_i]`.
+    pub fn to_theta(&self) -> Vec<f64> {
+        let nv = self.nv();
+        let mut theta = Vec::with_capacity(theta_dim(nv));
+        for i in 0..nv {
+            theta.push(self.range_s[i].ln());
+            theta.push(self.range_t[i].ln());
+        }
+        for i in 0..nv {
+            theta.push(self.sigmas[i].ln());
+        }
+        theta.extend_from_slice(&self.lambdas);
+        for i in 0..nv {
+            theta.push(self.noise_prec[i].ln());
+        }
+        theta
+    }
+
+    /// Unpack from the optimizer vector θ.
+    pub fn from_theta(nv: usize, theta: &[f64]) -> Self {
+        assert_eq!(theta.len(), theta_dim(nv), "theta dimension mismatch");
+        let mut range_s = Vec::with_capacity(nv);
+        let mut range_t = Vec::with_capacity(nv);
+        for i in 0..nv {
+            range_s.push(theta[2 * i].exp());
+            range_t.push(theta[2 * i + 1].exp());
+        }
+        let sigmas: Vec<f64> = (0..nv).map(|i| theta[2 * nv + i].exp()).collect();
+        let nl = nv * (nv - 1) / 2;
+        let lambdas = theta[3 * nv..3 * nv + nl].to_vec();
+        let noise_prec: Vec<f64> = (0..nv).map(|i| theta[3 * nv + nl + i].exp()).collect();
+        Self { range_s, range_t, sigmas, lambdas, noise_prec }
+    }
+
+    /// The coregionalization matrix Λ (lower triangular).
+    ///
+    /// For `nv = 3` this is the paper's parameterization (Eq. 5):
+    /// ```text
+    /// Λ = [      σ1           0      0 ]
+    ///     [   λ1 σ1          σ2      0 ]
+    ///     [ (λ3+λ1λ2) σ1   λ2 σ2    σ3 ]
+    /// ```
+    /// For general `nv`, Λ = W·diag(σ) where `W` is unit lower triangular and
+    /// its strict lower triangle is filled column-by-column with the λ values.
+    pub fn lambda_matrix(&self) -> Matrix {
+        let nv = self.nv();
+        let mut w = Matrix::identity(nv);
+        if nv == 3 && self.lambdas.len() == 3 {
+            let (l1, l2, l3) = (self.lambdas[0], self.lambdas[1], self.lambdas[2]);
+            w[(1, 0)] = l1;
+            w[(2, 0)] = l3 + l1 * l2;
+            w[(2, 1)] = l2;
+        } else {
+            let mut idx = 0;
+            for j in 0..nv {
+                for i in (j + 1)..nv {
+                    w[(i, j)] = self.lambdas[idx];
+                    idx += 1;
+                }
+            }
+        }
+        // Scale column j by σ_j.
+        for j in 0..nv {
+            for i in 0..nv {
+                w[(i, j)] *= self.sigmas[j];
+            }
+        }
+        w
+    }
+
+    /// `Λ⁻¹`, used to form the joint precision (Eq. 11): the coefficient of
+    /// process `i`'s precision in joint block `(k, l)` is `M[i,k]·M[i,l]` with
+    /// `M = Λ⁻¹`.
+    pub fn lambda_inverse(&self) -> Matrix {
+        chol::inverse(&self.lambda_matrix()).expect("Λ is lower triangular with positive diagonal")
+    }
+
+    /// Coefficients `c_i[k][l] = M[i,k]·M[i,l]` for the joint precision.
+    pub fn coregional_coefficients(&self) -> Vec<Matrix> {
+        let nv = self.nv();
+        let minv = self.lambda_inverse();
+        (0..nv)
+            .map(|i| Matrix::from_fn(nv, nv, |k, l| minv[(i, k)] * minv[(i, l)]))
+            .collect()
+    }
+}
+
+/// Number of hyperparameters for `nv` response variables.
+pub fn theta_dim(nv: usize) -> usize {
+    2 * nv + nv + nv * (nv - 1) / 2 + nv
+}
+
+/// Independent Gaussian prior on the components of θ.
+#[derive(Clone, Debug)]
+pub struct ThetaPrior {
+    /// Prior means.
+    pub mean: Vec<f64>,
+    /// Prior standard deviations.
+    pub sd: Vec<f64>,
+}
+
+impl ThetaPrior {
+    /// Weakly informative prior centred at `center` with common sd.
+    pub fn weakly_informative(center: &[f64], sd: f64) -> Self {
+        Self { mean: center.to_vec(), sd: vec![sd; center.len()] }
+    }
+
+    /// Log prior density (up to the additive normalization constant, which is
+    /// included so the objective is a proper log posterior).
+    pub fn log_density(&self, theta: &[f64]) -> f64 {
+        assert_eq!(theta.len(), self.mean.len());
+        let mut lp = 0.0;
+        for ((t, m), s) in theta.iter().zip(&self.mean).zip(&self.sd) {
+            let z = (t - m) / s;
+            lp += -0.5 * z * z - s.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
+        }
+        lp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_dimension_formula() {
+        assert_eq!(theta_dim(1), 4);
+        assert_eq!(theta_dim(2), 9);
+        assert_eq!(theta_dim(3), 15);
+    }
+
+    #[test]
+    fn theta_roundtrip() {
+        let h = ModelHyper {
+            range_s: vec![0.4, 0.8, 1.2],
+            range_t: vec![2.0, 3.0, 4.0],
+            sigmas: vec![1.0, 1.5, 0.7],
+            lambdas: vec![0.5, -0.3, 0.2],
+            noise_prec: vec![5.0, 8.0, 12.0],
+        };
+        let theta = h.to_theta();
+        assert_eq!(theta.len(), 15);
+        let back = ModelHyper::from_theta(3, &theta);
+        assert!((back.range_s[1] - 0.8).abs() < 1e-12);
+        assert!((back.lambdas[1] + 0.3).abs() < 1e-12);
+        assert!((back.noise_prec[2] - 12.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lambda_matrix_matches_paper_parameterization() {
+        let h = ModelHyper {
+            range_s: vec![1.0; 3],
+            range_t: vec![1.0; 3],
+            sigmas: vec![2.0, 3.0, 4.0],
+            lambdas: vec![0.5, 0.25, 0.1],
+            noise_prec: vec![1.0; 3],
+        };
+        let l = h.lambda_matrix();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-14);
+        assert!((l[(1, 0)] - 0.5 * 2.0).abs() < 1e-14);
+        assert!((l[(2, 0)] - (0.1 + 0.5 * 0.25) * 2.0).abs() < 1e-14);
+        assert!((l[(2, 1)] - 0.25 * 3.0).abs() < 1e-14);
+        assert!((l[(2, 2)] - 4.0).abs() < 1e-14);
+        assert_eq!(l[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn joint_precision_coefficients_match_eq11() {
+        // Verify the (1,1) entry of Eq. 11: 1/σ1² Q1 + λ1²/σ2² Q2 + λ3²/σ3² Q3.
+        let h = ModelHyper {
+            range_s: vec![1.0; 3],
+            range_t: vec![1.0; 3],
+            sigmas: vec![1.3, 0.9, 1.7],
+            lambdas: vec![0.6, -0.4, 0.2],
+            noise_prec: vec![1.0; 3],
+        };
+        let c = h.coregional_coefficients();
+        let (s1, s2, s3) = (1.3f64, 0.9f64, 1.7f64);
+        let (l1, _l2, l3) = (0.6f64, -0.4f64, 0.2f64);
+        assert!((c[0][(0, 0)] - 1.0 / (s1 * s1)).abs() < 1e-12);
+        assert!((c[1][(0, 0)] - l1 * l1 / (s2 * s2)).abs() < 1e-12);
+        assert!((c[2][(0, 0)] - l3 * l3 / (s3 * s3)).abs() < 1e-12);
+        // (3,3) entry: 1/σ3² Q3 only.
+        assert!((c[2][(2, 2)] - 1.0 / (s3 * s3)).abs() < 1e-12);
+        assert!(c[0][(2, 2)].abs() < 1e-12);
+        assert!(c[1][(2, 2)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_sigma_scaling_consistency() {
+        // The covariance implied by Λ for unit-variance latent processes has
+        // Var(y_1) = σ1².
+        let h = ModelHyper {
+            range_s: vec![1.0; 2],
+            range_t: vec![1.0; 2],
+            sigmas: vec![2.0, 0.5],
+            lambdas: vec![0.7],
+            noise_prec: vec![1.0; 2],
+        };
+        let l = h.lambda_matrix();
+        let cov = dalia_la::blas::matmul(&l, &l.transpose());
+        assert!((cov[(0, 0)] - 4.0).abs() < 1e-12);
+        // Var(y_2) = λ1²σ1² + σ2².
+        assert!((cov[(1, 1)] - (0.7f64.powi(2) * 4.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prior_density_peaks_at_mean() {
+        let prior = ThetaPrior::weakly_informative(&[0.0, 1.0], 2.0);
+        let at_mean = prior.log_density(&[0.0, 1.0]);
+        let off = prior.log_density(&[1.0, 0.0]);
+        assert!(at_mean > off);
+    }
+
+    #[test]
+    fn univariate_degenerate_lambda() {
+        let h = ModelHyper::default_for(1, 0.5, 2.0);
+        assert_eq!(h.dim(), 4);
+        let l = h.lambda_matrix();
+        assert_eq!(l.shape(), (1, 1));
+        assert!((l[(0, 0)] - 1.0).abs() < 1e-14);
+        let c = h.coregional_coefficients();
+        assert!((c[0][(0, 0)] - 1.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,68 @@
+//! # dalia-model — the multivariate spatio-temporal latent Gaussian model
+//!
+//! Statistical model layer of DALIA-RS:
+//!
+//! * [`hyper`] — the hyperparameter vector θ, its packing/unpacking, the
+//!   coregionalization matrix Λ and Gaussian priors on θ,
+//! * [`observations`] — observations, prediction targets and the joint design
+//!   matrix `Λ·A` of Eq. (5),
+//! * [`assembly`] — the [`assembly::CoregionalModel`] assembling the joint
+//!   prior precision (Eq. 11) and conditional precision `Q_c = Q_p + AᵀDA`
+//!   either as block-dense BTA matrices (the DALIA solver path) or as general
+//!   CSR matrices (the R-INLA baseline path), in the permuted time-major
+//!   ordering of Fig. 2c.
+
+pub mod assembly;
+pub mod hyper;
+pub mod observations;
+
+pub use assembly::{CoregionalModel, ModelDims};
+pub use hyper::{theta_dim, ModelHyper, ThetaPrior};
+pub use observations::{Observation, PredictionTarget};
+
+/// Errors produced while building or evaluating a model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelError {
+    /// An observation or prediction location falls outside the mesh domain.
+    LocationOutsideDomain {
+        /// x-coordinate of the offending location.
+        x: f64,
+        /// y-coordinate of the offending location.
+        y: f64,
+    },
+    /// An observation has inconsistent metadata.
+    InvalidObservation {
+        /// Index of the observation in the input list.
+        index: usize,
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::LocationOutsideDomain { x, y } => {
+                write!(f, "location ({x}, {y}) is outside the mesh domain")
+            }
+            ModelError::InvalidObservation { index, reason } => {
+                write!(f, "invalid observation {index}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = ModelError::LocationOutsideDomain { x: 1.0, y: 2.0 };
+        assert!(e.to_string().contains("(1, 2)"));
+        let e = ModelError::InvalidObservation { index: 4, reason: "bad".into() };
+        assert!(e.to_string().contains("observation 4"));
+    }
+}

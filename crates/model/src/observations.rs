@@ -1,0 +1,184 @@
+//! Observations and design matrices of the multivariate spatio-temporal model.
+//!
+//! Each observation belongs to one response variable, one time step and one
+//! spatial location, and carries the covariate values of the fixed effects.
+//! The joint design matrix implements `Λ·A` of Eq. (5): a row for an
+//! observation of response variable `k` touches the latent processes
+//! `l ≤ k` with weight `Λ[k,l]`, at the three mesh nodes of the containing
+//! triangle (P1 interpolation) and at the fixed-effect columns.
+
+use crate::hyper::ModelHyper;
+use crate::ModelError;
+use dalia_mesh::{Point, TriangleMesh};
+use dalia_sparse::{CooMatrix, CsrMatrix};
+
+/// One observation of one response variable at one space-time location.
+#[derive(Clone, Debug)]
+pub struct Observation {
+    /// Response-variable index (`0 .. nv`).
+    pub var: usize,
+    /// Time-step index (`0 .. nt`).
+    pub t: usize,
+    /// Spatial location.
+    pub loc: Point,
+    /// Covariate values of the fixed effects (length `nr`).
+    pub covariates: Vec<f64>,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// A prediction target: like an observation but without a value.
+#[derive(Clone, Debug)]
+pub struct PredictionTarget {
+    /// Response-variable index.
+    pub var: usize,
+    /// Time-step index.
+    pub t: usize,
+    /// Spatial location.
+    pub loc: Point,
+    /// Covariate values of the fixed effects.
+    pub covariates: Vec<f64>,
+}
+
+/// Cached P1 projection of a spatial location onto the mesh.
+#[derive(Clone, Debug)]
+pub(crate) struct Projection {
+    pub nodes: [usize; 3],
+    pub weights: [f64; 3],
+}
+
+/// Locate a point on the mesh, returning its P1 projection.
+pub(crate) fn project_point(mesh: &TriangleMesh, loc: &Point) -> Result<Projection, ModelError> {
+    let (tri, bary) = mesh
+        .locate(loc)
+        .ok_or(ModelError::LocationOutsideDomain { x: loc.x, y: loc.y })?;
+    Ok(Projection { nodes: mesh.triangles[tri].v, weights: bary })
+}
+
+/// Column index of latent process `l`, time step `t`, mesh node `s` in the
+/// permuted (time-major) joint ordering.
+#[inline]
+pub fn st_column(nv: usize, ns: usize, l: usize, t: usize, s: usize) -> usize {
+    t * nv * ns + l * ns + s
+}
+
+/// Column index of fixed effect `r` of latent process `l` in the permuted
+/// joint ordering.
+#[inline]
+pub fn fixed_column(nv: usize, ns: usize, nt: usize, nr: usize, l: usize, r: usize) -> usize {
+    debug_assert!(r < nr);
+    nt * nv * ns + l * nr + r
+}
+
+/// Build the joint design matrix `Λ·A` (rows = entries of `rows`, columns =
+/// permuted latent ordering) for the given hyperparameters.
+pub(crate) fn build_design(
+    hyper: &ModelHyper,
+    projections: &[Projection],
+    vars: &[usize],
+    times: &[usize],
+    covariates: &[Vec<f64>],
+    nv: usize,
+    ns: usize,
+    nt: usize,
+    nr: usize,
+) -> CsrMatrix {
+    let lambda = hyper.lambda_matrix();
+    let n_rows = projections.len();
+    let n_cols = nv * (ns * nt + nr);
+    let mut coo = CooMatrix::with_capacity(n_rows, n_cols, n_rows * nv * (3 + nr));
+    for (row, proj) in projections.iter().enumerate() {
+        let k = vars[row];
+        let t = times[row];
+        for l in 0..=k {
+            let w = lambda[(k, l)];
+            if w == 0.0 {
+                continue;
+            }
+            for (node, bary) in proj.nodes.iter().zip(proj.weights.iter()) {
+                coo.push(row, st_column(nv, ns, l, t, *node), w * bary);
+            }
+            for (r, z) in covariates[row].iter().enumerate() {
+                coo.push(row, fixed_column(nv, ns, nt, nr, l, r), w * z);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalia_mesh::Domain;
+
+    #[test]
+    fn column_index_layout() {
+        // nv=2, ns=3, nt=2, nr=1.
+        assert_eq!(st_column(2, 3, 0, 0, 0), 0);
+        assert_eq!(st_column(2, 3, 1, 0, 0), 3);
+        assert_eq!(st_column(2, 3, 0, 1, 2), 8);
+        assert_eq!(fixed_column(2, 3, 2, 1, 0, 0), 12);
+        assert_eq!(fixed_column(2, 3, 2, 1, 1, 0), 13);
+    }
+
+    #[test]
+    fn projection_of_interior_point() {
+        let mesh = TriangleMesh::structured(Domain::unit_square(), 4, 4);
+        let p = project_point(&mesh, &Point::new(0.4, 0.6)).unwrap();
+        let wsum: f64 = p.weights.iter().sum();
+        assert!((wsum - 1.0).abs() < 1e-12);
+        assert!(p.nodes.iter().all(|&n| n < mesh.n_nodes()));
+    }
+
+    #[test]
+    fn projection_outside_fails() {
+        let mesh = TriangleMesh::structured(Domain::unit_square(), 4, 4);
+        assert!(matches!(
+            project_point(&mesh, &Point::new(2.0, 0.5)),
+            Err(ModelError::LocationOutsideDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn design_rows_apply_lambda_weights() {
+        let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+        let ns = mesh.n_nodes();
+        let (nv, nt, nr) = (2usize, 2usize, 1usize);
+        let hyper = ModelHyper {
+            range_s: vec![0.5; 2],
+            range_t: vec![1.0; 2],
+            sigmas: vec![2.0, 3.0],
+            lambdas: vec![0.5],
+            noise_prec: vec![1.0; 2],
+        };
+        let proj = vec![
+            project_point(&mesh, &Point::new(0.3, 0.3)).unwrap(),
+            project_point(&mesh, &Point::new(0.3, 0.3)).unwrap(),
+        ];
+        let design = build_design(
+            &hyper,
+            &proj,
+            &[0, 1],
+            &[1, 1],
+            &[vec![2.0], vec![2.0]],
+            nv,
+            ns,
+            nt,
+            nr,
+        );
+        assert_eq!(design.shape(), (2, nv * (ns * nt + nr)));
+        // Row 0 (variable 0) only touches process 0 with weight σ1 = 2.
+        let row0_sum: f64 = design.row_iter(0).map(|(_, v)| v).sum();
+        // 3 barycentric weights summing to 1 times 2, plus covariate 2*2.
+        assert!((row0_sum - (2.0 + 4.0)).abs() < 1e-12);
+        // Row 1 (variable 1) touches processes 0 and 1: λ1σ1 = 1 and σ2 = 3.
+        let row1_sum: f64 = design.row_iter(1).map(|(_, v)| v).sum();
+        assert!((row1_sum - ((1.0 + 2.0 * 1.0) + (3.0 + 2.0 * 3.0))).abs() < 1e-12);
+        // Variable-0 row has no entries in process-1 columns.
+        for (c, _) in design.row_iter(0) {
+            let in_proc1_st = c < nv * ns * nt && (c % (nv * ns)) >= ns;
+            let in_proc1_fixed = c >= nv * ns * nt + nr;
+            assert!(!in_proc1_st && !in_proc1_fixed, "column {c} belongs to process 1");
+        }
+    }
+}

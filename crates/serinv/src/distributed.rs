@@ -1,0 +1,776 @@
+//! Distributed (time-domain partitioned) BTA solver routines.
+//!
+//! These implement the nested-dissection scheme used by the Serinv library and
+//! by the paper's new `PPOBTAS` distributed triangular solve: the time domain
+//! is split into `P` contiguous partitions; the *interior* blocks of every
+//! partition are eliminated independently (and in parallel), producing Schur
+//! complement contributions onto the *separator* blocks (the last block of
+//! each partition) and the arrow tip. The resulting *reduced system* is again
+//! a BTA matrix with `P−1` diagonal blocks, which is factorized sequentially;
+//! back-substitution and selected inversion then proceed independently per
+//! partition again.
+//!
+//! In the original framework each partition lives on its own GPU and the
+//! reduced system is gathered with NCCL; here partitions are processed by
+//! Rayon worker threads of a single process, which preserves the algorithmic
+//! structure (work split, reduced-system bottleneck, load imbalance) while the
+//! cluster-level behaviour is captured by the performance model in
+//! `dalia-hpc`.
+
+use crate::bta::{BtaCholesky, BtaMatrix};
+use crate::partition::Partitioning;
+use crate::sequential::{pobtaf, pobtas, pobtasi, BtaSelectedInverse};
+use crate::SerinvError;
+use dalia_la::blas::{self, Side, Trans, Triangle};
+use dalia_la::{chol, Matrix};
+use rayon::prelude::*;
+
+/// Per-partition blocks of the distributed Cholesky factor.
+#[derive(Clone, Debug)]
+pub struct PartitionFactor {
+    /// Partition index.
+    pub p: usize,
+    /// Global half-open range `[s, e)` of interior blocks.
+    pub interior: (usize, usize),
+    /// `L_jj` for every interior block.
+    pub l_diag: Vec<Matrix>,
+    /// `L_{j+1,j}` between consecutive interior blocks.
+    pub l_sub: Vec<Matrix>,
+    /// `L_{ls,j}` coupling to the left separator (empty for partition 0).
+    pub l_left: Vec<Matrix>,
+    /// `L_{rs, e-1}` coupling of the last interior block to the right
+    /// separator (absent for the last partition or empty interiors).
+    pub l_right: Option<Matrix>,
+    /// `L_{T,j}` arrow coupling for every interior block.
+    pub l_arrow: Vec<Matrix>,
+}
+
+/// Schur-complement contribution of one partition onto the reduced system.
+#[derive(Clone, Debug)]
+struct SchurContribution {
+    p: usize,
+    /// Update to the left-separator diagonal block.
+    s_ll: Option<Matrix>,
+    /// Update to the right-separator diagonal block.
+    s_rr: Option<Matrix>,
+    /// Update to the (right-separator, left-separator) coupling block.
+    s_rl: Option<Matrix>,
+    /// Update to the (tip, left-separator) arrow block.
+    s_al: Option<Matrix>,
+    /// Update to the (tip, right-separator) arrow block.
+    s_ar: Option<Matrix>,
+    /// Update to the arrow tip.
+    s_tt: Matrix,
+}
+
+/// Distributed BTA Cholesky factorization.
+#[derive(Clone, Debug)]
+pub enum DistBtaCholesky {
+    /// Trivial case `P = 1`: the sequential factorization.
+    Sequential(BtaCholesky),
+    /// Genuine partitioned factorization.
+    Partitioned {
+        /// Block structure `(n, b, a)` of the factorized matrix.
+        structure: (usize, usize, usize),
+        /// The time-domain partitioning.
+        partitioning: Partitioning,
+        /// Per-partition interior factors.
+        partitions: Vec<PartitionFactor>,
+        /// Factorized reduced system over the separators + tip.
+        reduced: BtaCholesky,
+    },
+}
+
+impl DistBtaCholesky {
+    /// Log-determinant of the factorized matrix.
+    pub fn logdet(&self) -> f64 {
+        match self {
+            DistBtaCholesky::Sequential(f) => f.logdet(),
+            DistBtaCholesky::Partitioned { partitions, reduced, .. } => {
+                let mut s = 0.0;
+                for pf in partitions {
+                    for d in &pf.l_diag {
+                        for i in 0..d.nrows() {
+                            s += d[(i, i)].ln();
+                        }
+                    }
+                }
+                2.0 * s + reduced.logdet()
+            }
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        match self {
+            DistBtaCholesky::Sequential(_) => 1,
+            DistBtaCholesky::Partitioned { partitioning, .. } => partitioning.num_partitions(),
+        }
+    }
+}
+
+/// Interior elimination of one partition. Returns the partition factor and its
+/// Schur contribution to the reduced system.
+fn factor_partition(
+    a: &BtaMatrix,
+    part: &Partitioning,
+    p: usize,
+) -> Result<(PartitionFactor, SchurContribution), SerinvError> {
+    let (s, e) = part.interior(p);
+    let num_parts = part.num_partitions();
+    let b = a.b;
+    let aa = a.a;
+    let has_left = p > 0;
+    let has_right = p + 1 < num_parts;
+    let has_arrow = aa > 0;
+
+    let len = e.saturating_sub(s);
+    let mut l_diag = Vec::with_capacity(len);
+    let mut l_sub = Vec::with_capacity(len.saturating_sub(1));
+    let mut l_left = Vec::with_capacity(if has_left { len } else { 0 });
+    let mut l_arrow = Vec::with_capacity(len);
+    let mut l_right = None;
+
+    let mut s_ll = if has_left { Some(Matrix::zeros(b, b)) } else { None };
+    let mut s_rr = if has_right { Some(Matrix::zeros(b, b)) } else { None };
+    let mut s_rl = if has_left && has_right { Some(Matrix::zeros(b, b)) } else { None };
+    let mut s_al = if has_left { Some(Matrix::zeros(aa, b)) } else { None };
+    let mut s_ar = if has_right { Some(Matrix::zeros(aa, b)) } else { None };
+    let mut s_tt = Matrix::zeros(aa, aa);
+
+    // Working copies of the current column's blocks.
+    let mut diag_work = if len > 0 { a.diag[s].clone() } else { Matrix::zeros(0, 0) };
+    // Coupling of the first interior block to the left separator: Qᵀ of the
+    // original sub-diagonal block B_{s-1} (the entry sits in the interior
+    // column because the separator is eliminated later).
+    let mut left_work = if has_left && len > 0 { Some(a.sub[s - 1].transpose()) } else { None };
+    let mut arrow_work = if len > 0 { a.arrow[s].clone() } else { Matrix::zeros(aa, 0) };
+
+    for j in s..e {
+        let is_last = j + 1 == e;
+        // Factorize the diagonal block.
+        chol::potrf(&mut diag_work).map_err(|err| SerinvError::Factorization { block: j, source: err })?;
+        let l_jj = diag_work.clone();
+
+        // Off-diagonal couplings of this column, divided by L_jjᵀ on the right.
+        let mut b_j = if !is_last { Some(a.sub[j].clone()) } else { None };
+        let mut r_j = if is_last && has_right { Some(a.sub[j].clone()) } else { None };
+        if let Some(bj) = b_j.as_mut() {
+            blas::trsm(Side::Right, Triangle::Lower, Trans::Yes, &l_jj, bj);
+        }
+        if let Some(rj) = r_j.as_mut() {
+            blas::trsm(Side::Right, Triangle::Lower, Trans::Yes, &l_jj, rj);
+        }
+        if let Some(w) = left_work.as_mut() {
+            blas::trsm(Side::Right, Triangle::Lower, Trans::Yes, &l_jj, w);
+        }
+        if has_arrow {
+            blas::trsm(Side::Right, Triangle::Lower, Trans::Yes, &l_jj, &mut arrow_work);
+        }
+        let w_j = left_work.clone();
+        let c_j = arrow_work.clone();
+
+        // Schur updates onto the reduced system.
+        if let (Some(sll), Some(w)) = (s_ll.as_mut(), w_j.as_ref()) {
+            blas::syrk_full(Trans::No, 1.0, w, 1.0, sll);
+        }
+        if has_arrow {
+            if let (Some(sal), Some(w)) = (s_al.as_mut(), w_j.as_ref()) {
+                blas::gemm(Trans::No, Trans::Yes, 1.0, &c_j, w, 1.0, sal);
+            }
+            blas::syrk_full(Trans::No, 1.0, &c_j, 1.0, &mut s_tt);
+        }
+        if is_last {
+            if let (Some(srr), Some(r)) = (s_rr.as_mut(), r_j.as_ref()) {
+                blas::syrk_full(Trans::No, 1.0, r, 1.0, srr);
+            }
+            if let (Some(srl), (Some(r), Some(w))) = (s_rl.as_mut(), (r_j.as_ref(), w_j.as_ref())) {
+                blas::gemm(Trans::No, Trans::Yes, 1.0, r, w, 1.0, srl);
+            }
+            if has_arrow {
+                if let (Some(sar), Some(r)) = (s_ar.as_mut(), r_j.as_ref()) {
+                    blas::gemm(Trans::No, Trans::Yes, 1.0, &c_j, r, 1.0, sar);
+                }
+            }
+        }
+
+        // Propagate to the next interior column.
+        if !is_last {
+            let bj = b_j.as_ref().unwrap();
+            // D_{j+1} -= B_j B_jᵀ.
+            let mut next_diag = a.diag[j + 1].clone();
+            blas::syrk_full(Trans::No, -1.0, bj, 1.0, &mut next_diag);
+            // W_{j+1} = -W_j B_jᵀ (no original coupling for j+1 > s).
+            let next_left = w_j.as_ref().map(|w| {
+                let mut nl = Matrix::zeros(b, b);
+                blas::gemm(Trans::No, Trans::Yes, -1.0, w, bj, 0.0, &mut nl);
+                nl
+            });
+            // C_{j+1} -= C_j B_jᵀ.
+            let mut next_arrow = a.arrow[j + 1].clone();
+            if has_arrow {
+                blas::gemm(Trans::No, Trans::Yes, -1.0, &c_j, bj, 1.0, &mut next_arrow);
+            }
+            diag_work = next_diag;
+            left_work = next_left;
+            arrow_work = next_arrow;
+        }
+
+        // Store the factor blocks of this column.
+        l_diag.push(l_jj);
+        if let Some(bj) = b_j {
+            l_sub.push(bj);
+        }
+        if let Some(w) = w_j {
+            l_left.push(w);
+        }
+        if let Some(r) = r_j {
+            l_right = Some(r);
+        }
+        l_arrow.push(c_j);
+    }
+
+    Ok((
+        PartitionFactor { p, interior: (s, e), l_diag, l_sub, l_left, l_right, l_arrow },
+        SchurContribution { p, s_ll, s_rr, s_rl, s_al, s_ar, s_tt },
+    ))
+}
+
+/// Assemble the reduced BTA system over the separators + tip from the original
+/// matrix and the partitions' Schur contributions.
+fn assemble_reduced(a: &BtaMatrix, part: &Partitioning, contribs: &[SchurContribution]) -> BtaMatrix {
+    let seps = part.separators();
+    let n_red = seps.len();
+    let b = a.b;
+    let aa = a.a;
+    let mut reduced = BtaMatrix::zeros(n_red, b, aa);
+    for (k, &sep) in seps.iter().enumerate() {
+        reduced.diag[k] = a.diag[sep].clone();
+        if aa > 0 {
+            reduced.arrow[k] = a.arrow[sep].clone();
+        }
+        if k + 1 < n_red {
+            // Adjacent separators in the original matrix keep their original
+            // coupling (this happens when the partition between them has no
+            // interior blocks).
+            if seps[k + 1] == sep + 1 {
+                reduced.sub[k] = a.sub[sep].clone();
+            }
+        }
+    }
+    reduced.tip = a.tip.clone();
+
+    for c in contribs {
+        let p = c.p;
+        // Left separator of partition p is reduced index p-1, right separator
+        // is reduced index p.
+        if let Some(sll) = &c.s_ll {
+            reduced.diag[p - 1].axpy(-1.0, sll);
+        }
+        if let Some(srr) = &c.s_rr {
+            reduced.diag[p].axpy(-1.0, srr);
+        }
+        if let Some(srl) = &c.s_rl {
+            // Coupling between reduced blocks p (row) and p-1 (column).
+            reduced.sub[p - 1].axpy(-1.0, srl);
+        }
+        if aa > 0 {
+            if let Some(sal) = &c.s_al {
+                reduced.arrow[p - 1].axpy(-1.0, sal);
+            }
+            if let Some(sar) = &c.s_ar {
+                reduced.arrow[p].axpy(-1.0, sar);
+            }
+            reduced.tip.axpy(-1.0, &c.s_tt);
+        }
+    }
+    reduced
+}
+
+/// Distributed BTA Cholesky factorization (`d_pobtaf`).
+pub fn d_pobtaf(a: &BtaMatrix, part: &Partitioning) -> Result<DistBtaCholesky, SerinvError> {
+    assert_eq!(part.num_blocks(), a.n, "partitioning does not match the matrix");
+    let num_parts = part.num_partitions();
+    if num_parts == 1 {
+        return Ok(DistBtaCholesky::Sequential(pobtaf(a)?));
+    }
+    let results: Result<Vec<_>, SerinvError> = (0..num_parts)
+        .into_par_iter()
+        .map(|p| factor_partition(a, part, p))
+        .collect();
+    let results = results?;
+    let (partitions, contribs): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    let reduced_matrix = assemble_reduced(a, part, &contribs);
+    let reduced = pobtaf(&reduced_matrix)?;
+    Ok(DistBtaCholesky::Partitioned {
+        structure: (a.n, a.b, a.a),
+        partitioning: part.clone(),
+        partitions,
+        reduced,
+    })
+}
+
+/// Distributed BTA triangular solve (`d_pobtas`, the paper's `PPOBTAS`).
+///
+/// Solves `A X = B` for the dense right-hand side `rhs` (overwritten with the
+/// solution), given a distributed factorization.
+pub fn d_pobtas(factor: &DistBtaCholesky, rhs: &mut Matrix) {
+    match factor {
+        DistBtaCholesky::Sequential(f) => pobtas(f, rhs),
+        DistBtaCholesky::Partitioned { structure, partitioning, partitions, reduced } => {
+            let (n, b, a) = *structure;
+            assert_eq!(rhs.nrows(), n * b + a, "d_pobtas: rhs dimension mismatch");
+            let k = rhs.ncols();
+            let a0 = n * b;
+            let seps = partitioning.separators();
+            let n_red = seps.len();
+
+            // ---- Forward substitution on the interiors (parallel). ----
+            let partial: Vec<(usize, Vec<Matrix>, Option<Matrix>, Option<Matrix>, Matrix)> = partitions
+                .par_iter()
+                .map(|pf| {
+                    let (s, e) = pf.interior;
+                    let mut ys: Vec<Matrix> = Vec::with_capacity(e - s);
+                    let mut left_update: Option<Matrix> = None;
+                    let mut right_update: Option<Matrix> = None;
+                    let mut tip_update = Matrix::zeros(a, k);
+                    for (idx, j) in (s..e).enumerate() {
+                        let mut yj = rhs.block(j * b, 0, b, k);
+                        if idx > 0 {
+                            blas::gemm(Trans::No, Trans::No, -1.0, &pf.l_sub[idx - 1], &ys[idx - 1], 1.0, &mut yj);
+                        }
+                        blas::trsm(Side::Left, Triangle::Lower, Trans::No, &pf.l_diag[idx], &mut yj);
+                        // Accumulate separator / tip updates.
+                        if !pf.l_left.is_empty() {
+                            let lu = left_update.get_or_insert_with(|| Matrix::zeros(b, k));
+                            blas::gemm(Trans::No, Trans::No, 1.0, &pf.l_left[idx], &yj, 1.0, lu);
+                        }
+                        if idx + 1 == e - s {
+                            if let Some(r) = &pf.l_right {
+                                let ru = right_update.get_or_insert_with(|| Matrix::zeros(b, k));
+                                blas::gemm(Trans::No, Trans::No, 1.0, r, &yj, 1.0, ru);
+                            }
+                        }
+                        if a > 0 {
+                            blas::gemm(Trans::No, Trans::No, 1.0, &pf.l_arrow[idx], &yj, 1.0, &mut tip_update);
+                        }
+                        ys.push(yj);
+                    }
+                    (pf.p, ys, left_update, right_update, tip_update)
+                })
+                .collect();
+
+            // Write interior y values and apply separator/tip updates.
+            let mut reduced_rhs = Matrix::zeros(n_red * b + a, k);
+            for (kk, &sep) in seps.iter().enumerate() {
+                let block = rhs.block(sep * b, 0, b, k);
+                reduced_rhs.set_block(kk * b, 0, &block);
+            }
+            if a > 0 {
+                let tip_block = rhs.block(a0, 0, a, k);
+                reduced_rhs.set_block(n_red * b, 0, &tip_block);
+            }
+            for (p, ys, left_update, right_update, tip_update) in &partial {
+                let pf = &partitions[*p];
+                let (s, _e) = pf.interior;
+                for (idx, y) in ys.iter().enumerate() {
+                    rhs.set_block((s + idx) * b, 0, y);
+                }
+                if let Some(lu) = left_update {
+                    reduced_rhs.add_block((p - 1) * b, 0, -1.0, lu);
+                }
+                if let Some(ru) = right_update {
+                    reduced_rhs.add_block(*p * b, 0, -1.0, ru);
+                }
+                if a > 0 {
+                    reduced_rhs.add_block(n_red * b, 0, -1.0, tip_update);
+                }
+            }
+
+            // ---- Solve the reduced system (sequential). ----
+            pobtas(reduced, &mut reduced_rhs);
+
+            // Scatter the separator / tip solutions back.
+            for (kk, &sep) in seps.iter().enumerate() {
+                let block = reduced_rhs.block(kk * b, 0, b, k);
+                rhs.set_block(sep * b, 0, &block);
+            }
+            if a > 0 {
+                let tip_block = reduced_rhs.block(n_red * b, 0, a, k);
+                rhs.set_block(a0, 0, &tip_block);
+            }
+
+            // ---- Backward substitution on the interiors (parallel). ----
+            let solutions: Vec<(usize, Vec<Matrix>)> = partitions
+                .par_iter()
+                .map(|pf| {
+                    let (s, e) = pf.interior;
+                    let len = e - s;
+                    let mut xs: Vec<Matrix> = vec![Matrix::zeros(0, 0); len];
+                    let x_left = if pf.p > 0 { Some(reduced_rhs.block((pf.p - 1) * b, 0, b, k)) } else { None };
+                    let x_right = if pf.p < partitioning.num_partitions() - 1 {
+                        Some(reduced_rhs.block(pf.p * b, 0, b, k))
+                    } else {
+                        None
+                    };
+                    let x_tip = if a > 0 { Some(reduced_rhs.block(n_red * b, 0, a, k)) } else { None };
+                    for idx in (0..len).rev() {
+                        let j = s + idx;
+                        let mut t = rhs.block(j * b, 0, b, k);
+                        if idx + 1 < len {
+                            blas::gemm(Trans::Yes, Trans::No, -1.0, &pf.l_sub[idx], &xs[idx + 1], 1.0, &mut t);
+                        }
+                        if let (Some(w), Some(xl)) = (pf.l_left.get(idx), x_left.as_ref()) {
+                            blas::gemm(Trans::Yes, Trans::No, -1.0, w, xl, 1.0, &mut t);
+                        }
+                        if idx + 1 == len {
+                            if let (Some(r), Some(xr)) = (pf.l_right.as_ref(), x_right.as_ref()) {
+                                blas::gemm(Trans::Yes, Trans::No, -1.0, r, xr, 1.0, &mut t);
+                            }
+                        }
+                        if let Some(xt) = x_tip.as_ref() {
+                            blas::gemm(Trans::Yes, Trans::No, -1.0, &pf.l_arrow[idx], xt, 1.0, &mut t);
+                        }
+                        blas::trsm(Side::Left, Triangle::Lower, Trans::Yes, &pf.l_diag[idx], &mut t);
+                        xs[idx] = t;
+                    }
+                    (pf.p, xs)
+                })
+                .collect();
+
+            for (p, xs) in solutions {
+                let (s, _e) = partitions[p].interior;
+                for (idx, x) in xs.iter().enumerate() {
+                    rhs.set_block((s + idx) * b, 0, x);
+                }
+            }
+        }
+    }
+}
+
+/// Distributed selected inversion (`d_pobtasi`): the selected inverse blocks
+/// on the original BTA pattern, matching [`pobtasi`] exactly.
+pub fn d_pobtasi(factor: &DistBtaCholesky) -> BtaSelectedInverse {
+    match factor {
+        DistBtaCholesky::Sequential(f) => pobtasi(f),
+        DistBtaCholesky::Partitioned { structure, partitioning, partitions, reduced } => {
+            let (n, b, a) = *structure;
+            let seps = partitioning.separators();
+            let n_red = seps.len();
+            let reduced_sel = pobtasi(reduced);
+            let mut inv = BtaMatrix::zeros(n, b, a);
+
+            // Fill in the separator / tip blocks directly from the reduced
+            // selected inverse.
+            if a > 0 {
+                inv.tip = reduced_sel.blocks.tip.clone();
+            }
+            for (kk, &sep) in seps.iter().enumerate() {
+                inv.diag[sep] = reduced_sel.blocks.diag[kk].clone();
+                if a > 0 {
+                    inv.arrow[sep] = reduced_sel.blocks.arrow[kk].clone();
+                }
+                // Coupling between adjacent separators (only when the partition
+                // between them has no interior blocks).
+                if kk + 1 < n_red && seps[kk + 1] == sep + 1 {
+                    inv.sub[sep] = reduced_sel.blocks.sub[kk].clone();
+                }
+            }
+
+            // Per-partition backward pass (parallel).
+            struct PartInverse {
+                p: usize,
+                s: usize,
+                diag: Vec<Matrix>,
+                sub_within: Vec<Matrix>,
+                sub_to_right_sep: Option<Matrix>,
+                sub_from_left_sep: Option<Matrix>,
+                arrow: Vec<Matrix>,
+            }
+
+            let parts: Vec<PartInverse> = partitions
+                .par_iter()
+                .map(|pf| {
+                    let (s, e) = pf.interior;
+                    let len = e - s;
+                    let p = pf.p;
+                    let has_left = p > 0;
+                    let has_right = p + 1 < partitioning.num_partitions();
+
+                    let sig_ls_ls = if has_left { Some(reduced_sel.blocks.diag[p - 1].clone()) } else { None };
+                    let sig_rs_rs = if has_right { Some(reduced_sel.blocks.diag[p].clone()) } else { None };
+                    let sig_rs_ls = if has_left && has_right {
+                        Some(reduced_sel.blocks.sub[p - 1].clone())
+                    } else {
+                        None
+                    };
+                    let sig_t_ls = if has_left && a > 0 { Some(reduced_sel.blocks.arrow[p - 1].clone()) } else { None };
+                    let sig_t_rs = if has_right && a > 0 { Some(reduced_sel.blocks.arrow[p].clone()) } else { None };
+                    let sig_tt = &reduced_sel.blocks.tip;
+
+                    let mut diag_out: Vec<Matrix> = vec![Matrix::zeros(0, 0); len];
+                    let mut sub_within: Vec<Matrix> = vec![Matrix::zeros(0, 0); len.saturating_sub(1)];
+                    let mut sub_to_right_sep: Option<Matrix> = None;
+                    let mut sub_from_left_sep: Option<Matrix> = None;
+                    let mut arrow_out: Vec<Matrix> = vec![Matrix::zeros(0, 0); len];
+
+                    // Backward carry: Σ_{j+1,j+1}, Σ_{ls,j+1}, Σ_{T,j+1}.
+                    let mut next_diag: Option<Matrix> = None;
+                    let mut next_left: Option<Matrix> = None;
+                    let mut next_arrow: Option<Matrix> = None;
+
+                    for idx in (0..len).rev() {
+                        let is_last = idx + 1 == len;
+                        let l_jj = &pf.l_diag[idx];
+                        let mut l_inv = Matrix::identity(b);
+                        blas::trsm(Side::Left, Triangle::Lower, Trans::No, l_jj, &mut l_inv);
+
+                        let w_j = pf.l_left.get(idx);
+                        let c_j = &pf.l_arrow[idx];
+                        let b_j = if !is_last { Some(&pf.l_sub[idx]) } else { None };
+                        let r_j = if is_last { pf.l_right.as_ref() } else { None };
+
+                        // Σ_{ls,j}.
+                        let sigma_left = if has_left {
+                            let mut m = Matrix::zeros(b, b);
+                            if let (Some(bj), Some(nl)) = (b_j, next_left.as_ref()) {
+                                blas::gemm(Trans::No, Trans::No, -1.0, nl, bj, 1.0, &mut m);
+                            }
+                            if let (Some(sll), Some(w)) = (sig_ls_ls.as_ref(), w_j) {
+                                blas::gemm(Trans::No, Trans::No, -1.0, sll, w, 1.0, &mut m);
+                            }
+                            if let (Some(rj), Some(srl)) = (r_j, sig_rs_ls.as_ref()) {
+                                // Σ_{ls,rs} = Σ_{rs,ls}ᵀ.
+                                blas::gemm(Trans::Yes, Trans::No, -1.0, srl, rj, 1.0, &mut m);
+                            }
+                            if a > 0 {
+                                if let Some(stl) = sig_t_ls.as_ref() {
+                                    blas::gemm(Trans::Yes, Trans::No, -1.0, stl, c_j, 1.0, &mut m);
+                                }
+                            }
+                            let out = blas::matmul(&m, &l_inv);
+                            Some(out)
+                        } else {
+                            None
+                        };
+
+                        // Σ_{j+1,j} (within partition) or Σ_{rs,j} (last column).
+                        let sigma_below = if let Some(bj) = b_j {
+                            let mut m = Matrix::zeros(b, b);
+                            blas::gemm(Trans::No, Trans::No, -1.0, next_diag.as_ref().unwrap(), bj, 1.0, &mut m);
+                            if let (Some(nl), Some(w)) = (next_left.as_ref(), w_j) {
+                                // Σ_{j+1,ls} = Σ_{ls,j+1}ᵀ.
+                                blas::gemm(Trans::Yes, Trans::No, -1.0, nl, w, 1.0, &mut m);
+                            }
+                            if a > 0 {
+                                blas::gemm(Trans::Yes, Trans::No, -1.0, next_arrow.as_ref().unwrap(), c_j, 1.0, &mut m);
+                            }
+                            Some(blas::matmul(&m, &l_inv))
+                        } else if let Some(rj) = r_j {
+                            let mut m = Matrix::zeros(b, b);
+                            blas::gemm(Trans::No, Trans::No, -1.0, sig_rs_rs.as_ref().unwrap(), rj, 1.0, &mut m);
+                            if let (Some(srl), Some(w)) = (sig_rs_ls.as_ref(), w_j) {
+                                blas::gemm(Trans::No, Trans::No, -1.0, srl, w, 1.0, &mut m);
+                            }
+                            if a > 0 {
+                                if let Some(str_) = sig_t_rs.as_ref() {
+                                    blas::gemm(Trans::Yes, Trans::No, -1.0, str_, c_j, 1.0, &mut m);
+                                }
+                            }
+                            Some(blas::matmul(&m, &l_inv))
+                        } else {
+                            None
+                        };
+
+                        // Σ_{T,j}.
+                        let sigma_tip = if a > 0 {
+                            let mut m = Matrix::zeros(a, b);
+                            if let Some(bj) = b_j {
+                                blas::gemm(Trans::No, Trans::No, -1.0, next_arrow.as_ref().unwrap(), bj, 1.0, &mut m);
+                            }
+                            if let (Some(stl), Some(w)) = (sig_t_ls.as_ref(), w_j) {
+                                blas::gemm(Trans::No, Trans::No, -1.0, stl, w, 1.0, &mut m);
+                            }
+                            if let (Some(str_), Some(rj)) = (sig_t_rs.as_ref(), r_j) {
+                                blas::gemm(Trans::No, Trans::No, -1.0, str_, rj, 1.0, &mut m);
+                            }
+                            blas::gemm(Trans::No, Trans::No, -1.0, sig_tt, c_j, 1.0, &mut m);
+                            Some(blas::matmul(&m, &l_inv))
+                        } else {
+                            None
+                        };
+
+                        // Σ_{jj} = L_jj^{-T}(L_jj^{-1} − Σ_k L_{k,j}ᵀ Σ_{k,j}).
+                        let mut inner = l_inv.clone();
+                        if let (Some(bj), Some(sb)) = (b_j, sigma_below.as_ref()) {
+                            blas::gemm(Trans::Yes, Trans::No, -1.0, bj, sb, 1.0, &mut inner);
+                        }
+                        if let (Some(rj), Some(sb)) = (r_j, sigma_below.as_ref()) {
+                            blas::gemm(Trans::Yes, Trans::No, -1.0, rj, sb, 1.0, &mut inner);
+                        }
+                        if let (Some(w), Some(sl)) = (w_j, sigma_left.as_ref()) {
+                            blas::gemm(Trans::Yes, Trans::No, -1.0, w, sl, 1.0, &mut inner);
+                        }
+                        if let Some(st) = sigma_tip.as_ref() {
+                            blas::gemm(Trans::Yes, Trans::No, -1.0, c_j, st, 1.0, &mut inner);
+                        }
+                        blas::trsm(Side::Left, Triangle::Lower, Trans::Yes, l_jj, &mut inner);
+                        inner.symmetrize();
+
+                        diag_out[idx] = inner.clone();
+                        if let Some(sb) = sigma_below.clone() {
+                            if is_last {
+                                sub_to_right_sep = Some(sb);
+                            } else {
+                                sub_within[idx] = sb;
+                            }
+                        }
+                        if idx == 0 {
+                            if let Some(sl) = sigma_left.as_ref() {
+                                // Σ_{s, ls} = Σ_{ls, s}ᵀ is the sub-diagonal block at (s, s-1).
+                                sub_from_left_sep = Some(sl.transpose());
+                            }
+                        }
+                        if let Some(st) = sigma_tip.clone() {
+                            arrow_out[idx] = st;
+                        }
+
+                        next_diag = Some(inner);
+                        next_left = sigma_left;
+                        next_arrow = sigma_tip;
+                    }
+
+                    PartInverse {
+                        p,
+                        s,
+                        diag: diag_out,
+                        sub_within,
+                        sub_to_right_sep,
+                        sub_from_left_sep,
+                        arrow: arrow_out,
+                    }
+                })
+                .collect();
+
+            for part in parts {
+                let s = part.s;
+                for (idx, m) in part.diag.into_iter().enumerate() {
+                    inv.diag[s + idx] = m;
+                }
+                for (idx, m) in part.sub_within.into_iter().enumerate() {
+                    inv.sub[s + idx] = m;
+                }
+                if let Some(m) = part.sub_to_right_sep {
+                    let e = partitions[part.p].interior.1;
+                    inv.sub[e - 1] = m;
+                }
+                if let Some(m) = part.sub_from_left_sep {
+                    inv.sub[s - 1] = m;
+                }
+                if a > 0 {
+                    for (idx, m) in part.arrow.into_iter().enumerate() {
+                        inv.arrow[s + idx] = m;
+                    }
+                }
+            }
+
+            BtaSelectedInverse { blocks: inv }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{test_matrix, test_rhs};
+
+    fn check_equivalence(n: usize, b: usize, a: usize, p: usize, lb: f64) {
+        let m = test_matrix(n, b, a, 42);
+        let part = Partitioning::load_balanced(n, p, lb);
+        let seq = pobtaf(&m).unwrap();
+        let dist = d_pobtaf(&m, &part).unwrap();
+
+        // Log-determinants agree.
+        assert!(
+            (seq.logdet() - dist.logdet()).abs() < 1e-8 * (1.0 + seq.logdet().abs()),
+            "logdet mismatch for P={p}: {} vs {}",
+            seq.logdet(),
+            dist.logdet()
+        );
+
+        // Solves agree.
+        let rhs0 = test_rhs(m.dim(), 2);
+        let mut rhs_seq = rhs0.clone();
+        pobtas(&seq, &mut rhs_seq);
+        let mut rhs_dist = rhs0.clone();
+        d_pobtas(&dist, &mut rhs_dist);
+        assert!(
+            rhs_seq.max_abs_diff(&rhs_dist) < 1e-8,
+            "solve mismatch for P={p}: {}",
+            rhs_seq.max_abs_diff(&rhs_dist)
+        );
+
+        // Selected inverses agree block by block.
+        let sel_seq = pobtasi(&seq);
+        let sel_dist = d_pobtasi(&dist);
+        for i in 0..n {
+            assert!(
+                sel_seq.blocks.diag[i].max_abs_diff(&sel_dist.blocks.diag[i]) < 1e-8,
+                "diag {i} mismatch for P={p}"
+            );
+        }
+        for i in 0..n - 1 {
+            assert!(
+                sel_seq.blocks.sub[i].max_abs_diff(&sel_dist.blocks.sub[i]) < 1e-8,
+                "sub {i} mismatch for P={p}"
+            );
+        }
+        if a > 0 {
+            for i in 0..n {
+                assert!(
+                    sel_seq.blocks.arrow[i].max_abs_diff(&sel_dist.blocks.arrow[i]) < 1e-8,
+                    "arrow {i} mismatch for P={p}"
+                );
+            }
+            assert!(sel_seq.blocks.tip.max_abs_diff(&sel_dist.blocks.tip) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn distributed_matches_sequential_two_partitions() {
+        check_equivalence(8, 3, 2, 2, 1.0);
+    }
+
+    #[test]
+    fn distributed_matches_sequential_four_partitions() {
+        check_equivalence(12, 2, 2, 4, 1.0);
+    }
+
+    #[test]
+    fn distributed_matches_sequential_with_load_balancing() {
+        check_equivalence(16, 2, 1, 4, 1.6);
+    }
+
+    #[test]
+    fn distributed_matches_sequential_no_arrow() {
+        check_equivalence(10, 3, 0, 3, 1.0);
+    }
+
+    #[test]
+    fn distributed_single_partition_falls_back_to_sequential() {
+        check_equivalence(6, 2, 1, 1, 1.0);
+    }
+
+    #[test]
+    fn distributed_with_single_block_partitions() {
+        // P = n/1: some partitions have empty interiors.
+        check_equivalence(6, 2, 1, 6, 1.0);
+        check_equivalence(5, 2, 1, 5, 1.0);
+    }
+
+    #[test]
+    fn distributed_many_partitions_odd_sizes() {
+        check_equivalence(11, 2, 2, 3, 1.3);
+        check_equivalence(9, 3, 1, 4, 1.0);
+    }
+}

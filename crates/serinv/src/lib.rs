@@ -1,0 +1,65 @@
+//! # serinv — structured sparse solvers for BTA matrices
+//!
+//! Rust re-implementation of the structured solver layer that the DALIA paper
+//! builds on (the Serinv library plus the paper's own distributed triangular
+//! solve):
+//!
+//! * [`bta`] — block-dense storage of block-tridiagonal-with-arrowhead (BTA)
+//!   matrices and their Cholesky factors,
+//! * [`sequential`] — `pobtaf` / `pobtas` / `pobtasi` reference kernels
+//!   (factorization, triangular solve, selected inversion),
+//! * [`partition`] — time-domain partitioning with load balancing,
+//! * [`distributed`] — `d_pobtaf` / `d_pobtas` / `d_pobtasi`, the
+//!   nested-dissection partitioned variants executed in parallel over
+//!   partitions (the in-process analogue of the paper's multi-GPU scheme),
+//! * [`testing`] — deterministic SPD test matrices.
+
+pub mod bta;
+pub mod distributed;
+pub mod partition;
+pub mod sequential;
+pub mod testing;
+
+pub use bta::{BtaCholesky, BtaMatrix};
+pub use distributed::{d_pobtaf, d_pobtas, d_pobtasi, DistBtaCholesky, PartitionFactor};
+pub use partition::Partitioning;
+pub use sequential::{pobtaf, pobtas, pobtas_vec, pobtasi, BtaSelectedInverse};
+
+/// Errors produced by the structured solvers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SerinvError {
+    /// A diagonal block (or the reduced system / arrow tip) failed to
+    /// factorize: the matrix is not positive definite.
+    Factorization {
+        /// Index of the offending block column (`n` refers to the arrow tip).
+        block: usize,
+        /// The underlying dense kernel error.
+        source: dalia_la::LaError,
+    },
+}
+
+impl std::fmt::Display for SerinvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerinvError::Factorization { block, source } => {
+                write!(f, "BTA factorization failed at block column {block}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SerinvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = SerinvError::Factorization {
+            block: 3,
+            source: dalia_la::LaError::NotPositiveDefinite { pivot: 1, value: -2.0 },
+        };
+        assert!(e.to_string().contains("block column 3"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Time-domain partitioning of BTA matrices (Sec. IV-C of the paper).
+//!
+//! The `n` diagonal blocks (time steps) are split into `P` contiguous
+//! partitions, one per process. The nested-dissection scheme used by the
+//! distributed solver adds extra work for the interior partitions, so the
+//! paper assigns more time steps to the boundary partitions via a
+//! *load-balancing factor* (`lb = 1.6` in Fig. 5).
+
+/// A contiguous partitioning of `n` diagonal blocks into `P` slices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partitioning {
+    /// `boundaries[p]..boundaries[p+1]` is the slice of partition `p`.
+    boundaries: Vec<usize>,
+}
+
+impl Partitioning {
+    /// Even partitioning of `n` blocks into `p` partitions (remainder spread
+    /// over the first partitions).
+    pub fn even(n: usize, p: usize) -> Self {
+        Self::load_balanced(n, p, 1.0)
+    }
+
+    /// Load-balanced partitioning: the first and last partitions receive
+    /// `lb`-times the share of the interior partitions (paper Sec. V-C).
+    ///
+    /// With `P <= 2` the load-balancing factor has no effect and the split is
+    /// even. Each partition receives at least one block (as long as `n >= p`).
+    pub fn load_balanced(n: usize, p: usize, lb: f64) -> Self {
+        assert!(p >= 1, "need at least one partition");
+        assert!(n >= p, "cannot split {n} blocks into {p} partitions");
+        assert!(lb >= 1.0, "load-balancing factor must be >= 1");
+        let mut sizes = vec![0usize; p];
+        if p == 1 {
+            sizes[0] = n;
+        } else {
+            // Relative weights: boundary partitions get weight lb, interior 1.
+            let weights: Vec<f64> = (0..p)
+                .map(|i| if i == 0 || i == p - 1 { lb } else { 1.0 })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let mut assigned = 0usize;
+            for i in 0..p {
+                let share = ((weights[i] / total) * n as f64).floor() as usize;
+                sizes[i] = share.max(1);
+                assigned += sizes[i];
+            }
+            // Distribute the remainder (or take back the excess) round-robin,
+            // preferring boundary partitions when adding and interior ones when
+            // removing.
+            let mut idx = 0usize;
+            while assigned < n {
+                sizes[if idx % 2 == 0 { 0 } else { p - 1 }] += 1;
+                assigned += 1;
+                idx += 1;
+            }
+            idx = 1;
+            while assigned > n {
+                let target = idx % p;
+                if sizes[target] > 1 {
+                    sizes[target] -= 1;
+                    assigned -= 1;
+                }
+                idx += 1;
+            }
+        }
+        let mut boundaries = Vec::with_capacity(p + 1);
+        boundaries.push(0);
+        let mut acc = 0;
+        for s in sizes {
+            acc += s;
+            boundaries.push(acc);
+        }
+        debug_assert_eq!(acc, n);
+        Self { boundaries }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// Total number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        *self.boundaries.last().unwrap()
+    }
+
+    /// Half-open block range `[start, end)` of partition `p`.
+    pub fn range(&self, p: usize) -> (usize, usize) {
+        (self.boundaries[p], self.boundaries[p + 1])
+    }
+
+    /// Number of blocks owned by partition `p`.
+    pub fn size(&self, p: usize) -> usize {
+        self.boundaries[p + 1] - self.boundaries[p]
+    }
+
+    /// Index of the separator block *owned* by partition `p` (its last block),
+    /// defined for `p < P-1`. The separators, in order, form the reduced
+    /// system of the nested-dissection scheme.
+    pub fn separator(&self, p: usize) -> usize {
+        assert!(p + 1 < self.num_partitions(), "last partition has no separator");
+        self.boundaries[p + 1] - 1
+    }
+
+    /// Interior block range `[start, end)` of partition `p`: its blocks minus
+    /// the separator (for the last partition all blocks are interior).
+    /// The range may be empty for single-block partitions.
+    pub fn interior(&self, p: usize) -> (usize, usize) {
+        let (s, e) = self.range(p);
+        if p + 1 < self.num_partitions() {
+            (s, e - 1)
+        } else {
+            (s, e)
+        }
+    }
+
+    /// All separator block indices, in increasing order.
+    pub fn separators(&self) -> Vec<usize> {
+        (0..self.num_partitions().saturating_sub(1)).map(|p| self.separator(p)).collect()
+    }
+
+    /// Maximum partition size (proxy for the per-device memory footprint that
+    /// drives the strategy-selection logic of Sec. V-D).
+    pub fn max_size(&self) -> usize {
+        (0..self.num_partitions()).map(|p| self.size(p)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_partitioning_covers_all_blocks() {
+        let p = Partitioning::even(10, 3);
+        assert_eq!(p.num_partitions(), 3);
+        assert_eq!(p.num_blocks(), 10);
+        let total: usize = (0..3).map(|i| p.size(i)).sum();
+        assert_eq!(total, 10);
+        // Contiguity.
+        assert_eq!(p.range(0).0, 0);
+        assert_eq!(p.range(2).1, 10);
+        assert_eq!(p.range(0).1, p.range(1).0);
+    }
+
+    #[test]
+    fn single_partition() {
+        let p = Partitioning::even(7, 1);
+        assert_eq!(p.size(0), 7);
+        assert_eq!(p.interior(0), (0, 7));
+        assert!(p.separators().is_empty());
+    }
+
+    #[test]
+    fn load_balancing_gives_more_to_boundaries() {
+        let p = Partitioning::load_balanced(32, 4, 1.6);
+        assert_eq!(p.num_blocks(), 32);
+        assert!(p.size(0) > p.size(1), "first partition should be larger: {:?}", (0..4).map(|i| p.size(i)).collect::<Vec<_>>());
+        assert!(p.size(3) >= p.size(2));
+    }
+
+    #[test]
+    fn separators_are_last_blocks_of_partitions() {
+        let p = Partitioning::even(12, 4);
+        let seps = p.separators();
+        assert_eq!(seps.len(), 3);
+        for (i, &s) in seps.iter().enumerate() {
+            assert_eq!(s, p.range(i).1 - 1);
+        }
+        // Interiors exclude separators except for the last partition.
+        assert_eq!(p.interior(0).1, p.separator(0));
+        assert_eq!(p.interior(3), p.range(3));
+    }
+
+    #[test]
+    fn every_partition_nonempty() {
+        for (n, np) in [(5usize, 5usize), (9, 4), (17, 6)] {
+            let p = Partitioning::load_balanced(n, np, 2.0);
+            for i in 0..np {
+                assert!(p.size(i) >= 1);
+            }
+            assert_eq!(p.num_blocks(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_partitions_panics() {
+        let _ = Partitioning::even(3, 5);
+    }
+}

@@ -1,0 +1,346 @@
+//! Sequential BTA solver kernels: Cholesky factorization (`pobtaf`),
+//! triangular solve (`pobtas`) and selected inversion (`pobtasi`).
+//!
+//! The routine names follow the Serinv library the paper integrates
+//! (POBTAF/POBTAS/POBTASI = POsitive-definite Block-Tridiagonal-Arrowhead
+//! Factorize / Solve / Selected Inversion). The computational pattern per
+//! block column is POTRF on the diagonal block, TRSM on the sub-diagonal and
+//! arrow blocks and SYRK/GEMM Schur updates — a complexity of
+//! `O(n (b³ + a³))` versus the `O((n b)³)` of a dense factorization.
+
+use crate::bta::{BtaCholesky, BtaMatrix};
+use crate::SerinvError;
+use dalia_la::blas::{self, Side, Trans, Triangle};
+use dalia_la::{chol, Matrix};
+
+/// BTA Cholesky factorization (sequential reference implementation).
+///
+/// Consumes a copy of the matrix and returns its block Cholesky factor.
+pub fn pobtaf(a: &BtaMatrix) -> Result<BtaCholesky, SerinvError> {
+    let mut m = a.clone();
+    let n = m.n;
+    let has_arrow = m.a > 0;
+
+    for i in 0..n {
+        // Factorize the diagonal block: D_i = L_ii L_iiᵀ.
+        chol::potrf(&mut m.diag[i]).map_err(|e| SerinvError::Factorization {
+            block: i,
+            source: e,
+        })?;
+        let (left, right) = m.diag.split_at_mut(i + 1);
+        let l_ii = &left[i];
+
+        // B_i := B_i L_ii^{-T}, C_i := C_i L_ii^{-T}.
+        if i + 1 < n {
+            blas::trsm(Side::Right, Triangle::Lower, Trans::Yes, l_ii, &mut m.sub[i]);
+        }
+        if has_arrow {
+            blas::trsm(Side::Right, Triangle::Lower, Trans::Yes, l_ii, &mut m.arrow[i]);
+        }
+
+        // Schur updates on the trailing blocks.
+        if i + 1 < n {
+            let b_i = &m.sub[i];
+            // D_{i+1} -= B_i B_iᵀ.
+            blas::syrk_full(Trans::No, -1.0, b_i, 1.0, &mut right[0]);
+            if has_arrow {
+                // C_{i+1} -= C_i B_iᵀ.
+                let (arrow_left, arrow_right) = m.arrow.split_at_mut(i + 1);
+                blas::gemm(Trans::No, Trans::Yes, -1.0, &arrow_left[i], b_i, 1.0, &mut arrow_right[0]);
+            }
+        }
+        if has_arrow {
+            // T -= C_i C_iᵀ.
+            blas::syrk_full(Trans::No, -1.0, &m.arrow[i], 1.0, &mut m.tip);
+        }
+    }
+    if has_arrow {
+        chol::potrf(&mut m.tip).map_err(|e| SerinvError::Factorization { block: n, source: e })?;
+    }
+    Ok(BtaCholesky { blocks: m })
+}
+
+/// BTA triangular solve: solves `A X = B` given the factor from [`pobtaf`].
+/// The right-hand side is a dense `N × k` matrix, overwritten with the
+/// solution.
+pub fn pobtas(factor: &BtaCholesky, rhs: &mut Matrix) {
+    let m = &factor.blocks;
+    let (n, b, a) = (m.n, m.b, m.a);
+    assert_eq!(rhs.nrows(), m.dim(), "pobtas: rhs dimension mismatch");
+    let k = rhs.ncols();
+    let a0 = n * b;
+
+    // Forward substitution: L y = rhs.
+    for i in 0..n {
+        if i > 0 {
+            // rhs_i -= B_{i-1} y_{i-1}.
+            let y_prev = rhs.block((i - 1) * b, 0, b, k);
+            let mut update = Matrix::zeros(b, k);
+            blas::gemm(Trans::No, Trans::No, 1.0, &m.sub[i - 1], &y_prev, 0.0, &mut update);
+            rhs.add_block(i * b, 0, -1.0, &update);
+        }
+        let mut yi = rhs.block(i * b, 0, b, k);
+        blas::trsm(Side::Left, Triangle::Lower, Trans::No, &m.diag[i], &mut yi);
+        rhs.set_block(i * b, 0, &yi);
+        if a > 0 {
+            // rhs_T -= C_i y_i.
+            let mut update = Matrix::zeros(a, k);
+            blas::gemm(Trans::No, Trans::No, 1.0, &m.arrow[i], &yi, 0.0, &mut update);
+            rhs.add_block(a0, 0, -1.0, &update);
+        }
+    }
+    if a > 0 {
+        let mut yt = rhs.block(a0, 0, a, k);
+        blas::trsm(Side::Left, Triangle::Lower, Trans::No, &m.tip, &mut yt);
+        // Backward: x_T = L_TTᵀ \ y_T.
+        blas::trsm(Side::Left, Triangle::Lower, Trans::Yes, &m.tip, &mut yt);
+        rhs.set_block(a0, 0, &yt);
+    }
+
+    // Backward substitution: Lᵀ x = y.
+    for i in (0..n).rev() {
+        let mut yi = rhs.block(i * b, 0, b, k);
+        if i + 1 < n {
+            // y_i -= B_iᵀ x_{i+1}.
+            let x_next = rhs.block((i + 1) * b, 0, b, k);
+            blas::gemm(Trans::Yes, Trans::No, -1.0, &m.sub[i], &x_next, 1.0, &mut yi);
+        }
+        if a > 0 {
+            // y_i -= C_iᵀ x_T.
+            let x_t = rhs.block(a0, 0, a, k);
+            blas::gemm(Trans::Yes, Trans::No, -1.0, &m.arrow[i], &x_t, 1.0, &mut yi);
+        }
+        blas::trsm(Side::Left, Triangle::Lower, Trans::Yes, &m.diag[i], &mut yi);
+        rhs.set_block(i * b, 0, &yi);
+    }
+}
+
+/// Convenience wrapper: solve for a single right-hand-side vector.
+pub fn pobtas_vec(factor: &BtaCholesky, rhs: &[f64]) -> Vec<f64> {
+    let mut m = Matrix::col_vector(rhs);
+    pobtas(factor, &mut m);
+    m.col(0).to_vec()
+}
+
+/// Selected inverse of a BTA matrix: the blocks of `A⁻¹` on the BTA pattern.
+///
+/// The result is returned in BTA layout: `diag[i] = Σ_ii`,
+/// `sub[i] = Σ_{i+1,i}`, `arrow[i] = Σ_{T,i}`, `tip = Σ_TT`.
+#[derive(Clone, Debug)]
+pub struct BtaSelectedInverse {
+    /// Selected inverse blocks in BTA layout.
+    pub blocks: BtaMatrix,
+}
+
+impl BtaSelectedInverse {
+    /// Marginal variances: the diagonal of the selected inverse.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let m = &self.blocks;
+        let mut out = Vec::with_capacity(m.dim());
+        for i in 0..m.n {
+            for j in 0..m.b {
+                out.push(m.diag[i][(j, j)]);
+            }
+        }
+        for j in 0..m.a {
+            out.push(m.tip[(j, j)]);
+        }
+        out
+    }
+}
+
+/// BTA selected inversion (sequential reference implementation).
+pub fn pobtasi(factor: &BtaCholesky) -> BtaSelectedInverse {
+    let m = &factor.blocks;
+    let (n, b, a) = (m.n, m.b, m.a);
+    let mut inv = BtaMatrix::zeros(n, b, a);
+
+    // Σ_TT = L_TT^{-T} L_TT^{-1}.
+    if a > 0 {
+        let mut tip_inv = Matrix::identity(a);
+        blas::trsm(Side::Left, Triangle::Lower, Trans::No, &m.tip, &mut tip_inv);
+        blas::trsm(Side::Left, Triangle::Lower, Trans::Yes, &m.tip, &mut tip_inv);
+        inv.tip = tip_inv;
+    }
+
+    for i in (0..n).rev() {
+        let l_ii = &m.diag[i];
+        // L_ii^{-1}.
+        let mut l_inv = Matrix::identity(b);
+        blas::trsm(Side::Left, Triangle::Lower, Trans::No, l_ii, &mut l_inv);
+
+        // Σ_{R,i} = −Σ_{R,R} L_{R,i} L_ii^{-1} with R the sub-rows of column i.
+        let mut sigma_sub = Matrix::zeros(b, b); // Σ_{i+1,i}
+        let mut sigma_arr = Matrix::zeros(a, b); // Σ_{T,i}
+        if i + 1 < n {
+            let b_i = &m.sub[i];
+            // Σ_{i+1,i} = −(Σ_{i+1,i+1} B_i + Σ_{T,i+1}ᵀ C_i) L_ii^{-1}.
+            blas::gemm(Trans::No, Trans::No, -1.0, &inv.diag[i + 1], b_i, 0.0, &mut sigma_sub);
+            if a > 0 {
+                blas::gemm(Trans::Yes, Trans::No, -1.0, &inv.arrow[i + 1], &m.arrow[i], 1.0, &mut sigma_sub);
+            }
+            let tmp = blas::matmul(&sigma_sub, &l_inv);
+            sigma_sub = tmp;
+            if a > 0 {
+                // Σ_{T,i} = −(Σ_{T,i+1} B_i + Σ_TT C_i) L_ii^{-1}.
+                blas::gemm(Trans::No, Trans::No, -1.0, &inv.arrow[i + 1], b_i, 0.0, &mut sigma_arr);
+                blas::gemm(Trans::No, Trans::No, -1.0, &inv.tip, &m.arrow[i], 1.0, &mut sigma_arr);
+                let tmp = blas::matmul(&sigma_arr, &l_inv);
+                sigma_arr = tmp;
+            }
+        } else if a > 0 {
+            // Last block column: only the arrow row below.
+            blas::gemm(Trans::No, Trans::No, -1.0, &inv.tip, &m.arrow[i], 0.0, &mut sigma_arr);
+            let tmp = blas::matmul(&sigma_arr, &l_inv);
+            sigma_arr = tmp;
+        }
+
+        // Σ_ii = L_ii^{-T}(L_ii^{-1} − B_iᵀ Σ_{i+1,i} − C_iᵀ Σ_{T,i}).
+        let mut inner = l_inv.clone();
+        if i + 1 < n {
+            blas::gemm(Trans::Yes, Trans::No, -1.0, &m.sub[i], &sigma_sub, 1.0, &mut inner);
+        }
+        if a > 0 {
+            blas::gemm(Trans::Yes, Trans::No, -1.0, &m.arrow[i], &sigma_arr, 1.0, &mut inner);
+        }
+        blas::trsm(Side::Left, Triangle::Lower, Trans::Yes, l_ii, &mut inner);
+        // Numerical symmetrization of the diagonal block.
+        inner.symmetrize();
+
+        inv.diag[i] = inner;
+        if i + 1 < n {
+            inv.sub[i] = sigma_sub;
+        }
+        if a > 0 {
+            inv.arrow[i] = sigma_arr;
+        }
+    }
+    BtaSelectedInverse { blocks: inv }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{test_matrix, test_rhs};
+    use dalia_la::chol;
+
+    #[test]
+    fn pobtaf_reconstructs_matrix() {
+        let a = test_matrix(5, 3, 2, 1);
+        let f = pobtaf(&a).unwrap();
+        let l = f.to_dense_factor();
+        let rec = blas::matmul(&l, &l.transpose());
+        assert!(rec.max_abs_diff(&a.to_dense()) < 1e-10);
+    }
+
+    #[test]
+    fn pobtaf_logdet_matches_dense() {
+        let a = test_matrix(6, 2, 3, 2);
+        let f = pobtaf(&a).unwrap();
+        let dense_l = chol::cholesky(&a.to_dense()).unwrap();
+        assert!((f.logdet() - chol::logdet_from_cholesky(&dense_l)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pobtaf_no_arrow() {
+        let a = test_matrix(4, 3, 0, 3);
+        let f = pobtaf(&a).unwrap();
+        let dense_l = chol::cholesky(&a.to_dense()).unwrap();
+        assert!((f.logdet() - chol::logdet_from_cholesky(&dense_l)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pobtaf_rejects_indefinite() {
+        let mut a = test_matrix(3, 2, 1, 4);
+        // Destroy positive definiteness of an interior diagonal block.
+        a.diag[1][(0, 0)] = -100.0;
+        assert!(matches!(pobtaf(&a), Err(SerinvError::Factorization { .. })));
+    }
+
+    #[test]
+    fn pobtas_solves_linear_system() {
+        let a = test_matrix(5, 3, 2, 5);
+        let f = pobtaf(&a).unwrap();
+        let x_true = test_rhs(a.dim(), 2);
+        let dense = a.to_dense();
+        let mut rhs = blas::matmul(&dense, &x_true);
+        pobtas(&f, &mut rhs);
+        assert!(rhs.max_abs_diff(&x_true) < 1e-9);
+    }
+
+    #[test]
+    fn pobtas_vec_matches_dense_solve() {
+        let a = test_matrix(4, 2, 1, 6);
+        let f = pobtaf(&a).unwrap();
+        let b: Vec<f64> = (0..a.dim()).map(|i| (i as f64 * 0.3).cos()).collect();
+        let x = pobtas_vec(&f, &b);
+        let x_dense = chol::spd_solve_vec(&a.to_dense(), &b).unwrap();
+        for (a, b) in x.iter().zip(&x_dense) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pobtas_no_arrow() {
+        let a = test_matrix(4, 3, 0, 7);
+        let f = pobtaf(&a).unwrap();
+        let b: Vec<f64> = (0..a.dim()).map(|i| 1.0 + (i % 3) as f64).collect();
+        let x = pobtas_vec(&f, &b);
+        let x_dense = chol::spd_solve_vec(&a.to_dense(), &b).unwrap();
+        for (a, b) in x.iter().zip(&x_dense) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pobtasi_matches_dense_inverse_on_pattern() {
+        let a = test_matrix(5, 3, 2, 8);
+        let f = pobtaf(&a).unwrap();
+        let sel = pobtasi(&f);
+        let dense_inv = chol::spd_inverse(&a.to_dense()).unwrap();
+        let (n, b, aa) = (a.n, a.b, a.a);
+        let a0 = n * b;
+        for i in 0..n {
+            let expected = dense_inv.block(i * b, i * b, b, b);
+            assert!(sel.blocks.diag[i].max_abs_diff(&expected) < 1e-9, "diag block {i}");
+        }
+        for i in 0..n - 1 {
+            let expected = dense_inv.block((i + 1) * b, i * b, b, b);
+            assert!(sel.blocks.sub[i].max_abs_diff(&expected) < 1e-9, "sub block {i}");
+        }
+        for i in 0..n {
+            let expected = dense_inv.block(a0, i * b, aa, b);
+            assert!(sel.blocks.arrow[i].max_abs_diff(&expected) < 1e-9, "arrow block {i}");
+        }
+        let expected_tip = dense_inv.block(a0, a0, aa, aa);
+        assert!(sel.blocks.tip.max_abs_diff(&expected_tip) < 1e-9);
+        // Marginal variances match the dense inverse diagonal.
+        let vars = sel.diagonal();
+        for i in 0..a.dim() {
+            assert!((vars[i] - dense_inv[(i, i)]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pobtasi_no_arrow_matches_dense() {
+        let a = test_matrix(4, 2, 0, 9);
+        let f = pobtaf(&a).unwrap();
+        let sel = pobtasi(&f);
+        let dense_inv = chol::spd_inverse(&a.to_dense()).unwrap();
+        let vars = sel.diagonal();
+        for i in 0..a.dim() {
+            assert!((vars[i] - dense_inv[(i, i)]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_block_matrix() {
+        let a = test_matrix(1, 4, 2, 10);
+        let f = pobtaf(&a).unwrap();
+        let sel = pobtasi(&f);
+        let dense_inv = chol::spd_inverse(&a.to_dense()).unwrap();
+        for (i, v) in sel.diagonal().iter().enumerate() {
+            assert!((v - dense_inv[(i, i)]).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Deterministic test-matrix generators shared by unit tests, integration
+//! tests and benchmarks.
+
+use crate::bta::BtaMatrix;
+use dalia_la::Matrix;
+
+/// Deterministic symmetric positive definite BTA test matrix.
+///
+/// The entries are a cheap hash of the indices so that the matrix is
+/// reproducible without a random number generator; diagonal dominance makes it
+/// safely positive definite for any `(n, b, a)`.
+pub fn test_matrix(n: usize, b: usize, a: usize, seed: u64) -> BtaMatrix {
+    let mut m = BtaMatrix::zeros(n, b, a);
+    let f = |i: usize, j: usize, k: usize| {
+        (((i * 31 + j * 17 + k * 7 + seed as usize * 11) % 13) as f64) / 13.0 - 0.5
+    };
+    for k in 0..n {
+        let mut d = Matrix::from_fn(b, b, |i, j| f(i, j, k));
+        d.symmetrize();
+        for i in 0..b {
+            d[(i, i)] += (b + a) as f64 + 2.0;
+        }
+        m.diag[k] = d;
+    }
+    for k in 0..n.saturating_sub(1) {
+        m.sub[k] = Matrix::from_fn(b, b, |i, j| 0.3 * f(i, j, k + 100));
+    }
+    for k in 0..n {
+        m.arrow[k] = Matrix::from_fn(a, b, |i, j| 0.2 * f(i, j, k + 200));
+    }
+    let mut tip = Matrix::from_fn(a, a, |i, j| f(i, j, 300));
+    tip.symmetrize();
+    for i in 0..a {
+        tip[(i, i)] += (a + n * 2) as f64 + 2.0;
+    }
+    m.tip = tip;
+    m
+}
+
+/// Deterministic right-hand side with `k` columns for a matrix of size `dim`.
+pub fn test_rhs(dim: usize, k: usize) -> Matrix {
+    Matrix::from_fn(dim, k, |i, j| ((i * 7 + j * 13) as f64 * 0.37).sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalia_la::chol;
+
+    #[test]
+    fn test_matrix_is_spd() {
+        for (n, b, a) in [(3usize, 2usize, 1usize), (5, 3, 2), (4, 4, 0)] {
+            let m = test_matrix(n, b, a, 7);
+            assert!(chol::cholesky(&m.to_dense()).is_ok(), "({n},{b},{a}) not SPD");
+        }
+    }
+
+    #[test]
+    fn rhs_shape() {
+        let r = test_rhs(10, 3);
+        assert_eq!(r.shape(), (10, 3));
+    }
+}

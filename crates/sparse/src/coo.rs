@@ -1,0 +1,171 @@
+//! Coordinate (triplet) sparse format used for assembly.
+//!
+//! FEM assembly, Kronecker-product construction and the design-matrix builder
+//! all accumulate triplets and convert once to CSR/CSC. Duplicate entries are
+//! summed during conversion, matching the usual FEM assembly semantics.
+
+use crate::csr::CsrMatrix;
+use dalia_la::Matrix;
+
+/// Sparse matrix in coordinate (triplet) format.
+#[derive(Clone, Debug, Default)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Empty matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Empty matrix with pre-reserved capacity for `nnz` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, nnz: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(nnz),
+            cols: Vec::with_capacity(nnz),
+            vals: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Build from parallel triplet slices.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        rows: &[usize],
+        cols: &[usize],
+        vals: &[f64],
+    ) -> Self {
+        assert_eq!(rows.len(), cols.len());
+        assert_eq!(rows.len(), vals.len());
+        let mut m = Self::with_capacity(nrows, ncols, vals.len());
+        for i in 0..rows.len() {
+            m.push(rows[i], cols[i], vals[i]);
+        }
+        m
+    }
+
+    /// Append one entry. Duplicates are allowed and summed on conversion.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        debug_assert!(row < self.nrows && col < self.ncols, "triplet out of range");
+        if val != 0.0 {
+            self.rows.push(row);
+            self.cols.push(col);
+            self.vals.push(val);
+        }
+    }
+
+    /// Append a dense block at offset `(r0, c0)`.
+    pub fn push_dense_block(&mut self, r0: usize, c0: usize, block: &Matrix) {
+        for j in 0..block.ncols() {
+            for i in 0..block.nrows() {
+                let v = block[(i, j)];
+                if v != 0.0 {
+                    self.push(r0 + i, c0 + j, v);
+                }
+            }
+        }
+    }
+
+    /// Number of stored (possibly duplicated) entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Matrix shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Raw triplet views `(rows, cols, vals)`.
+    pub fn triplets(&self) -> (&[usize], &[usize], &[f64]) {
+        (&self.rows, &self.cols, &self.vals)
+    }
+
+    /// Convert to CSR, summing duplicates and dropping explicit zeros produced
+    /// by cancellation is *not* performed (pattern stability matters for the
+    /// repeated-assembly use case).
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_coo(self)
+    }
+
+    /// Convert to a dense matrix (testing / small problems only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.nrows, self.ncols);
+        for k in 0..self.vals.len() {
+            m[(self.rows[k], self.cols[k])] += self.vals[k];
+        }
+        m
+    }
+
+    /// Build a COO from the non-zero entries of a dense matrix.
+    pub fn from_dense(m: &Matrix, tol: f64) -> Self {
+        let mut coo = Self::new(m.nrows(), m.ncols());
+        for j in 0..m.ncols() {
+            for i in 0..m.nrows() {
+                if m[(i, j)].abs() > tol {
+                    coo.push(i, j, m[(i, j)]);
+                }
+            }
+        }
+        coo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_shape() {
+        let mut m = CooMatrix::new(3, 4);
+        m.push(0, 0, 1.0);
+        m.push(2, 3, 5.0);
+        m.push(1, 1, 0.0); // explicit zero dropped
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.shape(), (3, 4));
+    }
+
+    #[test]
+    fn duplicates_sum_in_dense() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 1, 1.0);
+        m.push(0, 1, 2.5);
+        let d = m.to_dense();
+        assert_eq!(d[(0, 1)], 3.5);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0]]);
+        let coo = CooMatrix::from_dense(&d, 0.0);
+        assert_eq!(coo.nnz(), 3);
+        assert_eq!(coo.to_dense(), d);
+    }
+
+    #[test]
+    fn push_dense_block() {
+        let mut m = CooMatrix::new(4, 4);
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 4.0]]);
+        m.push_dense_block(1, 2, &b);
+        let d = m.to_dense();
+        assert_eq!(d[(1, 2)], 1.0);
+        assert_eq!(d[(2, 3)], 4.0);
+        assert_eq!(d[(2, 2)], 0.0);
+    }
+
+    #[test]
+    fn from_triplets() {
+        let m = CooMatrix::from_triplets(2, 2, &[0, 1, 1], &[0, 0, 1], &[1.0, 2.0, 3.0]);
+        let d = m.to_dense();
+        assert_eq!(d[(1, 0)], 2.0);
+        assert_eq!(d[(1, 1)], 3.0);
+    }
+}

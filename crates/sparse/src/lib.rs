@@ -1,0 +1,81 @@
+//! # dalia-sparse — sparse matrix algebra and the general sparse solver baseline
+//!
+//! Sparse formats and kernels used by the DALIA-RS model layer:
+//!
+//! * [`coo::CooMatrix`] — triplet assembly format,
+//! * [`csr::CsrMatrix`] — compressed sparse rows with SpMV, block extraction and
+//!   the O(nnz) sparse→block-dense mapping of the paper's Sec. IV-F,
+//! * [`ops`] — addition, Gustavson SpGEMM, `AᵀDA` congruence products,
+//!   Kronecker products and stacking,
+//! * [`permutation`] — symmetric permutations including the coregional
+//!   time-major reordering (Fig. 2c),
+//! * [`cholesky`] — simplicial up-looking sparse Cholesky with elimination
+//!   tree, solves, log-determinant and Takahashi selected inversion: the
+//!   general-purpose solver standing in for PARDISO in the R-INLA baseline.
+
+pub mod cholesky;
+pub mod coo;
+pub mod csr;
+pub mod ops;
+pub mod permutation;
+
+pub use cholesky::{elimination_tree, SparseCholesky};
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use permutation::{coregional_permutation, Permutation};
+
+/// Errors produced by sparse kernels.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SparseError {
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        nrows: usize,
+        /// Number of columns of the offending matrix.
+        ncols: usize,
+    },
+    /// A Cholesky pivot was non-positive.
+    NotPositiveDefinite {
+        /// Index of the offending pivot.
+        pivot: usize,
+        /// Value of the offending pivot.
+        value: f64,
+    },
+    /// Operand dimensions do not agree.
+    DimensionMismatch {
+        /// Human-readable description.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for SparseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "matrix is not square ({nrows}x{ncols})")
+            }
+            SparseError::NotPositiveDefinite { pivot, value } => {
+                write!(f, "matrix not positive definite at pivot {pivot} (value {value:.3e})")
+            }
+            SparseError::DimensionMismatch { context } => write!(f, "dimension mismatch: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(SparseError::NotSquare { nrows: 2, ncols: 3 }.to_string().contains("2x3"));
+        assert!(SparseError::NotPositiveDefinite { pivot: 0, value: -1.0 }
+            .to_string()
+            .contains("pivot 0"));
+        assert!(SparseError::DimensionMismatch { context: "spmv".into() }
+            .to_string()
+            .contains("spmv"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Permutations of vectors and symmetric permutations of sparse matrices.
+//!
+//! The coregional-model reordering of Sec. IV-B.1 of the paper (grouping all
+//! response variables of a time step together and pushing all fixed effects to
+//! the end) is expressed as a [`Permutation`] applied to the joint precision
+//! matrix. The permutation is computed once and re-applied cheaply for every
+//! new hyperparameter configuration.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// A permutation `p` mapping new index `i` to old index `p[i]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    /// `perm[new] = old`.
+    perm: Vec<usize>,
+    /// `inv[old] = new`.
+    inv: Vec<usize>,
+}
+
+impl Permutation {
+    /// Identity permutation of length `n`.
+    pub fn identity(n: usize) -> Self {
+        let perm: Vec<usize> = (0..n).collect();
+        Self { inv: perm.clone(), perm }
+    }
+
+    /// Build from the forward map `perm[new] = old`. Panics if not a
+    /// permutation.
+    pub fn from_vec(perm: Vec<usize>) -> Self {
+        let n = perm.len();
+        let mut inv = vec![usize::MAX; n];
+        for (new, &old) in perm.iter().enumerate() {
+            assert!(old < n, "permutation entry out of range");
+            assert_eq!(inv[old], usize::MAX, "duplicate entry in permutation");
+            inv[old] = new;
+        }
+        Self { perm, inv }
+    }
+
+    /// Length of the permutation.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// `true` when permuting zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// Forward map `new -> old`.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Old index of new position `new`.
+    #[inline]
+    pub fn old_of_new(&self, new: usize) -> usize {
+        self.perm[new]
+    }
+
+    /// New index of old position `old`.
+    #[inline]
+    pub fn new_of_old(&self, old: usize) -> usize {
+        self.inv[old]
+    }
+
+    /// Inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        Permutation { perm: self.inv.clone(), inv: self.perm.clone() }
+    }
+
+    /// Apply to a vector: `out[new] = x[perm[new]]`.
+    pub fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.perm.len());
+        self.perm.iter().map(|&old| x[old]).collect()
+    }
+
+    /// Apply the inverse to a vector: `out[old] = x[new_of_old(old)]`.
+    pub fn apply_inv_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.perm.len());
+        self.inv.iter().map(|&new| x[new]).collect()
+    }
+
+    /// Symmetric permutation of a square sparse matrix: `B = P A Pᵀ`,
+    /// i.e. `B[new_i, new_j] = A[perm[new_i], perm[new_j]]`.
+    pub fn apply_sym(&self, a: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(a.nrows(), a.ncols(), "symmetric permutation requires square matrix");
+        assert_eq!(a.nrows(), self.len(), "permutation length mismatch");
+        let n = self.len();
+        let mut coo = CooMatrix::with_capacity(n, n, a.nnz());
+        for old_r in 0..n {
+            let new_r = self.inv[old_r];
+            for (old_c, v) in a.row_iter(old_r) {
+                coo.push(new_r, self.inv[old_c], v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Permute the rows of a (possibly rectangular) matrix: `B = P A`,
+    /// `B[new, :] = A[perm[new], :]`.
+    pub fn apply_rows(&self, a: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(a.nrows(), self.len());
+        let mut coo = CooMatrix::with_capacity(a.nrows(), a.ncols(), a.nnz());
+        for new_r in 0..a.nrows() {
+            let old_r = self.perm[new_r];
+            for (c, v) in a.row_iter(old_r) {
+                coo.push(new_r, c, v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Permute the columns of a matrix: `B = A Pᵀ` so that
+    /// `B[:, new] = A[:, perm[new]]`.
+    pub fn apply_cols(&self, a: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(a.ncols(), self.len());
+        let mut coo = CooMatrix::with_capacity(a.nrows(), a.ncols(), a.nnz());
+        for r in 0..a.nrows() {
+            for (old_c, v) in a.row_iter(r) {
+                coo.push(r, self.inv[old_c], v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Compose two permutations: applying `self` after `other`.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len());
+        let perm: Vec<usize> = (0..self.len()).map(|i| other.perm[self.perm[i]]).collect();
+        Permutation::from_vec(perm)
+    }
+}
+
+/// The coregional-model permutation of the paper (Sec. IV-B.1, Fig. 2c).
+///
+/// The joint precision of Eq. (11) is ordered by response variable
+/// (`nv` blocks, each of size `ns*nt + nr`). This permutation reorders to
+/// time-major ordering: for every time step the `nv*ns` spatial unknowns of
+/// all response variables are contiguous, and all `nv*nr` fixed effects are
+/// accumulated at the end — recovering a BTA pattern with diagonal block size
+/// `b = nv*ns` and arrowhead size `a = nv*nr`.
+pub fn coregional_permutation(nv: usize, ns: usize, nt: usize, nr: usize) -> Permutation {
+    let per_process = ns * nt + nr;
+    let total = nv * per_process;
+    let mut perm = Vec::with_capacity(total);
+    // Spatio-temporal part: time outer, variable middle, space inner.
+    for t in 0..nt {
+        for v in 0..nv {
+            let base = v * per_process + t * ns;
+            for s in 0..ns {
+                perm.push(base + s);
+            }
+        }
+    }
+    // Fixed effects of every process at the end.
+    for v in 0..nv {
+        let base = v * per_process + ns * nt;
+        for r in 0..nr {
+            perm.push(base + r);
+        }
+    }
+    Permutation::from_vec(perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(p.apply_vec(&x), x);
+        assert_eq!(p.inverse(), p);
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let p = Permutation::from_vec(vec![2, 0, 3, 1]);
+        let x = vec![10.0, 20.0, 30.0, 40.0];
+        let y = p.apply_vec(&x);
+        assert_eq!(y, vec![30.0, 10.0, 40.0, 20.0]);
+        assert_eq!(p.apply_inv_vec(&y), x);
+        assert_eq!(p.inverse().apply_vec(&y), x);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_duplicates() {
+        let _ = Permutation::from_vec(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn symmetric_permutation_matches_dense() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 2.0);
+        coo.push(2, 2, 3.0);
+        coo.push(0, 2, 4.0);
+        coo.push(2, 0, 4.0);
+        let a = coo.to_csr();
+        let p = Permutation::from_vec(vec![2, 1, 0]);
+        let b = p.apply_sym(&a);
+        let bd = b.to_dense();
+        assert_eq!(bd[(0, 0)], 3.0);
+        assert_eq!(bd[(2, 2)], 1.0);
+        assert_eq!(bd[(0, 2)], 4.0);
+        // Quadratic-form invariance: x' B x == y' A y with y[perm[i]] = x[i].
+        let x = vec![1.0, 2.0, 3.0];
+        let y = p.apply_inv_vec(&x);
+        assert!((b.quadratic_form(&x) - a.quadratic_form(&y)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn row_and_col_permutation() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 2, 5.0);
+        let a = coo.to_csr();
+        let pr = Permutation::from_vec(vec![1, 0]);
+        let b = pr.apply_rows(&a);
+        assert_eq!(b.get(0, 2), 5.0);
+        assert_eq!(b.get(1, 0), 1.0);
+
+        let pc = Permutation::from_vec(vec![2, 1, 0]);
+        let c = pc.apply_cols(&a);
+        assert_eq!(c.get(0, 2), 1.0);
+        assert_eq!(c.get(1, 0), 5.0);
+    }
+
+    #[test]
+    fn coregional_permutation_layout() {
+        // nv=2 processes, ns=2 spatial nodes, nt=2 time steps, nr=1 fixed effect.
+        let p = coregional_permutation(2, 2, 2, 1);
+        assert_eq!(p.len(), 2 * (2 * 2 + 1));
+        // First block: time 0 of process 0 then time 0 of process 1.
+        assert_eq!(&p.as_slice()[0..4], &[0, 1, 5, 6]);
+        // Second block: time 1 of both processes.
+        assert_eq!(&p.as_slice()[4..8], &[2, 3, 7, 8]);
+        // Fixed effects at the end: index 4 (proc 0) and 9 (proc 1).
+        assert_eq!(&p.as_slice()[8..10], &[4, 9]);
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let p1 = Permutation::from_vec(vec![1, 2, 0]);
+        let p2 = Permutation::from_vec(vec![2, 0, 1]);
+        let x = vec![1.0, 2.0, 3.0];
+        let seq = p1.apply_vec(&p2.apply_vec(&x));
+        let comp = p1.compose(&p2);
+        assert_eq!(comp.apply_vec(&x), seq);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for sparse formats, operations and the sparse
+//! Cholesky factorization.
+
+use dalia_la::{blas, chol};
+use dalia_sparse::ops;
+use dalia_sparse::{CooMatrix, CsrMatrix, Permutation, SparseCholesky};
+use proptest::prelude::*;
+
+/// Random sparse matrix with ~30% density.
+fn sparse_strategy(nrows: usize, ncols: usize) -> impl Strategy<Value = CsrMatrix> {
+    proptest::collection::vec((0.0f64..1.0, -1.0f64..1.0), nrows * ncols).prop_map(move |cells| {
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for (idx, (p, v)) in cells.iter().enumerate() {
+            if *p < 0.3 {
+                coo.push(idx / ncols, idx % ncols, *v);
+            }
+        }
+        coo.to_csr()
+    })
+}
+
+/// Random SPD sparse matrix: tridiagonal-ish GMRF precision with random values.
+fn spd_sparse_strategy(n: usize) -> impl Strategy<Value = CsrMatrix> {
+    proptest::collection::vec(0.1f64..1.0, n).prop_map(move |off| {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            let mut d = 0.5;
+            if i + 1 < n {
+                coo.push(i, i + 1, -off[i]);
+                coo.push(i + 1, i, -off[i]);
+                d += off[i];
+            }
+            if i > 0 {
+                d += off[i - 1];
+            }
+            coo.push(i, i, d);
+        }
+        coo.to_csr()
+    })
+}
+
+fn permutation_strategy(n: usize) -> impl Strategy<Value = Permutation> {
+    Just(()).prop_perturb(move |_, mut rng| {
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (rng.next_u64() as usize) % (i + 1);
+            perm.swap(i, j);
+        }
+        Permutation::from_vec(perm)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn csr_dense_roundtrip(a in sparse_strategy(6, 8)) {
+        let d = a.to_dense();
+        let back = CsrMatrix::from_dense(&d, 0.0);
+        prop_assert!(back.to_dense().max_abs_diff(&d) < 1e-15);
+    }
+
+    #[test]
+    fn spmv_matches_dense(a in sparse_strategy(7, 5), x in proptest::collection::vec(-1.0f64..1.0, 5)) {
+        let y = a.spmv(&x);
+        let yd = blas::matvec(&a.to_dense(), &x);
+        for (a, b) in y.iter().zip(&yd) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_involution(a in sparse_strategy(6, 9)) {
+        prop_assert!(a.transpose().transpose().to_dense().max_abs_diff(&a.to_dense()) < 1e-15);
+    }
+
+    #[test]
+    fn spgemm_matches_dense(a in sparse_strategy(5, 4), b in sparse_strategy(4, 6)) {
+        let c = ops::spgemm(&a, &b);
+        let expected = blas::matmul(&a.to_dense(), &b.to_dense());
+        prop_assert!(c.to_dense().max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn kron_mixed_product(a in sparse_strategy(3, 3), b in sparse_strategy(2, 2), c in sparse_strategy(3, 3), d in sparse_strategy(2, 2)) {
+        // (A ⊗ B)(C ⊗ D) == (AC) ⊗ (BD)
+        let lhs = ops::spgemm(&ops::kron(&a, &b), &ops::kron(&c, &d));
+        let rhs = ops::kron(&ops::spgemm(&a, &c), &ops::spgemm(&b, &d));
+        prop_assert!(lhs.to_dense().max_abs_diff(&rhs.to_dense()) < 1e-11);
+    }
+
+    #[test]
+    fn congruence_is_symmetric_psd(a in sparse_strategy(6, 4), d in proptest::collection::vec(0.01f64..2.0, 6)) {
+        let c = ops::congruence_diag(&a, &d);
+        prop_assert!(c.is_symmetric(1e-12));
+        // x' C x >= 0 for a few vectors.
+        for seed in 0..3u64 {
+            let x: Vec<f64> = (0..4).map(|i| ((i as f64 + 1.0) * (seed as f64 + 0.7)).sin()).collect();
+            prop_assert!(c.quadratic_form(&x) >= -1e-10);
+        }
+    }
+
+    #[test]
+    fn permutation_preserves_quadratic_form(a in spd_sparse_strategy(8), p in permutation_strategy(8), x in proptest::collection::vec(-1.0f64..1.0, 8)) {
+        // B[i, j] = A[perm[i], perm[j]], so xᵀ B x = yᵀ A y with y[perm[i]] = x[i].
+        let b = p.apply_sym(&a);
+        let y = p.apply_inv_vec(&x);
+        prop_assert!((b.quadratic_form(&x) - a.quadratic_form(&y)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn permutation_inverse_roundtrip(p in permutation_strategy(10), x in proptest::collection::vec(-5.0f64..5.0, 10)) {
+        let y = p.apply_vec(&x);
+        let back = p.apply_inv_vec(&y);
+        for (a, b) in back.iter().zip(&x) {
+            prop_assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn sparse_cholesky_logdet_and_solve(a in spd_sparse_strategy(10), xs in proptest::collection::vec(-1.0f64..1.0, 10)) {
+        let f = SparseCholesky::factor(&a).unwrap();
+        let dense = a.to_dense();
+        let ld = chol::logdet_from_cholesky(&chol::cholesky(&dense).unwrap());
+        prop_assert!((f.logdet() - ld).abs() < 1e-8 * (1.0 + ld.abs()));
+
+        let b = a.spmv(&xs);
+        let sol = f.solve(&b);
+        for (s, t) in sol.iter().zip(&xs) {
+            prop_assert!((s - t).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn sparse_cholesky_permutation_invariant_logdet(a in spd_sparse_strategy(9), p in permutation_strategy(9)) {
+        // log|PAPᵀ| == log|A|
+        let f1 = SparseCholesky::factor(&a).unwrap();
+        let f2 = SparseCholesky::factor(&p.apply_sym(&a)).unwrap();
+        prop_assert!((f1.logdet() - f2.logdet()).abs() < 1e-8 * (1.0 + f1.logdet().abs()));
+    }
+
+    #[test]
+    fn selected_inverse_diag_matches_dense(a in spd_sparse_strategy(8)) {
+        let f = SparseCholesky::factor(&a).unwrap();
+        let vars = f.marginal_variances();
+        let inv = chol::spd_inverse(&a.to_dense()).unwrap();
+        for i in 0..8 {
+            prop_assert!((vars[i] - inv[(i, i)]).abs() < 1e-8);
+        }
+    }
+}

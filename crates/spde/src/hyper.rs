@@ -1,0 +1,163 @@
+//! Hyperparameter parameterizations for the spatio-temporal SPDE model.
+//!
+//! Users think in *interpretable* parameters (marginal standard deviation σ,
+//! spatial range ρ_s, temporal range ρ_t); the SPDE operators are written in
+//! *internal* parameters (γ_e, γ_s, γ_t). The mapping below follows the
+//! DEMF(α_t=1, α_s=2, α_e=1) relations of the diffusion-based extension of
+//! Matérn fields (Lindgren et al., 2024) in spatial dimension d = 2:
+//!
+//! * ν_s = α − d/2 = 1 with α = α_e + α_s (α_t − 1/2) = 2,
+//! * ρ_s = √(8 ν_s) / γ_s,
+//! * ρ_t = γ_t √(8 (α_t − 1/2)) / γ_s^{α_s} = 2 γ_t / γ_s²,
+//! * σ² = Γ(α_t − 1/2) Γ(ν_s) / (Γ(α_t) Γ(α) (4π)^{(d+1)/2} γ_e² γ_t γ_s^{2 ν_s}).
+//!
+//! The optimizer works on the natural-logarithm scale of the interpretable
+//! parameters, which keeps the search space unconstrained.
+
+use std::f64::consts::PI;
+
+/// Interpretable hyperparameters of one univariate spatio-temporal process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StHyper {
+    /// Marginal standard deviation of the field.
+    pub sigma: f64,
+    /// Spatial correlation range.
+    pub range_s: f64,
+    /// Temporal correlation range.
+    pub range_t: f64,
+}
+
+/// Internal SPDE coefficients.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InternalHyper {
+    /// Variance-scaling coefficient γ_e.
+    pub gamma_e: f64,
+    /// Spatial scale coefficient γ_s.
+    pub gamma_s: f64,
+    /// Temporal scale coefficient γ_t.
+    pub gamma_t: f64,
+}
+
+impl StHyper {
+    /// Create a new set of interpretable hyperparameters (all must be > 0).
+    pub fn new(sigma: f64, range_s: f64, range_t: f64) -> Self {
+        assert!(sigma > 0.0 && range_s > 0.0 && range_t > 0.0, "hyperparameters must be positive");
+        Self { sigma, range_s, range_t }
+    }
+
+    /// Map to the internal SPDE coefficients.
+    pub fn to_internal(&self) -> InternalHyper {
+        let nu_s = 1.0_f64;
+        let gamma_s = (8.0 * nu_s).sqrt() / self.range_s;
+        let gamma_t = self.range_t * gamma_s * gamma_s / 2.0;
+        // σ² = c / (γ_e² γ_t γ_s²) with c = Γ(1/2) / ((4π)^{3/2}).
+        let c = PI.sqrt() / (4.0 * PI).powf(1.5);
+        let gamma_e = (c / (self.sigma * self.sigma * gamma_t * gamma_s * gamma_s)).sqrt();
+        InternalHyper { gamma_e, gamma_s, gamma_t }
+    }
+
+    /// Log-scale vector `[log σ, log ρ_s, log ρ_t]` used by the optimizer.
+    pub fn to_log_vec(&self) -> [f64; 3] {
+        [self.sigma.ln(), self.range_s.ln(), self.range_t.ln()]
+    }
+
+    /// Inverse of [`StHyper::to_log_vec`].
+    pub fn from_log_vec(v: &[f64]) -> Self {
+        assert!(v.len() >= 3, "need three log-hyperparameters");
+        Self::new(v[0].exp(), v[1].exp(), v[2].exp())
+    }
+}
+
+impl InternalHyper {
+    /// Map back to interpretable parameters (inverse of [`StHyper::to_internal`]).
+    pub fn to_interpretable(&self) -> StHyper {
+        let nu_s = 1.0_f64;
+        let range_s = (8.0 * nu_s).sqrt() / self.gamma_s;
+        let range_t = 2.0 * self.gamma_t / (self.gamma_s * self.gamma_s);
+        let c = PI.sqrt() / (4.0 * PI).powf(1.5);
+        let sigma2 = c / (self.gamma_e * self.gamma_e * self.gamma_t * self.gamma_s * self.gamma_s);
+        StHyper { sigma: sigma2.sqrt(), range_s, range_t }
+    }
+}
+
+/// Hyperparameters of a purely spatial Matérn field (α = 2, d = 2),
+/// used for spatial-only models and unit tests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpatialHyper {
+    /// Marginal standard deviation.
+    pub sigma: f64,
+    /// Spatial correlation range.
+    pub range_s: f64,
+}
+
+impl SpatialHyper {
+    /// Create a new spatial hyperparameter set.
+    pub fn new(sigma: f64, range_s: f64) -> Self {
+        assert!(sigma > 0.0 && range_s > 0.0);
+        Self { sigma, range_s }
+    }
+
+    /// κ (inverse-range) parameter: κ = √(8ν)/ρ with ν = 1.
+    pub fn kappa(&self) -> f64 {
+        (8.0_f64).sqrt() / self.range_s
+    }
+
+    /// Precision scaling τ such that the marginal variance of the α = 2
+    /// Whittle–Matérn field equals σ²: σ² = 1 / (4π κ² τ²).
+    pub fn tau(&self) -> f64 {
+        let kappa = self.kappa();
+        1.0 / (self.sigma * kappa * (4.0 * PI).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_interpretable_internal() {
+        let h = StHyper::new(1.5, 0.4, 2.0);
+        let back = h.to_internal().to_interpretable();
+        assert!((back.sigma - h.sigma).abs() < 1e-12);
+        assert!((back.range_s - h.range_s).abs() < 1e-12);
+        assert!((back.range_t - h.range_t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_vec_roundtrip() {
+        let h = StHyper::new(0.7, 1.3, 5.0);
+        let v = h.to_log_vec();
+        let back = StHyper::from_log_vec(&v);
+        assert!((back.sigma - h.sigma).abs() < 1e-12);
+        assert!((back.range_t - h.range_t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_relations() {
+        // Larger spatial range => smaller gamma_s.
+        let a = StHyper::new(1.0, 0.5, 1.0).to_internal();
+        let b = StHyper::new(1.0, 1.0, 1.0).to_internal();
+        assert!(b.gamma_s < a.gamma_s);
+        // Larger sigma => smaller gamma_e.
+        let c = StHyper::new(2.0, 0.5, 1.0).to_internal();
+        assert!(c.gamma_e < a.gamma_e);
+        // Larger temporal range => larger gamma_t (for fixed range_s).
+        let d = StHyper::new(1.0, 0.5, 2.0).to_internal();
+        assert!(d.gamma_t > a.gamma_t);
+    }
+
+    #[test]
+    fn positivity_enforced() {
+        let result = std::panic::catch_unwind(|| StHyper::new(-1.0, 1.0, 1.0));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn spatial_hyper_kappa_tau() {
+        let h = SpatialHyper::new(1.0, 2.0);
+        assert!((h.kappa() - (8.0_f64).sqrt() / 2.0).abs() < 1e-14);
+        // σ² = 1 / (4π κ² τ²) must hold.
+        let sigma2 = 1.0 / (4.0 * PI * h.kappa().powi(2) * h.tau().powi(2));
+        assert!((sigma2 - 1.0).abs() < 1e-12);
+    }
+}

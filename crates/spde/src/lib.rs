@@ -1,0 +1,18 @@
+//! # dalia-spde — SPDE precision matrices for spatial and spatio-temporal GPs
+//!
+//! Implements the stochastic partial differential equation (SPDE)
+//! representation of Gaussian fields used by the paper:
+//!
+//! * [`hyper`] — interpretable ↔ internal hyperparameter mappings
+//!   (DEMF(1,2,1) relations),
+//! * [`spatial`] — Whittle–Matérn spatial precision operators `q1, q2, q3`,
+//! * [`spatio_temporal`] — the block-tridiagonal spatio-temporal precision
+//!   `Q_st = γ_e²(γ_t² M2⊗q1 + 2γ_t M1⊗q2 + M0⊗q3)`.
+
+pub mod hyper;
+pub mod spatial;
+pub mod spatio_temporal;
+
+pub use hyper::{InternalHyper, SpatialHyper, StHyper};
+pub use spatial::SpatialSpde;
+pub use spatio_temporal::SpatioTemporalSpde;

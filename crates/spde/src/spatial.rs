@@ -1,0 +1,177 @@
+//! Purely spatial Whittle–Matérn SPDE precision matrices (α = 2).
+//!
+//! The SPDE `(κ² − Δ) u = W` discretized with P1 finite elements yields the
+//! GMRF precision `Q = τ² (κ⁴ C + 2 κ² G + G C̃⁻¹ G)` where `C̃` is the lumped
+//! mass matrix (Lindgren, Rue & Lindström 2011). These operators are also the
+//! spatial building blocks `q1, q2, q3` of the spatio-temporal precision.
+
+use crate::hyper::SpatialHyper;
+use dalia_mesh::{lumped_mass_diag, mass_matrix, stiffness_matrix, TriangleMesh};
+use dalia_sparse::{ops, CsrMatrix};
+
+/// Precomputed FEM operators of a spatial mesh, reused across hyperparameter
+/// configurations (only the scalar combination coefficients change).
+#[derive(Clone, Debug)]
+pub struct SpatialSpde {
+    /// Consistent mass matrix `C`.
+    pub c: CsrMatrix,
+    /// Lumped mass diagonal `c̃`.
+    pub c_lumped: Vec<f64>,
+    /// Stiffness matrix `G`.
+    pub g: CsrMatrix,
+    /// `G C̃⁻¹ G`.
+    pub g2: CsrMatrix,
+    /// `G C̃⁻¹ G C̃⁻¹ G`.
+    pub g3: CsrMatrix,
+    /// Number of mesh nodes.
+    pub n_nodes: usize,
+}
+
+impl SpatialSpde {
+    /// Assemble the FEM operators of `mesh`.
+    pub fn new(mesh: &TriangleMesh) -> Self {
+        let c = mass_matrix(mesh);
+        let c_lumped = lumped_mass_diag(mesh);
+        let g = stiffness_matrix(mesh);
+        let cinv: Vec<f64> = c_lumped.iter().map(|&d| 1.0 / d).collect();
+        let cinv_mat = CsrMatrix::from_diag(&cinv);
+        let g_cinv = ops::spgemm(&g, &cinv_mat);
+        let g2 = ops::spgemm(&g_cinv, &g);
+        let g3 = ops::spgemm(&g_cinv, &g2);
+        let n_nodes = mesh.n_nodes();
+        Self { c, c_lumped, g, g2, g3, n_nodes }
+    }
+
+    /// First-order spatial operator `q1(γ_s) = γ_s² C + G`
+    /// (uses the lumped mass for consistency with the higher orders).
+    pub fn q1(&self, gamma_s: f64) -> CsrMatrix {
+        let c_lumped = CsrMatrix::from_diag(&self.c_lumped);
+        ops::add(gamma_s * gamma_s, &c_lumped, 1.0, &self.g)
+    }
+
+    /// Second-order spatial operator
+    /// `q2(γ_s) = γ_s⁴ C + 2 γ_s² G + G C̃⁻¹ G`.
+    pub fn q2(&self, gamma_s: f64) -> CsrMatrix {
+        let c_lumped = CsrMatrix::from_diag(&self.c_lumped);
+        let g2 = gamma_s * gamma_s;
+        ops::linear_combination(&[(g2 * g2, &c_lumped), (2.0 * g2, &self.g), (1.0, &self.g2)])
+    }
+
+    /// Third-order spatial operator
+    /// `q3(γ_s) = γ_s⁶ C + 3 γ_s⁴ G + 3 γ_s² G C̃⁻¹ G + G C̃⁻¹ G C̃⁻¹ G`.
+    pub fn q3(&self, gamma_s: f64) -> CsrMatrix {
+        let c_lumped = CsrMatrix::from_diag(&self.c_lumped);
+        let g2 = gamma_s * gamma_s;
+        ops::linear_combination(&[
+            (g2 * g2 * g2, &c_lumped),
+            (3.0 * g2 * g2, &self.g),
+            (3.0 * g2, &self.g2),
+            (1.0, &self.g3),
+        ])
+    }
+
+    /// Precision matrix of a spatial Matérn field (α = 2):
+    /// `Q = τ² q2(κ)`.
+    pub fn precision(&self, hyper: &SpatialHyper) -> CsrMatrix {
+        let tau = hyper.tau();
+        self.q2(hyper.kappa()).scaled(tau * tau)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalia_mesh::Domain;
+    use dalia_sparse::SparseCholesky;
+
+    fn spde() -> SpatialSpde {
+        let mesh = TriangleMesh::structured(Domain::unit_square(), 7, 7);
+        SpatialSpde::new(&mesh)
+    }
+
+    #[test]
+    fn operators_are_symmetric() {
+        let s = spde();
+        assert!(s.c.is_symmetric(1e-12));
+        assert!(s.g.is_symmetric(1e-12));
+        assert!(s.g2.is_symmetric(1e-10));
+        assert!(s.g3.is_symmetric(1e-10));
+        assert!(s.q1(2.0).is_symmetric(1e-10));
+        assert!(s.q2(2.0).is_symmetric(1e-10));
+        assert!(s.q3(2.0).is_symmetric(1e-10));
+    }
+
+    #[test]
+    fn precision_is_positive_definite() {
+        let s = spde();
+        let q = s.precision(&SpatialHyper::new(1.0, 0.4));
+        assert!(SparseCholesky::factor(&q).is_ok());
+    }
+
+    #[test]
+    fn q_operators_are_positive_definite() {
+        let s = spde();
+        for gs in [0.5, 2.0, 8.0] {
+            assert!(SparseCholesky::factor(&s.q1(gs)).is_ok());
+            assert!(SparseCholesky::factor(&s.q2(gs)).is_ok());
+            assert!(SparseCholesky::factor(&s.q3(gs)).is_ok());
+        }
+    }
+
+    #[test]
+    fn larger_range_gives_higher_correlation() {
+        // Larger spatial range (smoother field) increases the correlation
+        // between two neighbouring interior nodes.
+        let s = spde();
+        let corr = |range: f64| {
+            let q = s.precision(&SpatialHyper::new(1.0, range));
+            let cov = dalia_la::chol::spd_inverse(&q.to_dense()).unwrap();
+            // Nodes 24 and 25 are adjacent interior nodes of the 7x7 grid.
+            cov[(24, 25)] / (cov[(24, 24)] * cov[(25, 25)]).sqrt()
+        };
+        let c_short = corr(0.2);
+        let c_long = corr(0.8);
+        assert!(c_long > c_short, "correlation should grow with range ({c_short} vs {c_long})");
+        assert!(c_long > 0.5);
+    }
+
+    #[test]
+    fn marginal_variance_roughly_matches_sigma() {
+        // On a mesh with generous boundary margin, the central-node marginal
+        // variance should be within a factor ~2 of σ² (boundary effects make
+        // the match approximate).
+        let domain = Domain { x0: -2.0, x1: 3.0, y0: -2.0, y1: 3.0 };
+        let mesh = TriangleMesh::structured(domain, 21, 21);
+        let s = SpatialSpde::new(&mesh);
+        let sigma = 1.0;
+        let q = s.precision(&SpatialHyper::new(sigma, 0.6));
+        let f = SparseCholesky::factor(&q).unwrap();
+        let vars = f.marginal_variances();
+        // Pick the node closest to the domain center.
+        let center = mesh
+            .vertices
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let da = (a.x - 0.5).powi(2) + (a.y - 0.5).powi(2);
+                let db = (b.x - 0.5).powi(2) + (b.y - 0.5).powi(2);
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap()
+            .0;
+        let v = vars[center];
+        assert!(v > 0.3 && v < 3.0, "central marginal variance {v} too far from 1");
+    }
+
+    #[test]
+    fn scaling_with_tau_is_quadratic() {
+        let s = spde();
+        let h1 = SpatialHyper::new(1.0, 0.4);
+        let h2 = SpatialHyper::new(2.0, 0.4);
+        let q1 = s.precision(&h1);
+        let q2 = s.precision(&h2);
+        // Doubling sigma divides the precision by 4.
+        let ratio = q1.get(0, 0) / q2.get(0, 0);
+        assert!((ratio - 4.0).abs() < 1e-10);
+    }
+}

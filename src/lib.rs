@@ -1,0 +1,72 @@
+//! # dalia — accelerated spatio-temporal Bayesian modeling for multivariate GPs
+//!
+//! Umbrella crate of the DALIA-RS workspace: it re-exports the public API of
+//! every sub-crate so that downstream users (and the examples in `examples/`)
+//! can depend on a single crate.
+//!
+//! The workspace reproduces the system described in *"Accelerated
+//! Spatio-Temporal Bayesian Modeling for Multivariate Gaussian Processes"*
+//! (SC 2025): integrated nested Laplace approximations (INLA) for multivariate
+//! spatio-temporal Gaussian processes built on a block-tridiagonal-arrowhead
+//! (BTA) structured solver with a three-layer nested parallelization scheme.
+//!
+//! ```
+//! use dalia::prelude::*;
+//!
+//! // Build a tiny univariate spatio-temporal model and evaluate the INLA
+//! // objective once.
+//! let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+//! let obs = vec![Observation {
+//!     var: 0,
+//!     t: 0,
+//!     loc: Point::new(0.4, 0.6),
+//!     covariates: vec![1.0],
+//!     value: 0.3,
+//! }];
+//! let model = CoregionalModel::new(&mesh, 2, 1.0, 1, 1, obs).unwrap();
+//! let theta0 = ModelHyper::default_for(1, 0.5, 2.0).to_theta();
+//! let engine = InlaEngine::new(&model, &theta0, InlaSettings::dalia(1));
+//! assert!(engine.objective(&theta0).unwrap().is_finite());
+//! ```
+
+pub use dalia_core as core;
+pub use dalia_data as data;
+pub use dalia_hpc as hpc;
+pub use dalia_la as la;
+pub use dalia_mesh as mesh;
+pub use dalia_model as model;
+pub use dalia_sparse as sparse;
+pub use dalia_spde as spde;
+pub use serinv;
+
+/// Convenience prelude bringing the most commonly used types into scope.
+pub mod prelude {
+    pub use dalia_core::{
+        evaluate_fobj, predict, response_correlations, InlaEngine, InlaResult, InlaSettings,
+        SolverBackend,
+    };
+    pub use dalia_data::{
+        generate_pollution_dataset, generate_univariate_dataset, observation_grid, DatasetConfig,
+    };
+    pub use dalia_hpc::{dalia_iteration_time, gh200, rinla_iteration_time, ModelDims as PerfModelDims};
+    pub use dalia_la::Matrix;
+    pub use dalia_mesh::{Domain, Point, TriangleMesh};
+    pub use dalia_model::{
+        CoregionalModel, ModelHyper, Observation, PredictionTarget, ThetaPrior,
+    };
+    pub use dalia_sparse::{CooMatrix, CsrMatrix, Permutation, SparseCholesky};
+    pub use dalia_spde::{SpatialSpde, SpatioTemporalSpde, StHyper};
+    pub use serinv::{d_pobtaf, d_pobtas, d_pobtasi, pobtaf, pobtas, pobtasi, BtaMatrix, Partitioning};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let m = Matrix::identity(2);
+        assert_eq!(m.trace(), 2.0);
+        let d = Domain::unit_square();
+        assert!(d.contains(&Point::new(0.5, 0.5)));
+    }
+}

@@ -1,0 +1,92 @@
+//! End-to-end integration tests: simulate data, run the full INLA pipeline and
+//! check that the different solver backends and parallelization levels agree
+//! and that known quantities are recovered.
+
+use dalia::prelude::*;
+
+fn univariate_setup() -> (CoregionalModel, Vec<f64>, f64) {
+    let domain = Domain::unit_square();
+    let beta_true = 1.5;
+    let (obs, _) = generate_univariate_dataset(&domain, 25, 3, beta_true, 13);
+    let mesh = TriangleMesh::structured(domain, 5, 5);
+    let model = CoregionalModel::new(&mesh, 3, 1.0, 1, 1, obs).unwrap();
+    let theta0 = ModelHyper::default_for(1, 0.4, 3.0).to_theta();
+    (model, theta0, beta_true)
+}
+
+#[test]
+fn objective_agrees_across_backends_and_partitions() {
+    let (model, theta0, _) = univariate_setup();
+    let prior = ThetaPrior::weakly_informative(&theta0, 3.0);
+    let f_bta = evaluate_fobj(&model, &prior, &theta0, &InlaSettings::dalia(1)).unwrap();
+    let f_dist = evaluate_fobj(&model, &prior, &theta0, &InlaSettings::dalia(3)).unwrap();
+    let f_sparse = evaluate_fobj(&model, &prior, &theta0, &InlaSettings::rinla_like()).unwrap();
+    let scale = 1.0 + f_bta.value.abs();
+    assert!((f_bta.value - f_dist.value).abs() < 1e-7 * scale);
+    assert!((f_bta.value - f_sparse.value).abs() < 1e-6 * scale);
+    // Conditional means agree as well.
+    for (a, b) in f_bta.mean.iter().zip(&f_sparse.mean) {
+        assert!((a - b).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn full_pipeline_recovers_fixed_effect_and_noise() {
+    let (model, theta0, beta_true) = univariate_setup();
+    let mut settings = InlaSettings::dalia(1);
+    settings.max_iter = 6;
+    let engine = InlaEngine::new(&model, &theta0, settings);
+    let result = engine.run(&theta0).unwrap();
+
+    // Fixed effect is identified because the covariate varies independently of
+    // space and time in the simulator.
+    let fx = &result.fixed_effects[0];
+    assert!(
+        (fx.mean - beta_true).abs() < 0.5,
+        "fixed effect {} not close to the true {}",
+        fx.mean,
+        beta_true
+    );
+    assert!(fx.q025 < fx.mean && fx.mean < fx.q975);
+
+    // Noise standard deviation should land in the right order of magnitude
+    // (simulated with sd ~ 0.14).
+    let noise_sd = 1.0 / result.hyper_mode.noise_prec[0].sqrt();
+    assert!(noise_sd > 0.01 && noise_sd < 1.0, "noise sd estimate {noise_sd}");
+
+    // Hyperparameter uncertainties are finite and positive.
+    assert!(result.hyper.sd.iter().all(|s| s.is_finite() && *s > 0.0));
+}
+
+#[test]
+fn latent_uncertainty_is_smaller_near_observations() {
+    let (model, theta0, _) = univariate_setup();
+    let mut settings = InlaSettings::dalia(2);
+    settings.max_iter = 3;
+    let engine = InlaEngine::new(&model, &theta0, settings);
+    let result = engine.run(&theta0).unwrap();
+    // Average posterior sd of the spatio-temporal field must be below the
+    // prior marginal sd of ~1 (the data are informative).
+    let b = model.dims.block_size();
+    let nt = model.dims.nt;
+    let avg_sd: f64 = result.latent.sd[..b * nt].iter().sum::<f64>() / (b * nt) as f64;
+    assert!(avg_sd < 1.0, "posterior sd {avg_sd} not reduced below the prior scale");
+}
+
+#[test]
+fn prediction_pipeline_produces_finite_surfaces() {
+    let (model, theta0, _) = univariate_setup();
+    let mut settings = InlaSettings::dalia(1);
+    settings.max_iter = 2;
+    let engine = InlaEngine::new(&model, &theta0, settings);
+    let result = engine.run(&theta0).unwrap();
+    let grid = observation_grid(&Domain::unit_square(), 9, 9);
+    let targets: Vec<PredictionTarget> = grid
+        .iter()
+        .map(|p| PredictionTarget { var: 0, t: 1, loc: *p, covariates: vec![0.0] })
+        .collect();
+    let pred = predict(&model, &result.hyper_mode, &result.latent, &targets).unwrap();
+    assert_eq!(pred.mean.len(), 81);
+    assert!(pred.mean.iter().all(|v| v.is_finite()));
+    assert!(pred.sd.iter().all(|v| v.is_finite() && *v >= 0.0));
+}

@@ -1,0 +1,102 @@
+//! Integration tests of the trivariate coregional (LMC) pipeline: the joint
+//! precision construction, the permuted BTA path and the recovery of the
+//! coupling structure planted by the synthetic pollution generator.
+
+use dalia::prelude::*;
+
+fn trivariate_setup() -> (CoregionalModel, ModelHyper, dalia::data::GroundTruth) {
+    let domain = Domain::northern_italy_like();
+    let coarse = observation_grid(&domain, 7, 4);
+    let (obs, truth) = generate_pollution_dataset(&domain, &coarse, 4, 21);
+    let mesh = TriangleMesh::with_approx_nodes(domain, 48);
+    let model = CoregionalModel::new(&mesh, 4, 1.0, 3, 2, obs).unwrap();
+    let mut hyper0 = ModelHyper::default_for(3, 0.3 * domain.width(), 4.0);
+    hyper0.lambdas = vec![0.8, -0.3, -0.2];
+    (model, hyper0, truth)
+}
+
+#[test]
+fn trivariate_objective_runs_on_all_backends() {
+    let (model, hyper0, _) = trivariate_setup();
+    let theta0 = hyper0.to_theta();
+    assert_eq!(theta0.len(), 15, "trivariate model must have 15 hyperparameters");
+    let prior = ThetaPrior::weakly_informative(&theta0, 3.0);
+    let bta = evaluate_fobj(&model, &prior, &theta0, &InlaSettings::dalia(1)).unwrap();
+    let dist = evaluate_fobj(&model, &prior, &theta0, &InlaSettings::dalia(2)).unwrap();
+    let sparse = evaluate_fobj(&model, &prior, &theta0, &InlaSettings::rinla_like()).unwrap();
+    let scale = 1.0 + bta.value.abs();
+    assert!((bta.value - dist.value).abs() < 1e-7 * scale);
+    assert!((bta.value - sparse.value).abs() < 1e-6 * scale);
+}
+
+#[test]
+fn conditional_mean_recovers_elevation_effect_signs() {
+    // At the generating hyperparameters the conditional mean should attribute
+    // negative elevation effects to the PM-like variables and a positive one
+    // to the O3-like variable (the paper's Sec. VI finding).
+    let (model, _, truth) = trivariate_setup();
+    let prior = ThetaPrior::weakly_informative(&truth.hyper.to_theta(), 3.0);
+    let res = evaluate_fobj(&model, &prior, &truth.hyper.to_theta(), &InlaSettings::dalia(1)).unwrap();
+    let beta = |process: usize| res.mean[model.fixed_effect_index(process, 1)];
+    assert!(beta(0) < 0.0, "PM2.5 elevation effect should be negative, got {}", beta(0));
+    assert!(beta(1) < 0.0, "PM10 elevation effect should be negative, got {}", beta(1));
+    assert!(beta(2) > 0.0, "O3 elevation effect should be positive, got {}", beta(2));
+    // Magnitudes within a factor ~3 of the planted values.
+    assert!((beta(0) - truth.elevation_effects[0]).abs() < 1.0);
+    assert!((beta(2) - truth.elevation_effects[2]).abs() < 2.0);
+}
+
+#[test]
+fn coregional_correlation_structure_from_generating_lambda() {
+    let (_, _, truth) = trivariate_setup();
+    let corr = response_correlations(&truth.hyper);
+    // The generator plants a strong positive PM2.5-PM10 correlation and
+    // negative correlations with O3 — the structure reported in the paper
+    // (0.97, -0.61, -0.63).
+    assert!(corr[(1, 0)] > 0.6);
+    assert!(corr[(2, 0)] < -0.1);
+    assert!(corr[(2, 1)] < -0.1);
+}
+
+#[test]
+fn joint_bta_assembly_is_consistent_for_the_trivariate_model() {
+    let (model, hyper0, _) = trivariate_setup();
+    // BTA assembly and CSR+permutation assembly must agree (two independent
+    // implementations of Eq. 11 + the Fig. 2c reordering).
+    let bta = model.assemble_qp_bta(&hyper0);
+    let csr = model.assemble_qp_csr(&hyper0, true);
+    let diff = bta.to_dense().max_abs_diff(&csr.to_dense());
+    assert!(diff < 1e-8, "joint precision assembly mismatch: {diff}");
+    // The permuted matrix must be factorizable by the structured solver.
+    assert!(pobtaf(&bta).is_ok());
+}
+
+#[test]
+fn downscaling_produces_denser_surface_than_input() {
+    let (model, hyper0, _) = trivariate_setup();
+    let theta0 = hyper0.to_theta();
+    let prior = ThetaPrior::weakly_informative(&theta0, 3.0);
+    let res = evaluate_fobj(&model, &prior, &theta0, &InlaSettings::dalia(1)).unwrap();
+    let marginals = dalia::core::LatentMarginals {
+        sd: vec![0.1; res.mean.len()],
+        mean: res.mean.clone(),
+    };
+    let domain = Domain::northern_italy_like();
+    let fine = observation_grid(&domain, 21, 12);
+    let targets: Vec<PredictionTarget> = fine
+        .iter()
+        .map(|p| PredictionTarget {
+            var: 2,
+            t: 1,
+            loc: *p,
+            covariates: vec![1.0, dalia::data::elevation_km(&domain, p)],
+        })
+        .collect();
+    let pred = predict(&model, &hyper0, &marginals, &targets).unwrap();
+    assert_eq!(pred.mean.len(), 252);
+    assert!(pred.mean.iter().all(|v| v.is_finite()));
+    // The downscaled surface must show spatial variation (not a constant).
+    let mean = pred.mean.iter().sum::<f64>() / pred.mean.len() as f64;
+    let var = pred.mean.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / pred.mean.len() as f64;
+    assert!(var > 1e-6, "downscaled surface is flat");
+}

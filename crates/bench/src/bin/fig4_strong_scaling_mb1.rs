@@ -33,7 +33,7 @@ fn main() {
     let rinla = rinla_iteration_time(&dims, 9, &xeon_fritz());
     println!("  R-INLA reference (Fritz, 9x8 threads): {:9.1} s/iter", rinla.total);
     println!("{}", row(&["GPUs", "DALIA s/iter", "INLA_DIST s/iter", "DALIA speedup vs R-INLA", "vs INLA_DIST"]
-        .map(String::from).to_vec()));
+        .map(String::from)));
     for gpus in [1usize, 2, 4, 9, 18] {
         let d = dalia_iteration_time(&dims, gpus, &hw);
         let i = inladist_iteration_time(&dims, gpus, &hw);

@@ -15,7 +15,7 @@ fn main() {
     // ----- Measured (scaled-down, partitions executed on Rayon threads) -----
     println!("\n[measured] scaled-down blocks (b=48, a=6, 12 steps/partition), seconds:");
     println!("{}", row(&["P", "pobtaf", "pobtas", "pobtasi", "d_pobtaf", "d_pobtas", "d_pobtasi"]
-        .map(String::from).to_vec()));
+        .map(String::from)));
     for p in [1usize, 2, 4] {
         let n = 12 * p;
         let m = testing::test_matrix(n, 48, 6, 3);
@@ -58,7 +58,7 @@ fn main() {
     for lb in [1.0f64, 1.6] {
         println!("\n[modeled] weak-scaling parallel efficiency on GH200, load balance = {lb}:");
         println!("{}", row(&["GPUs", "factorization", "selected inv.", "triangular solve"]
-            .map(String::from).to_vec()));
+            .map(String::from)));
         for p in [1usize, 2, 4, 8, 16] {
             let d = BtaDims { n: 128 * p, b: 1675, a: 6 };
             let ef = weak_efficiency(t1_f, d_bta_factor_time(&d, p, lb, &hw));

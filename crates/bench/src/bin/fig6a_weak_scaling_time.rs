@@ -12,7 +12,7 @@ fn main() {
 
     // ----- Measured (scaled-down) -----
     println!("\n[measured] scaled-down WA1 (ns~40), seconds per BFGS iteration:");
-    println!("{}", row(&["nt", "DALIA s/iter", "solver share"].map(String::from).to_vec()));
+    println!("{}", row(&["nt", "DALIA s/iter", "solver share"].map(String::from)));
     for nt in [2usize, 4, 8] {
         let inst = build_instance(&cfg, 40, nt, 6);
         let engine = InlaEngine::new(&inst.model, &inst.theta0, InlaSettings::dalia(1));
@@ -27,7 +27,7 @@ fn main() {
     // ----- Modeled at paper scale -----
     println!("\n[modeled] paper-scale WA1 on GH200 (weak scaling: nt grows with devices):");
     println!("{}", row(&["nt", "GPUs", "DALIA s/iter", "R-INLA s/iter", "speedup", "solver share"]
-        .map(String::from).to_vec()));
+        .map(String::from)));
     let hw = gh200();
     let cpu = xeon_fritz();
     let series = [

@@ -15,7 +15,7 @@ fn main() {
 
     // ----- Fig. 6c: the mesh refinement ladder -----
     println!("\n[Fig. 6c] mesh refinement ladder over the northern-Italy-like domain:");
-    println!("{}", row(&["target nodes", "mesh nodes", "triangles"].map(String::from).to_vec()));
+    println!("{}", row(&["target nodes", "mesh nodes", "triangles"].map(String::from)));
     for target in wa2_mesh_ladder() {
         let mesh = TriangleMesh::with_approx_nodes(Domain::northern_italy_like(), target);
         println!("{}", row(&[
@@ -27,7 +27,7 @@ fn main() {
 
     // ----- Measured (scaled-down ladder) -----
     println!("\n[measured] scaled-down ladder (nt=3), seconds per BFGS iteration:");
-    println!("{}", row(&["ns (approx)", "DALIA s/iter", "solver share"].map(String::from).to_vec()));
+    println!("{}", row(&["ns (approx)", "DALIA s/iter", "solver share"].map(String::from)));
     for ns in [24usize, 48, 96] {
         let inst = build_instance(&cfg, ns, 3, 8);
         let engine = InlaEngine::new(&inst.model, &inst.theta0, InlaSettings::dalia(1));
@@ -42,7 +42,7 @@ fn main() {
     // ----- Modeled at paper scale -----
     println!("\n[modeled] paper-scale WA2 on GH200 (mesh refinement with growing device counts):");
     println!("{}", row(&["ns", "GPUs", "allocation S1xS2xS3", "DALIA s/iter", "speedup vs R-INLA", "parallel eff."]
-        .map(String::from).to_vec()));
+        .map(String::from)));
     let hw = gh200();
     let cpu = xeon_fritz();
     let ladder = wa2_mesh_ladder();

@@ -32,7 +32,7 @@ fn main() {
     let rinla = rinla_iteration_time(&dims, 8, &xeon_fritz());
     println!("  R-INLA reference (Fritz): {:.0} s/iter (paper: > 40 min/iter)", rinla.total);
     println!("{}", row(&["GPUs", "allocation", "s/iter", "parallel eff.", "speedup vs R-INLA"]
-        .map(String::from).to_vec()));
+        .map(String::from)));
     let t1 = dalia_iteration_time(&dims, 1, &hw).total;
     for gpus in [1usize, 2, 4, 8, 16, 31, 62, 124, 248, 496] {
         let d = dalia_iteration_time(&dims, gpus, &hw);

@@ -5,7 +5,7 @@ use dalia_bench::{header, row};
 fn main() {
     header("Table I", "feature comparison of the INLA implementations");
     for r in dalia_core::feature_table() {
-        println!("{}", row(&r.to_vec()));
+        println!("{}", row(&r));
     }
     println!();
     println!("DALIA-RS implements all three configurations as engine presets:");

@@ -8,8 +8,7 @@ fn main() {
     println!(
         "{}",
         row(&["name", "dim(theta)/nv", "ns/nr", "nt", "N (latent dim)", "role"]
-            .map(String::from)
-            .to_vec())
+            .map(String::from))
     );
     for c in all_configs() {
         let nt_str = if c.nt == c.nt_max {

@@ -8,10 +8,11 @@
 //! API, and the recorded message counts/volumes feed the cluster performance
 //! model in [`crate::perfmodel`].
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Aggregate communication statistics of one SPMD execution.
 #[derive(Debug, Default)]
@@ -34,14 +35,35 @@ impl TrafficStats {
     }
 }
 
+/// One point-to-point mailbox: payloads from one rank to another.
+type Mailbox = (Sender<Vec<f64>>, Receiver<Vec<f64>>);
+
+/// Capacity of each point-to-point mailbox for a communicator of `size`
+/// ranks (shared with the teardown tests, which must be able to fill one).
+pub fn mailbox_capacity(size: usize) -> usize {
+    size * 4 + 16
+}
+
+/// Sentinel unwind payload for ranks aborting because a peer panicked.
+/// Raised via `resume_unwind`, which skips the default panic hook, so one
+/// root-cause panic does not bury stderr under N-1 secondary dumps.
+struct PoisonAbort;
+
+fn poison_abort() -> ! {
+    std::panic::resume_unwind(Box::new(PoisonAbort))
+}
+
 /// Shared state backing a communicator of `size` ranks.
 struct CommShared {
     size: usize,
     /// Mailboxes `mailbox[to][from]`.
-    mailboxes: Vec<Vec<(Sender<Vec<f64>>, Receiver<Vec<f64>>)>>,
+    mailboxes: Vec<Vec<Mailbox>>,
     /// Scratch buffer used by the collectives.
     reduce_buf: Mutex<Vec<Vec<f64>>>,
     traffic: TrafficStats,
+    /// Set when any rank panics, so peers blocked in a collective or `recv`
+    /// abort instead of deadlocking on a message that will never arrive.
+    poisoned: AtomicBool,
 }
 
 /// Handle owned by one rank of an SPMD execution.
@@ -62,15 +84,51 @@ impl Communicator {
     }
 
     /// Point-to-point send of a vector of `f64` to `dest`.
+    ///
+    /// Panics if the communicator is poisoned (a peer rank panicked), so a
+    /// sender facing a full mailbox of a dead peer aborts instead of
+    /// deadlocking.
     pub fn send(&self, dest: usize, data: Vec<f64>) {
         let bytes = (data.len() * 8) as u64;
         self.shared.traffic.record(1, bytes);
-        self.shared.mailboxes[dest][self.rank].0.send(data).expect("receiver dropped");
+        self.send_raw(dest, data);
+    }
+
+    /// Timed-send loop with poison checks shared by `send` and the barrier.
+    fn send_raw(&self, dest: usize, data: Vec<f64>) {
+        let sender = &self.shared.mailboxes[dest][self.rank].0;
+        let mut payload = data;
+        loop {
+            match sender.send_timeout(payload, Duration::from_millis(50)) {
+                Ok(()) => return,
+                Err(SendTimeoutError::Timeout(v)) => {
+                    if self.shared.poisoned.load(Ordering::Relaxed) {
+                        poison_abort();
+                    }
+                    payload = v;
+                }
+                Err(SendTimeoutError::Disconnected(_)) => panic!("receiver dropped"),
+            }
+        }
     }
 
     /// Blocking receive from `src`.
+    ///
+    /// Panics if the communicator is poisoned (a peer rank panicked) so the
+    /// SPMD execution tears down instead of deadlocking.
     pub fn recv(&self, src: usize) -> Vec<f64> {
-        self.shared.mailboxes[self.rank][src].1.recv().expect("sender dropped")
+        let mailbox = &self.shared.mailboxes[self.rank][src].1;
+        loop {
+            match mailbox.recv_timeout(Duration::from_millis(50)) {
+                Ok(data) => return data,
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.shared.poisoned.load(Ordering::Relaxed) {
+                        poison_abort();
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => panic!("sender dropped"),
+            }
+        }
     }
 
     /// Barrier across all ranks (implemented as an all-reduce of nothing).
@@ -159,10 +217,10 @@ impl Communicator {
                 let _ = self.recv(src);
             }
             for dest in 1..size {
-                self.shared.mailboxes[dest][0].0.send(Vec::new()).unwrap();
+                self.send_raw(dest, Vec::new());
             }
         } else {
-            self.shared.mailboxes[0][self.rank].0.send(Vec::new()).unwrap();
+            self.send_raw(0, Vec::new());
             let _ = self.recv(0);
         }
     }
@@ -176,31 +234,54 @@ where
     F: Fn(&Communicator) -> T + Sync,
 {
     assert!(size >= 1, "need at least one rank");
-    let mailboxes: Vec<Vec<(Sender<Vec<f64>>, Receiver<Vec<f64>>)>> = (0..size)
-        .map(|_| (0..size).map(|_| bounded(size * 4 + 16)).collect())
+    let mailboxes: Vec<Vec<Mailbox>> = (0..size)
+        .map(|_| (0..size).map(|_| bounded(mailbox_capacity(size))).collect())
         .collect();
     let shared = Arc::new(CommShared {
         size,
         mailboxes,
         reduce_buf: Mutex::new(Vec::new()),
         traffic: TrafficStats::default(),
+        poisoned: AtomicBool::new(false),
     });
 
     let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
+    // Catch per-rank panics and poison the communicator so peers blocked in
+    // `recv` abort rather than deadlock, then re-raise the first panic once
+    // every rank has wound down.
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (rank, slot) in results.iter_mut().enumerate() {
             let shared = Arc::clone(&shared);
             let f = &f;
+            let first_panic = &first_panic;
             handles.push(scope.spawn(move || {
-                let comm = Communicator { rank, shared };
-                *slot = Some(f(&comm));
+                let comm = Communicator { rank, shared: Arc::clone(&shared) };
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm))) {
+                    Ok(value) => *slot = Some(value),
+                    Err(payload) => {
+                        // Record the payload BEFORE publishing the poison
+                        // flag so the root cause wins the first_panic slot;
+                        // survivors' sentinel aborts are never recorded.
+                        if payload.downcast_ref::<PoisonAbort>().is_none() {
+                            let mut first = first_panic.lock();
+                            if first.is_none() {
+                                *first = Some(payload);
+                            }
+                        }
+                        shared.poisoned.store(true, Ordering::Relaxed);
+                    }
+                }
             }));
         }
         for h in handles {
-            h.join().expect("SPMD rank panicked");
+            h.join().expect("SPMD rank thread crashed outside the panic guard");
         }
     });
+    if let Some(payload) = first_panic.into_inner() {
+        std::panic::resume_unwind(payload);
+    }
     let traffic = shared.traffic.snapshot();
     (results.into_iter().map(|r| r.unwrap()).collect(), traffic)
 }
@@ -269,6 +350,47 @@ mod tests {
             comm.all_reduce_sum(&[5.0])
         });
         assert_eq!(results[0], vec![5.0]);
+    }
+
+    #[test]
+    fn rank_panic_propagates_instead_of_hanging() {
+        // Rank 1 panics while the others are blocked in a collective; without
+        // poisoning this would deadlock forever.
+        let result = std::panic::catch_unwind(|| {
+            run_spmd(3, |comm| {
+                if comm.rank() == 1 {
+                    panic!("rank 1 exploded");
+                }
+                comm.all_reduce_sum(&[1.0]);
+            })
+        });
+        assert!(result.is_err(), "the rank panic must propagate to the caller");
+    }
+
+    #[test]
+    fn send_to_dead_peer_aborts_and_preserves_root_cause() {
+        // Rank 1 dies immediately; rank 0 keeps sending until the bounded
+        // mailbox fills. The poisoning must unblock the sender, and the
+        // propagated panic must be the original, not a secondary abort.
+        let caught = std::panic::catch_unwind(|| {
+            run_spmd(2, |comm| {
+                if comm.rank() == 1 {
+                    panic!("root cause: rank 1 exploded");
+                }
+                // Twice the mailbox capacity so the sender is guaranteed to
+                // hit a full queue even if the capacity formula changes.
+                for _ in 0..2 * mailbox_capacity(comm.size()) {
+                    comm.send(1, vec![0.0; 8]);
+                }
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("root cause"), "root cause masked: {msg:?}");
     }
 
     #[test]

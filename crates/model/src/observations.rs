@@ -72,6 +72,7 @@ pub fn fixed_column(nv: usize, ns: usize, nt: usize, nr: usize, l: usize, r: usi
 
 /// Build the joint design matrix `Λ·A` (rows = entries of `rows`, columns =
 /// permuted latent ordering) for the given hyperparameters.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_design(
     hyper: &ModelHyper,
     projections: &[Projection],

@@ -326,7 +326,10 @@ pub fn d_pobtas(factor: &DistBtaCholesky, rhs: &mut Matrix) {
             let n_red = seps.len();
 
             // ---- Forward substitution on the interiors (parallel). ----
-            let partial: Vec<(usize, Vec<Matrix>, Option<Matrix>, Option<Matrix>, Matrix)> = partitions
+            // Per partition: (partition index, interior solutions, update to
+            // the left separator, update to the right separator, tip update).
+            type ForwardPartial = (usize, Vec<Matrix>, Option<Matrix>, Option<Matrix>, Matrix);
+            let partial: Vec<ForwardPartial> = partitions
                 .par_iter()
                 .map(|pf| {
                     let (s, e) = pf.interior;

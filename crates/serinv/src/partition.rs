@@ -49,7 +49,7 @@ impl Partitioning {
             // removing.
             let mut idx = 0usize;
             while assigned < n {
-                sizes[if idx % 2 == 0 { 0 } else { p - 1 }] += 1;
+                sizes[if idx.is_multiple_of(2) { 0 } else { p - 1 }] += 1;
                 assigned += 1;
                 idx += 1;
             }

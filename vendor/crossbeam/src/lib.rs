@@ -1,0 +1,318 @@
+//! Minimal, API-compatible shim for the `crossbeam` crate.
+//!
+//! Provides `channel::{bounded, Sender, Receiver}` with crossbeam's
+//! semantics: both halves are `Clone` and `Sync`, sends block on a full
+//! queue, receives block on an empty one, and both have timed variants.
+//! Implemented as a `Mutex` + two `Condvar`s around a `VecDeque` — blocked
+//! parties sleep on a condvar (no polling) and wake on the matching
+//! notification or disconnect.
+
+/// Multi-producer multi-consumer bounded channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message available.
+        Timeout,
+        /// All senders disconnected and the channel is empty.
+        Disconnected,
+    }
+
+    /// Error returned by [`Sender::send_timeout`], carrying the unsent value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The timeout elapsed with the channel still full.
+        Timeout(T),
+        /// All receivers disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        cap: usize,
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Sending half of a bounded channel (`Clone` + `Sync`).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of a bounded channel (`Clone` + `Sync`).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().senders += 1;
+            Self { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.lock();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().receivers += 1;
+            Self { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.lock();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the value is enqueued (or the channel disconnects).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.lock();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.queue.len() < self.shared.cap {
+                    st.queue.push_back(value);
+                    drop(st);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.shared.not_full.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Block for at most `timeout` trying to enqueue the value.
+        pub fn send_timeout(
+            &self,
+            value: T,
+            timeout: Duration,
+        ) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.lock();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                if st.queue.len() < self.shared.cap {
+                    st.queue.push_back(value);
+                    drop(st);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero()) else {
+                    return Err(SendTimeoutError::Timeout(value));
+                };
+                let (guard, _) = self
+                    .shared
+                    .not_full
+                    .wait_timeout(st, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives (or the channel disconnects).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.lock();
+            loop {
+                if let Some(value) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Block for at most `timeout` waiting for a value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.lock();
+            loop {
+                if let Some(value) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero()) else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(st, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+            }
+        }
+    }
+
+    /// Create a bounded channel of capacity `cap` (must be at least 1;
+    /// crossbeam's zero-capacity rendezvous mode is not implemented).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "this shim does not implement zero-capacity rendezvous channels");
+        let shared = Arc::new(Shared {
+            cap,
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_roundtrip() {
+            let (tx, rx) = bounded(4);
+            tx.send(vec![1.0, 2.0]).unwrap();
+            assert_eq!(rx.recv().unwrap(), vec![1.0, 2.0]);
+        }
+
+        #[test]
+        fn receiver_is_shareable_across_threads() {
+            let (tx, rx) = bounded::<usize>(16);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for i in 0..8 {
+                        tx.send(i).unwrap();
+                    }
+                });
+                let mut got = Vec::new();
+                for _ in 0..8 {
+                    got.push(rx.recv().unwrap());
+                }
+                got.sort_unstable();
+                assert_eq!(got, (0..8).collect::<Vec<_>>());
+            });
+        }
+
+        #[test]
+        fn blocking_send_unblocks_when_drained() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            std::thread::scope(|s| {
+                let tx2 = tx.clone();
+                s.spawn(move || tx2.send(2).unwrap());
+                std::thread::sleep(Duration::from_millis(20));
+                assert_eq!(rx.recv(), Ok(1));
+                assert_eq!(rx.recv(), Ok(2));
+            });
+        }
+
+        #[test]
+        fn disconnect_reports_errors() {
+            let (tx, rx) = bounded::<u8>(1);
+            drop(rx);
+            assert!(tx.send(1).is_err());
+            let (tx2, rx2) = bounded::<u8>(1);
+            drop(tx2);
+            assert_eq!(rx2.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn clone_keeps_channel_alive_until_last_drop() {
+            let (tx, rx) = bounded::<u8>(2);
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(5).unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(5));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_timeout_times_out_when_full_and_sends_when_drained() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            match tx.send_timeout(2, Duration::from_millis(10)) {
+                Err(SendTimeoutError::Timeout(2)) => {}
+                other => panic!("expected Timeout(2), got {other:?}"),
+            }
+            assert_eq!(rx.recv(), Ok(1));
+            tx.send_timeout(3, Duration::from_millis(10)).unwrap();
+            assert_eq!(rx.recv(), Ok(3));
+            drop(rx);
+            match tx.send_timeout(4, Duration::from_millis(10)) {
+                Err(SendTimeoutError::Disconnected(4)) => {}
+                other => panic!("expected Disconnected(4), got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn recv_timeout_times_out_and_receives() {
+            let (tx, rx) = bounded::<u8>(1);
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Minimal, API-compatible shim for the `proptest` crate.
+//!
+//! The DALIA-RS build environment has no registry access, so this vendored
+//! crate implements the property-testing surface the workspace's test suites
+//! use: the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//! header, `prop_assert!` / `prop_assert_eq!`, composable [`Strategy`] values
+//! (`Range<f64>`, tuples, [`Just`], `prop_map`, `prop_perturb`) and
+//! [`collection::vec`].
+//!
+//! Differences from real proptest:
+//! * **No shrinking.** A failing case panics with its case index and the
+//!   deterministic per-test seed, which is enough to reproduce it.
+//! * Case generation is deterministic per (test name, case index), so runs
+//!   are reproducible without a persistence file.
+
+/// Composable value generators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A strategy produces values of an associated type from a seeded RNG.
+    pub trait Strategy {
+        /// Type of values produced.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Transform generated values with `f`, which additionally receives
+        /// a private RNG it may consume freely.
+        fn prop_perturb<O, F>(self, f: F) -> Perturb<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value, TestRng) -> O,
+        {
+            Perturb { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_perturb`].
+    pub struct Perturb<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Perturb<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value, TestRng) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            let value = self.inner.new_value(rng);
+            let child = rng.fork();
+            (self.f)(value, child)
+        }
+    }
+
+    /// Strategy that always yields a clone of its value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            rng.uniform_f64(self.start, self.end)
+        }
+    }
+
+    impl Strategy for std::ops::Range<usize> {
+        type Value = usize;
+        fn new_value(&self, rng: &mut TestRng) -> usize {
+            rng.uniform_usize(self.start, self.end)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.new_value(rng), self.1.new_value(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.new_value(rng), self.1.new_value(rng), self.2.new_value(rng))
+        }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s of fixed length.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// `len` independent draws from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration and RNG.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    /// Deterministic RNG handed to strategies. Delegates to the workspace's
+    /// vendored `rand` shim (as real proptest delegates to real rand), so the
+    /// generator and its range semantics live in exactly one place.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Deterministic RNG for a given seed.
+        pub fn deterministic(seed: u64) -> Self {
+            Self { inner: StdRng::seed_from_u64(seed) }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform `f64` in `[lo, hi)`.
+        pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+            self.inner.random_range(lo..hi)
+        }
+
+        /// Uniform `usize` in `[lo, hi)`.
+        pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+            self.inner.random_range(lo..hi)
+        }
+
+        /// Split off an independent child RNG.
+        pub fn fork(&mut self) -> Self {
+            Self::deterministic(self.next_u64())
+        }
+    }
+}
+
+/// Everything a proptest suite normally imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Stable per-test seed derived from the test path (FNV-1a of the name).
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        // `if cond {} else { panic }` rather than `if !cond` so the expansion
+        // stays clean of clippy::neg_cmp_op_on_partial_ord in consumer crates.
+        if $cond {
+        } else {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Define property tests. Supports an optional
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` header followed by
+/// any number of `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        #[test]
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                for case in 0..config.cases as u64 {
+                    let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)), case);
+                    let mut rng = $crate::test_runner::TestRng::deterministic(seed);
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);)+
+                    let run = || -> () { $body };
+                    if let Err(payload) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest case {case} of {} failed (seed {seed:#x})",
+                            stringify!($name)
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, f64)> {
+        (0.0f64..1.0, -2.0f64..2.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respected(x in 0.25f64..0.75, v in crate::collection::vec(-1.0f64..1.0, 5)) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert_eq!(v.len(), 5);
+            prop_assert!(v.iter().all(|e| (-1.0..1.0).contains(e)));
+        }
+
+        #[test]
+        fn map_and_tuples(p in pair().prop_map(|(a, b)| a + b)) {
+            prop_assert!((-2.0..3.0).contains(&p));
+        }
+
+        #[test]
+        fn perturb_provides_rng(x in Just(()).prop_perturb(|_, mut rng| rng.next_u64() % 10)) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0.0f64..1.0) {
+            prop_assert!(x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn cases_vary_across_indices() {
+        use crate::strategy::Strategy;
+        let strat = 0.0f64..1.0;
+        let a = strat.new_value(&mut crate::test_runner::TestRng::deterministic(crate::seed_for("t", 0)));
+        let b = strat.new_value(&mut crate::test_runner::TestRng::deterministic(crate::seed_for("t", 1)));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,158 @@
+//! Minimal, API-compatible shim for the `rand` crate (0.9 naming).
+//!
+//! The DALIA-RS build environment has no registry access, so this vendored
+//! crate provides exactly the surface the workspace uses: a seedable
+//! deterministic generator (`rngs::StdRng`), the [`SeedableRng`] constructor
+//! `seed_from_u64`, and [`Rng::random_range`] for `f64` and `usize` ranges.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — high quality,
+//! deterministic across platforms, and more than adequate for synthetic data
+//! generation and tests. It makes no cryptographic claims.
+
+use std::ops::Range;
+
+/// Construction of seedable generators.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface implemented by all generators in this shim.
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (half-open).
+    fn random_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64(), range)
+    }
+
+    /// rand 0.8 spelling of [`Rng::random_range`], kept for compatibility.
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        self.random_range(range)
+    }
+
+    /// Sample a uniform `f64` in `[0, 1)`.
+    fn random(&mut self) -> f64 {
+        u64_to_unit_f64(self.next_u64())
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Raw 64-bit generator interface (object-safe).
+pub trait RngCore {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleRange: Copy + PartialOrd {
+    /// Map raw 64 random bits into `range`.
+    fn sample(bits: u64, range: Range<Self>) -> Self;
+}
+
+impl SampleRange for f64 {
+    fn sample(bits: u64, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "random_range: empty range");
+        let v = range.start + (range.end - range.start) * u64_to_unit_f64(bits);
+        // Rounding in the affine map can land exactly on `end`; keep the
+        // contract half-open.
+        if v < range.end {
+            v
+        } else {
+            range.end.next_down().max(range.start)
+        }
+    }
+}
+
+impl SampleRange for usize {
+    fn sample(bits: u64, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "random_range: empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (bits % span) as usize
+    }
+}
+
+fn u64_to_unit_f64(bits: u64) -> f64 {
+    // 53 high bits -> [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, as recommended by the xoshiro
+            // authors (and used by rand's seed_from_u64).
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<f64> = (0..16).map(|_| a.random_range(-1.0..1.0)).collect();
+        let ys: Vec<f64> = (0..16).map(|_| b.random_range(-1.0..1.0)).collect();
+        let zs: Vec<f64> = (0..16).map(|_| c.random_range(-1.0..1.0)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().zip(&zs).any(|(x, z)| x != z));
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(2.5..3.5);
+            assert!((2.5..3.5).contains(&v));
+            let u = rng.random_range(3usize..9);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.random_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Minimal, API-compatible shim for the `rayon` crate.
+//!
+//! The DALIA-RS build environment has no registry access, so this vendored
+//! crate provides the parallel-iterator surface the workspace uses:
+//! `par_iter()` on slices/`Vec`s, `into_par_iter()` on ranges and collections,
+//! and an **eager, order-preserving** `map(..).collect()` executed on scoped
+//! OS threads. There is no work stealing — items are split into contiguous
+//! chunks, one per available core — which is a good fit for the workspace's
+//! uniform-cost fan-outs (gradient evaluations, per-partition factorizations).
+//!
+//! Semantic differences from real rayon worth knowing about:
+//! * `map` is eager (it runs when called, not at `collect`); the workspace
+//!   always follows `map` immediately with `collect`, so this is unobservable.
+//! * A panic in a worker propagates to the caller at the `map` call site.
+
+use std::num::NonZeroUsize;
+
+/// Parallel iterator over an owned list of items.
+///
+/// Produced by [`IntoParallelIterator::into_par_iter`] and
+/// [`IntoParallelRefIterator::par_iter`]; consumed by [`ParIter::map`] /
+/// [`ParIter::collect`].
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item in parallel, preserving order.
+    pub fn map<O, F>(self, f: F) -> ParIter<O>
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+    {
+        ParIter { items: parallel_map(self.items, &f) }
+    }
+
+    /// Collect the (already computed) items into any `FromIterator` target.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Filter items (sequential; cheap predicate assumed).
+    pub fn filter<F: Fn(&T) -> bool>(self, f: F) -> ParIter<T> {
+        ParIter { items: self.items.into_iter().filter(|t| f(t)).collect() }
+    }
+
+    /// Element-wise sum.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Eager for-each over all items in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _ = parallel_map(self.items, &|t| f(t));
+    }
+}
+
+fn parallel_map<T: Send, O: Send, F: Fn(T) -> O + Sync>(items: Vec<T>, f: &F) -> Vec<O> {
+    let n = items.len();
+    let threads = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    let threads = threads.min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = n.div_ceil(threads);
+    let mut items = items;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    while !items.is_empty() {
+        let take = items.len().min(chunk_size);
+        let rest = items.split_off(take);
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let mut out: Vec<Vec<O>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Conversion of owned collections into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced by the parallel iterator.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<Self::Item> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+/// `par_iter()` on borrowed collections (slices, `Vec`s, arrays, ...).
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type produced (a reference).
+    type Item: Send + 'data;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+    <&'data C as IntoIterator>::Item: Send + 'data,
+{
+    type Item = <&'data C as IntoIterator>::Item;
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+/// The rayon prelude: import the parallel-iterator traits.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_on_range() {
+        let squares: Vec<usize> = (0..17usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), 17);
+        assert_eq!(squares[16], 256);
+    }
+
+    #[test]
+    fn collect_into_result_yields_first_error() {
+        let r: Result<Vec<usize>, String> = (0..10usize)
+            .into_par_iter()
+            .map(|x| if x == 7 { Err("seven".to_string()) } else { Ok(x) })
+            .collect();
+        assert_eq!(r, Err("seven".to_string()));
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        (0..64usize).into_par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        let distinct = ids.lock().unwrap().len();
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if cores > 1 {
+            assert!(distinct > 1, "expected work on >1 thread, saw {distinct}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let _: Vec<usize> =
+            (0..8usize).into_par_iter().map(|x| if x == 3 { panic!("boom") } else { x }).collect();
+    }
+}

@@ -1,8 +1,8 @@
 //! Fig. 4: strong scaling of DALIA vs INLA_DIST vs R-INLA on the univariate
 //! spatio-temporal model MB1 (ns = 4002, nt = 250), 1 to 18 GPUs.
 
-use dalia_bench::{build_instance, header, row};
-use dalia_core::{InlaEngine, InlaSettings};
+use dalia_bench::{build_instance, header, instance_session, row};
+use dalia_core::InlaSettings;
 use dalia_data::mb1;
 use dalia_hpc::{dalia_iteration_time, gh200, inladist_iteration_time, rinla_iteration_time, xeon_fritz};
 
@@ -21,7 +21,7 @@ fn main() {
         ("INLA_DIST-like", InlaSettings::inladist_like()),
         ("R-INLA-like (sparse)", InlaSettings::rinla_like()),
     ] {
-        let engine = InlaEngine::new(&inst.model, &inst.theta0, settings);
+        let engine = instance_session(&inst, settings);
         let (total, solver) = engine.time_one_iteration(&inst.theta0).expect("evaluation failed");
         println!("  {name:<24} total {total:8.3} s   solver {solver:8.3} s");
     }

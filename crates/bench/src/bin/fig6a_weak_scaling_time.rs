@@ -1,8 +1,8 @@
 //! Fig. 6a: weak scaling of the trivariate coregional model through the time
 //! domain (dataset WA1: ns = 1247, nt = 2 .. 512, 1 .. 248 GPUs).
 
-use dalia_bench::{build_instance, header, row};
-use dalia_core::{InlaEngine, InlaSettings};
+use dalia_bench::{build_instance, header, instance_session, row};
+use dalia_core::InlaSettings;
 use dalia_data::wa1;
 use dalia_hpc::{dalia_iteration_time, gh200, rinla_iteration_time, xeon_fritz};
 
@@ -15,7 +15,7 @@ fn main() {
     println!("{}", row(&["nt", "DALIA s/iter", "solver share"].map(String::from)));
     for nt in [2usize, 4, 8] {
         let inst = build_instance(&cfg, 40, nt, 6);
-        let engine = InlaEngine::new(&inst.model, &inst.theta0, InlaSettings::dalia(1));
+        let engine = instance_session(&inst, InlaSettings::dalia(1));
         let (total, solver) = engine.time_one_iteration(&inst.theta0).expect("evaluation failed");
         println!("{}", row(&[
             format!("{nt}"),

@@ -3,8 +3,8 @@
 //! including the strategy switchover S1 -> S1+S3 -> S1+S2+S3 driven by device
 //! memory.
 
-use dalia_bench::{build_instance, header, row};
-use dalia_core::{InlaEngine, InlaSettings};
+use dalia_bench::{build_instance, header, instance_session, row};
+use dalia_core::InlaSettings;
 use dalia_data::{wa2, wa2_mesh_ladder};
 use dalia_hpc::{dalia_iteration_time, gh200, parallel_efficiency, rinla_iteration_time, xeon_fritz};
 use dalia_mesh::{Domain, TriangleMesh};
@@ -30,7 +30,7 @@ fn main() {
     println!("{}", row(&["ns (approx)", "DALIA s/iter", "solver share"].map(String::from)));
     for ns in [24usize, 48, 96] {
         let inst = build_instance(&cfg, ns, 3, 8);
-        let engine = InlaEngine::new(&inst.model, &inst.theta0, InlaSettings::dalia(1));
+        let engine = instance_session(&inst, InlaSettings::dalia(1));
         let (total, solver) = engine.time_one_iteration(&inst.theta0).expect("evaluation failed");
         println!("{}", row(&[
             format!("{}", inst.model.dims.ns),

@@ -2,8 +2,8 @@
 //! SA1 (ns = 1675, nt = 192) from 1 to 496 GPUs, with parallel efficiency and
 //! the R-INLA reference runtime.
 
-use dalia_bench::{build_instance, header, row};
-use dalia_core::{InlaEngine, InlaSettings};
+use dalia_bench::{build_instance, header, instance_session, row};
+use dalia_core::InlaSettings;
 use dalia_data::sa1;
 use dalia_hpc::{dalia_iteration_time, gh200, parallel_efficiency, rinla_iteration_time, xeon_fritz};
 
@@ -20,7 +20,7 @@ fn main() {
         ("DALIA (S3=3)", InlaSettings::dalia(3)),
         ("R-INLA-like", InlaSettings::rinla_like()),
     ] {
-        let engine = InlaEngine::new(&inst.model, &inst.theta0, settings);
+        let engine = instance_session(&inst, settings);
         let (total, solver) = engine.time_one_iteration(&inst.theta0).expect("evaluation failed");
         println!("  {name:<16} total {total:8.3} s   solver {solver:8.3} s");
     }

@@ -12,7 +12,7 @@ use dalia_bench::header;
 use dalia_core::{predict, response_correlations, InlaEngine, InlaSettings};
 use dalia_data::{generate_pollution_dataset, observation_grid};
 use dalia_mesh::{Domain, TriangleMesh};
-use dalia_model::{CoregionalModel, ModelHyper, PredictionTarget};
+use dalia_model::{CoregionalModel, ModelHyper, PredictionTarget, ThetaPrior};
 
 fn main() {
     header("Fig. 8 / Sec. VI", "air-pollution application: trivariate downscaling");
@@ -34,8 +34,12 @@ fn main() {
 
     let mut settings = InlaSettings::dalia(2);
     settings.max_iter = 3;
-    let engine = InlaEngine::new(&model, &theta0, settings);
-    let result = engine.run(&theta0).expect("INLA run failed");
+    let session = InlaEngine::builder(&model)
+        .prior(ThetaPrior::weakly_informative(&theta0, 3.0))
+        .settings(settings)
+        .build()
+        .expect("valid settings");
+    let result = session.run(&theta0).expect("INLA run failed");
     println!("BFGS iterations: {}, f_obj at mode: {:.2}, {:.1} s/iteration",
              result.trace.len(), result.fobj_at_mode, result.seconds_per_iteration);
 

@@ -11,9 +11,10 @@
 //!   evaluated at the paper's full scale, which is what reproduces the shape
 //!   of the published scaling curves.
 
+use dalia_core::{InlaEngine, InlaSession, InlaSettings};
 use dalia_data::{generate_pollution_dataset, observation_grid, DatasetConfig};
 use dalia_mesh::{Domain, TriangleMesh};
-use dalia_model::{CoregionalModel, ModelHyper, Observation};
+use dalia_model::{CoregionalModel, ModelHyper, Observation, ThetaPrior};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,6 +75,16 @@ pub fn build_instance(config: &DatasetConfig, ns_target: usize, nt: usize, seed:
     }
     let theta0 = hyper.to_theta();
     ScaledInstance { model, theta0, mesh, n_obs }
+}
+
+/// Build a stateful [`InlaSession`] for a scaled instance with a weakly
+/// informative prior centered at its starting hyperparameters.
+pub fn instance_session<'m>(inst: &'m ScaledInstance, settings: InlaSettings) -> InlaSession<'m> {
+    InlaEngine::builder(&inst.model)
+        .prior(ThetaPrior::weakly_informative(&inst.theta0, 3.0))
+        .settings(settings)
+        .build()
+        .expect("scaled-instance settings must validate")
 }
 
 /// Format a table row with fixed-width columns.

@@ -1,15 +1,48 @@
-//! The end-to-end INLA engine: optimization of the hyperparameters, Gaussian
-//! approximation of their posterior, latent marginals and prediction — the
-//! full pipeline that the DALIA framework (and its baselines) run per model.
+//! The end-to-end INLA engine: a stateful [`InlaSession`] built once per
+//! (model, prior, settings) triple that owns a pool of reusable
+//! [`LatentSolver`] workspaces and runs the full pipeline — hyperparameter
+//! optimization, Gaussian approximation of their posterior, latent marginals
+//! and prediction.
+//!
+//! Sessions are constructed through [`InlaEngine::builder`]:
+//!
+//! ```
+//! use dalia_core::{InlaEngine, InlaSettings, SolverBackend};
+//! use dalia_mesh::{Domain, Point, TriangleMesh};
+//! use dalia_model::{CoregionalModel, ModelHyper, Observation, ThetaPrior};
+//!
+//! let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+//! let obs = vec![Observation {
+//!     var: 0,
+//!     t: 0,
+//!     loc: Point::new(0.4, 0.6),
+//!     covariates: vec![1.0],
+//!     value: 0.3,
+//! }];
+//! let model = CoregionalModel::new(&mesh, 2, 1.0, 1, 1, obs).unwrap();
+//! let theta0 = ModelHyper::default_for(1, 0.5, 2.0).to_theta();
+//!
+//! let session = InlaEngine::builder(&model)
+//!     .prior(ThetaPrior::weakly_informative(&theta0, 3.0))
+//!     .settings(InlaSettings::dalia(1))
+//!     .backend(SolverBackend::Bta { partitions: 1, load_balance: 1.0 })
+//!     .build()
+//!     .unwrap();
+//! assert!(session.objective(&theta0).unwrap().is_finite());
+//! // Repeat evaluations reuse the same solver workspaces.
+//! assert!(session.objective(&theta0).unwrap().is_finite());
+//! ```
 
-use crate::objective::evaluate_fobj;
+use crate::objective::{evaluate_fobj_with, FobjResult};
 use crate::optimizer::{evaluate_gradient, maximize_fobj, negative_hessian, IterationRecord};
 use crate::posterior::{
     fixed_effect_summaries, latent_marginals, FixedEffectSummary, HyperMarginals, LatentMarginals,
 };
 use crate::settings::InlaSettings;
+use crate::solver::{LatentSolver, PhaseTimers};
 use crate::CoreError;
 use dalia_model::{CoregionalModel, ModelHyper, ThetaPrior};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Complete result of an INLA run.
@@ -34,52 +67,150 @@ pub struct InlaResult {
     /// Average wall-clock seconds per BFGS iteration (the quantity the paper
     /// reports in its scaling figures).
     pub seconds_per_iteration: f64,
+    /// Solver-phase timings accumulated over every evaluation of the run,
+    /// measured as the increment of the session accumulator across the run.
+    /// If other threads evaluate through the same session concurrently, their
+    /// phase times are included in the delta.
+    pub timers: PhaseTimers,
 }
 
-/// The INLA engine: a model, a prior on θ and the framework settings.
-pub struct InlaEngine<'m> {
+/// A pool of stateful solvers, one per concurrent evaluation lane. The S1
+/// parallel gradient checks solvers out of the pool, so the pool grows to the
+/// actual parallelism of the run and every solver keeps its workspaces
+/// (pre-allocated BTA blocks, cached symbolic analysis, partitioning) warm
+/// across evaluations.
+struct SolverPool<'m> {
+    model: &'m CoregionalModel,
+    settings: InlaSettings,
+    idle: Mutex<Vec<Box<dyn LatentSolver + 'm>>>,
+}
+
+impl<'m> SolverPool<'m> {
+    fn new(model: &'m CoregionalModel, settings: InlaSettings) -> Self {
+        // Construct the first solver eagerly so the session pays structure
+        // setup once at build time, not inside the first timed evaluation.
+        let first = settings.backend.build(model);
+        Self { model, settings, idle: Mutex::new(vec![first]) }
+    }
+
+    fn acquire(&self) -> Box<dyn LatentSolver + 'm> {
+        let recycled = self.idle.lock().expect("solver pool poisoned").pop();
+        recycled.unwrap_or_else(|| self.settings.backend.build(self.model))
+    }
+
+    fn release(&self, solver: Box<dyn LatentSolver + 'm>) {
+        self.idle.lock().expect("solver pool poisoned").push(solver);
+    }
+
+    fn size(&self) -> usize {
+        self.idle.lock().expect("solver pool poisoned").len()
+    }
+}
+
+/// A stateful INLA session: one model, one prior, one solver backend, and a
+/// pool of reusable solver workspaces shared by every evaluation the session
+/// performs.
+///
+/// Built via [`InlaEngine::builder`]. All methods take `&self`; the session is
+/// `Sync` and the S1 gradient layer evaluates through it from parallel worker
+/// threads.
+pub struct InlaSession<'m> {
+    model: &'m CoregionalModel,
+    prior: ThetaPrior,
+    settings: InlaSettings,
+    pool: SolverPool<'m>,
+    accum: Mutex<PhaseTimers>,
+}
+
+impl<'m> InlaSession<'m> {
     /// The latent Gaussian model.
-    pub model: &'m CoregionalModel,
-    /// Prior on the hyperparameter vector.
-    pub prior: ThetaPrior,
-    /// Framework settings (solver backend, parallelism, tolerances).
-    pub settings: InlaSettings,
-}
+    pub fn model(&self) -> &'m CoregionalModel {
+        self.model
+    }
 
-impl<'m> InlaEngine<'m> {
-    /// Create an engine with a weakly-informative prior centred at `theta0`.
-    pub fn new(model: &'m CoregionalModel, theta0: &[f64], settings: InlaSettings) -> Self {
-        Self { model, prior: ThetaPrior::weakly_informative(theta0, 3.0), settings }
+    /// Prior on the hyperparameter vector.
+    pub fn prior(&self) -> &ThetaPrior {
+        &self.prior
+    }
+
+    /// Framework settings (solver backend, parallelism, tolerances).
+    pub fn settings(&self) -> &InlaSettings {
+        &self.settings
+    }
+
+    /// Number of solver workspaces currently held by the session (grows to the
+    /// S1 parallelism actually observed).
+    pub fn solver_pool_size(&self) -> usize {
+        self.pool.size()
+    }
+
+    /// Evaluate the objective at `theta`, returning the full result.
+    pub fn evaluate(&self, theta: &[f64]) -> Result<FobjResult, CoreError> {
+        let mut solver = self.pool.acquire();
+        let result = evaluate_fobj_with(solver.as_mut(), &self.prior, theta);
+        self.pool.release(solver);
+        if let Ok(r) = &result {
+            self.accum.lock().expect("timer accumulator poisoned").merge(&r.timers);
+        }
+        result
     }
 
     /// Evaluate the objective at a single θ (used by the benchmark harnesses
     /// to time one function evaluation without running the full pipeline).
     pub fn objective(&self, theta: &[f64]) -> Result<f64, CoreError> {
-        Ok(evaluate_fobj(self.model, &self.prior, theta, &self.settings)?.value)
+        Ok(self.evaluate(theta)?.value)
     }
 
     /// Time one full gradient evaluation (one BFGS iteration's worth of
     /// objective evaluations). Returns `(seconds, solver_seconds)`.
     pub fn time_one_iteration(&self, theta: &[f64]) -> Result<(f64, f64), CoreError> {
         let t0 = Instant::now();
-        let g = evaluate_gradient(self.model, &self.prior, theta, &self.settings)?;
-        Ok((t0.elapsed().as_secs_f64(), g.solver_seconds))
+        let g = evaluate_gradient(self, theta)?;
+        Ok((t0.elapsed().as_secs_f64(), g.solver_seconds()))
+    }
+
+    /// Latent marginals at `hyper` around the given conditional mean, using a
+    /// pooled solver.
+    pub fn latent_marginals(
+        &self,
+        hyper: &ModelHyper,
+        mean: Vec<f64>,
+    ) -> Result<LatentMarginals, CoreError> {
+        let mut solver = self.pool.acquire();
+        solver.reset_timers();
+        let result = latent_marginals(solver.as_mut(), hyper, mean);
+        self.accum.lock().expect("timer accumulator poisoned").merge(&solver.timers());
+        self.pool.release(solver);
+        result
+    }
+
+    /// Phase timings accumulated over every evaluation since the session was
+    /// built (or since [`reset_timers`](Self::reset_timers)).
+    pub fn timers(&self) -> PhaseTimers {
+        *self.accum.lock().expect("timer accumulator poisoned")
+    }
+
+    /// Reset the session-level timing accumulator.
+    pub fn reset_timers(&self) {
+        self.accum.lock().expect("timer accumulator poisoned").reset();
     }
 
     /// Run the full INLA pipeline starting from `theta0`.
     pub fn run(&self, theta0: &[f64]) -> Result<InlaResult, CoreError> {
         let t0 = Instant::now();
+        // Snapshot instead of resetting, so `run` does not clobber the
+        // session-level accumulator other callers may be reading.
+        let timers_before = self.timers();
         // 1. Find the hyperparameter mode.
-        let opt = maximize_fobj(self.model, &self.prior, theta0, &self.settings)?;
+        let opt = maximize_fobj(self, theta0)?;
 
         // 2. Gaussian approximation of the hyperparameter posterior.
-        let hess = negative_hessian(self.model, &self.prior, &opt.theta, &self.settings)?;
+        let hess = negative_hessian(self, &opt.theta)?;
         let hyper = HyperMarginals::from_hessian(opt.theta.clone(), &hess)?;
 
         // 3. Latent marginals at the mode (selected inversion of Q_c).
         let hyper_mode = ModelHyper::from_theta(self.model.dims.nv, &opt.theta);
-        let latent =
-            latent_marginals(self.model, &hyper_mode, opt.central.mean.clone(), &self.settings)?;
+        let latent = self.latent_marginals(&hyper_mode, opt.central.mean.clone())?;
         let fixed_effects = fixed_effect_summaries(self.model, &latent);
 
         let total_seconds = t0.elapsed().as_secs_f64();
@@ -94,7 +225,98 @@ impl<'m> InlaEngine<'m> {
             converged: opt.converged,
             total_seconds,
             seconds_per_iteration: total_seconds / n_iter as f64,
+            timers: self.timers().delta_since(&timers_before),
         })
+    }
+}
+
+/// Builder for an [`InlaSession`]. Obtained from [`InlaEngine::builder`].
+pub struct InlaSessionBuilder<'m> {
+    model: &'m CoregionalModel,
+    prior: Option<ThetaPrior>,
+    settings: InlaSettings,
+}
+
+impl<'m> InlaSessionBuilder<'m> {
+    /// Set the prior on the hyperparameter vector. Defaults to a weakly
+    /// informative prior centered at the model's default hyperparameters.
+    pub fn prior(mut self, prior: ThetaPrior) -> Self {
+        self.prior = Some(prior);
+        self
+    }
+
+    /// Set the full framework settings (defaults to [`InlaSettings::dalia`]
+    /// with a single partition).
+    pub fn settings(mut self, settings: InlaSettings) -> Self {
+        self.settings = settings;
+        self
+    }
+
+    /// Override just the solver backend of the current settings.
+    pub fn backend(mut self, backend: crate::settings::SolverBackend) -> Self {
+        self.settings.backend = backend;
+        self
+    }
+
+    /// Override the maximum number of BFGS iterations.
+    pub fn max_iter(mut self, max_iter: usize) -> Self {
+        self.settings.max_iter = max_iter;
+        self
+    }
+
+    /// Validate the configuration and construct the session (including its
+    /// first solver workspace).
+    pub fn build(self) -> Result<InlaSession<'m>, CoreError> {
+        self.settings.validate()?;
+        let prior = self.prior.unwrap_or_else(|| {
+            let theta0 = ModelHyper::default_for(self.model.dims.nv, 0.7, 2.0).to_theta();
+            ThetaPrior::weakly_informative(&theta0, 3.0)
+        });
+        Ok(InlaSession {
+            model: self.model,
+            prior,
+            settings: self.settings.clone(),
+            pool: SolverPool::new(self.model, self.settings),
+            accum: Mutex::new(PhaseTimers::default()),
+        })
+    }
+}
+
+/// Entry point to the INLA engine: construct an [`InlaSession`] through
+/// [`InlaEngine::builder`].
+pub struct InlaEngine;
+
+impl InlaEngine {
+    /// Start building a session for `model`.
+    pub fn builder(model: &CoregionalModel) -> InlaSessionBuilder<'_> {
+        InlaSessionBuilder { model, prior: None, settings: InlaSettings::dalia(1) }
+    }
+
+    /// Create a session with a weakly-informative prior centred at `theta0`.
+    ///
+    /// # Panics
+    ///
+    /// Unlike the pre-0.2 engine, which silently clamped nonsense
+    /// configurations, this shim panics when `settings` fails
+    /// [`InlaSettings::validate`] (e.g. `partitions == 0`); use the builder's
+    /// fallible `build()` to handle invalid settings gracefully.
+    // `InlaEngine` is a namespace struct; its legacy constructor intentionally
+    // returns the session type that replaced it.
+    #[allow(clippy::new_ret_no_self)]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `InlaEngine::builder(model).prior(..).settings(..).build()`"
+    )]
+    pub fn new<'m>(
+        model: &'m CoregionalModel,
+        theta0: &[f64],
+        settings: InlaSettings,
+    ) -> InlaSession<'m> {
+        InlaEngine::builder(model)
+            .prior(ThetaPrior::weakly_informative(theta0, 3.0))
+            .settings(settings)
+            .build()
+            .expect("invalid InlaSettings passed to the deprecated InlaEngine::new")
     }
 }
 
@@ -133,12 +355,20 @@ mod tests {
         (model, theta0)
     }
 
+    fn session<'m>(model: &'m CoregionalModel, theta0: &[f64], settings: InlaSettings) -> InlaSession<'m> {
+        InlaEngine::builder(model)
+            .prior(ThetaPrior::weakly_informative(theta0, 3.0))
+            .settings(settings)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn full_pipeline_produces_complete_summaries() {
         let (model, theta0) = toy_model();
         let mut settings = InlaSettings::dalia(1);
         settings.max_iter = 4;
-        let engine = InlaEngine::new(&model, &theta0, settings);
+        let engine = session(&model, &theta0, settings);
         let result = engine.run(&theta0).unwrap();
         assert!(result.fobj_at_mode.is_finite());
         assert_eq!(result.latent.mean.len(), model.dims.latent_dim());
@@ -149,6 +379,10 @@ mod tests {
         assert!(result.hyper.sd.iter().all(|s| *s > 0.0));
         assert!(!result.trace.is_empty());
         assert!(result.seconds_per_iteration > 0.0);
+        // The session-level timers cover all phases of the run.
+        assert!(result.timers.solver_seconds() > 0.0);
+        assert!(result.timers.assembly_seconds > 0.0);
+        assert!(result.timers.selinv_seconds > 0.0);
         // The optimizer must not have decreased the objective.
         let f0 = engine.objective(&theta0).unwrap();
         assert!(result.fobj_at_mode >= f0 - 1e-9);
@@ -163,9 +397,8 @@ mod tests {
         let mut hyper = ModelHyper::default_for(1, 0.7, 2.0);
         hyper.noise_prec = vec![200.0];
         let theta = hyper.to_theta();
-        let prior = ThetaPrior::weakly_informative(&theta, 3.0);
-        let settings = InlaSettings::dalia(1);
-        let res = crate::objective::evaluate_fobj(&model, &prior, &theta, &settings).unwrap();
+        let engine = session(&model, &theta, InlaSettings::dalia(1));
+        let res = engine.evaluate(&theta).unwrap();
         let idx = model.fixed_effect_index(0, 0);
         let beta_hat = res.mean[idx];
         assert!(
@@ -177,8 +410,8 @@ mod tests {
     #[test]
     fn dalia_and_rinla_paths_agree_at_the_same_theta() {
         let (model, theta0) = toy_model();
-        let dalia = InlaEngine::new(&model, &theta0, InlaSettings::dalia(1));
-        let rinla = InlaEngine::new(&model, &theta0, InlaSettings::rinla_like());
+        let dalia = session(&model, &theta0, InlaSettings::dalia(1));
+        let rinla = session(&model, &theta0, InlaSettings::rinla_like());
         let fd = dalia.objective(&theta0).unwrap();
         let fr = rinla.objective(&theta0).unwrap();
         assert!((fd - fr).abs() < 1e-6 * (1.0 + fd.abs()));
@@ -187,10 +420,78 @@ mod tests {
     #[test]
     fn timing_helper_reports_positive_durations() {
         let (model, theta0) = toy_model();
-        let engine = InlaEngine::new(&model, &theta0, InlaSettings::dalia(1));
+        let engine = session(&model, &theta0, InlaSettings::dalia(1));
         let (total, solver) = engine.time_one_iteration(&theta0).unwrap();
         assert!(total > 0.0);
         assert!(solver > 0.0);
         assert!(solver <= total * 1.5);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_settings() {
+        let (model, _) = toy_model();
+        assert!(matches!(
+            InlaEngine::builder(&model).settings(InlaSettings::dalia(0)).build(),
+            Err(CoreError::InvalidSettings(_))
+        ));
+        let mut bad = InlaSettings::dalia(1);
+        bad.fd_step = -1.0;
+        assert!(InlaEngine::builder(&model).settings(bad).build().is_err());
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides_compose() {
+        let (model, theta0) = toy_model();
+        let s = InlaEngine::builder(&model)
+            .backend(crate::settings::SolverBackend::SparseGeneral)
+            .max_iter(3)
+            .build()
+            .unwrap();
+        assert_eq!(s.settings().max_iter, 3);
+        assert!(matches!(s.settings().backend, crate::settings::SolverBackend::SparseGeneral));
+        // Default prior is proper: the objective is finite.
+        assert!(s.objective(&theta0).unwrap().is_finite());
+    }
+
+    #[test]
+    fn session_reuses_pooled_solvers_across_evaluations() {
+        let (model, theta0) = toy_model();
+        let mut settings = InlaSettings::dalia(1);
+        settings.parallel_feval = false;
+        let s = session(&model, &theta0, settings);
+        assert_eq!(s.solver_pool_size(), 1);
+        for _ in 0..3 {
+            s.objective(&theta0).unwrap();
+        }
+        // Sequential evaluations never need more than the one pooled solver.
+        assert_eq!(s.solver_pool_size(), 1);
+    }
+
+    #[test]
+    fn run_reports_its_own_timers_without_clobbering_the_accumulator() {
+        let (model, theta0) = toy_model();
+        let mut settings = InlaSettings::dalia(1);
+        settings.max_iter = 2;
+        let s = session(&model, &theta0, settings);
+        s.objective(&theta0).unwrap();
+        let before = s.timers();
+        assert!(before.solver_seconds() > 0.0);
+        let result = s.run(&theta0).unwrap();
+        // The pre-run evaluation is still in the session accumulator, and the
+        // run's own timers are the increment on top of it.
+        let after = s.timers();
+        assert!(after.solver_seconds() >= before.solver_seconds());
+        assert!(
+            after.solver_seconds()
+                >= before.solver_seconds() + result.timers.solver_seconds() - 1e-9
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_engine_new_still_works() {
+        let (model, theta0) = toy_model();
+        let engine = InlaEngine::new(&model, &theta0, InlaSettings::dalia(1));
+        assert!(engine.objective(&theta0).unwrap().is_finite());
     }
 }

@@ -6,27 +6,37 @@
 //! strategies and the R-INLA / INLA_DIST baseline configurations.
 //!
 //! * [`settings`] — solver backends and framework presets (Table I),
+//! * [`solver`] — the [`solver::LatentSolver`] backend trait with three
+//!   stateful implementations (sequential BTA, distributed BTA, general
+//!   sparse Cholesky) whose workspaces are amortized across evaluations,
 //! * [`objective`] — the objective `f_obj(θ)` of Eq. 8,
 //! * [`optimizer`] — parallel central-difference gradients (Eq. 10, S1) and
 //!   BFGS, plus the finite-difference Hessian at the mode,
 //! * [`posterior`] — hyperparameter marginals, latent marginals via selected
 //!   inversion, fixed-effect summaries, response correlations and prediction,
-//! * [`engine`] — the end-to-end [`engine::InlaEngine`].
+//! * [`engine`] — the end-to-end [`engine::InlaSession`], built via
+//!   [`engine::InlaEngine::builder`].
 
 pub mod engine;
 pub mod objective;
 pub mod optimizer;
 pub mod posterior;
 pub mod settings;
+pub mod solver;
 
-pub use engine::{InlaEngine, InlaResult};
-pub use objective::{evaluate_fobj, FobjResult};
+pub use engine::{InlaEngine, InlaResult, InlaSession, InlaSessionBuilder};
+pub use objective::{evaluate_fobj_with, FobjResult};
+#[allow(deprecated)]
+pub use objective::evaluate_fobj;
 pub use optimizer::{evaluate_gradient, maximize_fobj, negative_hessian, OptimizationResult};
 pub use posterior::{
     fixed_effect_summaries, latent_marginals, predict, response_correlations, FixedEffectSummary,
     HyperMarginals, LatentMarginals, Prediction,
 };
 pub use settings::{feature_table, InlaSettings, SolverBackend};
+pub use solver::{
+    DistributedBtaSolver, LatentSolver, PhaseTimers, SequentialBtaSolver, SparseCholeskySolver,
+};
 
 /// Errors produced by the INLA engine.
 #[derive(Clone, Debug)]
@@ -41,6 +51,8 @@ pub enum CoreError {
     NonFiniteObjective,
     /// The Hessian at the mode could not be inverted.
     HessianNotPositiveDefinite,
+    /// The engine settings failed validation (see [`InlaSettings::validate`]).
+    InvalidSettings(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -53,6 +65,7 @@ impl std::fmt::Display for CoreError {
             CoreError::HessianNotPositiveDefinite => {
                 write!(f, "negative Hessian at the mode is not positive definite")
             }
+            CoreError::InvalidSettings(reason) => write!(f, "invalid engine settings: {reason}"),
         }
     }
 }

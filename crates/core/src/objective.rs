@@ -9,17 +9,15 @@
 //! ```
 //!
 //! where `μ` solves `Q_c μ = Aᵀ D y`. One evaluation therefore costs two
-//! structured factorizations (`Q_p`, `Q_c`, which can run concurrently — the
-//! S2 layer) plus one triangular solve, exactly the bottleneck profile the
-//! paper describes.
+//! structured factorizations (`Q_p`, `Q_c`) plus one triangular solve, exactly
+//! the bottleneck profile the paper describes. All of those operations go
+//! through the [`LatentSolver`] trait, so the evaluation is backend-agnostic
+//! and benefits from whatever workspaces the solver amortizes across calls.
 
-use crate::settings::{InlaSettings, SolverBackend};
+use crate::settings::InlaSettings;
+use crate::solver::{LatentSolver, PhaseTimers};
 use crate::CoreError;
-use dalia_la::Matrix;
 use dalia_model::{CoregionalModel, ModelHyper, ThetaPrior};
-use dalia_sparse::SparseCholesky;
-use serinv::{d_pobtaf, d_pobtas, pobtaf, pobtas, BtaMatrix, Partitioning};
-use std::time::Instant;
 
 /// Everything produced by one objective-function evaluation.
 #[derive(Clone, Debug)]
@@ -36,127 +34,81 @@ pub struct FobjResult {
     pub loglik: f64,
     /// Log prior density of θ.
     pub logprior: f64,
-    /// Wall-clock seconds spent in the structured/sparse solver.
-    pub solver_seconds: f64,
-    /// Wall-clock seconds spent assembling matrices.
-    pub assembly_seconds: f64,
+    /// Phase timings of this evaluation (assembly, factorization, solve).
+    pub timers: PhaseTimers,
 }
 
-/// Evaluate `f_obj` at the hyperparameter vector `theta`.
+impl FobjResult {
+    /// Wall-clock seconds spent in the structured/sparse solver.
+    pub fn solver_seconds(&self) -> f64 {
+        self.timers.solver_seconds()
+    }
+
+    /// Wall-clock seconds spent assembling matrices.
+    pub fn assembly_seconds(&self) -> f64 {
+        self.timers.assembly_seconds
+    }
+}
+
+/// Evaluate `f_obj` at `theta` through a stateful solver backend.
+///
+/// The solver's workspaces are re-filled in place, so repeated calls on one
+/// solver skip per-evaluation allocation and symbolic-analysis costs. The
+/// solver's phase timers are reset at entry; the accumulated phase times of
+/// this evaluation are returned in [`FobjResult::timers`].
+pub fn evaluate_fobj_with(
+    solver: &mut dyn LatentSolver,
+    prior: &ThetaPrior,
+    theta: &[f64],
+) -> Result<FobjResult, CoreError> {
+    let hyper = ModelHyper::from_theta(solver.model().dims.nv, theta);
+    let logprior = prior.log_density(theta);
+
+    solver.reset_timers();
+    solver.factorize(&hyper)?;
+    let t_info = std::time::Instant::now();
+    let info = solver.model().information_vector(&hyper, solver.design());
+    let info_seconds = t_info.elapsed().as_secs_f64();
+    let mean = solver.solve_mean(&info);
+    let logdet_qp = solver.logdet_qp();
+    let logdet_qc = solver.logdet_qc();
+    let quad = solver.quadratic_form_qp(&mean);
+    let loglik = solver.model().log_likelihood(&hyper, solver.design(), &mean);
+
+    let value = logprior + loglik + 0.5 * logdet_qp - 0.5 * quad - 0.5 * logdet_qc;
+    if !value.is_finite() {
+        return Err(CoreError::NonFiniteObjective);
+    }
+    // The information vector is assembly work performed outside the solver;
+    // fold it into the assembly phase so totals match the pre-redesign
+    // accounting.
+    let mut timers = solver.timers();
+    timers.assembly_seconds += info_seconds;
+    Ok(FobjResult { value, mean, logdet_qp, logdet_qc, loglik, logprior, timers })
+}
+
+/// Evaluate `f_obj` at the hyperparameter vector `theta` with a one-shot
+/// solver.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `InlaSession` via `InlaEngine::builder(..)` and call `session.evaluate(theta)`; \
+            a session reuses solver workspaces across evaluations instead of rebuilding them per call"
+)]
 pub fn evaluate_fobj(
     model: &CoregionalModel,
     prior: &ThetaPrior,
     theta: &[f64],
     settings: &InlaSettings,
 ) -> Result<FobjResult, CoreError> {
-    let hyper = ModelHyper::from_theta(model.dims.nv, theta);
-    let logprior = prior.log_density(theta);
-
-    match settings.backend {
-        SolverBackend::Bta { partitions, load_balance } => {
-            evaluate_bta(model, &hyper, logprior, partitions, load_balance)
-        }
-        SolverBackend::SparseGeneral => evaluate_sparse(model, &hyper, logprior),
-    }
-}
-
-fn evaluate_bta(
-    model: &CoregionalModel,
-    hyper: &ModelHyper,
-    logprior: f64,
-    partitions: usize,
-    load_balance: f64,
-) -> Result<FobjResult, CoreError> {
-    let t_assembly = Instant::now();
-    let qp = model.assemble_qp_bta(hyper);
-    let (qc, design) = model.assemble_qc_bta(hyper);
-    let info = model.information_vector(hyper, &design);
-    let assembly_seconds = t_assembly.elapsed().as_secs_f64();
-
-    let t_solver = Instant::now();
-    let nt = model.dims.nt;
-    let p = partitions.clamp(1, nt);
-    let (logdet_qp, logdet_qc, mean) = if p > 1 {
-        let part = Partitioning::load_balanced(nt, p, load_balance);
-        let fp = d_pobtaf(&qp, &part).map_err(CoreError::Solver)?;
-        let fc = d_pobtaf(&qc, &part).map_err(CoreError::Solver)?;
-        let mut rhs = Matrix::col_vector(&info);
-        d_pobtas(&fc, &mut rhs);
-        (fp.logdet(), fc.logdet(), rhs.col(0).to_vec())
-    } else {
-        let fp = pobtaf(&qp).map_err(CoreError::Solver)?;
-        let fc = pobtaf(&qc).map_err(CoreError::Solver)?;
-        let mut rhs = Matrix::col_vector(&info);
-        pobtas(&fc, &mut rhs);
-        (fp.logdet(), fc.logdet(), rhs.col(0).to_vec())
-    };
-    let solver_seconds = t_solver.elapsed().as_secs_f64();
-
-    let quad = quadratic_form_bta(&qp, &mean);
-    let loglik = model.log_likelihood(hyper, &design, &mean);
-    let value = logprior + loglik + 0.5 * logdet_qp - 0.5 * quad - 0.5 * logdet_qc;
-    if !value.is_finite() {
-        return Err(CoreError::NonFiniteObjective);
-    }
-    Ok(FobjResult {
-        value,
-        mean,
-        logdet_qp,
-        logdet_qc,
-        loglik,
-        logprior,
-        solver_seconds,
-        assembly_seconds,
-    })
-}
-
-fn evaluate_sparse(
-    model: &CoregionalModel,
-    hyper: &ModelHyper,
-    logprior: f64,
-) -> Result<FobjResult, CoreError> {
-    let t_assembly = Instant::now();
-    let qp = model.assemble_qp_csr(hyper, true);
-    let qc = model.assemble_qc_csr(hyper, true);
-    let design = model.joint_design(hyper);
-    let info = model.information_vector(hyper, &design);
-    let assembly_seconds = t_assembly.elapsed().as_secs_f64();
-
-    let t_solver = Instant::now();
-    let fp = SparseCholesky::factor(&qp).map_err(CoreError::SparseSolver)?;
-    let fc = SparseCholesky::factor(&qc).map_err(CoreError::SparseSolver)?;
-    let mean = fc.solve(&info);
-    let logdet_qp = fp.logdet();
-    let logdet_qc = fc.logdet();
-    let solver_seconds = t_solver.elapsed().as_secs_f64();
-
-    let quad = qp.quadratic_form(&mean);
-    let loglik = model.log_likelihood(hyper, &design, &mean);
-    let value = logprior + loglik + 0.5 * logdet_qp - 0.5 * quad - 0.5 * logdet_qc;
-    if !value.is_finite() {
-        return Err(CoreError::NonFiniteObjective);
-    }
-    Ok(FobjResult {
-        value,
-        mean,
-        logdet_qp,
-        logdet_qc,
-        loglik,
-        logprior,
-        solver_seconds,
-        assembly_seconds,
-    })
-}
-
-/// Quadratic form `xᵀ A x` for a BTA matrix.
-pub fn quadratic_form_bta(a: &BtaMatrix, x: &[f64]) -> f64 {
-    let ax = a.matvec(x);
-    x.iter().zip(&ax).map(|(a, b)| a * b).sum()
+    settings.validate()?;
+    let mut solver = settings.backend.build(model);
+    evaluate_fobj_with(solver.as_mut(), prior, theta)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::InlaEngine;
     use crate::settings::InlaSettings;
     use dalia_mesh::{Domain, Point, TriangleMesh};
     use dalia_model::Observation;
@@ -186,12 +138,26 @@ mod tests {
         (model, prior, theta)
     }
 
+    fn evaluate(
+        model: &CoregionalModel,
+        prior: &ThetaPrior,
+        theta: &[f64],
+        settings: InlaSettings,
+    ) -> FobjResult {
+        let session = InlaEngine::builder(model)
+            .prior(prior.clone())
+            .settings(settings)
+            .build()
+            .unwrap();
+        session.evaluate(theta).unwrap()
+    }
+
     #[test]
     fn bta_and_sparse_backends_agree() {
         for nv in [1usize, 2] {
             let (model, prior, theta) = toy_model(nv);
-            let bta = evaluate_fobj(&model, &prior, &theta, &InlaSettings::dalia(1)).unwrap();
-            let sparse = evaluate_fobj(&model, &prior, &theta, &InlaSettings::rinla_like()).unwrap();
+            let bta = evaluate(&model, &prior, &theta, InlaSettings::dalia(1));
+            let sparse = evaluate(&model, &prior, &theta, InlaSettings::rinla_like());
             assert!(
                 (bta.value - sparse.value).abs() < 1e-6 * (1.0 + bta.value.abs()),
                 "nv={nv}: {} vs {}",
@@ -208,29 +174,40 @@ mod tests {
     #[test]
     fn distributed_solver_gives_same_objective() {
         let (model, prior, theta) = toy_model(2);
-        let seq = evaluate_fobj(&model, &prior, &theta, &InlaSettings::dalia(1)).unwrap();
-        let dist = evaluate_fobj(&model, &prior, &theta, &InlaSettings::dalia(3)).unwrap();
+        let seq = evaluate(&model, &prior, &theta, InlaSettings::dalia(1));
+        let dist = evaluate(&model, &prior, &theta, InlaSettings::dalia(3));
         assert!((seq.value - dist.value).abs() < 1e-7 * (1.0 + seq.value.abs()));
     }
 
     #[test]
     fn objective_components_have_expected_signs() {
         let (model, prior, theta) = toy_model(1);
-        let r = evaluate_fobj(&model, &prior, &theta, &InlaSettings::dalia(1)).unwrap();
+        let r = evaluate(&model, &prior, &theta, InlaSettings::dalia(1));
         // Conditional precision adds the likelihood information, so its
         // log-determinant is larger than the prior one.
         assert!(r.logdet_qc > r.logdet_qp);
         assert!(r.loglik.is_finite());
         assert!(r.value.is_finite());
+        assert!(r.solver_seconds() > 0.0);
+        assert!(r.assembly_seconds() > 0.0);
     }
 
     #[test]
     fn objective_changes_with_theta() {
         let (model, prior, theta) = toy_model(1);
-        let r0 = evaluate_fobj(&model, &prior, &theta, &InlaSettings::dalia(1)).unwrap();
+        let r0 = evaluate(&model, &prior, &theta, InlaSettings::dalia(1));
         let mut theta2 = theta.clone();
         theta2[0] += 0.5;
-        let r1 = evaluate_fobj(&model, &prior, &theta2, &InlaSettings::dalia(1)).unwrap();
+        let r1 = evaluate(&model, &prior, &theta2, InlaSettings::dalia(1));
         assert!((r0.value - r1.value).abs() > 1e-8);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_session_evaluation() {
+        let (model, prior, theta) = toy_model(1);
+        let via_shim = evaluate_fobj(&model, &prior, &theta, &InlaSettings::dalia(1)).unwrap();
+        let via_session = evaluate(&model, &prior, &theta, InlaSettings::dalia(1));
+        assert_eq!(via_shim.value.to_bits(), via_session.value.to_bits());
     }
 }

@@ -1,11 +1,16 @@
 //! Hyperparameter optimization: central-difference gradients evaluated in
 //! parallel (strategy S1) and a BFGS quasi-Newton loop (Sec. III.2).
+//!
+//! All objective evaluations go through an [`InlaSession`], whose pooled
+//! stateful solvers amortize assembly workspaces and symbolic analysis across
+//! the `2·dim(θ) + 1` evaluations of every gradient and the dozens of
+//! gradients of a BFGS run.
 
-use crate::objective::{evaluate_fobj, FobjResult};
-use crate::settings::InlaSettings;
+use crate::engine::InlaSession;
+use crate::objective::FobjResult;
+use crate::solver::PhaseTimers;
 use crate::CoreError;
 use dalia_la::{blas, Matrix};
-use dalia_model::{CoregionalModel, ThetaPrior};
 use rayon::prelude::*;
 
 /// Result of one gradient evaluation.
@@ -19,21 +24,24 @@ pub struct GradientResult {
     pub central: FobjResult,
     /// Number of objective evaluations performed (`2·dim(θ) + 1`).
     pub n_evaluations: usize,
+    /// Phase timings accumulated over all evaluations.
+    pub timers: PhaseTimers,
+}
+
+impl GradientResult {
     /// Total solver seconds accumulated over all evaluations.
-    pub solver_seconds: f64,
+    pub fn solver_seconds(&self) -> f64 {
+        self.timers.solver_seconds()
+    }
 }
 
 /// Evaluate `f_obj` and its central-difference gradient (Eq. 10). When
 /// `settings.parallel_feval` is set, the `2·dim(θ) + 1` evaluations run in
-/// parallel — this is the S1 layer of the paper.
-pub fn evaluate_gradient(
-    model: &CoregionalModel,
-    prior: &ThetaPrior,
-    theta: &[f64],
-    settings: &InlaSettings,
-) -> Result<GradientResult, CoreError> {
+/// parallel — this is the S1 layer of the paper, with one pooled solver per
+/// concurrent lane.
+pub fn evaluate_gradient(session: &InlaSession, theta: &[f64]) -> Result<GradientResult, CoreError> {
     let dim = theta.len();
-    let h = settings.fd_step;
+    let h = session.settings().fd_step;
     // Build the list of evaluation points: central, then ±h per component.
     let mut points: Vec<Vec<f64>> = Vec::with_capacity(2 * dim + 1);
     points.push(theta.to_vec());
@@ -46,8 +54,8 @@ pub fn evaluate_gradient(
         points.push(minus);
     }
 
-    let evaluate = |p: &Vec<f64>| evaluate_fobj(model, prior, p, settings);
-    let results: Vec<Result<FobjResult, CoreError>> = if settings.parallel_feval {
+    let evaluate = |p: &Vec<f64>| session.evaluate(p);
+    let results: Vec<Result<FobjResult, CoreError>> = if session.settings().parallel_feval {
         points.par_iter().map(evaluate).collect()
     } else {
         points.iter().map(evaluate).collect()
@@ -56,11 +64,11 @@ pub fn evaluate_gradient(
     let mut iter = results.into_iter();
     let central = iter.next().unwrap()?;
     let mut gradient = vec![0.0; dim];
-    let mut solver_seconds = central.solver_seconds;
+    let mut timers = central.timers;
     let mut collected: Vec<FobjResult> = Vec::with_capacity(2 * dim);
     for r in iter {
         let r = r?;
-        solver_seconds += r.solver_seconds;
+        timers.merge(&r.timers);
         collected.push(r);
     }
     for i in 0..dim {
@@ -73,7 +81,7 @@ pub fn evaluate_gradient(
         gradient,
         central,
         n_evaluations: 2 * dim + 1,
-        solver_seconds,
+        timers,
     })
 }
 
@@ -110,18 +118,14 @@ pub struct OptimizationResult {
 }
 
 /// Maximize `f_obj(θ)` with BFGS + backtracking line search.
-pub fn maximize_fobj(
-    model: &CoregionalModel,
-    prior: &ThetaPrior,
-    theta0: &[f64],
-    settings: &InlaSettings,
-) -> Result<OptimizationResult, CoreError> {
+pub fn maximize_fobj(session: &InlaSession, theta0: &[f64]) -> Result<OptimizationResult, CoreError> {
+    let settings = session.settings();
     let dim = theta0.len();
     let mut theta = theta0.to_vec();
     let mut h_inv = Matrix::identity(dim);
     let mut trace = Vec::new();
 
-    let mut grad_res = evaluate_gradient(model, prior, &theta, settings)?;
+    let mut grad_res = evaluate_gradient(session, &theta)?;
     let mut converged = false;
 
     for iter in 0..settings.max_iter {
@@ -135,7 +139,7 @@ pub fn maximize_fobj(
                 grad_norm,
                 step: 0.0,
                 seconds: t0.elapsed().as_secs_f64(),
-                solver_seconds: grad_res.solver_seconds,
+                solver_seconds: grad_res.solver_seconds(),
             });
             break;
         }
@@ -149,7 +153,7 @@ pub fn maximize_fobj(
         for _ in 0..12 {
             let candidate: Vec<f64> =
                 theta.iter().zip(&direction).map(|(t, d)| t + step * d).collect();
-            match evaluate_gradient(model, prior, &candidate, settings) {
+            match evaluate_gradient(session, &candidate) {
                 Ok(res) if res.value > grad_res.value + 1e-10 => {
                     accepted = Some((candidate, res));
                     break;
@@ -169,7 +173,7 @@ pub fn maximize_fobj(
                 grad_norm,
                 step: 0.0,
                 seconds: t0.elapsed().as_secs_f64(),
-                solver_seconds: grad_res.solver_seconds,
+                solver_seconds: grad_res.solver_seconds(),
             });
             break;
         };
@@ -209,7 +213,7 @@ pub fn maximize_fobj(
             grad_norm,
             step,
             seconds: t0.elapsed().as_secs_f64(),
-            solver_seconds: new_grad.solver_seconds,
+            solver_seconds: new_grad.solver_seconds(),
         });
         theta = new_theta;
         grad_res = new_grad;
@@ -226,20 +230,14 @@ pub fn maximize_fobj(
 
 /// Negative Hessian of `f_obj` at `theta` via second-order central differences
 /// (used for the Gaussian approximation of the hyperparameter posterior).
-pub fn negative_hessian(
-    model: &CoregionalModel,
-    prior: &ThetaPrior,
-    theta: &[f64],
-    settings: &InlaSettings,
-) -> Result<Matrix, CoreError> {
+pub fn negative_hessian(session: &InlaSession, theta: &[f64]) -> Result<Matrix, CoreError> {
+    let settings = session.settings();
     let dim = theta.len();
     let h = settings.fd_step.max(1e-4) * 5.0;
-    let f0 = evaluate_fobj(model, prior, theta, settings)?.value;
+    let f0 = session.objective(theta)?;
 
     // All shifted evaluation points (±h e_i, ±h e_i ± h e_j).
-    let eval = |p: &[f64]| -> Result<f64, CoreError> {
-        Ok(evaluate_fobj(model, prior, p, settings)?.value)
-    };
+    let eval = |p: &[f64]| -> Result<f64, CoreError> { session.objective(p) };
 
     // Diagonal terms.
     let diag_points: Vec<(usize, Vec<f64>, Vec<f64>)> = (0..dim)
@@ -323,9 +321,10 @@ pub fn negative_hessian(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::InlaEngine;
     use crate::settings::InlaSettings;
     use dalia_mesh::{Domain, Point, TriangleMesh};
-    use dalia_model::{ModelHyper, Observation};
+    use dalia_model::{CoregionalModel, ModelHyper, Observation, ThetaPrior};
 
     fn toy() -> (CoregionalModel, ThetaPrior, Vec<f64>) {
         let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
@@ -348,6 +347,14 @@ mod tests {
         (model, prior, theta)
     }
 
+    fn session<'m>(
+        model: &'m CoregionalModel,
+        prior: &ThetaPrior,
+        settings: InlaSettings,
+    ) -> InlaSession<'m> {
+        InlaEngine::builder(model).prior(prior.clone()).settings(settings).build().unwrap()
+    }
+
     #[test]
     fn gradient_matches_serial_and_parallel() {
         let (model, prior, theta) = toy();
@@ -355,8 +362,8 @@ mod tests {
         s_par.parallel_feval = true;
         let mut s_seq = InlaSettings::dalia(1);
         s_seq.parallel_feval = false;
-        let g_par = evaluate_gradient(&model, &prior, &theta, &s_par).unwrap();
-        let g_seq = evaluate_gradient(&model, &prior, &theta, &s_seq).unwrap();
+        let g_par = evaluate_gradient(&session(&model, &prior, s_par), &theta).unwrap();
+        let g_seq = evaluate_gradient(&session(&model, &prior, s_seq), &theta).unwrap();
         assert_eq!(g_par.n_evaluations, 2 * theta.len() + 1);
         for (a, b) in g_par.gradient.iter().zip(&g_seq.gradient) {
             assert!((a - b).abs() < 1e-10);
@@ -366,16 +373,16 @@ mod tests {
     #[test]
     fn gradient_is_consistent_with_objective_differences() {
         let (model, prior, theta) = toy();
-        let settings = InlaSettings::dalia(1);
-        let g = evaluate_gradient(&model, &prior, &theta, &settings).unwrap();
+        let s = session(&model, &prior, InlaSettings::dalia(1));
+        let g = evaluate_gradient(&s, &theta).unwrap();
         // Compare component 0 against a wider finite difference.
         let h = 0.01;
         let mut plus = theta.clone();
         plus[0] += h;
         let mut minus = theta.clone();
         minus[0] -= h;
-        let fp = evaluate_fobj(&model, &prior, &plus, &settings).unwrap().value;
-        let fm = evaluate_fobj(&model, &prior, &minus, &settings).unwrap().value;
+        let fp = s.objective(&plus).unwrap();
+        let fm = s.objective(&minus).unwrap();
         let wide = (fp - fm) / (2.0 * h);
         assert!(
             (g.gradient[0] - wide).abs() < 0.05 * (1.0 + wide.abs()),
@@ -393,8 +400,9 @@ mod tests {
         start[3] += 0.8;
         let mut settings = InlaSettings::dalia(1);
         settings.max_iter = 5;
-        let f_start = evaluate_fobj(&model, &prior, &start, &settings).unwrap().value;
-        let result = maximize_fobj(&model, &prior, &start, &settings).unwrap();
+        let s = session(&model, &prior, settings);
+        let f_start = s.objective(&start).unwrap();
+        let result = maximize_fobj(&s, &start).unwrap();
         assert!(result.value >= f_start, "BFGS decreased the objective");
         assert!(!result.trace.is_empty());
     }
@@ -404,8 +412,9 @@ mod tests {
         let (model, prior, theta) = toy();
         let mut settings = InlaSettings::dalia(1);
         settings.max_iter = 8;
-        let result = maximize_fobj(&model, &prior, &theta, &settings).unwrap();
-        let hess = negative_hessian(&model, &prior, &result.theta, &settings).unwrap();
+        let s = session(&model, &prior, settings);
+        let result = maximize_fobj(&s, &theta).unwrap();
+        let hess = negative_hessian(&s, &result.theta).unwrap();
         // Symmetric by construction; near the mode it should be (close to)
         // positive definite: all diagonal entries positive.
         for i in 0..hess.nrows() {

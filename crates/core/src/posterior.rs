@@ -2,12 +2,10 @@
 //! (Sec. III.3), latent marginals from the conditional mean and the selected
 //! inverse of `Q_c` (Sec. III.4), and posterior prediction / downscaling.
 
-use crate::settings::{InlaSettings, SolverBackend};
+use crate::solver::LatentSolver;
 use crate::CoreError;
 use dalia_la::{chol, eigen, Matrix};
 use dalia_model::{CoregionalModel, ModelHyper, PredictionTarget};
-use dalia_sparse::SparseCholesky;
-use serinv::{d_pobtaf, d_pobtasi, pobtaf, pobtasi, Partitioning};
 
 /// Gaussian approximation of the hyperparameter posterior.
 #[derive(Clone, Debug)]
@@ -57,32 +55,16 @@ pub struct LatentMarginals {
 
 /// Compute the latent marginals at the hyperparameter mode: the conditional
 /// mean is provided by the final objective evaluation, the variances come from
-/// the selected inversion of `Q_c`.
+/// the selected inversion of `Q_c` through the solver backend (which reuses
+/// whatever factorization workspaces it has already built).
 pub fn latent_marginals(
-    model: &CoregionalModel,
+    solver: &mut dyn LatentSolver,
     hyper: &ModelHyper,
     mean: Vec<f64>,
-    settings: &InlaSettings,
 ) -> Result<LatentMarginals, CoreError> {
-    let variances = match settings.backend {
-        SolverBackend::Bta { partitions, load_balance } => {
-            let (qc, _) = model.assemble_qc_bta(hyper);
-            let p = partitions.clamp(1, model.dims.nt);
-            if p > 1 {
-                let part = Partitioning::load_balanced(model.dims.nt, p, load_balance);
-                let f = d_pobtaf(&qc, &part).map_err(CoreError::Solver)?;
-                d_pobtasi(&f).diagonal()
-            } else {
-                let f = pobtaf(&qc).map_err(CoreError::Solver)?;
-                pobtasi(&f).diagonal()
-            }
-        }
-        SolverBackend::SparseGeneral => {
-            let qc = model.assemble_qc_csr(hyper, true);
-            let f = SparseCholesky::factor(&qc).map_err(CoreError::SparseSolver)?;
-            f.marginal_variances()
-        }
-    };
+    // Only Q_c is needed here; skip the Q_p factorization.
+    solver.factorize_conditional(hyper)?;
+    let variances = solver.selected_inverse_diag();
     let sd = variances.iter().map(|v| v.max(0.0).sqrt()).collect();
     Ok(LatentMarginals { mean, sd })
 }
@@ -176,8 +158,10 @@ pub fn predict(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::settings::{InlaSettings, SolverBackend};
     use dalia_mesh::{Domain, Point, TriangleMesh};
     use dalia_model::{ModelHyper, Observation};
+    use serinv::{pobtaf, pobtasi};
 
     fn toy_model() -> (CoregionalModel, ModelHyper) {
         let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
@@ -216,23 +200,25 @@ mod tests {
         assert!(m.sd.iter().all(|s| s.is_finite() && *s > 0.0));
     }
 
+    fn marginals_for(
+        model: &CoregionalModel,
+        hyper: &ModelHyper,
+        settings: &InlaSettings,
+    ) -> LatentMarginals {
+        let mut solver = settings.backend.build(model);
+        latent_marginals(solver.as_mut(), hyper, vec![0.0; model.dims.latent_dim()]).unwrap()
+    }
+
     #[test]
     fn latent_marginals_bta_and_sparse_agree() {
         let (model, hyper) = toy_model();
-        let mean = vec![0.0; model.dims.latent_dim()];
-        let bta = latent_marginals(&model, &hyper, mean.clone(), &InlaSettings::dalia(1)).unwrap();
-        let sparse = latent_marginals(&model, &hyper, mean, &InlaSettings::rinla_like()).unwrap();
+        let bta = marginals_for(&model, &hyper, &InlaSettings::dalia(1));
+        let sparse = marginals_for(&model, &hyper, &InlaSettings::rinla_like());
         for (a, b) in bta.sd.iter().zip(&sparse.sd) {
             assert!((a - b).abs() < 1e-7, "sd mismatch {a} vs {b}");
         }
         // Distributed solver agrees too.
-        let dist = latent_marginals(
-            &model,
-            &hyper,
-            vec![0.0; model.dims.latent_dim()],
-            &InlaSettings::dalia(2),
-        )
-        .unwrap();
+        let dist = marginals_for(&model, &hyper, &InlaSettings::dalia(2));
         for (a, b) in bta.sd.iter().zip(&dist.sd) {
             assert!((a - b).abs() < 1e-7);
         }
@@ -241,13 +227,7 @@ mod tests {
     #[test]
     fn observed_locations_have_reduced_uncertainty() {
         let (model, hyper) = toy_model();
-        let marg = latent_marginals(
-            &model,
-            &hyper,
-            vec![0.0; model.dims.latent_dim()],
-            &InlaSettings::dalia(1),
-        )
-        .unwrap();
+        let marg = marginals_for(&model, &hyper, &InlaSettings::dalia(1));
         // The prior marginal sd (without data) is larger on average.
         let qp = model.assemble_qp_bta(&hyper);
         let fp = pobtaf(&qp).unwrap();
@@ -261,13 +241,9 @@ mod tests {
     #[test]
     fn fixed_effect_summaries_cover_all_processes() {
         let (model, hyper) = toy_model();
-        let marg = latent_marginals(
-            &model,
-            &hyper,
-            vec![0.1; model.dims.latent_dim()],
-            &InlaSettings::dalia(1),
-        )
-        .unwrap();
+        let mut solver = SolverBackend::Bta { partitions: 1, load_balance: 1.0 }.build(&model);
+        let marg =
+            latent_marginals(solver.as_mut(), &hyper, vec![0.1; model.dims.latent_dim()]).unwrap();
         let fx = fixed_effect_summaries(&model, &marg);
         assert_eq!(fx.len(), model.dims.nv * model.dims.nr);
         assert!(fx[0].q025 < fx[0].mean && fx[0].mean < fx[0].q975);

@@ -2,6 +2,8 @@
 //! framework presets (DALIA / INLA_DIST-like / R-INLA-like) compared in the
 //! paper's Table I and evaluation section.
 
+use crate::CoreError;
+
 /// Which linear solver handles the factorization / solve / selected-inversion
 /// bottleneck operations.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -88,6 +90,37 @@ impl InlaSettings {
             SolverBackend::SparseGeneral => 1,
         }
     }
+
+    /// Validate the configuration, rejecting nonsense values instead of
+    /// silently rewriting them. Called by
+    /// [`InlaSessionBuilder::build`](crate::engine::InlaSessionBuilder::build).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if let SolverBackend::Bta { partitions, load_balance } = self.backend {
+            if partitions == 0 {
+                return Err(CoreError::InvalidSettings(
+                    "backend partitions must be >= 1".to_string(),
+                ));
+            }
+            if !load_balance.is_finite() || load_balance < 1.0 {
+                return Err(CoreError::InvalidSettings(format!(
+                    "load_balance must be finite and >= 1 (got {load_balance})"
+                )));
+            }
+        }
+        if !(self.fd_step > 0.0) || !self.fd_step.is_finite() {
+            return Err(CoreError::InvalidSettings(format!(
+                "fd_step must be a positive finite number (got {})",
+                self.fd_step
+            )));
+        }
+        if !(self.grad_tol > 0.0) || !self.grad_tol.is_finite() {
+            return Err(CoreError::InvalidSettings(format!(
+                "grad_tol must be a positive finite number (got {})",
+                self.grad_tol
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Qualitative feature matrix of the three frameworks (the paper's Table I).
@@ -124,6 +157,32 @@ mod tests {
         let rinla = InlaSettings::rinla_like();
         assert!(matches!(rinla.backend, SolverBackend::SparseGeneral));
         assert!(!rinla.parallel_pc);
+    }
+
+    #[test]
+    fn validate_accepts_presets_and_rejects_nonsense() {
+        assert!(InlaSettings::dalia(1).validate().is_ok());
+        assert!(InlaSettings::dalia(8).validate().is_ok());
+        assert!(InlaSettings::inladist_like().validate().is_ok());
+        assert!(InlaSettings::rinla_like().validate().is_ok());
+
+        let mut s = InlaSettings::dalia(0);
+        assert!(matches!(s.validate(), Err(CoreError::InvalidSettings(_))));
+        s = InlaSettings::dalia(2);
+        s.backend = SolverBackend::Bta { partitions: 2, load_balance: f64::NAN };
+        assert!(s.validate().is_err());
+        s.backend = SolverBackend::Bta { partitions: 2, load_balance: 0.5 };
+        assert!(s.validate().is_err());
+        s = InlaSettings::dalia(1);
+        s.fd_step = 0.0;
+        assert!(s.validate().is_err());
+        s.fd_step = -1e-3;
+        assert!(s.validate().is_err());
+        s.fd_step = f64::NAN;
+        assert!(s.validate().is_err());
+        s = InlaSettings::rinla_like();
+        s.grad_tol = 0.0;
+        assert!(s.validate().is_err());
     }
 
     #[test]

@@ -1,0 +1,689 @@
+//! The solver backend abstraction: a trait-based API over the bottleneck
+//! linear-algebra operations of one INLA objective evaluation, with *stateful*
+//! implementations that amortize structure across evaluations.
+//!
+//! The paper's bottleneck profile is "two structured factorizations + one
+//! solve per objective evaluation", repeated dozens-to-hundreds of times by a
+//! BFGS run. Everything that depends only on the model *structure* — the
+//! time-domain [`Partitioning`], the block-dense BTA storage, the sparse
+//! symbolic analysis (elimination tree + factor pattern) — is computed once
+//! per [`LatentSolver`] and reused for every θ, the same separation
+//! INLA_DIST/Serinv draw between symbolic setup and numeric factorization.
+//!
+//! A backend is obtained from the [`SolverBackend`] enum via
+//! [`SolverBackend::build`], which returns a boxed trait object; the
+//! [`InlaSession`](crate::engine::InlaSession) keeps a pool of them (one per
+//! concurrent S1 gradient lane) and reuses them across `objective`, `run`,
+//! `time_one_iteration` and posterior extraction. Adding a new backend (a
+//! GPU-style batched or mixed-precision solver, say) means implementing this
+//! trait in one file and extending the factory.
+
+use crate::settings::SolverBackend;
+use crate::CoreError;
+use dalia_model::{CoregionalModel, ModelHyper};
+use dalia_sparse::{ops, CholeskySymbolic, CsrMatrix, SparseCholesky, SparseError};
+use serinv::{
+    d_pobtaf, d_pobtas, d_pobtasi, pobtaf_reusing, pobtas, pobtasi, BtaCholesky, BtaMatrix,
+    DistBtaCholesky, Partitioning,
+};
+use std::time::Instant;
+
+/// Wall-clock seconds spent in each phase of the solver pipeline, centralized
+/// so the objective, the optimizer trace and [`InlaResult`](crate::InlaResult)
+/// all report timings from one source instead of hand-threading pairs of
+/// floats through every code path.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTimers {
+    /// Matrix / design assembly (`Q_p`, `Q_c`, `Λ·A`).
+    pub assembly_seconds: f64,
+    /// Numeric factorizations of `Q_p` and `Q_c`.
+    pub factorize_seconds: f64,
+    /// Triangular solves for the conditional mean.
+    pub solve_seconds: f64,
+    /// Selected inversion for the latent marginal variances.
+    pub selinv_seconds: f64,
+}
+
+impl PhaseTimers {
+    /// Total time in the solver proper (everything but assembly).
+    pub fn solver_seconds(&self) -> f64 {
+        self.factorize_seconds + self.solve_seconds + self.selinv_seconds
+    }
+
+    /// Total time across all phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.assembly_seconds + self.solver_seconds()
+    }
+
+    /// Reset all phases to zero.
+    pub fn reset(&mut self) {
+        *self = PhaseTimers::default();
+    }
+
+    /// Accumulate another timer set into this one.
+    pub fn merge(&mut self, other: &PhaseTimers) {
+        self.assembly_seconds += other.assembly_seconds;
+        self.factorize_seconds += other.factorize_seconds;
+        self.solve_seconds += other.solve_seconds;
+        self.selinv_seconds += other.selinv_seconds;
+    }
+
+    /// The increment from an `earlier` snapshot of the same accumulator to
+    /// this one (phases clamp at zero).
+    pub fn delta_since(&self, earlier: &PhaseTimers) -> PhaseTimers {
+        PhaseTimers {
+            assembly_seconds: (self.assembly_seconds - earlier.assembly_seconds).max(0.0),
+            factorize_seconds: (self.factorize_seconds - earlier.factorize_seconds).max(0.0),
+            solve_seconds: (self.solve_seconds - earlier.solve_seconds).max(0.0),
+            selinv_seconds: (self.selinv_seconds - earlier.selinv_seconds).max(0.0),
+        }
+    }
+}
+
+/// The solver backend API: assemble-and-factorize the prior and conditional
+/// precisions for one hyperparameter value, then answer the queries an INLA
+/// evaluation needs (log-determinants, conditional mean, quadratic form,
+/// selected-inverse variances).
+///
+/// Implementations are *stateful*: they own pre-allocated workspaces that
+/// [`factorize`](Self::factorize) re-fills in place, so repeated calls on one
+/// solver skip the per-evaluation allocation and symbolic-analysis cost.
+/// All query methods refer to the most recent successful `factorize` call and
+/// panic if none has happened yet.
+pub trait LatentSolver: Send {
+    /// Short backend name for reports and diagnostics.
+    fn backend_name(&self) -> &'static str;
+
+    /// The model this solver was built for.
+    fn model(&self) -> &CoregionalModel;
+
+    /// Assemble `Q_p(θ)` and `Q_c(θ)` into the reusable workspaces and
+    /// factorize both.
+    fn factorize(&mut self, hyper: &ModelHyper) -> Result<(), CoreError>;
+
+    /// Like [`factorize`](Self::factorize) but skips the numeric factorization
+    /// of `Q_p` (posterior extraction only needs `Q_c`). After this call
+    /// [`logdet_qp`](Self::logdet_qp) is unavailable until the next full
+    /// `factorize`; everything else refers to the given `hyper`.
+    fn factorize_conditional(&mut self, hyper: &ModelHyper) -> Result<(), CoreError> {
+        self.factorize(hyper)
+    }
+
+    /// The joint design matrix `Λ·A` assembled by the last `factorize`.
+    fn design(&self) -> &CsrMatrix;
+
+    /// `log |Q_p|` of the last factorization.
+    fn logdet_qp(&self) -> f64;
+
+    /// `log |Q_c|` of the last factorization.
+    fn logdet_qc(&self) -> f64;
+
+    /// Solve `Q_c μ = rhs` (the conditional-mean system).
+    fn solve_mean(&mut self, rhs: &[f64]) -> Vec<f64>;
+
+    /// Quadratic form `xᵀ Q_p x` for the currently assembled `Q_p`.
+    fn quadratic_form_qp(&self, x: &[f64]) -> f64;
+
+    /// Diagonal of `Q_c⁻¹` via selected inversion (latent marginal variances).
+    fn selected_inverse_diag(&mut self) -> Vec<f64>;
+
+    /// Phase timings accumulated since the last [`reset_timers`](Self::reset_timers).
+    fn timers(&self) -> PhaseTimers;
+
+    /// Reset the accumulated phase timings.
+    fn reset_timers(&mut self);
+}
+
+impl SolverBackend {
+    /// Build a stateful solver for `model`.
+    ///
+    /// This is the single dispatch point for backend selection; everything
+    /// downstream works through the [`LatentSolver`] trait. For the BTA
+    /// backend the partition count is capped at the number of time steps
+    /// (a BTA matrix cannot be split into more partitions than it has
+    /// diagonal blocks); nonsense configurations such as `partitions == 0`
+    /// are rejected earlier by [`InlaSettings::validate`](crate::InlaSettings::validate).
+    pub fn build<'m>(&self, model: &'m CoregionalModel) -> Box<dyn LatentSolver + 'm> {
+        match *self {
+            SolverBackend::Bta { partitions, load_balance } => {
+                let p = partitions.clamp(1, model.dims.nt);
+                if p > 1 {
+                    Box::new(DistributedBtaSolver::new(model, p, load_balance))
+                } else {
+                    Box::new(SequentialBtaSolver::new(model))
+                }
+            }
+            SolverBackend::SparseGeneral => Box::new(SparseCholeskySolver::new(model)),
+        }
+    }
+}
+
+/// Shared BTA workspace: assembled `Q_p` / `Q_c` block storage (re-filled in
+/// place per θ) and the design matrix of the last assembly.
+struct BtaWorkspace<'m> {
+    model: &'m CoregionalModel,
+    qp: BtaMatrix,
+    qc: BtaMatrix,
+    design: Option<CsrMatrix>,
+    timers: PhaseTimers,
+}
+
+impl<'m> BtaWorkspace<'m> {
+    fn new(model: &'m CoregionalModel) -> Self {
+        let d = &model.dims;
+        Self {
+            model,
+            qp: BtaMatrix::zeros(d.nt, d.block_size(), d.arrow_size()),
+            qc: BtaMatrix::zeros(d.nt, d.block_size(), d.arrow_size()),
+            design: None,
+            timers: PhaseTimers::default(),
+        }
+    }
+
+    /// Re-fill `qp` and `qc` in place for `hyper`; records assembly time.
+    fn assemble(&mut self, hyper: &ModelHyper) {
+        let t0 = Instant::now();
+        self.model.assemble_qp_bta_into(hyper, &mut self.qp);
+        self.qc.copy_values_from(&self.qp);
+        let design = self.model.extend_qp_to_qc(hyper, &mut self.qc);
+        self.timers.assembly_seconds += t0.elapsed().as_secs_f64();
+        self.design = Some(design);
+    }
+
+    fn design(&self) -> &CsrMatrix {
+        self.design.as_ref().expect("LatentSolver: factorize must be called first")
+    }
+}
+
+/// Sequential BTA solver (`pobtaf`/`pobtas`/`pobtasi`): the single-device
+/// DALIA / INLA_DIST path. Factor storage is recycled between factorizations.
+pub struct SequentialBtaSolver<'m> {
+    ws: BtaWorkspace<'m>,
+    fp: Option<BtaCholesky>,
+    fc: Option<BtaCholesky>,
+}
+
+impl<'m> SequentialBtaSolver<'m> {
+    /// Create a solver with freshly allocated workspaces for `model`.
+    pub fn new(model: &'m CoregionalModel) -> Self {
+        Self { ws: BtaWorkspace::new(model), fp: None, fc: None }
+    }
+}
+
+impl LatentSolver for SequentialBtaSolver<'_> {
+    fn backend_name(&self) -> &'static str {
+        "bta-sequential"
+    }
+
+    fn model(&self) -> &CoregionalModel {
+        self.ws.model
+    }
+
+    fn factorize(&mut self, hyper: &ModelHyper) -> Result<(), CoreError> {
+        self.ws.assemble(hyper);
+        let t0 = Instant::now();
+        // Recycle the previous factors' block storage for the new factors.
+        let fp_store = self.fp.take().map(|f| f.blocks);
+        self.fp = Some(pobtaf_reusing(&self.ws.qp, fp_store).map_err(CoreError::Solver)?);
+        let fc_store = self.fc.take().map(|f| f.blocks);
+        self.fc = Some(pobtaf_reusing(&self.ws.qc, fc_store).map_err(CoreError::Solver)?);
+        self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    fn factorize_conditional(&mut self, hyper: &ModelHyper) -> Result<(), CoreError> {
+        self.ws.assemble(hyper);
+        let t0 = Instant::now();
+        self.fp = None;
+        let fc_store = self.fc.take().map(|f| f.blocks);
+        self.fc = Some(pobtaf_reusing(&self.ws.qc, fc_store).map_err(CoreError::Solver)?);
+        self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    fn design(&self) -> &CsrMatrix {
+        self.ws.design()
+    }
+
+    fn logdet_qp(&self) -> f64 {
+        self.fp.as_ref().expect("LatentSolver: factorize must be called first").logdet()
+    }
+
+    fn logdet_qc(&self) -> f64 {
+        self.fc.as_ref().expect("LatentSolver: factorize must be called first").logdet()
+    }
+
+    fn solve_mean(&mut self, rhs: &[f64]) -> Vec<f64> {
+        let fc = self.fc.as_ref().expect("LatentSolver: factorize must be called first");
+        let t0 = Instant::now();
+        let mut m = dalia_la::Matrix::col_vector(rhs);
+        pobtas(fc, &mut m);
+        let out = m.col(0).to_vec();
+        self.ws.timers.solve_seconds += t0.elapsed().as_secs_f64();
+        out
+    }
+
+    fn quadratic_form_qp(&self, x: &[f64]) -> f64 {
+        quadratic_form_bta(&self.ws.qp, x)
+    }
+
+    fn selected_inverse_diag(&mut self) -> Vec<f64> {
+        let fc = self.fc.as_ref().expect("LatentSolver: factorize must be called first");
+        let t0 = Instant::now();
+        let diag = pobtasi(fc).diagonal();
+        self.ws.timers.selinv_seconds += t0.elapsed().as_secs_f64();
+        diag
+    }
+
+    fn timers(&self) -> PhaseTimers {
+        self.ws.timers
+    }
+
+    fn reset_timers(&mut self) {
+        self.ws.timers.reset();
+    }
+}
+
+/// Distributed (time-domain partitioned) BTA solver
+/// (`d_pobtaf`/`d_pobtas`/`d_pobtasi`): the multi-device DALIA path. The
+/// load-balanced [`Partitioning`] is derived once at construction and reused
+/// for every factorization.
+pub struct DistributedBtaSolver<'m> {
+    ws: BtaWorkspace<'m>,
+    part: Partitioning,
+    fp: Option<DistBtaCholesky>,
+    fc: Option<DistBtaCholesky>,
+}
+
+impl<'m> DistributedBtaSolver<'m> {
+    /// Create a solver with `partitions` time-domain partitions and the given
+    /// load-balancing factor. `partitions` must lie in `[1, nt]`.
+    pub fn new(model: &'m CoregionalModel, partitions: usize, load_balance: f64) -> Self {
+        let part = Partitioning::load_balanced(model.dims.nt, partitions, load_balance);
+        Self { ws: BtaWorkspace::new(model), part, fp: None, fc: None }
+    }
+
+    /// The cached time-domain partitioning.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.part
+    }
+}
+
+impl LatentSolver for DistributedBtaSolver<'_> {
+    fn backend_name(&self) -> &'static str {
+        "bta-distributed"
+    }
+
+    fn model(&self) -> &CoregionalModel {
+        self.ws.model
+    }
+
+    fn factorize(&mut self, hyper: &ModelHyper) -> Result<(), CoreError> {
+        self.ws.assemble(hyper);
+        let t0 = Instant::now();
+        self.fp = Some(d_pobtaf(&self.ws.qp, &self.part).map_err(CoreError::Solver)?);
+        self.fc = Some(d_pobtaf(&self.ws.qc, &self.part).map_err(CoreError::Solver)?);
+        self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    fn factorize_conditional(&mut self, hyper: &ModelHyper) -> Result<(), CoreError> {
+        self.ws.assemble(hyper);
+        let t0 = Instant::now();
+        self.fp = None;
+        self.fc = Some(d_pobtaf(&self.ws.qc, &self.part).map_err(CoreError::Solver)?);
+        self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    fn design(&self) -> &CsrMatrix {
+        self.ws.design()
+    }
+
+    fn logdet_qp(&self) -> f64 {
+        self.fp.as_ref().expect("LatentSolver: factorize must be called first").logdet()
+    }
+
+    fn logdet_qc(&self) -> f64 {
+        self.fc.as_ref().expect("LatentSolver: factorize must be called first").logdet()
+    }
+
+    fn solve_mean(&mut self, rhs: &[f64]) -> Vec<f64> {
+        let fc = self.fc.as_ref().expect("LatentSolver: factorize must be called first");
+        let t0 = Instant::now();
+        let mut m = dalia_la::Matrix::col_vector(rhs);
+        d_pobtas(fc, &mut m);
+        let out = m.col(0).to_vec();
+        self.ws.timers.solve_seconds += t0.elapsed().as_secs_f64();
+        out
+    }
+
+    fn quadratic_form_qp(&self, x: &[f64]) -> f64 {
+        quadratic_form_bta(&self.ws.qp, x)
+    }
+
+    fn selected_inverse_diag(&mut self) -> Vec<f64> {
+        let fc = self.fc.as_ref().expect("LatentSolver: factorize must be called first");
+        let t0 = Instant::now();
+        let diag = d_pobtasi(fc).diagonal();
+        self.ws.timers.selinv_seconds += t0.elapsed().as_secs_f64();
+        diag
+    }
+
+    fn timers(&self) -> PhaseTimers {
+        self.ws.timers
+    }
+
+    fn reset_timers(&mut self) {
+        self.ws.timers.reset();
+    }
+}
+
+/// General sparse Cholesky solver (the R-INLA / PARDISO-like baseline). The
+/// symbolic analyses of `Q_p` and `Q_c` are cached per sparsity pattern, so
+/// repeat factorizations run the numeric phase only.
+pub struct SparseCholeskySolver<'m> {
+    model: &'m CoregionalModel,
+    sym_qp: Option<CholeskySymbolic>,
+    sym_qc: Option<CholeskySymbolic>,
+    qp: Option<CsrMatrix>,
+    fp: Option<SparseCholesky>,
+    fc: Option<SparseCholesky>,
+    design: Option<CsrMatrix>,
+    timers: PhaseTimers,
+}
+
+impl<'m> SparseCholeskySolver<'m> {
+    /// Create a solver with empty symbolic caches for `model`.
+    pub fn new(model: &'m CoregionalModel) -> Self {
+        Self {
+            model,
+            sym_qp: None,
+            sym_qc: None,
+            qp: None,
+            fp: None,
+            fc: None,
+            design: None,
+            timers: PhaseTimers::default(),
+        }
+    }
+
+    /// Assemble `(Q_p, Q_c, design)` for `hyper`, recording assembly time.
+    fn assemble(&mut self, hyper: &ModelHyper) -> (CsrMatrix, CsrMatrix, CsrMatrix) {
+        let t0 = Instant::now();
+        let qp = self.model.assemble_qp_csr(hyper, true);
+        let design = self.model.joint_design(hyper);
+        let d_diag = self.model.noise_diag(hyper);
+        let congruence = ops::congruence_diag(&design, &d_diag);
+        let qc = ops::add(1.0, &qp, 1.0, &congruence);
+        self.timers.assembly_seconds += t0.elapsed().as_secs_f64();
+        (qp, qc, design)
+    }
+}
+
+/// Factorize `a`, reusing the cached symbolic analysis when the sparsity
+/// pattern still matches and re-analyzing (updating the cache) when it does
+/// not.
+fn factor_with_cached_symbolic(
+    cache: &mut Option<CholeskySymbolic>,
+    a: &CsrMatrix,
+) -> Result<SparseCholesky, SparseError> {
+    if let Some(sym) = cache.as_ref() {
+        match SparseCholesky::factor_with(sym, a) {
+            Err(SparseError::PatternMismatch) => {}
+            other => return other,
+        }
+    }
+    let sym = SparseCholesky::analyze(a)?;
+    let f = SparseCholesky::factor_with(&sym, a)?;
+    *cache = Some(sym);
+    Ok(f)
+}
+
+impl LatentSolver for SparseCholeskySolver<'_> {
+    fn backend_name(&self) -> &'static str {
+        "sparse-general"
+    }
+
+    fn model(&self) -> &CoregionalModel {
+        self.model
+    }
+
+    fn factorize(&mut self, hyper: &ModelHyper) -> Result<(), CoreError> {
+        let (qp, qc, design) = self.assemble(hyper);
+        let t0 = Instant::now();
+        self.fp =
+            Some(factor_with_cached_symbolic(&mut self.sym_qp, &qp).map_err(CoreError::SparseSolver)?);
+        self.fc =
+            Some(factor_with_cached_symbolic(&mut self.sym_qc, &qc).map_err(CoreError::SparseSolver)?);
+        self.timers.factorize_seconds += t0.elapsed().as_secs_f64();
+        self.qp = Some(qp);
+        self.design = Some(design);
+        Ok(())
+    }
+
+    fn factorize_conditional(&mut self, hyper: &ModelHyper) -> Result<(), CoreError> {
+        let (qp, qc, design) = self.assemble(hyper);
+        let t0 = Instant::now();
+        self.fp = None;
+        self.fc =
+            Some(factor_with_cached_symbolic(&mut self.sym_qc, &qc).map_err(CoreError::SparseSolver)?);
+        self.timers.factorize_seconds += t0.elapsed().as_secs_f64();
+        self.qp = Some(qp);
+        self.design = Some(design);
+        Ok(())
+    }
+
+    fn design(&self) -> &CsrMatrix {
+        self.design.as_ref().expect("LatentSolver: factorize must be called first")
+    }
+
+    fn logdet_qp(&self) -> f64 {
+        self.fp.as_ref().expect("LatentSolver: factorize must be called first").logdet()
+    }
+
+    fn logdet_qc(&self) -> f64 {
+        self.fc.as_ref().expect("LatentSolver: factorize must be called first").logdet()
+    }
+
+    fn solve_mean(&mut self, rhs: &[f64]) -> Vec<f64> {
+        let fc = self.fc.as_ref().expect("LatentSolver: factorize must be called first");
+        let t0 = Instant::now();
+        let out = fc.solve(rhs);
+        self.timers.solve_seconds += t0.elapsed().as_secs_f64();
+        out
+    }
+
+    fn quadratic_form_qp(&self, x: &[f64]) -> f64 {
+        self.qp
+            .as_ref()
+            .expect("LatentSolver: factorize must be called first")
+            .quadratic_form(x)
+    }
+
+    fn selected_inverse_diag(&mut self) -> Vec<f64> {
+        let fc = self.fc.as_ref().expect("LatentSolver: factorize must be called first");
+        let t0 = Instant::now();
+        let diag = fc.marginal_variances();
+        self.timers.selinv_seconds += t0.elapsed().as_secs_f64();
+        diag
+    }
+
+    fn timers(&self) -> PhaseTimers {
+        self.timers
+    }
+
+    fn reset_timers(&mut self) {
+        self.timers.reset();
+    }
+}
+
+/// Quadratic form `xᵀ A x` for a BTA matrix.
+pub fn quadratic_form_bta(a: &BtaMatrix, x: &[f64]) -> f64 {
+    let ax = a.matvec(x);
+    x.iter().zip(&ax).map(|(a, b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalia_mesh::{Domain, Point, TriangleMesh};
+    use dalia_model::Observation;
+
+    fn toy_model(nv: usize) -> (CoregionalModel, ModelHyper) {
+        let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+        let nt = 3;
+        let mut obs = Vec::new();
+        for v in 0..nv {
+            for t in 0..nt {
+                for &(x, y) in &[(0.25, 0.25), (0.75, 0.5), (0.4, 0.85)] {
+                    obs.push(Observation {
+                        var: v,
+                        t,
+                        loc: Point::new(x, y),
+                        covariates: vec![1.0],
+                        value: 0.3 * (v as f64) + 0.2 * (t as f64) + 0.1 * x,
+                    });
+                }
+            }
+        }
+        let model = CoregionalModel::new(&mesh, nt, 1.0, nv, 1, obs).unwrap();
+        let hyper = ModelHyper::default_for(nv, 0.7, 2.0);
+        (model, hyper)
+    }
+
+    fn backends() -> Vec<SolverBackend> {
+        vec![
+            SolverBackend::Bta { partitions: 1, load_balance: 1.0 },
+            SolverBackend::Bta { partitions: 3, load_balance: 1.3 },
+            SolverBackend::SparseGeneral,
+        ]
+    }
+
+    #[test]
+    fn factory_dispatches_to_the_right_implementation() {
+        let (model, _) = toy_model(1);
+        let names: Vec<&str> =
+            backends().iter().map(|b| b.build(&model).backend_name()).collect();
+        assert_eq!(names, vec!["bta-sequential", "bta-distributed", "sparse-general"]);
+        // Partition counts beyond nt are capped, not panicked on.
+        let capped = SolverBackend::Bta { partitions: 99, load_balance: 1.0 }.build(&model);
+        assert_eq!(capped.backend_name(), "bta-distributed");
+    }
+
+    #[test]
+    fn all_backends_agree_on_the_same_theta() {
+        let (model, hyper) = toy_model(2);
+        let mut reference: Option<(f64, f64, Vec<f64>, Vec<f64>)> = None;
+        for backend in backends() {
+            let mut solver = backend.build(&model);
+            solver.factorize(&hyper).unwrap();
+            let info = model.information_vector(&hyper, solver.design());
+            let mean = solver.solve_mean(&info);
+            let vars = solver.selected_inverse_diag();
+            let (ldp, ldc) = (solver.logdet_qp(), solver.logdet_qc());
+            match &reference {
+                None => reference = Some((ldp, ldc, mean, vars)),
+                Some((rp, rc, rmean, rvars)) => {
+                    assert!((ldp - rp).abs() < 1e-8 * (1.0 + rp.abs()));
+                    assert!((ldc - rc).abs() < 1e-8 * (1.0 + rc.abs()));
+                    for (a, b) in mean.iter().zip(rmean) {
+                        assert!((a - b).abs() < 1e-8);
+                    }
+                    for (a, b) in vars.iter().zip(rvars) {
+                        assert!((a - b).abs() < 1e-8);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refactorization_reuses_workspaces_without_contamination() {
+        let (model, hyper) = toy_model(1);
+        let mut theta2 = hyper.to_theta();
+        theta2[0] += 0.4;
+        theta2[2] -= 0.3;
+        let hyper2 = ModelHyper::from_theta(1, &theta2);
+
+        for backend in backends() {
+            // Reused solver: factorize at θ₁, then θ₂.
+            let mut reused = backend.build(&model);
+            reused.factorize(&hyper).unwrap();
+            reused.factorize(&hyper2).unwrap();
+            // Fresh solver: factorize at θ₂ only.
+            let mut fresh = backend.build(&model);
+            fresh.factorize(&hyper2).unwrap();
+
+            assert_eq!(reused.logdet_qp().to_bits(), fresh.logdet_qp().to_bits());
+            assert_eq!(reused.logdet_qc().to_bits(), fresh.logdet_qc().to_bits());
+            let info = model.information_vector(&hyper2, fresh.design());
+            let m1 = reused.solve_mean(&info);
+            let m2 = fresh.solve_mean(&info);
+            for (a, b) in m1.iter().zip(&m2) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{} mean drift", reused.backend_name());
+            }
+        }
+    }
+
+    #[test]
+    fn factorize_conditional_matches_full_factorization_for_qc() {
+        let (model, hyper) = toy_model(2);
+        for backend in backends() {
+            let mut full = backend.build(&model);
+            full.factorize(&hyper).unwrap();
+            let mut cond = backend.build(&model);
+            cond.factorize_conditional(&hyper).unwrap();
+            let tag = cond.backend_name();
+            assert_eq!(cond.logdet_qc().to_bits(), full.logdet_qc().to_bits(), "{tag}");
+            let info = model.information_vector(&hyper, full.design());
+            let m_full = full.solve_mean(&info);
+            let m_cond = cond.solve_mean(&info);
+            for (a, b) in m_full.iter().zip(&m_cond) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{tag}: mean");
+            }
+            let v_full = full.selected_inverse_diag();
+            let v_cond = cond.selected_inverse_diag();
+            for (a, b) in v_full.iter().zip(&v_cond) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{tag}: variances");
+            }
+            // Q_p stays assembled (quadratic form valid), just not factorized.
+            assert_eq!(
+                cond.quadratic_form_qp(&m_cond).to_bits(),
+                full.quadratic_form_qp(&m_full).to_bits(),
+                "{tag}: quadratic form"
+            );
+        }
+    }
+
+    #[test]
+    fn timers_record_each_phase() {
+        let (model, hyper) = toy_model(1);
+        let mut solver = SolverBackend::Bta { partitions: 1, load_balance: 1.0 }.build(&model);
+        solver.factorize(&hyper).unwrap();
+        let info = model.information_vector(&hyper, solver.design());
+        let _ = solver.solve_mean(&info);
+        let _ = solver.selected_inverse_diag();
+        let t = solver.timers();
+        assert!(t.assembly_seconds > 0.0);
+        assert!(t.factorize_seconds > 0.0);
+        assert!(t.solver_seconds() >= t.factorize_seconds);
+        assert!(t.total_seconds() >= t.solver_seconds());
+        solver.reset_timers();
+        assert_eq!(solver.timers(), PhaseTimers::default());
+    }
+
+    #[test]
+    fn timers_merge_accumulates() {
+        let mut a = PhaseTimers {
+            assembly_seconds: 1.0,
+            factorize_seconds: 2.0,
+            solve_seconds: 0.5,
+            selinv_seconds: 0.25,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.assembly_seconds, 2.0);
+        assert_eq!(a.solver_seconds(), 5.5);
+    }
+}

@@ -10,7 +10,7 @@ use crate::mesh2d::{Point, TriangleMesh};
 use dalia_sparse::{CooMatrix, CsrMatrix};
 
 /// Assemble the consistent P1 mass matrix `C` with
-/// `C_ij = ∫ φ_i φ_j dx` (per-triangle: area/12 * [[2,1,1],[1,2,1],[1,1,2]]).
+/// `C_ij = ∫ φ_i φ_j dx` (per-triangle: `area/12 * [[2,1,1],[1,2,1],[1,1,2]]`).
 pub fn mass_matrix(mesh: &TriangleMesh) -> CsrMatrix {
     let n = mesh.n_nodes();
     let mut coo = CooMatrix::with_capacity(n, n, 9 * mesh.n_triangles());

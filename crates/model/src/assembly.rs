@@ -185,8 +185,24 @@ impl CoregionalModel {
     /// the permuted time-major ordering.
     pub fn assemble_qp_bta(&self, hyper: &ModelHyper) -> BtaMatrix {
         let d = &self.dims;
+        let mut bta = BtaMatrix::zeros(d.nt, d.block_size(), d.arrow_size());
+        self.assemble_qp_bta_into(hyper, &mut bta);
+        bta
+    }
+
+    /// Assemble `Q_p` into pre-allocated BTA block storage (zeroed and
+    /// re-filled in place). `bta` must have the model's block structure
+    /// `(nt, nv·ns, nv·nr)`. Stateful solver sessions use this to amortize the
+    /// block allocation across the many θ evaluations of an INLA run.
+    pub fn assemble_qp_bta_into(&self, hyper: &ModelHyper, bta: &mut BtaMatrix) {
+        let d = &self.dims;
         let (b, a) = (d.block_size(), d.arrow_size());
-        let mut bta = BtaMatrix::zeros(d.nt, b, a);
+        assert_eq!(
+            (bta.n, bta.b, bta.a),
+            (d.nt, b, a),
+            "assemble_qp_bta_into: workspace block structure mismatch"
+        );
+        bta.set_zero();
         let coefs = hyper.coregional_coefficients();
 
         for i in 0..d.nv {
@@ -249,18 +265,35 @@ impl CoregionalModel {
                 }
             }
         }
-        bta
     }
 
     /// Assemble the conditional precision `Q_c = Q_p + Aᵀ D A` (Eq. 4) as a
     /// BTA matrix, together with the joint design matrix used.
     pub fn assemble_qc_bta(&self, hyper: &ModelHyper) -> (BtaMatrix, CsrMatrix) {
-        let mut bta = self.assemble_qp_bta(hyper);
+        let d = &self.dims;
+        let mut bta = BtaMatrix::zeros(d.nt, d.block_size(), d.arrow_size());
+        let design = self.assemble_qc_bta_into(hyper, &mut bta);
+        (bta, design)
+    }
+
+    /// Assemble `Q_c` into pre-allocated BTA block storage, returning the
+    /// joint design matrix used. See [`Self::assemble_qp_bta_into`] for the
+    /// workspace contract.
+    pub fn assemble_qc_bta_into(&self, hyper: &ModelHyper, bta: &mut BtaMatrix) -> CsrMatrix {
+        self.assemble_qp_bta_into(hyper, bta);
+        self.extend_qp_to_qc(hyper, bta)
+    }
+
+    /// Turn a workspace currently holding `Q_p` values into `Q_c` by adding
+    /// the observation information `Aᵀ D A`, returning the joint design
+    /// matrix. Lets callers that need *both* matrices assemble `Q_p` once,
+    /// copy it, and extend the copy.
+    pub fn extend_qp_to_qc(&self, hyper: &ModelHyper, bta: &mut BtaMatrix) -> CsrMatrix {
         let design = self.joint_design(hyper);
         let d_diag = self.noise_diag(hyper);
         let congruence = ops::congruence_diag(&design, &d_diag);
-        self.add_congruence_to_bta(&congruence, &mut bta);
-        (bta, design)
+        self.add_congruence_to_bta(&congruence, bta);
+        design
     }
 
     /// Map a congruence matrix `AᵀDA` (in permuted ordering) onto the BTA
@@ -433,6 +466,31 @@ mod tests {
             let diff = bta.to_dense().max_abs_diff(&csr.to_dense());
             assert!(diff < 1e-9, "nv={nv}: BTA vs CSR prior mismatch {diff}");
         }
+    }
+
+    #[test]
+    fn in_place_assembly_matches_allocating_assembly() {
+        let (model, hyper) = small_model(2);
+        let d = model.dims;
+        let mut work = BtaMatrix::zeros(d.nt, d.block_size(), d.arrow_size());
+        // Pollute the workspace with values from a different θ, then re-fill.
+        let mut other = ModelHyper::default_for(2, 0.4, 1.5);
+        other.lambdas = vec![0.9];
+        model.assemble_qp_bta_into(&other, &mut work);
+        model.assemble_qp_bta_into(&hyper, &mut work);
+        let fresh = model.assemble_qp_bta(&hyper);
+        assert_eq!(work.to_dense().max_abs_diff(&fresh.to_dense()), 0.0);
+
+        let design_reused = model.assemble_qc_bta_into(&hyper, &mut work);
+        let (qc_fresh, design_fresh) = model.assemble_qc_bta(&hyper);
+        assert_eq!(work.to_dense().max_abs_diff(&qc_fresh.to_dense()), 0.0);
+        assert_eq!(design_reused.max_abs_diff(&design_fresh), 0.0);
+
+        // extend_qp_to_qc on a copied Q_p gives the same Q_c.
+        let mut copied = BtaMatrix::zeros(d.nt, d.block_size(), d.arrow_size());
+        model.assemble_qp_bta_into(&hyper, &mut copied);
+        model.extend_qp_to_qc(&hyper, &mut copied);
+        assert_eq!(copied.to_dense().max_abs_diff(&qc_fresh.to_dense()), 0.0);
     }
 
     #[test]

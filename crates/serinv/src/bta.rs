@@ -68,6 +68,41 @@ impl BtaMatrix {
             + self.a * self.a
     }
 
+    /// Zero every block in place (workspace reuse: re-assembly into
+    /// pre-allocated storage starts from a clean slate without reallocating).
+    pub fn set_zero(&mut self) {
+        for d in &mut self.diag {
+            d.fill_zero();
+        }
+        for s in &mut self.sub {
+            s.fill_zero();
+        }
+        for c in &mut self.arrow {
+            c.fill_zero();
+        }
+        self.tip.fill_zero();
+    }
+
+    /// Copy the block values of `other` into this matrix without allocating.
+    /// Both matrices must have the same `(n, b, a)` structure.
+    pub fn copy_values_from(&mut self, other: &BtaMatrix) {
+        assert_eq!(
+            (self.n, self.b, self.a),
+            (other.n, other.b, other.a),
+            "copy_values_from: block structure mismatch"
+        );
+        for (dst, src) in self.diag.iter_mut().zip(&other.diag) {
+            dst.as_mut_slice().copy_from_slice(src.as_slice());
+        }
+        for (dst, src) in self.sub.iter_mut().zip(&other.sub) {
+            dst.as_mut_slice().copy_from_slice(src.as_slice());
+        }
+        for (dst, src) in self.arrow.iter_mut().zip(&other.arrow) {
+            dst.as_mut_slice().copy_from_slice(src.as_slice());
+        }
+        self.tip.as_mut_slice().copy_from_slice(other.tip.as_slice());
+    }
+
     /// Add `alpha · I` to the diagonal (regularization / jitter).
     pub fn add_diagonal(&mut self, alpha: f64) {
         for d in &mut self.diag {

@@ -17,7 +17,32 @@ use dalia_la::{chol, Matrix};
 ///
 /// Consumes a copy of the matrix and returns its block Cholesky factor.
 pub fn pobtaf(a: &BtaMatrix) -> Result<BtaCholesky, SerinvError> {
-    let mut m = a.clone();
+    pobtaf_reusing(a, None)
+}
+
+/// [`pobtaf`] with workspace reuse: if `storage` holds a BTA matrix of the
+/// same `(n, b, a)` structure (typically the blocks of a retired factor), its
+/// allocations are recycled for the new factor instead of cloning `a`.
+///
+/// Stateful solver sessions use this to keep one factor allocation alive
+/// across the dozens-to-hundreds of factorizations an INLA run performs.
+pub fn pobtaf_reusing(
+    a: &BtaMatrix,
+    storage: Option<BtaMatrix>,
+) -> Result<BtaCholesky, SerinvError> {
+    let mut m = match storage {
+        Some(mut s) if (s.n, s.b, s.a) == (a.n, a.b, a.a) => {
+            s.copy_values_from(a);
+            s
+        }
+        _ => a.clone(),
+    };
+    factor_in_place(&mut m)?;
+    Ok(BtaCholesky { blocks: m })
+}
+
+/// The factorization kernel: overwrite `m` with its block Cholesky factor.
+fn factor_in_place(m: &mut BtaMatrix) -> Result<(), SerinvError> {
     let n = m.n;
     let has_arrow = m.a > 0;
 
@@ -57,7 +82,7 @@ pub fn pobtaf(a: &BtaMatrix) -> Result<BtaCholesky, SerinvError> {
     if has_arrow {
         chol::potrf(&mut m.tip).map_err(|e| SerinvError::Factorization { block: n, source: e })?;
     }
-    Ok(BtaCholesky { blocks: m })
+    Ok(())
 }
 
 /// BTA triangular solve: solves `A X = B` given the factor from [`pobtaf`].
@@ -247,6 +272,24 @@ mod tests {
         let f = pobtaf(&a).unwrap();
         let dense_l = chol::cholesky(&a.to_dense()).unwrap();
         assert!((f.logdet() - chol::logdet_from_cholesky(&dense_l)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pobtaf_reusing_recycles_storage_bitwise() {
+        let a = test_matrix(5, 3, 2, 11);
+        let fresh = pobtaf(&a).unwrap();
+        // Matching storage: recycled, result bitwise identical.
+        let reused = pobtaf_reusing(&a, Some(BtaMatrix::zeros(5, 3, 2))).unwrap();
+        for i in 0..5 {
+            assert_eq!(fresh.blocks.diag[i].as_slice(), reused.blocks.diag[i].as_slice());
+        }
+        assert_eq!(fresh.blocks.tip.as_slice(), reused.blocks.tip.as_slice());
+        // A retired factor's blocks work as storage for the next call.
+        let recycled = pobtaf_reusing(&a, Some(reused.blocks)).unwrap();
+        assert_eq!(fresh.logdet().to_bits(), recycled.logdet().to_bits());
+        // Mismatched storage falls back to a fresh clone.
+        let fallback = pobtaf_reusing(&a, Some(BtaMatrix::zeros(2, 2, 1))).unwrap();
+        assert_eq!(fresh.logdet().to_bits(), fallback.logdet().to_bits());
     }
 
     #[test]

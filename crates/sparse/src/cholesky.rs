@@ -7,6 +7,15 @@
 //! not exploit the block-tridiagonal-arrowhead structure — that is exactly the
 //! point of the comparison against the structured solver in the `serinv`
 //! crate.
+//!
+//! Like the real PARDISO, the factorization is split into a *symbolic* phase
+//! ([`SparseCholesky::analyze`], which computes the elimination tree and the
+//! non-zero pattern of the factor) and a *numeric* phase
+//! ([`SparseCholesky::factor_with`], which fills the pattern with values).
+//! INLA evaluates dozens-to-hundreds of precision matrices with the identical
+//! sparsity pattern (one per hyperparameter value θ), so callers that cache
+//! the [`CholeskySymbolic`] pay the symbolic cost once per pattern instead of
+//! once per evaluation.
 
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
@@ -67,6 +76,43 @@ fn ereach(lower: &CsrMatrix, i: usize, parent: &[usize], stamp: &mut [usize]) ->
     pattern
 }
 
+/// Reusable symbolic analysis of a sparse Cholesky factorization: the
+/// elimination tree and the full non-zero pattern of the factor, valid for
+/// every matrix sharing the analyzed sparsity pattern.
+#[derive(Clone, Debug)]
+pub struct CholeskySymbolic {
+    n: usize,
+    /// Elimination tree parents.
+    parent: Vec<usize>,
+    /// Pattern of the analyzed input's lower triangle (used to detect when a
+    /// numeric refactorization is handed a different pattern).
+    a_row_ptr: Vec<usize>,
+    a_col_idx: Vec<usize>,
+    /// CSR pattern of the factor `L`, diagonal included (last entry per row).
+    l_row_ptr: Vec<usize>,
+    l_col_idx: Vec<usize>,
+}
+
+impl CholeskySymbolic {
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Number of non-zeros the factor will have (including the diagonal).
+    pub fn nnz_factor(&self) -> usize {
+        self.l_col_idx.len()
+    }
+
+    /// Whether `lower` (a lower triangle in CSR form) has exactly the pattern
+    /// this analysis was computed for.
+    fn matches_lower(&self, lower: &CsrMatrix) -> bool {
+        lower.nrows() == self.n
+            && lower.row_ptr() == self.a_row_ptr.as_slice()
+            && lower.col_idx() == self.a_col_idx.as_slice()
+    }
+}
+
 /// Result of a sparse Cholesky factorization `A = L Lᵀ`.
 #[derive(Clone, Debug)]
 pub struct SparseCholesky {
@@ -84,7 +130,18 @@ pub struct SparseCholesky {
 impl SparseCholesky {
     /// Factorize a symmetric positive definite matrix given in full (both
     /// triangles) or lower-triangular CSR form.
+    ///
+    /// Equivalent to [`Self::analyze`] followed by [`Self::factor_with`];
+    /// callers that factorize many matrices with the same pattern should cache
+    /// the [`CholeskySymbolic`] and call [`Self::factor_with`] directly.
     pub fn factor(a: &CsrMatrix) -> Result<Self, SparseError> {
+        let symbolic = Self::analyze(a)?;
+        Self::factor_with(&symbolic, a)
+    }
+
+    /// Symbolic analysis: elimination tree + factor pattern. Fails only on
+    /// non-square input; the numeric values of `a` are ignored.
+    pub fn analyze(a: &CsrMatrix) -> Result<CholeskySymbolic, SparseError> {
         if a.nrows() != a.ncols() {
             return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
         }
@@ -92,20 +149,61 @@ impl SparseCholesky {
         let lower = a.lower_triangle();
         let parent = elimination_tree(&lower);
 
-        // Row-wise dynamic storage for L.
-        let mut l_cols: Vec<Vec<usize>> = Vec::with_capacity(n);
-        let mut l_vals: Vec<Vec<f64>> = Vec::with_capacity(n);
-        let mut diag = vec![0.0f64; n];
+        let mut stamp = vec![NONE; n];
+        let mut l_row_ptr = Vec::with_capacity(n + 1);
+        let mut l_col_idx = Vec::new();
+        l_row_ptr.push(0);
+        for i in 0..n {
+            let pattern = ereach(&lower, i, &parent, &mut stamp);
+            l_col_idx.extend_from_slice(&pattern);
+            // Diagonal entry last: every pattern column is < i.
+            l_col_idx.push(i);
+            l_row_ptr.push(l_col_idx.len());
+        }
+        Ok(CholeskySymbolic {
+            n,
+            parent,
+            a_row_ptr: lower.row_ptr().to_vec(),
+            a_col_idx: lower.col_idx().to_vec(),
+            l_row_ptr,
+            l_col_idx,
+        })
+    }
 
+    /// Numeric factorization reusing a cached symbolic analysis.
+    ///
+    /// `a` must have exactly the sparsity pattern that `symbolic` was computed
+    /// for; otherwise [`SparseError::PatternMismatch`] is returned (callers
+    /// can then re-[`analyze`](Self::analyze)).
+    ///
+    /// Skips the elimination-tree traversal entirely; the factor pattern is
+    /// copied from the analysis (an O(nnz) memcpy, negligible next to the
+    /// numeric flops) so the returned factor owns its storage.
+    pub fn factor_with(symbolic: &CholeskySymbolic, a: &CsrMatrix) -> Result<Self, SparseError> {
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::NotSquare { nrows: a.nrows(), ncols: a.ncols() });
+        }
+        let lower = a.lower_triangle();
+        if !symbolic.matches_lower(&lower) {
+            return Err(SparseError::PatternMismatch);
+        }
+        let n = symbolic.n;
+        let l_row_ptr = &symbolic.l_row_ptr;
+        let l_col_idx = &symbolic.l_col_idx;
+        let mut values = vec![0.0f64; l_col_idx.len()];
+        let mut diag = vec![0.0f64; n];
         let mut stamp = vec![NONE; n];
         let mut x = vec![0.0f64; n];
 
         for i in 0..n {
-            // Scatter row i of the lower triangle of A into x.
-            let pattern = ereach(&lower, i, &parent, &mut stamp);
-            for &k in &pattern {
+            let (start, end) = (l_row_ptr[i], l_row_ptr[i + 1]);
+            // Pattern of row i (columns < i); the diagonal sits at end - 1.
+            let pattern = &l_col_idx[start..end - 1];
+            for &k in pattern {
                 x[k] = 0.0;
+                stamp[k] = i;
             }
+            // Scatter row i of the lower triangle of A into x.
             let mut aii = 0.0;
             for (j, v) in lower.row_iter(i) {
                 if j < i {
@@ -117,44 +215,33 @@ impl SparseCholesky {
             // Sparse forward solve: L[0..i,0..i] * y = A[0..i, i] restricted to
             // the pattern, processed in ascending column order.
             let mut sum_sq = 0.0;
-            let mut row_cols = Vec::with_capacity(pattern.len() + 1);
-            let mut row_vals = Vec::with_capacity(pattern.len() + 1);
-            for &k in &pattern {
+            for (offset, &k) in pattern.iter().enumerate() {
                 let mut s = x[k];
-                // Subtract L[k, j] * y[j] for j in pattern of row k with j < k.
-                for (idx, &j) in l_cols[k].iter().enumerate() {
+                // Subtract L[k, j] * y[j] for j in the pattern of row k, j < k.
+                for idx in l_row_ptr[k]..l_row_ptr[k + 1] - 1 {
+                    let j = l_col_idx[idx];
                     // x[j] is only valid if j is in the current pattern; entries
                     // outside the pattern are structurally zero in y.
                     if stamp[j] == i {
-                        s -= l_vals[k][idx] * x[j];
+                        s -= values[idx] * x[j];
                     }
                 }
                 let y = s / diag[k];
                 x[k] = y;
                 sum_sq += y * y;
-                row_cols.push(k);
-                row_vals.push(y);
+                values[start + offset] = y;
             }
             let d = aii - sum_sq;
             if !(d > 0.0) || !d.is_finite() {
                 return Err(SparseError::NotPositiveDefinite { pivot: i, value: d });
             }
             diag[i] = d.sqrt();
-            l_cols.push(row_cols);
-            l_vals.push(row_vals);
+            values[end - 1] = diag[i];
         }
 
-        // Assemble the factor into CSR (rows = lower triangle incl. diagonal).
-        let mut coo = CooMatrix::new(n, n);
-        for i in 0..n {
-            for (idx, &c) in l_cols[i].iter().enumerate() {
-                coo.push(i, c, l_vals[i][idx]);
-            }
-            coo.push(i, i, diag[i]);
-        }
-        let l = coo.to_csr();
+        let l = CsrMatrix::from_raw(n, n, l_row_ptr.clone(), l_col_idx.clone(), values);
         let lt = l.transpose();
-        Ok(Self { l, lt, parent, nnz_input_lower: lower.nnz() })
+        Ok(Self { l, lt, parent: symbolic.parent.clone(), nnz_input_lower: lower.nnz() })
     }
 
     /// The lower-triangular factor `L` (CSR by rows).
@@ -397,6 +484,50 @@ mod tests {
         for i in 0..10 {
             assert!((vars[i] - dense_inv[(i, i)]).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn cached_symbolic_refactorization_is_bitwise_identical() {
+        let a = gmrf_precision(14);
+        let symbolic = SparseCholesky::analyze(&a).unwrap();
+        assert_eq!(symbolic.order(), 14);
+        let fresh = SparseCholesky::factor(&a).unwrap();
+        let reused = SparseCholesky::factor_with(&symbolic, &a).unwrap();
+        assert_eq!(symbolic.nnz_factor(), fresh.nnz_factor());
+        assert_eq!(fresh.factor_l().values(), reused.factor_l().values());
+        assert_eq!(fresh.factor_l().col_idx(), reused.factor_l().col_idx());
+
+        // Refactorize with different values on the same pattern.
+        let mut b = a.clone();
+        for v in b.values_mut() {
+            *v *= 1.5;
+        }
+        let f2 = SparseCholesky::factor_with(&symbolic, &b).unwrap();
+        let direct = SparseCholesky::factor(&b).unwrap();
+        assert_eq!(f2.factor_l().values(), direct.factor_l().values());
+    }
+
+    #[test]
+    fn factor_with_rejects_different_pattern() {
+        let a = gmrf_precision(10);
+        let symbolic = SparseCholesky::analyze(&a).unwrap();
+        let other = gmrf_precision(12);
+        assert!(matches!(
+            SparseCholesky::factor_with(&symbolic, &other),
+            Err(SparseError::PatternMismatch)
+        ));
+        // Same order, different pattern.
+        let mut coo = CooMatrix::new(10, 10);
+        for i in 0..10 {
+            coo.push(i, i, 3.0);
+        }
+        coo.push(9, 0, -0.5);
+        coo.push(0, 9, -0.5);
+        let dense_corner = coo.to_csr();
+        assert!(matches!(
+            SparseCholesky::factor_with(&symbolic, &dense_corner),
+            Err(SparseError::PatternMismatch)
+        ));
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod csr;
 pub mod ops;
 pub mod permutation;
 
-pub use cholesky::{elimination_tree, SparseCholesky};
+pub use cholesky::{elimination_tree, CholeskySymbolic, SparseCholesky};
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use permutation::{coregional_permutation, Permutation};
@@ -46,6 +46,9 @@ pub enum SparseError {
         /// Human-readable description.
         context: String,
     },
+    /// A numeric refactorization was attempted with a symbolic analysis that
+    /// was computed for a different sparsity pattern.
+    PatternMismatch,
 }
 
 impl std::fmt::Display for SparseError {
@@ -58,6 +61,9 @@ impl std::fmt::Display for SparseError {
                 write!(f, "matrix not positive definite at pivot {pivot} (value {value:.3e})")
             }
             SparseError::DimensionMismatch { context } => write!(f, "dimension mismatch: {context}"),
+            SparseError::PatternMismatch => {
+                write!(f, "symbolic analysis does not match the matrix sparsity pattern")
+            }
         }
     }
 }

@@ -26,8 +26,12 @@ fn main() {
     let theta0 = hyper0.to_theta();
     let mut settings = InlaSettings::dalia(1);
     settings.max_iter = 2;
-    let engine = InlaEngine::new(&model, &theta0, settings);
-    let result = engine.run(&theta0).expect("INLA run");
+    let session = InlaEngine::builder(&model)
+        .prior(ThetaPrior::weakly_informative(&theta0, 3.0))
+        .settings(settings)
+        .build()
+        .expect("valid settings");
+    let result = session.run(&theta0).expect("INLA run");
 
     println!("\nf_obj at mode: {:.1}, {:.1} s/iteration", result.fobj_at_mode, result.seconds_per_iteration);
 

@@ -30,12 +30,18 @@ fn main() {
         model.dims.arrow_size()
     );
 
-    // 3. Run INLA with the DALIA settings (structured BTA solver).
+    // 3. Run INLA with the DALIA settings (structured BTA solver). The
+    //    session owns the solver workspaces and reuses them across every
+    //    objective evaluation of the BFGS run.
     let theta0 = ModelHyper::default_for(1, 0.4, 3.0).to_theta();
     let mut settings = InlaSettings::dalia(1);
     settings.max_iter = 6;
-    let engine = InlaEngine::new(&model, &theta0, settings);
-    let result = engine.run(&theta0).expect("INLA run");
+    let session = InlaEngine::builder(&model)
+        .prior(ThetaPrior::weakly_informative(&theta0, 3.0))
+        .settings(settings)
+        .build()
+        .expect("valid settings");
+    let result = session.run(&theta0).expect("INLA run");
 
     // 4. Report.
     println!("\nconverged: {}, {} BFGS iterations, {:.2} s/iteration",

@@ -14,7 +14,8 @@
 //! use dalia::prelude::*;
 //!
 //! // Build a tiny univariate spatio-temporal model and evaluate the INLA
-//! // objective once.
+//! // objective twice through a stateful session (the second evaluation
+//! // reuses the solver workspaces built by the first).
 //! let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
 //! let obs = vec![Observation {
 //!     var: 0,
@@ -25,8 +26,13 @@
 //! }];
 //! let model = CoregionalModel::new(&mesh, 2, 1.0, 1, 1, obs).unwrap();
 //! let theta0 = ModelHyper::default_for(1, 0.5, 2.0).to_theta();
-//! let engine = InlaEngine::new(&model, &theta0, InlaSettings::dalia(1));
-//! assert!(engine.objective(&theta0).unwrap().is_finite());
+//! let session = InlaEngine::builder(&model)
+//!     .prior(ThetaPrior::weakly_informative(&theta0, 3.0))
+//!     .settings(InlaSettings::dalia(1))
+//!     .build()
+//!     .unwrap();
+//! assert!(session.objective(&theta0).unwrap().is_finite());
+//! assert!(session.objective(&theta0).unwrap().is_finite());
 //! ```
 
 pub use dalia_core as core;
@@ -42,9 +48,11 @@ pub use serinv;
 /// Convenience prelude bringing the most commonly used types into scope.
 pub mod prelude {
     pub use dalia_core::{
-        evaluate_fobj, predict, response_correlations, InlaEngine, InlaResult, InlaSettings,
-        SolverBackend,
+        predict, response_correlations, InlaEngine, InlaResult, InlaSession, InlaSessionBuilder,
+        InlaSettings, LatentSolver, PhaseTimers, SolverBackend,
     };
+    #[allow(deprecated)]
+    pub use dalia_core::evaluate_fobj;
     pub use dalia_data::{
         generate_pollution_dataset, generate_univariate_dataset, observation_grid, DatasetConfig,
     };

@@ -1,0 +1,115 @@
+//! Backend parity through the `LatentSolver` trait: every solver backend run
+//! on the same small coregional model must agree on *all* the quantities an
+//! INLA evaluation consumes — `log|Q_p|`, `log|Q_c|`, the conditional mean and
+//! the selected-inverse marginal variances — to within 1e-8, not just on the
+//! scalar objective value.
+
+use dalia::prelude::*;
+
+struct BackendResult {
+    name: &'static str,
+    logdet_qp: f64,
+    logdet_qc: f64,
+    mean: Vec<f64>,
+    variances: Vec<f64>,
+}
+
+fn run_backend(
+    model: &CoregionalModel,
+    hyper: &ModelHyper,
+    name: &'static str,
+    backend: SolverBackend,
+) -> BackendResult {
+    let mut solver = backend.build(model);
+    solver.factorize(hyper).expect("factorization must succeed");
+    let info = model.information_vector(hyper, solver.design());
+    let mean = solver.solve_mean(&info);
+    let variances = solver.selected_inverse_diag();
+    BackendResult {
+        name,
+        logdet_qp: solver.logdet_qp(),
+        logdet_qc: solver.logdet_qc(),
+        mean,
+        variances,
+    }
+}
+
+fn parity_case(nv: usize, nt: usize, partitions: usize) {
+    let domain = Domain::unit_square();
+    let mesh = TriangleMesh::structured(domain, 4, 4);
+    let mut obs = Vec::new();
+    for v in 0..nv {
+        for t in 0..nt {
+            for &(x, y) in &[(0.2, 0.3), (0.7, 0.6), (0.45, 0.85), (0.85, 0.2)] {
+                obs.push(Observation {
+                    var: v,
+                    t,
+                    loc: Point::new(x, y),
+                    covariates: vec![1.0],
+                    value: 0.4 * (v as f64) - 0.15 * (t as f64) + 0.3 * x * y,
+                });
+            }
+        }
+    }
+    let model = CoregionalModel::new(&mesh, nt, 1.0, nv, 1, obs).unwrap();
+    let mut hyper = ModelHyper::default_for(nv, 0.6, 2.0);
+    if nv > 1 {
+        for l in hyper.lambdas.iter_mut() {
+            *l = 0.4;
+        }
+    }
+
+    let results = [
+        run_backend(&model, &hyper, "bta-sequential", SolverBackend::Bta {
+            partitions: 1,
+            load_balance: 1.0,
+        }),
+        run_backend(&model, &hyper, "bta-distributed", SolverBackend::Bta {
+            partitions,
+            load_balance: 1.3,
+        }),
+        run_backend(&model, &hyper, "sparse-general", SolverBackend::SparseGeneral),
+    ];
+
+    let reference = &results[0];
+    for other in &results[1..] {
+        let tag = format!("nv={nv} nt={nt}: {} vs {}", reference.name, other.name);
+        assert!(
+            (reference.logdet_qp - other.logdet_qp).abs()
+                < 1e-8 * (1.0 + reference.logdet_qp.abs()),
+            "{tag}: logdet_qp {} vs {}",
+            reference.logdet_qp,
+            other.logdet_qp
+        );
+        assert!(
+            (reference.logdet_qc - other.logdet_qc).abs()
+                < 1e-8 * (1.0 + reference.logdet_qc.abs()),
+            "{tag}: logdet_qc {} vs {}",
+            reference.logdet_qc,
+            other.logdet_qc
+        );
+        assert_eq!(reference.mean.len(), other.mean.len());
+        for (i, (a, b)) in reference.mean.iter().zip(&other.mean).enumerate() {
+            assert!((a - b).abs() < 1e-8, "{tag}: mean[{i}] {a} vs {b}");
+        }
+        assert_eq!(reference.variances.len(), other.variances.len());
+        for (i, (a, b)) in reference.variances.iter().zip(&other.variances).enumerate() {
+            assert!((a - b).abs() < 1e-8, "{tag}: variance[{i}] {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn univariate_backends_agree_on_all_solver_quantities() {
+    parity_case(1, 4, 2);
+}
+
+#[test]
+fn bivariate_backends_agree_on_all_solver_quantities() {
+    parity_case(2, 3, 3);
+}
+
+#[test]
+fn trivariate_backends_agree_on_all_solver_quantities() {
+    parity_case(3, 4, 4);
+}

@@ -14,13 +14,20 @@ fn univariate_setup() -> (CoregionalModel, Vec<f64>, f64) {
     (model, theta0, beta_true)
 }
 
+fn session<'m>(model: &'m CoregionalModel, theta0: &[f64], settings: InlaSettings) -> InlaSession<'m> {
+    InlaEngine::builder(model)
+        .prior(ThetaPrior::weakly_informative(theta0, 3.0))
+        .settings(settings)
+        .build()
+        .expect("valid settings")
+}
+
 #[test]
 fn objective_agrees_across_backends_and_partitions() {
     let (model, theta0, _) = univariate_setup();
-    let prior = ThetaPrior::weakly_informative(&theta0, 3.0);
-    let f_bta = evaluate_fobj(&model, &prior, &theta0, &InlaSettings::dalia(1)).unwrap();
-    let f_dist = evaluate_fobj(&model, &prior, &theta0, &InlaSettings::dalia(3)).unwrap();
-    let f_sparse = evaluate_fobj(&model, &prior, &theta0, &InlaSettings::rinla_like()).unwrap();
+    let f_bta = session(&model, &theta0, InlaSettings::dalia(1)).evaluate(&theta0).unwrap();
+    let f_dist = session(&model, &theta0, InlaSettings::dalia(3)).evaluate(&theta0).unwrap();
+    let f_sparse = session(&model, &theta0, InlaSettings::rinla_like()).evaluate(&theta0).unwrap();
     let scale = 1.0 + f_bta.value.abs();
     assert!((f_bta.value - f_dist.value).abs() < 1e-7 * scale);
     assert!((f_bta.value - f_sparse.value).abs() < 1e-6 * scale);
@@ -35,7 +42,7 @@ fn full_pipeline_recovers_fixed_effect_and_noise() {
     let (model, theta0, beta_true) = univariate_setup();
     let mut settings = InlaSettings::dalia(1);
     settings.max_iter = 6;
-    let engine = InlaEngine::new(&model, &theta0, settings);
+    let engine = session(&model, &theta0, settings);
     let result = engine.run(&theta0).unwrap();
 
     // Fixed effect is identified because the covariate varies independently of
@@ -63,7 +70,7 @@ fn latent_uncertainty_is_smaller_near_observations() {
     let (model, theta0, _) = univariate_setup();
     let mut settings = InlaSettings::dalia(2);
     settings.max_iter = 3;
-    let engine = InlaEngine::new(&model, &theta0, settings);
+    let engine = session(&model, &theta0, settings);
     let result = engine.run(&theta0).unwrap();
     // Average posterior sd of the spatio-temporal field must be below the
     // prior marginal sd of ~1 (the data are informative).
@@ -78,7 +85,7 @@ fn prediction_pipeline_produces_finite_surfaces() {
     let (model, theta0, _) = univariate_setup();
     let mut settings = InlaSettings::dalia(1);
     settings.max_iter = 2;
-    let engine = InlaEngine::new(&model, &theta0, settings);
+    let engine = session(&model, &theta0, settings);
     let result = engine.run(&theta0).unwrap();
     let grid = observation_grid(&Domain::unit_square(), 9, 9);
     let targets: Vec<PredictionTarget> = grid

@@ -15,15 +15,27 @@ fn trivariate_setup() -> (CoregionalModel, ModelHyper, dalia::data::GroundTruth)
     (model, hyper0, truth)
 }
 
+fn session_with<'m>(
+    model: &'m CoregionalModel,
+    theta0: &[f64],
+    settings: InlaSettings,
+) -> InlaSession<'m> {
+    InlaEngine::builder(model)
+        .prior(ThetaPrior::weakly_informative(theta0, 3.0))
+        .settings(settings)
+        .build()
+        .expect("valid settings")
+}
+
 #[test]
 fn trivariate_objective_runs_on_all_backends() {
     let (model, hyper0, _) = trivariate_setup();
     let theta0 = hyper0.to_theta();
     assert_eq!(theta0.len(), 15, "trivariate model must have 15 hyperparameters");
-    let prior = ThetaPrior::weakly_informative(&theta0, 3.0);
-    let bta = evaluate_fobj(&model, &prior, &theta0, &InlaSettings::dalia(1)).unwrap();
-    let dist = evaluate_fobj(&model, &prior, &theta0, &InlaSettings::dalia(2)).unwrap();
-    let sparse = evaluate_fobj(&model, &prior, &theta0, &InlaSettings::rinla_like()).unwrap();
+    let bta = session_with(&model, &theta0, InlaSettings::dalia(1)).evaluate(&theta0).unwrap();
+    let dist = session_with(&model, &theta0, InlaSettings::dalia(2)).evaluate(&theta0).unwrap();
+    let sparse =
+        session_with(&model, &theta0, InlaSettings::rinla_like()).evaluate(&theta0).unwrap();
     let scale = 1.0 + bta.value.abs();
     assert!((bta.value - dist.value).abs() < 1e-7 * scale);
     assert!((bta.value - sparse.value).abs() < 1e-6 * scale);
@@ -35,8 +47,9 @@ fn conditional_mean_recovers_elevation_effect_signs() {
     // negative elevation effects to the PM-like variables and a positive one
     // to the O3-like variable (the paper's Sec. VI finding).
     let (model, _, truth) = trivariate_setup();
-    let prior = ThetaPrior::weakly_informative(&truth.hyper.to_theta(), 3.0);
-    let res = evaluate_fobj(&model, &prior, &truth.hyper.to_theta(), &InlaSettings::dalia(1)).unwrap();
+    let theta_true = truth.hyper.to_theta();
+    let res =
+        session_with(&model, &theta_true, InlaSettings::dalia(1)).evaluate(&theta_true).unwrap();
     let beta = |process: usize| res.mean[model.fixed_effect_index(process, 1)];
     assert!(beta(0) < 0.0, "PM2.5 elevation effect should be negative, got {}", beta(0));
     assert!(beta(1) < 0.0, "PM10 elevation effect should be negative, got {}", beta(1));
@@ -75,8 +88,7 @@ fn joint_bta_assembly_is_consistent_for_the_trivariate_model() {
 fn downscaling_produces_denser_surface_than_input() {
     let (model, hyper0, _) = trivariate_setup();
     let theta0 = hyper0.to_theta();
-    let prior = ThetaPrior::weakly_informative(&theta0, 3.0);
-    let res = evaluate_fobj(&model, &prior, &theta0, &InlaSettings::dalia(1)).unwrap();
+    let res = session_with(&model, &theta0, InlaSettings::dalia(1)).evaluate(&theta0).unwrap();
     let marginals = dalia::core::LatentMarginals {
         sd: vec![0.1; res.mean.len()],
         mean: res.mean.clone(),

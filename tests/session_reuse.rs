@@ -1,0 +1,128 @@
+//! Workspace-reuse correctness: calling `factorize` repeatedly with different
+//! θ on one stateful solver must give *bitwise-identical* results to fresh
+//! solvers, for every backend. This guards against stale-workspace bugs
+//! (un-zeroed BTA blocks, a symbolic cache applied to the wrong pattern,
+//! leftover factor values) that tolerance-based comparisons would let slip.
+
+use dalia::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn toy_model(nv: usize) -> (CoregionalModel, Vec<f64>) {
+    let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+    let nt = 3;
+    let mut obs = Vec::new();
+    for v in 0..nv {
+        for t in 0..nt {
+            for &(x, y) in &[(0.25, 0.3), (0.7, 0.55), (0.45, 0.85)] {
+                obs.push(Observation {
+                    var: v,
+                    t,
+                    loc: Point::new(x, y),
+                    covariates: vec![1.0],
+                    value: 0.2 * (v as f64) + 0.15 * (t as f64) + 0.1 * x,
+                });
+            }
+        }
+    }
+    let model = CoregionalModel::new(&mesh, nt, 1.0, nv, 1, obs).unwrap();
+    let theta0 = ModelHyper::default_for(nv, 0.6, 2.0).to_theta();
+    (model, theta0)
+}
+
+fn backends() -> Vec<SolverBackend> {
+    vec![
+        SolverBackend::Bta { partitions: 1, load_balance: 1.0 },
+        SolverBackend::Bta { partitions: 3, load_balance: 1.3 },
+        SolverBackend::SparseGeneral,
+    ]
+}
+
+fn shifted(theta0: &[f64], delta: &[f64]) -> Vec<f64> {
+    theta0.iter().zip(delta).map(|(t, d)| t + d).collect()
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], tag: &str) {
+    assert_eq!(a.len(), b.len(), "{tag}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{tag}: drift at index {i}: {x} vs {y}");
+    }
+}
+
+/// Solver level: factorize(θ₁) then factorize(θ₂) on one solver equals a
+/// fresh solver's factorize(θ₂), bit for bit.
+fn check_stateful_refactorization(d1: &[f64], d2: &[f64]) {
+    let (model, theta0) = toy_model(1);
+    let theta_a = shifted(&theta0, d1);
+    let theta_b = shifted(&theta0, d2);
+    let hyper_a = ModelHyper::from_theta(1, &theta_a);
+    let hyper_b = ModelHyper::from_theta(1, &theta_b);
+
+    for backend in backends() {
+        let mut reused = backend.build(&model);
+        reused.factorize(&hyper_a).unwrap();
+        reused.factorize(&hyper_b).unwrap();
+        let mut fresh = backend.build(&model);
+        fresh.factorize(&hyper_b).unwrap();
+
+        let tag = reused.backend_name();
+        assert_eq!(reused.logdet_qp().to_bits(), fresh.logdet_qp().to_bits(), "{tag}: logdet_qp");
+        assert_eq!(reused.logdet_qc().to_bits(), fresh.logdet_qc().to_bits(), "{tag}: logdet_qc");
+        let info = model.information_vector(&hyper_b, fresh.design());
+        assert_bits_eq(&reused.solve_mean(&info), &fresh.solve_mean(&info), tag);
+        assert_bits_eq(&reused.selected_inverse_diag(), &fresh.selected_inverse_diag(), tag);
+    }
+}
+
+/// Session level: evaluating θ₁ then θ₂ on one session equals a fresh
+/// session's evaluation of θ₂, bit for bit (the pooled solver is reused
+/// across `evaluate` calls).
+fn check_session_evaluation_reuse(d1: &[f64], d2: &[f64]) {
+    let (model, theta0) = toy_model(2);
+    let theta_a = shifted(&theta0, d1);
+    let theta_b = shifted(&theta0, d2);
+    let prior = ThetaPrior::weakly_informative(&theta0, 3.0);
+
+    for backend in backends() {
+        let mut settings = InlaSettings::dalia(1);
+        settings.backend = backend;
+        settings.parallel_feval = false;
+        let reused = InlaEngine::builder(&model)
+            .prior(prior.clone())
+            .settings(settings.clone())
+            .build()
+            .unwrap();
+        let _ = reused.evaluate(&theta_a).unwrap();
+        let via_reused = reused.evaluate(&theta_b).unwrap();
+
+        let fresh =
+            InlaEngine::builder(&model).prior(prior.clone()).settings(settings).build().unwrap();
+        let via_fresh = fresh.evaluate(&theta_b).unwrap();
+
+        assert_eq!(via_reused.value.to_bits(), via_fresh.value.to_bits());
+        assert_eq!(via_reused.logdet_qp.to_bits(), via_fresh.logdet_qp.to_bits());
+        assert_eq!(via_reused.logdet_qc.to_bits(), via_fresh.logdet_qc.to_bits());
+        assert_eq!(via_reused.loglik.to_bits(), via_fresh.loglik.to_bits());
+        assert_bits_eq(&via_reused.mean, &via_fresh.mean, "session mean");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn stateful_refactorization_is_bitwise_identical(
+        d1 in vec(-0.4f64..0.4, 4),
+        d2 in vec(-0.4f64..0.4, 4),
+    ) {
+        check_stateful_refactorization(&d1, &d2);
+    }
+
+    #[test]
+    fn session_evaluation_reuse_is_bitwise_identical(
+        d1 in vec(-0.4f64..0.4, 9),
+        d2 in vec(-0.4f64..0.4, 9),
+    ) {
+        check_session_evaluation_reuse(&d1, &d2);
+    }
+}

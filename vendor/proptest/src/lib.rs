@@ -3,8 +3,9 @@
 //! The DALIA-RS build environment has no registry access, so this vendored
 //! crate implements the property-testing surface the workspace's test suites
 //! use: the [`proptest!`] macro with an optional `#![proptest_config(..)]`
-//! header, `prop_assert!` / `prop_assert_eq!`, composable [`Strategy`] values
-//! (`Range<f64>`, tuples, [`Just`], `prop_map`, `prop_perturb`) and
+//! header, `prop_assert!` / `prop_assert_eq!`, composable
+//! [`Strategy`](strategy::Strategy) values (`Range<f64>`, tuples,
+//! [`Just`](strategy::Just), `prop_map`, `prop_perturb`) and
 //! [`collection::vec`].
 //!
 //! Differences from real proptest:
@@ -242,7 +243,7 @@ macro_rules! prop_assert {
 /// Assert equality inside a `proptest!` body.
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($left:expr, $right:expr) => {{
+    ($left:expr, $right:expr $(,)?) => {{
         let left = $left;
         let right = $right;
         $crate::prop_assert!(
@@ -250,6 +251,17 @@ macro_rules! prop_assert_eq {
             "assertion failed: `{:?}` == `{:?}`",
             left,
             right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format_args!($($fmt)*)
         );
     }};
 }

@@ -1,0 +1,232 @@
+//! Achieved-GFLOP/s comparison of the blocked, packed level-3 kernels in
+//! `dalia_la` against the retained naive reference kernels, across the block
+//! shapes the BTA solver actually produces (square diagonal blocks of
+//! `b = n_v·n_s` lanes, skinny `a × b` arrow panels).
+//!
+//! Running this bench (`cargo bench -p dalia-bench --bench kernel_bench`)
+//! prints a table and rewrites `BENCH_kernels.json` at the repository root so
+//! the kernel performance trajectory is tracked in-repo. CI uploads the file
+//! as a workflow artifact. See `docs/performance.md` for how to read the
+//! numbers.
+
+use dalia_la::blas::{self, reference, PackBuffer, Side, Trans, Triangle};
+use dalia_la::{chol, Matrix};
+use std::time::Instant;
+
+/// Deterministic dense test matrix with entries in [-1, 1].
+fn test_mat(m: usize, n: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(m, n, |i, j| {
+        let v = (i * 31 + j * 17 + seed * 7) % 23;
+        (v as f64) / 11.5 - 1.0
+    })
+}
+
+/// Well-conditioned lower-triangular matrix.
+fn test_lower(n: usize, seed: usize) -> Matrix {
+    let mut l = test_mat(n, n, seed);
+    for j in 0..n {
+        for i in 0..j {
+            l[(i, j)] = 0.0;
+        }
+        l[(j, j)] = 2.0 + l[(j, j)].abs();
+    }
+    l
+}
+
+/// Deterministic SPD matrix (diagonally dominant).
+fn test_spd(n: usize, seed: usize) -> Matrix {
+    let mut a = test_mat(n, n, seed);
+    a.symmetrize();
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    a
+}
+
+/// Seconds per call: best of three timed batches, each batch long enough to
+/// be clock-resolution safe.
+fn time_secs(mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    let mut reps = 1usize;
+    for _ in 0..3 {
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            if dt < 0.03 {
+                reps *= 2;
+                continue;
+            }
+            best = best.min(dt / reps as f64);
+            break;
+        }
+    }
+    best
+}
+
+struct Record {
+    kernel: &'static str,
+    shape: String,
+    flops: u64,
+    ref_secs: f64,
+    blk_secs: f64,
+}
+
+impl Record {
+    fn ref_gflops(&self) -> f64 {
+        self.flops as f64 / self.ref_secs / 1e9
+    }
+    fn blk_gflops(&self) -> f64 {
+        self.flops as f64 / self.blk_secs / 1e9
+    }
+    fn speedup(&self) -> f64 {
+        self.ref_secs / self.blk_secs
+    }
+}
+
+fn bench_gemm(records: &mut Vec<Record>, m: usize, k: usize, n: usize) {
+    let a = test_mat(m, k, 1);
+    let b = test_mat(k, n, 2);
+    let mut c = Matrix::zeros(m, n);
+    let mut pack = PackBuffer::new();
+    let blk_secs = time_secs(|| {
+        blas::gemm_with(&mut pack, Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c)
+    });
+    let ref_secs = time_secs(|| reference::gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c));
+    records.push(Record {
+        kernel: "gemm",
+        shape: format!("{m}x{k}x{n}"),
+        flops: blas::gemm_flops(m, k, n),
+        ref_secs,
+        blk_secs,
+    });
+}
+
+fn bench_syrk(records: &mut Vec<Record>, n: usize, k: usize) {
+    let a = test_mat(n, k, 3);
+    let mut c = Matrix::zeros(n, n);
+    let mut pack = PackBuffer::new();
+    let blk_secs = time_secs(|| blas::syrk_lower_with(&mut pack, Trans::No, 1.0, &a, 0.0, &mut c));
+    let ref_secs = time_secs(|| reference::syrk_lower(Trans::No, 1.0, &a, 0.0, &mut c));
+    records.push(Record {
+        kernel: "syrk_lower",
+        shape: format!("{n}x{n} k={k}"),
+        flops: blas::gemm_flops(n, k, n) / 2,
+        ref_secs,
+        blk_secs,
+    });
+}
+
+fn bench_trsm(records: &mut Vec<Record>, n: usize, nrhs: usize) {
+    let l = test_lower(n, 4);
+    let b0 = test_mat(nrhs, n, 5);
+    let mut b = b0.clone();
+    let mut pack = PackBuffer::new();
+    // The factorization hot path: B := B L^{-T}.
+    let blk_secs = time_secs(|| {
+        b.as_mut_slice().copy_from_slice(b0.as_slice());
+        blas::trsm_with(&mut pack, Side::Right, Triangle::Lower, Trans::Yes, &l, &mut b)
+    });
+    let ref_secs = time_secs(|| {
+        b.as_mut_slice().copy_from_slice(b0.as_slice());
+        reference::trsm(Side::Right, Triangle::Lower, Trans::Yes, &l, &mut b)
+    });
+    records.push(Record {
+        kernel: "trsm_right_lt",
+        shape: format!("n={n} rhs={nrhs}"),
+        flops: (n as u64) * (n as u64) * (nrhs as u64),
+        ref_secs,
+        blk_secs,
+    });
+}
+
+fn bench_potrf(records: &mut Vec<Record>, n: usize) {
+    let a0 = test_spd(n, 6);
+    let mut a = a0.clone();
+    let mut pack = PackBuffer::new();
+    let blk_secs = time_secs(|| {
+        a.as_mut_slice().copy_from_slice(a0.as_slice());
+        chol::potrf_with(&mut pack, &mut a).unwrap();
+    });
+    let ref_secs = time_secs(|| {
+        a.as_mut_slice().copy_from_slice(a0.as_slice());
+        chol::potrf_reference(&mut a).unwrap();
+    });
+    records.push(Record {
+        kernel: "potrf",
+        shape: format!("{n}x{n}"),
+        flops: chol::potrf_flops(n),
+        ref_secs,
+        blk_secs,
+    });
+}
+
+fn main() {
+    let mut records = Vec::new();
+
+    // Square diagonal-block shapes (b = n_v * n_s lanes).
+    for s in [64usize, 128, 256, 512] {
+        bench_gemm(&mut records, s, s, s);
+    }
+    // Skinny arrow-panel shapes: C_i (a x b) updated against b x b blocks.
+    bench_gemm(&mut records, 16, 256, 256);
+    bench_gemm(&mut records, 256, 256, 16);
+    // The other BTA kernels at a representative block size.
+    bench_syrk(&mut records, 256, 256);
+    bench_syrk(&mut records, 512, 512);
+    bench_trsm(&mut records, 256, 256);
+    bench_trsm(&mut records, 512, 512);
+    bench_potrf(&mut records, 256);
+    bench_potrf(&mut records, 512);
+
+    println!(
+        "{:<14} {:<14} {:>12} {:>12} {:>9}",
+        "kernel", "shape", "ref GF/s", "blocked GF/s", "speedup"
+    );
+    for r in &records {
+        println!(
+            "{:<14} {:<14} {:>12.2} {:>12.2} {:>8.2}x",
+            r.kernel,
+            r.shape,
+            r.ref_gflops(),
+            r.blk_gflops(),
+            r.speedup()
+        );
+    }
+
+    // JSON snapshot at the repository root.
+    let mut json = String::from("{\n  \"generated_by\": \"cargo bench -p dalia-bench --bench kernel_bench\",\n  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"flops\": {}, \"reference_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            r.kernel,
+            r.shape,
+            r.flops,
+            r.ref_gflops(),
+            r.blk_gflops(),
+            r.speedup(),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, json).expect("write BENCH_kernels.json");
+    println!("\nwrote {path}");
+
+    // The tentpole acceptance gate: >= 3x single-thread speedup over the
+    // reference gemm at 256^3. Overridable for noisy environments.
+    let g256 = records
+        .iter()
+        .find(|r| r.kernel == "gemm" && r.shape == "256x256x256")
+        .expect("256^3 gemm record");
+    if std::env::var_os("DALIA_BENCH_NO_ASSERT").is_none() {
+        assert!(
+            g256.speedup() >= 3.0,
+            "blocked gemm at 256^3 is only {:.2}x the reference (need >= 3x)",
+            g256.speedup()
+        );
+    }
+}

@@ -17,13 +17,28 @@
 //! `time_one_iteration` and posterior extraction. Adding a new backend (a
 //! GPU-style batched or mixed-precision solver, say) means implementing this
 //! trait in one file and extending the factory.
+//!
+//! Each trait method corresponds to a paper quantity of one evaluation of the
+//! objective `f(θ)` (Eq. 8): [`LatentSolver::logdet_qp`] and
+//! [`LatentSolver::logdet_qc`] are `log |Q_p(θ)|` and `log |Q_c(θ)|`,
+//! [`LatentSolver::solve_mean`] produces the conditional mean
+//! `μ_c = Q_c⁻¹ Aᵀ D y` (Eq. 7), [`LatentSolver::quadratic_form_qp`] the
+//! prior term `μᵀ Q_p μ`, and [`LatentSolver::selected_inverse_diag`] the
+//! latent marginal variances `diag(Q_c⁻¹)` used by the posterior extraction.
+//!
+//! The BTA workspaces also own a [`PackBuffer`] — the panel-packing scratch
+//! of the blocked dense kernels in `dalia_la::blas` — which is threaded
+//! through `serinv`'s `pobtaf_with`/`pobtasi_with`, so the factorize /
+//! selected-inversion hot loop of a warmed-up solver performs no heap
+//! allocation at all (see `docs/performance.md`).
 
 use crate::settings::SolverBackend;
 use crate::CoreError;
+use dalia_la::PackBuffer;
 use dalia_model::{CoregionalModel, ModelHyper};
 use dalia_sparse::{ops, CholeskySymbolic, CsrMatrix, SparseCholesky, SparseError};
 use serinv::{
-    d_pobtaf, d_pobtas, d_pobtasi, pobtaf_reusing, pobtas, pobtasi, BtaCholesky, BtaMatrix,
+    d_pobtaf, d_pobtas, d_pobtasi, pobtaf_with, pobtas, pobtasi_with, BtaCholesky, BtaMatrix,
     DistBtaCholesky, Partitioning,
 };
 use std::time::Instant;
@@ -143,6 +158,32 @@ impl SolverBackend {
     /// (a BTA matrix cannot be split into more partitions than it has
     /// diagonal blocks); nonsense configurations such as `partitions == 0`
     /// are rejected earlier by [`InlaSettings::validate`](crate::InlaSettings::validate).
+    ///
+    /// ```
+    /// use dalia_core::settings::SolverBackend;
+    /// use dalia_mesh::{Domain, Point, TriangleMesh};
+    /// use dalia_model::{CoregionalModel, ModelHyper, Observation};
+    ///
+    /// let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+    /// let obs: Vec<Observation> = (0..3)
+    ///     .map(|t| Observation {
+    ///         var: 0,
+    ///         t,
+    ///         loc: Point::new(0.25, 0.5),
+    ///         covariates: vec![1.0],
+    ///         value: 0.1 * t as f64,
+    ///     })
+    ///     .collect();
+    /// let model = CoregionalModel::new(&mesh, 3, 1.0, 1, 1, obs).unwrap();
+    ///
+    /// // One dispatch point for every backend; the session layer does this
+    /// // once per S1 lane and reuses the solver for every θ.
+    /// let mut solver = SolverBackend::Bta { partitions: 1, load_balance: 1.0 }.build(&model);
+    /// assert_eq!(solver.backend_name(), "bta-sequential");
+    /// solver.factorize(&ModelHyper::default_for(1, 0.7, 2.0)).unwrap();
+    /// // Q_c = Q_p + AᵀDA ⪰ Q_p, so the conditional log-determinant dominates.
+    /// assert!(solver.logdet_qc() > solver.logdet_qp());
+    /// ```
     pub fn build<'m>(&self, model: &'m CoregionalModel) -> Box<dyn LatentSolver + 'm> {
         match *self {
             SolverBackend::Bta { partitions, load_balance } => {
@@ -159,11 +200,13 @@ impl SolverBackend {
 }
 
 /// Shared BTA workspace: assembled `Q_p` / `Q_c` block storage (re-filled in
-/// place per θ) and the design matrix of the last assembly.
+/// place per θ), the panel-packing scratch of the blocked dense kernels, and
+/// the design matrix of the last assembly.
 struct BtaWorkspace<'m> {
     model: &'m CoregionalModel,
     qp: BtaMatrix,
     qc: BtaMatrix,
+    pack: PackBuffer,
     design: Option<CsrMatrix>,
     timers: PhaseTimers,
 }
@@ -175,6 +218,7 @@ impl<'m> BtaWorkspace<'m> {
             model,
             qp: BtaMatrix::zeros(d.nt, d.block_size(), d.arrow_size()),
             qc: BtaMatrix::zeros(d.nt, d.block_size(), d.arrow_size()),
+            pack: PackBuffer::new(),
             design: None,
             timers: PhaseTimers::default(),
         }
@@ -222,11 +266,14 @@ impl LatentSolver for SequentialBtaSolver<'_> {
     fn factorize(&mut self, hyper: &ModelHyper) -> Result<(), CoreError> {
         self.ws.assemble(hyper);
         let t0 = Instant::now();
-        // Recycle the previous factors' block storage for the new factors.
+        // Recycle the previous factors' block storage for the new factors and
+        // reuse the kernel pack buffers: zero allocations once warm.
         let fp_store = self.fp.take().map(|f| f.blocks);
-        self.fp = Some(pobtaf_reusing(&self.ws.qp, fp_store).map_err(CoreError::Solver)?);
+        self.fp =
+            Some(pobtaf_with(&self.ws.qp, fp_store, &mut self.ws.pack).map_err(CoreError::Solver)?);
         let fc_store = self.fc.take().map(|f| f.blocks);
-        self.fc = Some(pobtaf_reusing(&self.ws.qc, fc_store).map_err(CoreError::Solver)?);
+        self.fc =
+            Some(pobtaf_with(&self.ws.qc, fc_store, &mut self.ws.pack).map_err(CoreError::Solver)?);
         self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
         Ok(())
     }
@@ -236,7 +283,8 @@ impl LatentSolver for SequentialBtaSolver<'_> {
         let t0 = Instant::now();
         self.fp = None;
         let fc_store = self.fc.take().map(|f| f.blocks);
-        self.fc = Some(pobtaf_reusing(&self.ws.qc, fc_store).map_err(CoreError::Solver)?);
+        self.fc =
+            Some(pobtaf_with(&self.ws.qc, fc_store, &mut self.ws.pack).map_err(CoreError::Solver)?);
         self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
         Ok(())
     }
@@ -270,7 +318,7 @@ impl LatentSolver for SequentialBtaSolver<'_> {
     fn selected_inverse_diag(&mut self) -> Vec<f64> {
         let fc = self.fc.as_ref().expect("LatentSolver: factorize must be called first");
         let t0 = Instant::now();
-        let diag = pobtasi(fc).diagonal();
+        let diag = pobtasi_with(fc, &mut self.ws.pack).diagonal();
         self.ws.timers.selinv_seconds += t0.elapsed().as_secs_f64();
         diag
     }

@@ -1,9 +1,16 @@
 //! BLAS-like dense kernels (level 1/2/3) on [`Matrix`].
 //!
-//! These are straightforward cache-aware loops rather than hand-tuned SIMD
-//! kernels: the DALIA algorithms only need *correct* block kernels with the
-//! standard operation counts — absolute throughput is handled by the
-//! performance model in `dalia-hpc`.
+//! The level-3 kernels (`gemm`, `syrk_lower`, `trsm`) are cache-blocked,
+//! register-tiled implementations in the BLIS/GotoBLAS style: operand panels
+//! are packed into contiguous buffers held in a reusable [`PackBuffer`]
+//! workspace, and the innermost computation is an `MR × NR` micro-kernel
+//! written so LLVM auto-vectorizes it. Small problems (all three operands
+//! comfortably cache-resident) skip the packing machinery and run the plain
+//! loops retained in [`mod@reference`], which also serve as the ground truth for
+//! the parity test-suites and the `kernel_bench` before/after comparison.
+//!
+//! The blocking scheme and its performance model are documented in
+//! `docs/performance.md` at the repository root.
 
 use crate::matrix::Matrix;
 
@@ -93,11 +100,322 @@ pub fn matvec_t(a: &Matrix, x: &[f64]) -> Vec<f64> {
     y
 }
 
+// ---------------------------------------------------------------------------
+// Cache-blocked level-3 engine.
+// ---------------------------------------------------------------------------
+
+/// Micro-tile rows: each micro-kernel invocation computes an `MR × NR` block
+/// of C held entirely in registers (8×4 = eight 4-wide accumulator chains,
+/// enough independent chains to hide FP latency on AVX2-class cores).
+const MR: usize = 8;
+/// Micro-tile columns.
+const NR: usize = 4;
+/// Rows of the packed A panel (multiple of `MR`); one panel is sized to sit in
+/// L2 while the B micro-panels stream through L1.
+const MC: usize = 128;
+/// Depth of the packed panels (the `k` extent shared by A and B panels).
+const KC: usize = 256;
+/// Columns of the packed B panel (multiple of `NR`).
+const NC: usize = 256;
+/// Block size for the triangular kernels (`trsm` diagonal blocks, `syrk`
+/// diagonal tiles, `potrf` panels).
+pub(crate) const TB: usize = 64;
+/// Problems below this flop count (`m·n·k`) skip packing entirely: all three
+/// operands are cache-resident and the plain loops win on overhead.
+const NAIVE_MAX_FLOPS: usize = 32 * 32 * 32;
+
+/// Reusable packing workspace for the blocked level-3 kernels.
+///
+/// Holds the contiguous buffers the blocked `gemm` / `syrk` / `trsm` /
+/// `potrf` kernels pack operand panels into, so a hot loop that calls them
+/// through the `*_with` entry points allocates nothing after the first
+/// factorization warms the buffers up. The stateful solver sessions in
+/// `dalia-core` own one `PackBuffer` per solver and thread it through
+/// `serinv`'s `pobtaf_with` / `pobtasi_with`.
+#[derive(Debug, Default)]
+pub struct PackBuffer {
+    /// Packed `MC × KC` panel of op(A), micro-panels of `MR` rows.
+    a_pack: Vec<f64>,
+    /// Packed `KC × NC` panel of op(B), micro-panels of `NR` columns.
+    b_pack: Vec<f64>,
+    /// Dense scratch for triangular-block staging (syrk diagonal tiles,
+    /// trsm right-hand-side panels, potrf diagonal blocks).
+    pub(crate) scratch: Vec<f64>,
+}
+
+impl PackBuffer {
+    /// Empty workspace; buffers are grown lazily by the first blocked call.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Read-only strided view of `op(X)` for a column-major operand: element
+/// `(i, j)` lives at `data[off + i * rs + j * cs]`. A transpose is just a
+/// stride swap, which lets one packing routine serve all `Trans` cases.
+#[derive(Clone, Copy)]
+pub(crate) struct StridedRef<'a> {
+    pub(crate) data: &'a [f64],
+    pub(crate) off: usize,
+    pub(crate) rs: usize,
+    pub(crate) cs: usize,
+}
+
+impl<'a> StridedRef<'a> {
+    #[inline(always)]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[self.off + i * self.rs + j * self.cs]
+    }
+
+    /// View shifted down by `di` rows and right by `dj` columns.
+    fn shifted(mut self, di: usize, dj: usize) -> Self {
+        self.off += di * self.rs + dj * self.cs;
+        self
+    }
+
+    /// Transposed view (stride swap).
+    fn transposed(mut self) -> Self {
+        std::mem::swap(&mut self.rs, &mut self.cs);
+        self
+    }
+}
+
+/// Strided view of `op(a)`.
+fn op_ref(a: &Matrix, trans: Trans) -> StridedRef<'_> {
+    let ld = a.nrows();
+    match trans {
+        Trans::No => StridedRef { data: a.as_slice(), off: 0, rs: 1, cs: ld },
+        Trans::Yes => StridedRef { data: a.as_slice(), off: 0, rs: ld, cs: 1 },
+    }
+}
+
+/// Pack the `mc × kc` panel of `a` starting at `(i0, p0)` into `buf` as
+/// row-micro-panels of `MR`: panel `pi` holds rows `pi*MR..`, stored
+/// depth-major (`buf[pi*MR*kc + p*MR + r]`), zero-padded to a multiple of
+/// `MR` rows so the micro-kernel never needs a row edge case.
+fn pack_a(a: StridedRef<'_>, i0: usize, p0: usize, mc: usize, kc: usize, buf: &mut Vec<f64>) {
+    let panels = mc.div_ceil(MR);
+    buf.clear();
+    buf.resize(panels * MR * kc, 0.0);
+    for pi in 0..panels {
+        let ir = pi * MR;
+        let rows = MR.min(mc - ir);
+        let dst = &mut buf[pi * MR * kc..(pi + 1) * MR * kc];
+        for p in 0..kc {
+            for r in 0..rows {
+                dst[p * MR + r] = a.at(i0 + ir + r, p0 + p);
+            }
+        }
+    }
+}
+
+/// Pack the `kc × nc` panel of `b` starting at `(p0, j0)` into `buf` as
+/// column-micro-panels of `NR` (`buf[pj*NR*kc + p*NR + c]`), zero-padded to a
+/// multiple of `NR` columns.
+fn pack_b(b: StridedRef<'_>, p0: usize, j0: usize, kc: usize, nc: usize, buf: &mut Vec<f64>) {
+    let panels = nc.div_ceil(NR);
+    buf.clear();
+    buf.resize(panels * NR * kc, 0.0);
+    for pj in 0..panels {
+        let jr = pj * NR;
+        let cols = NR.min(nc - jr);
+        let dst = &mut buf[pj * NR * kc..(pj + 1) * NR * kc];
+        for p in 0..kc {
+            for c in 0..cols {
+                dst[p * NR + c] = b.at(p0 + p, j0 + jr + c);
+            }
+        }
+    }
+}
+
+/// The register tile: `acc[j*MR + i] += sum_p apanel[p*MR + i] * bpanel[p*NR + j]`.
+///
+/// Both panels are contiguous and zero-padded, so the loop body is
+/// branch-free with a fixed trip count over `MR × NR` — exactly the shape
+/// LLVM turns into broadcast-and-multiply-accumulate vector code.
+#[inline(always)]
+fn micro_kernel_body(kc: usize, apanel: &[f64], bpanel: &[f64], acc: &mut [f64; MR * NR]) {
+    debug_assert!(apanel.len() >= kc * MR && bpanel.len() >= kc * NR);
+    for (ap, bp) in apanel.chunks_exact(MR).take(kc).zip(bpanel.chunks_exact(NR)) {
+        for j in 0..NR {
+            let bj = bp[j];
+            for i in 0..MR {
+                acc[j * MR + i] += ap[i] * bj;
+            }
+        }
+    }
+}
+
+/// AVX2+FMA instantiation of the micro-kernel: eight 4-wide fused
+/// multiply-add accumulator chains (`MR/4 × NR` ymm registers), B elements
+/// broadcast from the packed panel. Numerically this fuses each
+/// multiply-add (no intermediate rounding), so results can differ from the
+/// portable kernel in the last ulp — well inside every tolerance the solver
+/// stack uses, and deterministic on any given machine.
+///
+/// # Safety
+/// Must only be called when the running CPU supports AVX2 and FMA (checked by
+/// [`micro_kernel`] via `is_x86_feature_detected!`). The entry asserts keep
+/// every pointer dereference in bounds.
+///
+/// The workspace denies `unsafe_code`; this function and its caller are the
+/// single sanctioned exception: `#[target_feature]` functions are inherently
+/// `unsafe` to declare and call, and the FMA contraction requires explicit
+/// intrinsics.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn micro_kernel_avx2(kc: usize, apanel: &[f64], bpanel: &[f64], acc: &mut [f64; MR * NR]) {
+    use std::arch::x86_64::*;
+    assert!(apanel.len() >= kc * MR && bpanel.len() >= kc * NR);
+    let mut c: [__m256d; 2 * NR] = [_mm256_setzero_pd(); 2 * NR];
+    let mut ap = apanel.as_ptr();
+    let mut bp = bpanel.as_ptr();
+    for _ in 0..kc {
+        // SAFETY: the entry asserts bound ap/bp walks to kc*MR / kc*NR lanes.
+        unsafe {
+            let a0 = _mm256_loadu_pd(ap);
+            let a1 = _mm256_loadu_pd(ap.add(4));
+            for j in 0..NR {
+                let bj = _mm256_broadcast_sd(&*bp.add(j));
+                c[2 * j] = _mm256_fmadd_pd(a0, bj, c[2 * j]);
+                c[2 * j + 1] = _mm256_fmadd_pd(a1, bj, c[2 * j + 1]);
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+    }
+    for j in 0..NR {
+        // SAFETY: acc has exactly MR * NR = 8 * NR elements.
+        unsafe {
+            let dst = acc.as_mut_ptr().add(j * MR);
+            _mm256_storeu_pd(dst, _mm256_add_pd(_mm256_loadu_pd(dst), c[2 * j]));
+            _mm256_storeu_pd(dst.add(4), _mm256_add_pd(_mm256_loadu_pd(dst.add(4)), c[2 * j + 1]));
+        }
+    }
+}
+
+/// Dispatch to the widest micro-kernel the running CPU supports.
+#[inline(always)]
+#[allow(unsafe_code)]
+fn micro_kernel(kc: usize, apanel: &[f64], bpanel: &[f64], acc: &mut [f64; MR * NR]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: the feature checks above guarantee AVX2+FMA support.
+            unsafe { micro_kernel_avx2(kc, apanel, bpanel, acc) };
+            return;
+        }
+    }
+    micro_kernel_body(kc, apanel, bpanel, acc);
+}
+
+/// Blocked `C += alpha * A · B` on raw storage: `A` and `B` are strided views
+/// (already op-adjusted), the destination element `(i, j)` lives at
+/// `c[c_off + i + j * ldc]`. Scaling by beta is the caller's responsibility.
+#[allow(clippy::too_many_arguments)]
+fn gemm_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: StridedRef<'_>,
+    b: StridedRef<'_>,
+    c: &mut [f64],
+    c_off: usize,
+    ldc: usize,
+    pack: &mut PackBuffer,
+) {
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(b, pc, jc, kc, nc, &mut pack.b_pack);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(a, ic, pc, mc, kc, &mut pack.a_pack);
+                for jr in (0..nc).step_by(NR) {
+                    let nr_eff = NR.min(nc - jr);
+                    let bpanel = &pack.b_pack[(jr / NR) * NR * kc..];
+                    for ir in (0..mc).step_by(MR) {
+                        let mr_eff = MR.min(mc - ir);
+                        let apanel = &pack.a_pack[(ir / MR) * MR * kc..];
+                        let mut acc = [0.0f64; MR * NR];
+                        micro_kernel(kc, apanel, bpanel, &mut acc);
+                        for j in 0..nr_eff {
+                            let base = c_off + (jc + jr + j) * ldc + ic + ir;
+                            for (ci, av) in
+                                c[base..base + mr_eff].iter_mut().zip(&acc[j * MR..])
+                            {
+                                *ci += alpha * av;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Apply the beta prefactor to a full dense C.
+fn scale_matrix(beta: f64, c: &mut Matrix) {
+    if beta == 1.0 {
+        return;
+    }
+    if beta == 0.0 {
+        c.fill_zero();
+    } else {
+        c.scale(beta);
+    }
+}
+
 /// General matrix-matrix product `C = alpha * op(A) op(B) + beta * C`.
 ///
-/// The inner loops are arranged so the innermost traversal is down columns
-/// (contiguous in the column-major layout).
+/// Large products are computed by the packed micro-kernel engine: panels of
+/// `op(A)` / `op(B)` are copied into contiguous, zero-padded buffers and
+/// consumed by an `MR × NR` register tile (see the module docs and
+/// `docs/performance.md`); small products fall back to the plain loops in
+/// [`mod@reference`]. All four transpose combinations are supported; in
+/// particular `(Trans::Yes, Trans::Yes)` computes `C += alpha · AᵀBᵀ`
+/// (equal to `alpha · (B A)ᵀ`), with `A` consumed along its rows and `B`
+/// along its columns by the packing routines.
+///
+/// This entry point allocates a transient workspace for large inputs; hot
+/// loops should hold a [`PackBuffer`] and call [`gemm_with`].
+///
+/// ```
+/// use dalia_la::blas::{gemm, matmul, Trans};
+/// use dalia_la::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+/// // C = 2·AᵀB + 1·C, starting from C = I.
+/// let mut c = Matrix::identity(2);
+/// gemm(Trans::Yes, Trans::No, 2.0, &a, &b, 1.0, &mut c);
+/// let expected = &(&matmul(&a.transpose(), &b) * 2.0) + &Matrix::identity(2);
+/// assert!(c.max_abs_diff(&expected) < 1e-14);
+/// ```
 pub fn gemm(
+    trans_a: Trans,
+    trans_b: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let mut pack = PackBuffer::new();
+    gemm_with(&mut pack, trans_a, trans_b, alpha, a, b, beta, c);
+}
+
+/// [`gemm`] with an explicit, reusable packing workspace.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with(
+    pack: &mut PackBuffer,
     trans_a: Trans,
     trans_b: Trans,
     alpha: f64,
@@ -119,60 +437,25 @@ pub fn gemm(
     assert_eq!(opa_k, opb_k, "gemm: inner dimension mismatch");
     assert_eq!(c.shape(), (opa_m, opb_n), "gemm: output shape mismatch");
 
-    if beta != 1.0 {
-        if beta == 0.0 {
-            c.fill_zero();
-        } else {
-            c.scale(beta);
-        }
+    scale_matrix(beta, c);
+    let (m, n, k) = (opa_m, opb_n, opa_k);
+    if m * n * k < NAIVE_MAX_FLOPS {
+        reference::gemm_acc(trans_a, trans_b, alpha, a, b, c);
+        return;
     }
-    let k = opa_k;
-
-    match (trans_a, trans_b) {
-        (Trans::No, Trans::No) => {
-            // C[:, j] += alpha * A[:, l] * B[l, j]
-            for j in 0..opb_n {
-                for l in 0..k {
-                    let blj = alpha * b[(l, j)];
-                    if blj != 0.0 {
-                        axpy(blj, a.col(l), c.col_mut(j));
-                    }
-                }
-            }
-        }
-        (Trans::Yes, Trans::No) => {
-            // C[i, j] += alpha * dot(A[:, i], B[:, j])
-            for j in 0..opb_n {
-                let bcol = b.col(j);
-                for i in 0..opa_m {
-                    c[(i, j)] += alpha * dot(a.col(i), bcol);
-                }
-            }
-        }
-        (Trans::No, Trans::Yes) => {
-            // C[:, j] += alpha * A[:, l] * B[j, l]
-            for j in 0..opb_n {
-                for l in 0..k {
-                    let bjl = alpha * b[(j, l)];
-                    if bjl != 0.0 {
-                        axpy(bjl, a.col(l), c.col_mut(j));
-                    }
-                }
-            }
-        }
-        (Trans::Yes, Trans::Yes) => {
-            // C[i, j] += alpha * dot(A[:, i], B[j, :]) — fall back to explicit loop.
-            for j in 0..opb_n {
-                for i in 0..opa_m {
-                    let mut s = 0.0;
-                    for l in 0..k {
-                        s += a[(l, i)] * b[(j, l)];
-                    }
-                    c[(i, j)] += alpha * s;
-                }
-            }
-        }
-    }
+    let ldc = c.nrows();
+    gemm_packed(
+        m,
+        n,
+        k,
+        alpha,
+        op_ref(a, trans_a),
+        op_ref(b, trans_b),
+        c.as_mut_slice(),
+        0,
+        ldc,
+        pack,
+    );
 }
 
 /// `A * B` as a new matrix.
@@ -182,46 +465,99 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     c
 }
 
+/// Blocked lower-triangle rank-k update on raw storage:
+/// `C[lower] += alpha * S Sᵀ` where `S` is an `n × k` strided view and the
+/// destination element `(i, j)` lives at `c[c_off + i + j * ldc]`. Diagonal
+/// tiles are staged through `pack.scratch` so only the lower triangle of C is
+/// ever written; the sub-diagonal rectangles go straight through
+/// [`gemm_packed`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn syrk_lower_packed(
+    n: usize,
+    k: usize,
+    alpha: f64,
+    s: StridedRef<'_>,
+    c: &mut [f64],
+    c_off: usize,
+    ldc: usize,
+    pack: &mut PackBuffer,
+) {
+    for j0 in (0..n).step_by(TB) {
+        let nb = TB.min(n - j0);
+        // Diagonal tile: compute the full nb × nb product into scratch, then
+        // accumulate its lower triangle (the contract forbids touching the
+        // strict upper triangle of C).
+        let mut scratch = std::mem::take(&mut pack.scratch);
+        scratch.clear();
+        scratch.resize(nb * nb, 0.0);
+        gemm_packed(
+            nb,
+            nb,
+            k,
+            alpha,
+            s.shifted(j0, 0),
+            s.transposed().shifted(0, j0),
+            &mut scratch,
+            0,
+            nb,
+            pack,
+        );
+        for jj in 0..nb {
+            let base = c_off + (j0 + jj) * ldc + j0 + jj;
+            for (ci, sv) in c[base..base + nb - jj].iter_mut().zip(&scratch[jj * nb + jj..]) {
+                *ci += sv;
+            }
+        }
+        pack.scratch = scratch;
+        // Sub-diagonal rectangle below the tile.
+        let below = j0 + nb;
+        if below < n {
+            gemm_packed(
+                n - below,
+                nb,
+                k,
+                alpha,
+                s.shifted(below, 0),
+                s.transposed().shifted(0, j0),
+                c,
+                c_off + j0 * ldc + below,
+                ldc,
+                pack,
+            );
+        }
+    }
+}
+
 /// Symmetric rank-k update restricted to the lower triangle:
-/// `C := alpha * op(A) op(A)^T + beta * C` (only the lower triangle of C is written).
+/// `C := alpha * op(A) op(A)^T + beta * C` (only the lower triangle of C is
+/// written). Large updates run through the blocked engine, small ones through
+/// [`mod@reference`].
 pub fn syrk_lower(trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
-    let n = match trans {
-        Trans::No => a.nrows(),
-        Trans::Yes => a.ncols(),
-    };
-    let k = match trans {
-        Trans::No => a.ncols(),
-        Trans::Yes => a.nrows(),
+    let mut pack = PackBuffer::new();
+    syrk_lower_with(&mut pack, trans, alpha, a, beta, c);
+}
+
+/// [`syrk_lower`] with an explicit, reusable packing workspace.
+pub fn syrk_lower_with(pack: &mut PackBuffer, trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+    let (n, k) = match trans {
+        Trans::No => (a.nrows(), a.ncols()),
+        Trans::Yes => (a.ncols(), a.nrows()),
     };
     assert_eq!(c.shape(), (n, n), "syrk: output must be n x n");
-    // Scale lower triangle of C by beta.
-    for j in 0..n {
-        for i in j..n {
-            c[(i, j)] *= beta;
-        }
-    }
-    match trans {
-        Trans::No => {
-            for l in 0..k {
-                let col = a.col(l);
-                for j in 0..n {
-                    let ajl = alpha * col[j];
-                    if ajl != 0.0 {
-                        for i in j..n {
-                            c[(i, j)] += ajl * col[i];
-                        }
-                    }
-                }
-            }
-        }
-        Trans::Yes => {
-            for j in 0..n {
-                for i in j..n {
-                    c[(i, j)] += alpha * dot(a.col(i), a.col(j));
-                }
+    // Scale the lower triangle of C by beta.
+    if beta != 1.0 {
+        for j in 0..n {
+            for v in &mut c.col_mut(j)[j..] {
+                *v *= beta;
             }
         }
     }
+    if n * n * k / 2 < NAIVE_MAX_FLOPS {
+        reference::syrk_acc(trans, alpha, a, c);
+        return;
+    }
+    let ldc = c.nrows();
+    syrk_lower_packed(n, k, alpha, op_ref(a, trans), c.as_mut_slice(), 0, ldc, pack);
 }
 
 /// Full symmetric rank-k update (both triangles written), convenience wrapper.
@@ -230,42 +566,258 @@ pub fn syrk_full(trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix
     c.mirror_lower();
 }
 
+/// [`syrk_full`] with an explicit, reusable packing workspace.
+pub fn syrk_full_with(pack: &mut PackBuffer, trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+    syrk_lower_with(pack, trans, alpha, a, beta, c);
+    c.mirror_lower();
+}
+
+/// `dst_col += alpha * src_col` over the row range `rows` of two distinct
+/// columns of `b` (used by the blocked right-side triangular solves).
+fn axpy_cols(b: &mut Matrix, src: usize, dst: usize, rows: std::ops::Range<usize>, alpha: f64) {
+    debug_assert_ne!(src, dst);
+    let m = b.nrows();
+    let data = b.as_mut_slice();
+    if src < dst {
+        let (lo, hi) = data.split_at_mut(dst * m);
+        axpy(alpha, &lo[src * m..][rows.clone()], &mut hi[rows]);
+    } else {
+        let (lo, hi) = data.split_at_mut(src * m);
+        axpy(alpha, &hi[rows.clone()], &mut lo[dst * m..][rows]);
+    }
+}
+
 /// Triangular solve with multiple right-hand sides.
 ///
 /// Solves `op(A) X = B` (`Side::Left`) or `X op(A) = B` (`Side::Right`) in
 /// place on `b`, where `A` is triangular (only the triangle indicated by
 /// `uplo` is referenced; the other triangle is assumed zero).
+///
+/// Lower-triangular solves — the shapes the BTA factorization and solves hit —
+/// are blocked: the diagonal `TB × TB` systems are solved by substitution and
+/// the trailing updates are delegated to the packed [`gemm`] engine. Upper
+/// solves and small systems use the substitution loops in [`mod@reference`].
+///
+/// ```
+/// use dalia_la::blas::{matmul, trsm, Side, Trans, Triangle};
+/// use dalia_la::Matrix;
+///
+/// let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]);
+/// let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// // Build B = L·X, then recover X by solving L·X = B in place.
+/// let mut b = matmul(&l, &x);
+/// trsm(Side::Left, Triangle::Lower, Trans::No, &l, &mut b);
+/// assert!(b.max_abs_diff(&x) < 1e-12);
+/// ```
 pub fn trsm(side: Side, uplo: Triangle, trans: Trans, a: &Matrix, b: &mut Matrix) {
+    let mut pack = PackBuffer::new();
+    trsm_with(&mut pack, side, uplo, trans, a, b);
+}
+
+/// [`trsm`] with an explicit, reusable packing workspace.
+pub fn trsm_with(pack: &mut PackBuffer, side: Side, uplo: Triangle, trans: Trans, a: &Matrix, b: &mut Matrix) {
     assert!(a.is_square(), "trsm: A must be square");
     let n = a.nrows();
     match side {
-        Side::Left => {
-            assert_eq!(b.nrows(), n, "trsm-left: dimension mismatch");
-            let ncols = b.ncols();
-            for j in 0..ncols {
-                let col = b.col_mut(j);
-                trsv_in_place(uplo, trans, a, col);
+        Side::Left => assert_eq!(b.nrows(), n, "trsm-left: dimension mismatch"),
+        Side::Right => assert_eq!(b.ncols(), n, "trsm-right: dimension mismatch"),
+    }
+    let nrhs = match side {
+        Side::Left => b.ncols(),
+        Side::Right => b.nrows(),
+    };
+    if uplo == Triangle::Upper || n * n * nrhs < NAIVE_MAX_FLOPS {
+        reference::trsm(side, uplo, trans, a, b);
+        return;
+    }
+    match (side, trans) {
+        (Side::Left, Trans::No) => trsm_blocked_left_lower_notrans(pack, a, b),
+        (Side::Left, Trans::Yes) => trsm_blocked_left_lower_trans(pack, a, b),
+        (Side::Right, Trans::No) => trsm_blocked_right_lower_notrans(pack, a, b),
+        (Side::Right, Trans::Yes) => trsm_blocked_right_lower_trans(pack, a, b),
+    }
+}
+
+/// Copy the block of rows `k0..k0+nb` of `b` into `pack.scratch`
+/// (column-major, leading dimension `nb`) so trailing gemm updates can read
+/// the solved panel while writing other rows of the same matrix.
+fn stash_row_panel(pack: &mut PackBuffer, b: &Matrix, k0: usize, nb: usize) {
+    let m = b.ncols();
+    pack.scratch.clear();
+    pack.scratch.resize(nb * m, 0.0);
+    for j in 0..m {
+        let col = &b.col(j)[k0..k0 + nb];
+        pack.scratch[j * nb..(j + 1) * nb].copy_from_slice(col);
+    }
+}
+
+/// Blocked forward substitution `L X = B`.
+fn trsm_blocked_left_lower_notrans(pack: &mut PackBuffer, a: &Matrix, b: &mut Matrix) {
+    let n = a.nrows();
+    let m = b.ncols();
+    let ldb = b.nrows();
+    for k0 in (0..n).step_by(TB) {
+        let nb = TB.min(n - k0);
+        // Solve the diagonal system L11 X1 = B1 by forward substitution.
+        for j in 0..m {
+            let col = b.col_mut(j);
+            for i in 0..nb {
+                let gi = k0 + i;
+                let mut s = col[gi];
+                for p in 0..i {
+                    s -= a[(gi, k0 + p)] * col[k0 + p];
+                }
+                col[gi] = s / a[(gi, gi)];
             }
-            let _ = ncols;
         }
-        Side::Right => {
-            assert_eq!(b.ncols(), n, "trsm-right: dimension mismatch");
-            // X op(A) = B  <=>  op(A)^T X^T = B^T.
-            // Solve row by row: for each row r of B, solve op(A)^T x = r.
-            let flipped = match trans {
-                Trans::No => Trans::Yes,
-                Trans::Yes => Trans::No,
-            };
-            let m = b.nrows();
-            let mut row = vec![0.0; n];
-            for i in 0..m {
-                for j in 0..n {
-                    row[j] = b[(i, j)];
+        // Trailing update B2 -= L21 X1 through the packed engine.
+        let rest = k0 + nb;
+        if rest < n {
+            stash_row_panel(pack, b, k0, nb);
+            let scratch = std::mem::take(&mut pack.scratch);
+            let x1 = StridedRef { data: &scratch, off: 0, rs: 1, cs: nb };
+            gemm_packed(
+                n - rest,
+                m,
+                nb,
+                -1.0,
+                op_ref(a, Trans::No).shifted(rest, k0),
+                x1,
+                b.as_mut_slice(),
+                rest,
+                ldb,
+                pack,
+            );
+            pack.scratch = scratch;
+        }
+    }
+}
+
+/// Blocked backward substitution `Lᵀ X = B`.
+fn trsm_blocked_left_lower_trans(pack: &mut PackBuffer, a: &Matrix, b: &mut Matrix) {
+    let n = a.nrows();
+    let m = b.ncols();
+    let ldb = b.nrows();
+    let nblocks = n.div_ceil(TB);
+    for bi in (0..nblocks).rev() {
+        let k0 = bi * TB;
+        let nb = TB.min(n - k0);
+        // Solve L11ᵀ X1 = B1 by backward substitution.
+        for j in 0..m {
+            let col = b.col_mut(j);
+            for i in (0..nb).rev() {
+                let gi = k0 + i;
+                let mut s = col[gi];
+                for p in (i + 1)..nb {
+                    s -= a[(k0 + p, gi)] * col[k0 + p];
                 }
-                trsv_in_place(uplo, flipped, a, &mut row);
-                for j in 0..n {
-                    b[(i, j)] = row[j];
+                col[gi] = s / a[(gi, gi)];
+            }
+        }
+        // Leading update B0 -= L21ᵀ X1 (L21 couples rows k0.. to columns 0..k0).
+        if k0 > 0 {
+            stash_row_panel(pack, b, k0, nb);
+            let scratch = std::mem::take(&mut pack.scratch);
+            let x1 = StridedRef { data: &scratch, off: 0, rs: 1, cs: nb };
+            gemm_packed(
+                k0,
+                m,
+                nb,
+                -1.0,
+                op_ref(a, Trans::Yes).shifted(0, k0),
+                x1,
+                b.as_mut_slice(),
+                0,
+                ldb,
+                pack,
+            );
+            pack.scratch = scratch;
+        }
+    }
+}
+
+/// Blocked `X L = B`, processed right-to-left over column blocks of X.
+fn trsm_blocked_right_lower_notrans(pack: &mut PackBuffer, a: &Matrix, b: &mut Matrix) {
+    let n = a.nrows();
+    let m = b.nrows();
+    let nblocks = n.div_ceil(TB);
+    for bi in (0..nblocks).rev() {
+        let j0 = bi * TB;
+        let nb = TB.min(n - j0);
+        let end = j0 + nb;
+        // B[:, J] -= X[:, end..] L[end.., J]; the solved columns live right of
+        // the split point, the destination block left of it.
+        if end < n {
+            let (head, tail) = b.as_mut_slice().split_at_mut(end * m);
+            let x_later = StridedRef { data: tail, off: 0, rs: 1, cs: m };
+            gemm_packed(
+                m,
+                nb,
+                n - end,
+                -1.0,
+                x_later,
+                op_ref(a, Trans::No).shifted(end, j0),
+                head,
+                j0 * m,
+                m,
+                pack,
+            );
+        }
+        // Solve X[:, J] L[J, J] = B[:, J] column by column (right to left).
+        for jj in (0..nb).rev() {
+            let jcol = j0 + jj;
+            for p in (jj + 1)..nb {
+                let l = a[(j0 + p, jcol)];
+                if l != 0.0 {
+                    axpy_cols(b, j0 + p, jcol, 0..m, -l);
                 }
+            }
+            let d = a[(jcol, jcol)];
+            for v in b.col_mut(jcol) {
+                *v /= d;
+            }
+        }
+    }
+}
+
+/// Blocked `X Lᵀ = B`, processed left-to-right over column blocks of X. This
+/// is the factorization hot path (`B_i := B_i L_ii^{-T}` on every sub-diagonal
+/// and arrow block of the BTA Cholesky).
+fn trsm_blocked_right_lower_trans(pack: &mut PackBuffer, a: &Matrix, b: &mut Matrix) {
+    let n = a.nrows();
+    let m = b.nrows();
+    for j0 in (0..n).step_by(TB) {
+        let nb = TB.min(n - j0);
+        // B[:, J] -= X[:, 0..j0] (Lᵀ)[0..j0, J]; solved columns live left of
+        // the split point, the destination block right of it.
+        if j0 > 0 {
+            let (head, tail) = b.as_mut_slice().split_at_mut(j0 * m);
+            let x_prev = StridedRef { data: head, off: 0, rs: 1, cs: m };
+            gemm_packed(
+                m,
+                nb,
+                j0,
+                -1.0,
+                x_prev,
+                op_ref(a, Trans::Yes).shifted(0, j0),
+                tail,
+                0,
+                m,
+                pack,
+            );
+        }
+        // Solve X[:, J] (Lᵀ)[J, J] = B[:, J] column by column (left to right).
+        for jj in 0..nb {
+            let jcol = j0 + jj;
+            for p in 0..jj {
+                let l = a[(jcol, j0 + p)];
+                if l != 0.0 {
+                    axpy_cols(b, j0 + p, jcol, 0..m, -l);
+                }
+            }
+            let d = a[(jcol, jcol)];
+            for v in b.col_mut(jcol) {
+                *v /= d;
             }
         }
     }
@@ -319,7 +871,7 @@ pub fn trsv_in_place(uplo: Triangle, trans: Trans, a: &Matrix, x: &mut [f64]) {
 
 /// Triangular matrix-matrix multiply `B := op(A) B` with `A` triangular
 /// (referenced triangle given by `uplo`). Only `Side::Left` is needed by the
-/// solver stack.
+/// solver stack, and only outside the hot path, so this stays a plain loop.
 pub fn trmm_left(uplo: Triangle, trans: Trans, a: &Matrix, b: &mut Matrix) {
     assert!(a.is_square());
     let n = a.nrows();
@@ -364,12 +916,201 @@ pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
     2 * (m as u64) * (k as u64) * (n as u64)
 }
 
+/// Reference (naive-loop) level-3 kernels.
+///
+/// These are the pre-blocking implementations, retained forever as ground
+/// truth: the parity suites (`crates/la/tests/proptest_kernels.rs`) check the
+/// blocked kernels against them bit-for-bit-close (`1e-12`), the blocked
+/// entry points fall back to them for cache-resident problems, and
+/// `kernel_bench` reports the blocked kernels' speedup over them.
+pub mod reference {
+    use super::{axpy, dot, trsv_in_place, Matrix, Side, Trans, Triangle};
+
+    /// `C += alpha * op(A) op(B)` with the historical loop orders (beta
+    /// scaling is the caller's job). Shared by [`gemm`] and the small-problem
+    /// fast path of the blocked kernel, so tiny products are bit-identical to
+    /// the pre-blocking implementation.
+    pub(crate) fn gemm_acc(trans_a: Trans, trans_b: Trans, alpha: f64, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        let k = match trans_a {
+            Trans::No => a.ncols(),
+            Trans::Yes => a.nrows(),
+        };
+        let (opa_m, opb_n) = c.shape();
+        match (trans_a, trans_b) {
+            (Trans::No, Trans::No) => {
+                // C[:, j] += alpha * A[:, l] * B[l, j]
+                for j in 0..opb_n {
+                    for l in 0..k {
+                        let blj = alpha * b[(l, j)];
+                        if blj != 0.0 {
+                            axpy(blj, a.col(l), c.col_mut(j));
+                        }
+                    }
+                }
+            }
+            (Trans::Yes, Trans::No) => {
+                // C[i, j] += alpha * dot(A[:, i], B[:, j])
+                for j in 0..opb_n {
+                    let bcol = b.col(j);
+                    for i in 0..opa_m {
+                        c[(i, j)] += alpha * dot(a.col(i), bcol);
+                    }
+                }
+            }
+            (Trans::No, Trans::Yes) => {
+                // C[:, j] += alpha * A[:, l] * B[j, l]
+                for j in 0..opb_n {
+                    for l in 0..k {
+                        let bjl = alpha * b[(j, l)];
+                        if bjl != 0.0 {
+                            axpy(bjl, a.col(l), c.col_mut(j));
+                        }
+                    }
+                }
+            }
+            (Trans::Yes, Trans::Yes) => {
+                // C[i, j] += alpha * dot(A[:, i], B[j, :]) — explicit loop.
+                for j in 0..opb_n {
+                    for i in 0..opa_m {
+                        let mut s = 0.0;
+                        for l in 0..k {
+                            s += a[(l, i)] * b[(j, l)];
+                        }
+                        c[(i, j)] += alpha * s;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reference `C = alpha * op(A) op(B) + beta * C` (naive loops).
+    pub fn gemm(
+        trans_a: Trans,
+        trans_b: Trans,
+        alpha: f64,
+        a: &Matrix,
+        b: &Matrix,
+        beta: f64,
+        c: &mut Matrix,
+    ) {
+        let (am, an) = a.shape();
+        let (bm, bn) = b.shape();
+        let (opa_m, opa_k) = match trans_a {
+            Trans::No => (am, an),
+            Trans::Yes => (an, am),
+        };
+        let (opb_k, opb_n) = match trans_b {
+            Trans::No => (bm, bn),
+            Trans::Yes => (bn, bm),
+        };
+        assert_eq!(opa_k, opb_k, "gemm: inner dimension mismatch");
+        assert_eq!(c.shape(), (opa_m, opb_n), "gemm: output shape mismatch");
+        super::scale_matrix(beta, c);
+        gemm_acc(trans_a, trans_b, alpha, a, b, c);
+    }
+
+    /// Lower-triangle accumulation `C[lower] += alpha * op(A) op(A)ᵀ` with the
+    /// historical loop orders.
+    pub(crate) fn syrk_acc(trans: Trans, alpha: f64, a: &Matrix, c: &mut Matrix) {
+        let n = c.nrows();
+        let k = match trans {
+            Trans::No => a.ncols(),
+            Trans::Yes => a.nrows(),
+        };
+        match trans {
+            Trans::No => {
+                for l in 0..k {
+                    let col = a.col(l);
+                    for j in 0..n {
+                        let ajl = alpha * col[j];
+                        if ajl != 0.0 {
+                            for i in j..n {
+                                c[(i, j)] += ajl * col[i];
+                            }
+                        }
+                    }
+                }
+            }
+            Trans::Yes => {
+                for j in 0..n {
+                    for i in j..n {
+                        c[(i, j)] += alpha * dot(a.col(i), a.col(j));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reference lower-triangle rank-k update (naive loops).
+    pub fn syrk_lower(trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+        let n = match trans {
+            Trans::No => a.nrows(),
+            Trans::Yes => a.ncols(),
+        };
+        assert_eq!(c.shape(), (n, n), "syrk: output must be n x n");
+        for j in 0..n {
+            for v in &mut c.col_mut(j)[j..] {
+                *v *= beta;
+            }
+        }
+        syrk_acc(trans, alpha, a, c);
+    }
+
+    /// Reference full rank-k update (both triangles written).
+    pub fn syrk_full(trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+        syrk_lower(trans, alpha, a, beta, c);
+        c.mirror_lower();
+    }
+
+    /// Reference triangular solve: per-column (`Side::Left`) or per-row
+    /// (`Side::Right`) substitution via [`trsv_in_place`].
+    pub fn trsm(side: Side, uplo: Triangle, trans: Trans, a: &Matrix, b: &mut Matrix) {
+        assert!(a.is_square(), "trsm: A must be square");
+        let n = a.nrows();
+        match side {
+            Side::Left => {
+                assert_eq!(b.nrows(), n, "trsm-left: dimension mismatch");
+                for j in 0..b.ncols() {
+                    trsv_in_place(uplo, trans, a, b.col_mut(j));
+                }
+            }
+            Side::Right => {
+                assert_eq!(b.ncols(), n, "trsm-right: dimension mismatch");
+                // X op(A) = B  <=>  op(A)^T X^T = B^T; solve row by row.
+                let flipped = match trans {
+                    Trans::No => Trans::Yes,
+                    Trans::Yes => Trans::No,
+                };
+                let m = b.nrows();
+                let mut row = vec![0.0; n];
+                for i in 0..m {
+                    for (j, r) in row.iter_mut().enumerate() {
+                        *r = b[(i, j)];
+                    }
+                    trsv_in_place(uplo, flipped, a, &mut row);
+                    for (j, r) in row.iter().enumerate() {
+                        b[(i, j)] = *r;
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
         a.max_abs_diff(b) < tol
+    }
+
+    /// Deterministic dense test matrix.
+    fn test_mat(m: usize, n: usize, seed: usize) -> Matrix {
+        Matrix::from_fn(m, n, |i, j| {
+            let v = (i * 31 + j * 17 + seed * 7) % 23;
+            (v as f64) / 11.5 - 1.0
+        })
     }
 
     #[test]
@@ -433,6 +1174,110 @@ mod tests {
     }
 
     #[test]
+    fn blocked_gemm_matches_reference_above_threshold() {
+        // Big enough to take the packed path in every transpose combination,
+        // with tile-unaligned dimensions.
+        let (m, n, k) = (70, 53, 41);
+        for (ta, tb) in [
+            (Trans::No, Trans::No),
+            (Trans::Yes, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let a = match ta {
+                Trans::No => test_mat(m, k, 1),
+                Trans::Yes => test_mat(k, m, 1),
+            };
+            let b = match tb {
+                Trans::No => test_mat(k, n, 2),
+                Trans::Yes => test_mat(n, k, 2),
+            };
+            let mut c = test_mat(m, n, 3);
+            let mut c_ref = c.clone();
+            gemm(ta, tb, 1.3, &a, &b, -0.7, &mut c);
+            reference::gemm(ta, tb, 1.3, &a, &b, -0.7, &mut c_ref);
+            assert!(approx_eq(&c, &c_ref, 1e-12), "mismatch for {ta:?}/{tb:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_syrk_matches_reference_above_threshold() {
+        for trans in [Trans::No, Trans::Yes] {
+            let a = match trans {
+                Trans::No => test_mat(90, 37, 4),
+                Trans::Yes => test_mat(37, 90, 4),
+            };
+            let mut c = test_mat(90, 90, 5);
+            let mut c_ref = c.clone();
+            syrk_lower(trans, 0.9, &a, 0.4, &mut c);
+            reference::syrk_lower(trans, 0.9, &a, 0.4, &mut c_ref);
+            assert!(approx_eq(&c, &c_ref, 1e-12), "mismatch for {trans:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_trsm_matches_reference_above_threshold() {
+        let n = 100;
+        let mut l = test_mat(n, n, 6);
+        for j in 0..n {
+            for i in 0..j {
+                l[(i, j)] = 0.0;
+            }
+            l[(j, j)] = 2.0 + l[(j, j)].abs();
+        }
+        for (side, trans) in [
+            (Side::Left, Trans::No),
+            (Side::Left, Trans::Yes),
+            (Side::Right, Trans::No),
+            (Side::Right, Trans::Yes),
+        ] {
+            let mut b = match side {
+                Side::Left => test_mat(n, 60, 7),
+                Side::Right => test_mat(60, n, 7),
+            };
+            let mut b_ref = b.clone();
+            trsm(side, Triangle::Lower, trans, &l, &mut b);
+            reference::trsm(side, Triangle::Lower, trans, &l, &mut b_ref);
+            assert!(approx_eq(&b, &b_ref, 1e-11), "mismatch for {side:?}/{trans:?}");
+        }
+    }
+
+    #[test]
+    fn portable_micro_kernel_matches_dispatched() {
+        // On AVX2+FMA hosts `micro_kernel` takes the intrinsics path, so this
+        // pins the portable `micro_kernel_body` (the only path non-x86
+        // targets ever run) against it directly; elsewhere the two coincide
+        // and the test is a tautology. Differences come only from FMA
+        // contraction (last-ulp).
+        for kc in [0usize, 1, 2, 7, 64, 256, 300] {
+            let apanel: Vec<f64> =
+                (0..kc * MR).map(|i| ((i * 37 + 11) % 23) as f64 / 11.5 - 1.0).collect();
+            let bpanel: Vec<f64> =
+                (0..kc * NR).map(|i| ((i * 29 + 5) % 19) as f64 / 9.5 - 1.0).collect();
+            let mut acc_portable = [0.1f64; MR * NR];
+            micro_kernel_body(kc, &apanel, &bpanel, &mut acc_portable);
+            let mut acc_dispatched = [0.1f64; MR * NR];
+            micro_kernel(kc, &apanel, &bpanel, &mut acc_dispatched);
+            for (p, d) in acc_portable.iter().zip(&acc_dispatched) {
+                assert!((p - d).abs() < 1e-12, "kc={kc}: {p} vs {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_with_reuses_workspace() {
+        let mut pack = PackBuffer::new();
+        let a = test_mat(64, 64, 8);
+        let b = test_mat(64, 64, 9);
+        let mut c1 = Matrix::zeros(64, 64);
+        gemm_with(&mut pack, Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c1);
+        let mut c2 = Matrix::zeros(64, 64);
+        gemm_with(&mut pack, Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c2);
+        assert_eq!(c1.as_slice(), c2.as_slice());
+        assert!(approx_eq(&c1, &matmul(&a, &b), 1e-12));
+    }
+
+    #[test]
     fn syrk_matches_gemm() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let mut c = Matrix::zeros(3, 3);
@@ -444,6 +1289,18 @@ mod tests {
         syrk_full(Trans::Yes, 1.0, &a, 0.0, &mut ct);
         let expected_t = matmul(&a.transpose(), &a);
         assert!(approx_eq(&ct, &expected_t, 1e-12));
+    }
+
+    #[test]
+    fn syrk_lower_leaves_upper_untouched() {
+        let a = test_mat(80, 40, 10);
+        let mut c = Matrix::filled(80, 80, 42.0);
+        syrk_lower(Trans::No, 1.0, &a, 0.0, &mut c);
+        for j in 1..80 {
+            for i in 0..j {
+                assert_eq!(c[(i, j)], 42.0, "upper triangle entry ({i},{j}) was written");
+            }
+        }
     }
 
     #[test]
@@ -499,5 +1356,22 @@ mod tests {
     #[test]
     fn flop_count() {
         assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+
+    #[test]
+    fn degenerate_dims_are_noops() {
+        // k = 0: C = beta * C.
+        let a = Matrix::zeros(5, 0);
+        let b = Matrix::zeros(0, 4);
+        let mut c = Matrix::filled(5, 4, 2.0);
+        gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.5, &mut c);
+        assert!(approx_eq(&c, &Matrix::filled(5, 4, 1.0), 1e-15));
+        // Zero-sized outputs.
+        let mut empty = Matrix::zeros(0, 0);
+        gemm(Trans::No, Trans::No, 1.0, &Matrix::zeros(0, 3), &Matrix::zeros(3, 0), 0.0, &mut empty);
+        let mut c0 = Matrix::zeros(0, 0);
+        syrk_lower(Trans::No, 1.0, &Matrix::zeros(0, 3), 0.0, &mut c0);
+        let mut b0 = Matrix::zeros(0, 2);
+        trsm(Side::Left, Triangle::Lower, Trans::No, &Matrix::zeros(0, 0), &mut b0);
     }
 }

@@ -5,16 +5,116 @@
 //! `trsm` on the off-diagonal/arrow blocks and `syrk`/`gemm` on the Schur
 //! updates.
 
-use crate::blas::{self, Side, Trans, Triangle};
+use crate::blas::{self, PackBuffer, Side, Trans, Triangle};
 use crate::matrix::Matrix;
 use crate::LaError;
+
+/// Panel width of the blocked factorization (shared with the `trsm` / `syrk`
+/// diagonal-block size so the three kernels tile consistently).
+const PB: usize = 64;
 
 /// In-place lower Cholesky factorization `A = L L^T`.
 ///
 /// On success the lower triangle (including the diagonal) of `a` contains `L`
 /// and the strict upper triangle is zeroed. Fails with
 /// [`LaError::NotPositiveDefinite`] when a non-positive pivot is encountered.
+///
+/// Matrices larger than one panel are factorized with the blocked
+/// right-looking algorithm: an unblocked `PB × PB` diagonal factorization,
+/// a triangular panel solve, and a trailing `syrk` update that runs through
+/// the packed micro-kernel engine in [`crate::blas`]. Hot loops should hold a
+/// [`PackBuffer`] and call [`potrf_with`]; the pre-blocking column-by-column
+/// loop survives as [`potrf_reference`].
 pub fn potrf(a: &mut Matrix) -> Result<(), LaError> {
+    let mut pack = PackBuffer::new();
+    potrf_with(&mut pack, a)
+}
+
+/// [`potrf`] with an explicit, reusable packing workspace.
+pub fn potrf_with(pack: &mut PackBuffer, a: &mut Matrix) -> Result<(), LaError> {
+    assert!(a.is_square(), "potrf requires a square matrix");
+    let n = a.nrows();
+    if n <= PB {
+        potrf_unblocked(a, 0, n)?;
+        a.zero_upper();
+        return Ok(());
+    }
+    for k0 in (0..n).step_by(PB) {
+        let nb = PB.min(n - k0);
+        // Factor the (fully updated) diagonal block: A11 = L11 L11ᵀ.
+        potrf_unblocked(a, k0, nb)?;
+        let rest = k0 + nb;
+        if rest == n {
+            break;
+        }
+        // Panel solve: L21 := A21 L11⁻ᵀ, column by column. The L11 entries are
+        // stashed in scratch so the column axpys can split-borrow `a`.
+        let mut l11 = std::mem::take(&mut pack.scratch);
+        l11.clear();
+        l11.resize(nb * nb, 0.0);
+        for p in 0..nb {
+            let col = &a.col(k0 + p)[k0..k0 + nb];
+            l11[p * nb..(p + 1) * nb].copy_from_slice(col);
+        }
+        let lda = n;
+        for j in 0..nb {
+            let data = a.as_mut_slice();
+            let (lo, hi) = data.split_at_mut((k0 + j) * lda);
+            let dst = &mut hi[rest..lda];
+            for p in 0..j {
+                let l = l11[p * nb + j];
+                if l != 0.0 {
+                    let src = &lo[(k0 + p) * lda + rest..(k0 + p + 1) * lda];
+                    blas::axpy(-l, src, dst);
+                }
+            }
+            let d = l11[j * nb + j];
+            for v in dst.iter_mut() {
+                *v /= d;
+            }
+        }
+        pack.scratch = l11;
+        // Trailing update: A22[lower] -= L21 L21ᵀ. The solved panel lives in
+        // columns k0..rest, the trailing matrix in columns rest.., so a column
+        // split separates the read panel from the written triangle.
+        let (head, tail) = a.as_mut_slice().split_at_mut(rest * lda);
+        let l21 = blas::StridedRef { data: head, off: k0 * lda + rest, rs: 1, cs: lda };
+        blas::syrk_lower_packed(n - rest, nb, -1.0, l21, tail, rest, lda, pack);
+    }
+    a.zero_upper();
+    Ok(())
+}
+
+/// Unblocked factorization of the diagonal block `a[k0.., k0..]` of size `nb`,
+/// referencing (and overwriting) only entries inside the block.
+fn potrf_unblocked(a: &mut Matrix, k0: usize, nb: usize) -> Result<(), LaError> {
+    for j in 0..nb {
+        let gj = k0 + j;
+        let mut d = a[(gj, gj)];
+        for p in 0..j {
+            let l = a[(gj, k0 + p)];
+            d -= l * l;
+        }
+        if !(d > 0.0) || !d.is_finite() {
+            return Err(LaError::NotPositiveDefinite { pivot: gj, value: d });
+        }
+        let djj = d.sqrt();
+        a[(gj, gj)] = djj;
+        for i in (j + 1)..nb {
+            let gi = k0 + i;
+            let mut s = a[(gi, gj)];
+            for p in 0..j {
+                s -= a[(gi, k0 + p)] * a[(gj, k0 + p)];
+            }
+            a[(gi, gj)] = s / djj;
+        }
+    }
+    Ok(())
+}
+
+/// Reference (pre-blocking) column-by-column Cholesky, retained as the ground
+/// truth for the parity suites and the `kernel_bench` comparison.
+pub fn potrf_reference(a: &mut Matrix) -> Result<(), LaError> {
     assert!(a.is_square(), "potrf requires a square matrix");
     let n = a.nrows();
     for j in 0..n {

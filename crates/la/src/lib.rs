@@ -17,8 +17,11 @@ pub mod chol;
 pub mod eigen;
 pub mod matrix;
 
-pub use blas::{Side, Trans, Triangle};
-pub use chol::{cholesky, logdet_from_cholesky, potrf, potrs, potrs_vec, spd_inverse, spd_solve_vec};
+pub use blas::{PackBuffer, Side, Trans, Triangle};
+pub use chol::{
+    cholesky, logdet_from_cholesky, potrf, potrf_reference, potrf_with, potrs, potrs_vec,
+    spd_inverse, spd_solve_vec,
+};
 pub use eigen::{symmetric_eigen, SymmetricEigen};
 pub use matrix::Matrix;
 

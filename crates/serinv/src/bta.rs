@@ -18,6 +18,16 @@
 //! block-dense representation is what enables the GPU-style dense kernels of
 //! `dalia-la` to operate on the structured sparsity pattern (at the cost of
 //! O(n·b²) memory instead of O(nnz), as discussed in Sec. IV-C of the paper).
+//!
+//! In the spatio-temporal model the structure parameters map to paper
+//! quantities as `n = n_t` (time steps), `b = n_v · n_s` (variates × spatial
+//! mesh nodes — the size of one temporal slab of the latent field) and
+//! `a = n_v · n_r` (variates × fixed-effect covariates, the arrowhead that
+//! couples the fixed effects to every time step). [`BtaMatrix`] is the
+//! assembled precision `Q`; [`BtaCholesky`] holds the factor `L` of
+//! `Q = L Lᵀ` in the same block layout, from which
+//! [`BtaCholesky::logdet`] reads `log |Q| = 2 Σ log L_ii` — one of the three
+//! terms of every INLA objective evaluation.
 
 use dalia_la::Matrix;
 

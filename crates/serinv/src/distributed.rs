@@ -16,12 +16,30 @@
 //! structure (work split, reduced-system bottleneck, load imbalance) while the
 //! cluster-level behaviour is captured by the performance model in
 //! `dalia-hpc`.
+//!
+//! The three phases mirror their sequential counterparts and compute the same
+//! paper quantities (`log |Q|`, `Q⁻¹ r`, `diag(Q⁻¹)`):
+//!
+//! 1. **`d_pobtaf`** — per-partition interior elimination (parallel), Schur
+//!    assembly onto the separators/tip, then a *sequential* `pobtaf` of the
+//!    reduced `(P−1)`-block BTA system — the scalability bottleneck the
+//!    paper's Fig. 5 measures.
+//! 2. **`d_pobtas`** — parallel forward substitution on the interiors, a
+//!    sequential reduced-system solve, and a parallel backward pass.
+//! 3. **`d_pobtasi`** — selected inversion of the reduced system followed by
+//!    an independent backward sweep per partition (pure `trsm`/`syrk`/`gemm`
+//!    block work).
+//!
+//! Every parallel closure owns a private [`PackBuffer`], so the packed
+//! micro-kernels in `dalia_la::blas` never contend for workspace across
+//! partitions; the buffer is reused across all block columns of that
+//! partition.
 
 use crate::bta::{BtaCholesky, BtaMatrix};
 use crate::partition::Partitioning;
 use crate::sequential::{pobtaf, pobtas, pobtasi, BtaSelectedInverse};
 use crate::SerinvError;
-use dalia_la::blas::{self, Side, Trans, Triangle};
+use dalia_la::blas::{self, PackBuffer, Side, Trans, Triangle};
 use dalia_la::{chol, Matrix};
 use rayon::prelude::*;
 
@@ -131,6 +149,7 @@ fn factor_partition(
     let mut l_arrow = Vec::with_capacity(len);
     let mut l_right = None;
 
+    let mut pack = PackBuffer::new();
     let mut s_ll = if has_left { Some(Matrix::zeros(b, b)) } else { None };
     let mut s_rr = if has_right { Some(Matrix::zeros(b, b)) } else { None };
     let mut s_rl = if has_left && has_right { Some(Matrix::zeros(b, b)) } else { None };
@@ -149,47 +168,48 @@ fn factor_partition(
     for j in s..e {
         let is_last = j + 1 == e;
         // Factorize the diagonal block.
-        chol::potrf(&mut diag_work).map_err(|err| SerinvError::Factorization { block: j, source: err })?;
+        chol::potrf_with(&mut pack, &mut diag_work)
+            .map_err(|err| SerinvError::Factorization { block: j, source: err })?;
         let l_jj = diag_work.clone();
 
         // Off-diagonal couplings of this column, divided by L_jjᵀ on the right.
         let mut b_j = if !is_last { Some(a.sub[j].clone()) } else { None };
         let mut r_j = if is_last && has_right { Some(a.sub[j].clone()) } else { None };
         if let Some(bj) = b_j.as_mut() {
-            blas::trsm(Side::Right, Triangle::Lower, Trans::Yes, &l_jj, bj);
+            blas::trsm_with(&mut pack, Side::Right, Triangle::Lower, Trans::Yes, &l_jj, bj);
         }
         if let Some(rj) = r_j.as_mut() {
-            blas::trsm(Side::Right, Triangle::Lower, Trans::Yes, &l_jj, rj);
+            blas::trsm_with(&mut pack, Side::Right, Triangle::Lower, Trans::Yes, &l_jj, rj);
         }
         if let Some(w) = left_work.as_mut() {
-            blas::trsm(Side::Right, Triangle::Lower, Trans::Yes, &l_jj, w);
+            blas::trsm_with(&mut pack, Side::Right, Triangle::Lower, Trans::Yes, &l_jj, w);
         }
         if has_arrow {
-            blas::trsm(Side::Right, Triangle::Lower, Trans::Yes, &l_jj, &mut arrow_work);
+            blas::trsm_with(&mut pack, Side::Right, Triangle::Lower, Trans::Yes, &l_jj, &mut arrow_work);
         }
         let w_j = left_work.clone();
         let c_j = arrow_work.clone();
 
         // Schur updates onto the reduced system.
         if let (Some(sll), Some(w)) = (s_ll.as_mut(), w_j.as_ref()) {
-            blas::syrk_full(Trans::No, 1.0, w, 1.0, sll);
+            blas::syrk_full_with(&mut pack, Trans::No, 1.0, w, 1.0, sll);
         }
         if has_arrow {
             if let (Some(sal), Some(w)) = (s_al.as_mut(), w_j.as_ref()) {
-                blas::gemm(Trans::No, Trans::Yes, 1.0, &c_j, w, 1.0, sal);
+                blas::gemm_with(&mut pack, Trans::No, Trans::Yes, 1.0, &c_j, w, 1.0, sal);
             }
-            blas::syrk_full(Trans::No, 1.0, &c_j, 1.0, &mut s_tt);
+            blas::syrk_full_with(&mut pack, Trans::No, 1.0, &c_j, 1.0, &mut s_tt);
         }
         if is_last {
             if let (Some(srr), Some(r)) = (s_rr.as_mut(), r_j.as_ref()) {
-                blas::syrk_full(Trans::No, 1.0, r, 1.0, srr);
+                blas::syrk_full_with(&mut pack, Trans::No, 1.0, r, 1.0, srr);
             }
             if let (Some(srl), (Some(r), Some(w))) = (s_rl.as_mut(), (r_j.as_ref(), w_j.as_ref())) {
-                blas::gemm(Trans::No, Trans::Yes, 1.0, r, w, 1.0, srl);
+                blas::gemm_with(&mut pack, Trans::No, Trans::Yes, 1.0, r, w, 1.0, srl);
             }
             if has_arrow {
                 if let (Some(sar), Some(r)) = (s_ar.as_mut(), r_j.as_ref()) {
-                    blas::gemm(Trans::No, Trans::Yes, 1.0, &c_j, r, 1.0, sar);
+                    blas::gemm_with(&mut pack, Trans::No, Trans::Yes, 1.0, &c_j, r, 1.0, sar);
                 }
             }
         }
@@ -199,17 +219,17 @@ fn factor_partition(
             let bj = b_j.as_ref().unwrap();
             // D_{j+1} -= B_j B_jᵀ.
             let mut next_diag = a.diag[j + 1].clone();
-            blas::syrk_full(Trans::No, -1.0, bj, 1.0, &mut next_diag);
+            blas::syrk_full_with(&mut pack, Trans::No, -1.0, bj, 1.0, &mut next_diag);
             // W_{j+1} = -W_j B_jᵀ (no original coupling for j+1 > s).
             let next_left = w_j.as_ref().map(|w| {
                 let mut nl = Matrix::zeros(b, b);
-                blas::gemm(Trans::No, Trans::Yes, -1.0, w, bj, 0.0, &mut nl);
+                blas::gemm_with(&mut pack, Trans::No, Trans::Yes, -1.0, w, bj, 0.0, &mut nl);
                 nl
             });
             // C_{j+1} -= C_j B_jᵀ.
             let mut next_arrow = a.arrow[j + 1].clone();
             if has_arrow {
-                blas::gemm(Trans::No, Trans::Yes, -1.0, &c_j, bj, 1.0, &mut next_arrow);
+                blas::gemm_with(&mut pack, Trans::No, Trans::Yes, -1.0, &c_j, bj, 1.0, &mut next_arrow);
             }
             diag_work = next_diag;
             left_work = next_left;
@@ -333,6 +353,7 @@ pub fn d_pobtas(factor: &DistBtaCholesky, rhs: &mut Matrix) {
                 .par_iter()
                 .map(|pf| {
                     let (s, e) = pf.interior;
+                    let mut pack = PackBuffer::new();
                     let mut ys: Vec<Matrix> = Vec::with_capacity(e - s);
                     let mut left_update: Option<Matrix> = None;
                     let mut right_update: Option<Matrix> = None;
@@ -340,22 +361,22 @@ pub fn d_pobtas(factor: &DistBtaCholesky, rhs: &mut Matrix) {
                     for (idx, j) in (s..e).enumerate() {
                         let mut yj = rhs.block(j * b, 0, b, k);
                         if idx > 0 {
-                            blas::gemm(Trans::No, Trans::No, -1.0, &pf.l_sub[idx - 1], &ys[idx - 1], 1.0, &mut yj);
+                            blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, &pf.l_sub[idx - 1], &ys[idx - 1], 1.0, &mut yj);
                         }
-                        blas::trsm(Side::Left, Triangle::Lower, Trans::No, &pf.l_diag[idx], &mut yj);
+                        blas::trsm_with(&mut pack, Side::Left, Triangle::Lower, Trans::No, &pf.l_diag[idx], &mut yj);
                         // Accumulate separator / tip updates.
                         if !pf.l_left.is_empty() {
                             let lu = left_update.get_or_insert_with(|| Matrix::zeros(b, k));
-                            blas::gemm(Trans::No, Trans::No, 1.0, &pf.l_left[idx], &yj, 1.0, lu);
+                            blas::gemm_with(&mut pack, Trans::No, Trans::No, 1.0, &pf.l_left[idx], &yj, 1.0, lu);
                         }
                         if idx + 1 == e - s {
                             if let Some(r) = &pf.l_right {
                                 let ru = right_update.get_or_insert_with(|| Matrix::zeros(b, k));
-                                blas::gemm(Trans::No, Trans::No, 1.0, r, &yj, 1.0, ru);
+                                blas::gemm_with(&mut pack, Trans::No, Trans::No, 1.0, r, &yj, 1.0, ru);
                             }
                         }
                         if a > 0 {
-                            blas::gemm(Trans::No, Trans::No, 1.0, &pf.l_arrow[idx], &yj, 1.0, &mut tip_update);
+                            blas::gemm_with(&mut pack, Trans::No, Trans::No, 1.0, &pf.l_arrow[idx], &yj, 1.0, &mut tip_update);
                         }
                         ys.push(yj);
                     }
@@ -409,6 +430,7 @@ pub fn d_pobtas(factor: &DistBtaCholesky, rhs: &mut Matrix) {
                 .map(|pf| {
                     let (s, e) = pf.interior;
                     let len = e - s;
+                    let mut pack = PackBuffer::new();
                     let mut xs: Vec<Matrix> = vec![Matrix::zeros(0, 0); len];
                     let x_left = if pf.p > 0 { Some(reduced_rhs.block((pf.p - 1) * b, 0, b, k)) } else { None };
                     let x_right = if pf.p < partitioning.num_partitions() - 1 {
@@ -421,20 +443,20 @@ pub fn d_pobtas(factor: &DistBtaCholesky, rhs: &mut Matrix) {
                         let j = s + idx;
                         let mut t = rhs.block(j * b, 0, b, k);
                         if idx + 1 < len {
-                            blas::gemm(Trans::Yes, Trans::No, -1.0, &pf.l_sub[idx], &xs[idx + 1], 1.0, &mut t);
+                            blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, &pf.l_sub[idx], &xs[idx + 1], 1.0, &mut t);
                         }
                         if let (Some(w), Some(xl)) = (pf.l_left.get(idx), x_left.as_ref()) {
-                            blas::gemm(Trans::Yes, Trans::No, -1.0, w, xl, 1.0, &mut t);
+                            blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, w, xl, 1.0, &mut t);
                         }
                         if idx + 1 == len {
                             if let (Some(r), Some(xr)) = (pf.l_right.as_ref(), x_right.as_ref()) {
-                                blas::gemm(Trans::Yes, Trans::No, -1.0, r, xr, 1.0, &mut t);
+                                blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, r, xr, 1.0, &mut t);
                             }
                         }
                         if let Some(xt) = x_tip.as_ref() {
-                            blas::gemm(Trans::Yes, Trans::No, -1.0, &pf.l_arrow[idx], xt, 1.0, &mut t);
+                            blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, &pf.l_arrow[idx], xt, 1.0, &mut t);
                         }
-                        blas::trsm(Side::Left, Triangle::Lower, Trans::Yes, &pf.l_diag[idx], &mut t);
+                        blas::trsm_with(&mut pack, Side::Left, Triangle::Lower, Trans::Yes, &pf.l_diag[idx], &mut t);
                         xs[idx] = t;
                     }
                     (pf.p, xs)
@@ -497,6 +519,7 @@ pub fn d_pobtasi(factor: &DistBtaCholesky) -> BtaSelectedInverse {
                     let (s, e) = pf.interior;
                     let len = e - s;
                     let p = pf.p;
+                    let mut pack = PackBuffer::new();
                     let has_left = p > 0;
                     let has_right = p + 1 < partitioning.num_partitions();
 
@@ -526,7 +549,7 @@ pub fn d_pobtasi(factor: &DistBtaCholesky) -> BtaSelectedInverse {
                         let is_last = idx + 1 == len;
                         let l_jj = &pf.l_diag[idx];
                         let mut l_inv = Matrix::identity(b);
-                        blas::trsm(Side::Left, Triangle::Lower, Trans::No, l_jj, &mut l_inv);
+                        blas::trsm_with(&mut pack, Side::Left, Triangle::Lower, Trans::No, l_jj, &mut l_inv);
 
                         let w_j = pf.l_left.get(idx);
                         let c_j = &pf.l_arrow[idx];
@@ -537,21 +560,22 @@ pub fn d_pobtasi(factor: &DistBtaCholesky) -> BtaSelectedInverse {
                         let sigma_left = if has_left {
                             let mut m = Matrix::zeros(b, b);
                             if let (Some(bj), Some(nl)) = (b_j, next_left.as_ref()) {
-                                blas::gemm(Trans::No, Trans::No, -1.0, nl, bj, 1.0, &mut m);
+                                blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, nl, bj, 1.0, &mut m);
                             }
                             if let (Some(sll), Some(w)) = (sig_ls_ls.as_ref(), w_j) {
-                                blas::gemm(Trans::No, Trans::No, -1.0, sll, w, 1.0, &mut m);
+                                blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, sll, w, 1.0, &mut m);
                             }
                             if let (Some(rj), Some(srl)) = (r_j, sig_rs_ls.as_ref()) {
                                 // Σ_{ls,rs} = Σ_{rs,ls}ᵀ.
-                                blas::gemm(Trans::Yes, Trans::No, -1.0, srl, rj, 1.0, &mut m);
+                                blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, srl, rj, 1.0, &mut m);
                             }
                             if a > 0 {
                                 if let Some(stl) = sig_t_ls.as_ref() {
-                                    blas::gemm(Trans::Yes, Trans::No, -1.0, stl, c_j, 1.0, &mut m);
+                                    blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, stl, c_j, 1.0, &mut m);
                                 }
                             }
-                            let out = blas::matmul(&m, &l_inv);
+                            let mut out = Matrix::zeros(b, b);
+                            blas::gemm_with(&mut pack, Trans::No, Trans::No, 1.0, &m, &l_inv, 0.0, &mut out);
                             Some(out)
                         } else {
                             None
@@ -560,27 +584,31 @@ pub fn d_pobtasi(factor: &DistBtaCholesky) -> BtaSelectedInverse {
                         // Σ_{j+1,j} (within partition) or Σ_{rs,j} (last column).
                         let sigma_below = if let Some(bj) = b_j {
                             let mut m = Matrix::zeros(b, b);
-                            blas::gemm(Trans::No, Trans::No, -1.0, next_diag.as_ref().unwrap(), bj, 1.0, &mut m);
+                            blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, next_diag.as_ref().unwrap(), bj, 1.0, &mut m);
                             if let (Some(nl), Some(w)) = (next_left.as_ref(), w_j) {
                                 // Σ_{j+1,ls} = Σ_{ls,j+1}ᵀ.
-                                blas::gemm(Trans::Yes, Trans::No, -1.0, nl, w, 1.0, &mut m);
+                                blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, nl, w, 1.0, &mut m);
                             }
                             if a > 0 {
-                                blas::gemm(Trans::Yes, Trans::No, -1.0, next_arrow.as_ref().unwrap(), c_j, 1.0, &mut m);
+                                blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, next_arrow.as_ref().unwrap(), c_j, 1.0, &mut m);
                             }
-                            Some(blas::matmul(&m, &l_inv))
+                            let mut out = Matrix::zeros(b, b);
+                            blas::gemm_with(&mut pack, Trans::No, Trans::No, 1.0, &m, &l_inv, 0.0, &mut out);
+                            Some(out)
                         } else if let Some(rj) = r_j {
                             let mut m = Matrix::zeros(b, b);
-                            blas::gemm(Trans::No, Trans::No, -1.0, sig_rs_rs.as_ref().unwrap(), rj, 1.0, &mut m);
+                            blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, sig_rs_rs.as_ref().unwrap(), rj, 1.0, &mut m);
                             if let (Some(srl), Some(w)) = (sig_rs_ls.as_ref(), w_j) {
-                                blas::gemm(Trans::No, Trans::No, -1.0, srl, w, 1.0, &mut m);
+                                blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, srl, w, 1.0, &mut m);
                             }
                             if a > 0 {
                                 if let Some(str_) = sig_t_rs.as_ref() {
-                                    blas::gemm(Trans::Yes, Trans::No, -1.0, str_, c_j, 1.0, &mut m);
+                                    blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, str_, c_j, 1.0, &mut m);
                                 }
                             }
-                            Some(blas::matmul(&m, &l_inv))
+                            let mut out = Matrix::zeros(b, b);
+                            blas::gemm_with(&mut pack, Trans::No, Trans::No, 1.0, &m, &l_inv, 0.0, &mut out);
+                            Some(out)
                         } else {
                             None
                         };
@@ -589,16 +617,18 @@ pub fn d_pobtasi(factor: &DistBtaCholesky) -> BtaSelectedInverse {
                         let sigma_tip = if a > 0 {
                             let mut m = Matrix::zeros(a, b);
                             if let Some(bj) = b_j {
-                                blas::gemm(Trans::No, Trans::No, -1.0, next_arrow.as_ref().unwrap(), bj, 1.0, &mut m);
+                                blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, next_arrow.as_ref().unwrap(), bj, 1.0, &mut m);
                             }
                             if let (Some(stl), Some(w)) = (sig_t_ls.as_ref(), w_j) {
-                                blas::gemm(Trans::No, Trans::No, -1.0, stl, w, 1.0, &mut m);
+                                blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, stl, w, 1.0, &mut m);
                             }
                             if let (Some(str_), Some(rj)) = (sig_t_rs.as_ref(), r_j) {
-                                blas::gemm(Trans::No, Trans::No, -1.0, str_, rj, 1.0, &mut m);
+                                blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, str_, rj, 1.0, &mut m);
                             }
-                            blas::gemm(Trans::No, Trans::No, -1.0, sig_tt, c_j, 1.0, &mut m);
-                            Some(blas::matmul(&m, &l_inv))
+                            blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, sig_tt, c_j, 1.0, &mut m);
+                            let mut out = Matrix::zeros(a, b);
+                            blas::gemm_with(&mut pack, Trans::No, Trans::No, 1.0, &m, &l_inv, 0.0, &mut out);
+                            Some(out)
                         } else {
                             None
                         };
@@ -606,18 +636,18 @@ pub fn d_pobtasi(factor: &DistBtaCholesky) -> BtaSelectedInverse {
                         // Σ_{jj} = L_jj^{-T}(L_jj^{-1} − Σ_k L_{k,j}ᵀ Σ_{k,j}).
                         let mut inner = l_inv.clone();
                         if let (Some(bj), Some(sb)) = (b_j, sigma_below.as_ref()) {
-                            blas::gemm(Trans::Yes, Trans::No, -1.0, bj, sb, 1.0, &mut inner);
+                            blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, bj, sb, 1.0, &mut inner);
                         }
                         if let (Some(rj), Some(sb)) = (r_j, sigma_below.as_ref()) {
-                            blas::gemm(Trans::Yes, Trans::No, -1.0, rj, sb, 1.0, &mut inner);
+                            blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, rj, sb, 1.0, &mut inner);
                         }
                         if let (Some(w), Some(sl)) = (w_j, sigma_left.as_ref()) {
-                            blas::gemm(Trans::Yes, Trans::No, -1.0, w, sl, 1.0, &mut inner);
+                            blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, w, sl, 1.0, &mut inner);
                         }
                         if let Some(st) = sigma_tip.as_ref() {
-                            blas::gemm(Trans::Yes, Trans::No, -1.0, c_j, st, 1.0, &mut inner);
+                            blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, c_j, st, 1.0, &mut inner);
                         }
-                        blas::trsm(Side::Left, Triangle::Lower, Trans::Yes, l_jj, &mut inner);
+                        blas::trsm_with(&mut pack, Side::Left, Triangle::Lower, Trans::Yes, l_jj, &mut inner);
                         inner.symmetrize();
 
                         diag_out[idx] = inner.clone();

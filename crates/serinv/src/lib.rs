@@ -23,7 +23,10 @@ pub mod testing;
 pub use bta::{BtaCholesky, BtaMatrix};
 pub use distributed::{d_pobtaf, d_pobtas, d_pobtasi, DistBtaCholesky, PartitionFactor};
 pub use partition::Partitioning;
-pub use sequential::{pobtaf, pobtaf_reusing, pobtas, pobtas_vec, pobtasi, BtaSelectedInverse};
+pub use sequential::{
+    pobtaf, pobtaf_reusing, pobtaf_with, pobtas, pobtas_vec, pobtasi, pobtasi_with,
+    BtaSelectedInverse,
+};
 
 /// Errors produced by the structured solvers.
 #[derive(Clone, Debug, PartialEq)]

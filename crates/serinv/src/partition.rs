@@ -5,6 +5,14 @@
 //! distributed solver adds extra work for the interior partitions, so the
 //! paper assigns more time steps to the boundary partitions via a
 //! *load-balancing factor* (`lb = 1.6` in Fig. 5).
+//!
+//! Terminology used throughout `serinv::distributed`: the last block of every
+//! partition except the final one is its **separator**; the remaining blocks
+//! are **interior**. Interiors are eliminated independently per partition,
+//! while the separators plus the arrow tip form the sequential **reduced
+//! system** — a smaller BTA matrix with `P − 1` diagonal blocks. A
+//! [`Partitioning`] is pure structure (no numeric data), so the stateful
+//! solvers compute it once per model and reuse it for every θ.
 
 /// A contiguous partitioning of `n` diagonal blocks into `P` slices.
 #[derive(Clone, Debug, PartialEq, Eq)]

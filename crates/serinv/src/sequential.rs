@@ -3,14 +3,31 @@
 //!
 //! The routine names follow the Serinv library the paper integrates
 //! (POBTAF/POBTAS/POBTASI = POsitive-definite Block-Tridiagonal-Arrowhead
-//! Factorize / Solve / Selected Inversion). The computational pattern per
-//! block column is POTRF on the diagonal block, TRSM on the sub-diagonal and
-//! arrow blocks and SYRK/GEMM Schur updates — a complexity of
+//! Factorize / Solve / Selected Inversion), and each routine computes one of
+//! the paper quantities an INLA evaluation needs:
+//!
+//! | routine | computes | used for |
+//! |---|---|---|
+//! | [`pobtaf`] | block factor `L` with `Q = L Lᵀ` | `log \|Q_p\|`, `log \|Q_c\|` via [`BtaCholesky::logdet`] |
+//! | [`pobtas`] | `x = Q⁻¹ r` | the conditional mean `μ_c = Q_c⁻¹ Aᵀ D y` (Eq. 7) |
+//! | [`pobtasi`] | selected inverse `Σ = Q⁻¹` on the BTA pattern | latent marginal variances `diag(Q_c⁻¹)` |
+//!
+//! The computational pattern per block column `i` is: POTRF on the diagonal
+//! block (`D_i = L_ii L_iiᵀ`), TRSM on the sub-diagonal and arrow blocks
+//! (`L_{i+1,i} = B_i L_ii^{-ᵀ}`, `L_{T,i} = C_i L_ii^{-ᵀ}`) and SYRK/GEMM
+//! Schur updates onto `D_{i+1}`, `C_{i+1}` and the tip `T` — a complexity of
 //! `O(n (b³ + a³))` versus the `O((n b)³)` of a dense factorization.
+//!
+//! Every dense kernel call bottoms out in the cache-blocked, packed
+//! micro-kernels of `dalia_la::blas`. The `*_with` entry points thread a
+//! reusable [`PackBuffer`] through the block loop so a stateful caller (the
+//! solver sessions in `dalia-core`) performs *zero* allocations per
+//! factorization once its workspaces are warm; the plain entry points create
+//! a transient buffer per call.
 
 use crate::bta::{BtaCholesky, BtaMatrix};
 use crate::SerinvError;
-use dalia_la::blas::{self, Side, Trans, Triangle};
+use dalia_la::blas::{self, PackBuffer, Side, Trans, Triangle};
 use dalia_la::{chol, Matrix};
 
 /// BTA Cholesky factorization (sequential reference implementation).
@@ -30,6 +47,19 @@ pub fn pobtaf_reusing(
     a: &BtaMatrix,
     storage: Option<BtaMatrix>,
 ) -> Result<BtaCholesky, SerinvError> {
+    let mut pack = PackBuffer::new();
+    pobtaf_with(a, storage, &mut pack)
+}
+
+/// [`pobtaf_reusing`] with an explicit kernel packing workspace: `pack` is
+/// threaded through every `potrf` / `trsm` / `syrk` / `gemm` the block loop
+/// issues, so a caller that owns both the factor `storage` and the
+/// `PackBuffer` allocates nothing per factorization.
+pub fn pobtaf_with(
+    a: &BtaMatrix,
+    storage: Option<BtaMatrix>,
+    pack: &mut PackBuffer,
+) -> Result<BtaCholesky, SerinvError> {
     let mut m = match storage {
         Some(mut s) if (s.n, s.b, s.a) == (a.n, a.b, a.a) => {
             s.copy_values_from(a);
@@ -37,18 +67,18 @@ pub fn pobtaf_reusing(
         }
         _ => a.clone(),
     };
-    factor_in_place(&mut m)?;
+    factor_in_place(&mut m, pack)?;
     Ok(BtaCholesky { blocks: m })
 }
 
 /// The factorization kernel: overwrite `m` with its block Cholesky factor.
-fn factor_in_place(m: &mut BtaMatrix) -> Result<(), SerinvError> {
+fn factor_in_place(m: &mut BtaMatrix, pack: &mut PackBuffer) -> Result<(), SerinvError> {
     let n = m.n;
     let has_arrow = m.a > 0;
 
     for i in 0..n {
         // Factorize the diagonal block: D_i = L_ii L_iiᵀ.
-        chol::potrf(&mut m.diag[i]).map_err(|e| SerinvError::Factorization {
+        chol::potrf_with(pack, &mut m.diag[i]).map_err(|e| SerinvError::Factorization {
             block: i,
             source: e,
         })?;
@@ -57,30 +87,31 @@ fn factor_in_place(m: &mut BtaMatrix) -> Result<(), SerinvError> {
 
         // B_i := B_i L_ii^{-T}, C_i := C_i L_ii^{-T}.
         if i + 1 < n {
-            blas::trsm(Side::Right, Triangle::Lower, Trans::Yes, l_ii, &mut m.sub[i]);
+            blas::trsm_with(pack, Side::Right, Triangle::Lower, Trans::Yes, l_ii, &mut m.sub[i]);
         }
         if has_arrow {
-            blas::trsm(Side::Right, Triangle::Lower, Trans::Yes, l_ii, &mut m.arrow[i]);
+            blas::trsm_with(pack, Side::Right, Triangle::Lower, Trans::Yes, l_ii, &mut m.arrow[i]);
         }
 
         // Schur updates on the trailing blocks.
         if i + 1 < n {
             let b_i = &m.sub[i];
             // D_{i+1} -= B_i B_iᵀ.
-            blas::syrk_full(Trans::No, -1.0, b_i, 1.0, &mut right[0]);
+            blas::syrk_full_with(pack, Trans::No, -1.0, b_i, 1.0, &mut right[0]);
             if has_arrow {
                 // C_{i+1} -= C_i B_iᵀ.
                 let (arrow_left, arrow_right) = m.arrow.split_at_mut(i + 1);
-                blas::gemm(Trans::No, Trans::Yes, -1.0, &arrow_left[i], b_i, 1.0, &mut arrow_right[0]);
+                blas::gemm_with(pack, Trans::No, Trans::Yes, -1.0, &arrow_left[i], b_i, 1.0, &mut arrow_right[0]);
             }
         }
         if has_arrow {
             // T -= C_i C_iᵀ.
-            blas::syrk_full(Trans::No, -1.0, &m.arrow[i], 1.0, &mut m.tip);
+            blas::syrk_full_with(pack, Trans::No, -1.0, &m.arrow[i], 1.0, &mut m.tip);
         }
     }
     if has_arrow {
-        chol::potrf(&mut m.tip).map_err(|e| SerinvError::Factorization { block: n, source: e })?;
+        chol::potrf_with(pack, &mut m.tip)
+            .map_err(|e| SerinvError::Factorization { block: n, source: e })?;
     }
     Ok(())
 }
@@ -176,6 +207,13 @@ impl BtaSelectedInverse {
 
 /// BTA selected inversion (sequential reference implementation).
 pub fn pobtasi(factor: &BtaCholesky) -> BtaSelectedInverse {
+    let mut pack = PackBuffer::new();
+    pobtasi_with(factor, &mut pack)
+}
+
+/// [`pobtasi`] with an explicit kernel packing workspace threaded through the
+/// backward block sweep (pure `trsm` / `gemm` work).
+pub fn pobtasi_with(factor: &BtaCholesky, pack: &mut PackBuffer) -> BtaSelectedInverse {
     let m = &factor.blocks;
     let (n, b, a) = (m.n, m.b, m.a);
     let mut inv = BtaMatrix::zeros(n, b, a);
@@ -183,8 +221,8 @@ pub fn pobtasi(factor: &BtaCholesky) -> BtaSelectedInverse {
     // Σ_TT = L_TT^{-T} L_TT^{-1}.
     if a > 0 {
         let mut tip_inv = Matrix::identity(a);
-        blas::trsm(Side::Left, Triangle::Lower, Trans::No, &m.tip, &mut tip_inv);
-        blas::trsm(Side::Left, Triangle::Lower, Trans::Yes, &m.tip, &mut tip_inv);
+        blas::trsm_with(pack, Side::Left, Triangle::Lower, Trans::No, &m.tip, &mut tip_inv);
+        blas::trsm_with(pack, Side::Left, Triangle::Lower, Trans::Yes, &m.tip, &mut tip_inv);
         inv.tip = tip_inv;
     }
 
@@ -192,7 +230,7 @@ pub fn pobtasi(factor: &BtaCholesky) -> BtaSelectedInverse {
         let l_ii = &m.diag[i];
         // L_ii^{-1}.
         let mut l_inv = Matrix::identity(b);
-        blas::trsm(Side::Left, Triangle::Lower, Trans::No, l_ii, &mut l_inv);
+        blas::trsm_with(pack, Side::Left, Triangle::Lower, Trans::No, l_ii, &mut l_inv);
 
         // Σ_{R,i} = −Σ_{R,R} L_{R,i} L_ii^{-1} with R the sub-rows of column i.
         let mut sigma_sub = Matrix::zeros(b, b); // Σ_{i+1,i}
@@ -200,35 +238,38 @@ pub fn pobtasi(factor: &BtaCholesky) -> BtaSelectedInverse {
         if i + 1 < n {
             let b_i = &m.sub[i];
             // Σ_{i+1,i} = −(Σ_{i+1,i+1} B_i + Σ_{T,i+1}ᵀ C_i) L_ii^{-1}.
-            blas::gemm(Trans::No, Trans::No, -1.0, &inv.diag[i + 1], b_i, 0.0, &mut sigma_sub);
+            blas::gemm_with(pack, Trans::No, Trans::No, -1.0, &inv.diag[i + 1], b_i, 0.0, &mut sigma_sub);
             if a > 0 {
-                blas::gemm(Trans::Yes, Trans::No, -1.0, &inv.arrow[i + 1], &m.arrow[i], 1.0, &mut sigma_sub);
+                blas::gemm_with(pack, Trans::Yes, Trans::No, -1.0, &inv.arrow[i + 1], &m.arrow[i], 1.0, &mut sigma_sub);
             }
-            let tmp = blas::matmul(&sigma_sub, &l_inv);
+            let mut tmp = Matrix::zeros(b, b);
+            blas::gemm_with(pack, Trans::No, Trans::No, 1.0, &sigma_sub, &l_inv, 0.0, &mut tmp);
             sigma_sub = tmp;
             if a > 0 {
                 // Σ_{T,i} = −(Σ_{T,i+1} B_i + Σ_TT C_i) L_ii^{-1}.
-                blas::gemm(Trans::No, Trans::No, -1.0, &inv.arrow[i + 1], b_i, 0.0, &mut sigma_arr);
-                blas::gemm(Trans::No, Trans::No, -1.0, &inv.tip, &m.arrow[i], 1.0, &mut sigma_arr);
-                let tmp = blas::matmul(&sigma_arr, &l_inv);
+                blas::gemm_with(pack, Trans::No, Trans::No, -1.0, &inv.arrow[i + 1], b_i, 0.0, &mut sigma_arr);
+                blas::gemm_with(pack, Trans::No, Trans::No, -1.0, &inv.tip, &m.arrow[i], 1.0, &mut sigma_arr);
+                let mut tmp = Matrix::zeros(a, b);
+                blas::gemm_with(pack, Trans::No, Trans::No, 1.0, &sigma_arr, &l_inv, 0.0, &mut tmp);
                 sigma_arr = tmp;
             }
         } else if a > 0 {
             // Last block column: only the arrow row below.
-            blas::gemm(Trans::No, Trans::No, -1.0, &inv.tip, &m.arrow[i], 0.0, &mut sigma_arr);
-            let tmp = blas::matmul(&sigma_arr, &l_inv);
+            blas::gemm_with(pack, Trans::No, Trans::No, -1.0, &inv.tip, &m.arrow[i], 0.0, &mut sigma_arr);
+            let mut tmp = Matrix::zeros(a, b);
+            blas::gemm_with(pack, Trans::No, Trans::No, 1.0, &sigma_arr, &l_inv, 0.0, &mut tmp);
             sigma_arr = tmp;
         }
 
         // Σ_ii = L_ii^{-T}(L_ii^{-1} − B_iᵀ Σ_{i+1,i} − C_iᵀ Σ_{T,i}).
         let mut inner = l_inv.clone();
         if i + 1 < n {
-            blas::gemm(Trans::Yes, Trans::No, -1.0, &m.sub[i], &sigma_sub, 1.0, &mut inner);
+            blas::gemm_with(pack, Trans::Yes, Trans::No, -1.0, &m.sub[i], &sigma_sub, 1.0, &mut inner);
         }
         if a > 0 {
-            blas::gemm(Trans::Yes, Trans::No, -1.0, &m.arrow[i], &sigma_arr, 1.0, &mut inner);
+            blas::gemm_with(pack, Trans::Yes, Trans::No, -1.0, &m.arrow[i], &sigma_arr, 1.0, &mut inner);
         }
-        blas::trsm(Side::Left, Triangle::Lower, Trans::Yes, l_ii, &mut inner);
+        blas::trsm_with(pack, Side::Left, Triangle::Lower, Trans::Yes, l_ii, &mut inner);
         // Numerical symmetrization of the diagonal block.
         inner.symmetrize();
 

@@ -1,0 +1,22 @@
+//! Ad-hoc timing of the BTA factorize/selinv phases (used for before/after
+//! comparisons on SA1-shaped blocks).
+use serinv::testing::test_matrix;
+use std::time::Instant;
+
+fn main() {
+    // SA1-shaped (scaled): nt blocks of b = nv*ns lanes, arrow a = nv*nr.
+    let m = test_matrix(24, 320, 3, 42);
+    // Warmup + 3 timed factorizations.
+    let f = serinv::pobtaf(&m).unwrap();
+    let t0 = Instant::now();
+    for _ in 0..3 {
+        let f = serinv::pobtaf(&m).unwrap();
+        std::hint::black_box(f.logdet());
+    }
+    let fact = t0.elapsed().as_secs_f64() / 3.0;
+    let t0 = Instant::now();
+    let sel = serinv::pobtasi(&f);
+    std::hint::black_box(sel.diagonal());
+    let selinv = t0.elapsed().as_secs_f64();
+    println!("factorize: {fact:.3} s   selinv: {selinv:.3} s");
+}

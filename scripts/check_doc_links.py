@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in README.md and docs/*.md.
+
+Scans markdown inline links and images (``[text](target)`` / ``![alt](target)``)
+in the repository's prose documentation. External targets (http/https/mailto)
+are ignored; every other target must resolve — after stripping any
+``#fragment`` — to an existing file or directory relative to the file that
+references it (or to the repository root for absolute-style ``/`` targets).
+
+Exit code 0 when all links resolve, 1 otherwise (one line per broken link).
+Run from anywhere: paths are anchored at this script's parent repository.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+# Inline markdown link/image: [text](target) with no nested parentheses.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    # Drop fenced code blocks: their bracket/paren sequences are not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = target.split("#", 1)[0]
+        if not resolved:
+            continue
+        base = REPO if resolved.startswith("/") else path.parent
+        candidate = (base / resolved.lstrip("/")).resolve()
+        if not candidate.exists():
+            errors.append(f"{path.relative_to(REPO)}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    errors = []
+    for f in doc_files():
+        errors.extend(check_file(f))
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"doc links OK ({len(doc_files())} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,204 @@
+//! Scaling comparison of the work-stealing pool (`dalia_hpc::pool`, driving
+//! the `rayon` shim's `par_iter`) against the retired **eager fixed-chunk**
+//! strategy (contiguous chunks, one scoped OS thread each — the pre-PR-4
+//! shim), on the workload shapes the S1/S3 fan-outs actually produce:
+//!
+//! * **imbalanced** — a heavy head of expensive items followed by many cheap
+//!   ones (the S3 load-imbalance shape: a fixed-chunk split hands the whole
+//!   heavy head to one thread, stealing spreads it);
+//! * **uniform** — equal-cost items (the shape the old shim was tuned for,
+//!   kept as the no-regression reference).
+//!
+//! Running this bench (`cargo bench -p dalia-bench --bench pool_bench`)
+//! prints a table and rewrites `BENCH_pool.json` at the repository root. CI
+//! runs it at 1/2/4 threads, uploads the JSON as an artifact, and the bench
+//! itself asserts the tentpole acceptance gate: **≥ 1.6× speedup at 4
+//! threads on the imbalanced workload** over the eager chunked strategy
+//! (skipped when fewer than 4 cores are available or
+//! `DALIA_BENCH_NO_ASSERT` is set).
+
+use dalia_hpc::pool::ThreadPool;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// One spin unit: enough deterministic flops to be scheduling-visible
+/// (~100 µs) without making the bench slow.
+const UNIT_ITERS: u64 = 60_000;
+
+/// Spin for `units` of deterministic, non-elidable floating-point work.
+fn busy(units: u64) -> f64 {
+    let mut acc = 1.0f64;
+    for i in 0..units * UNIT_ITERS {
+        acc += 1.0 / ((i % 1024) as f64 + 2.0);
+    }
+    std::hint::black_box(acc)
+}
+
+/// Imbalanced workload: a contiguous heavy head (8 items × 24 units) then a
+/// cheap tail (56 items × 1 unit). A fixed 4-chunk split gives chunk 0 about
+/// 200 of the 248 total units.
+fn imbalanced_workload() -> Vec<u64> {
+    let mut w = vec![24u64; 8];
+    w.extend(std::iter::repeat_n(1u64, 56));
+    w
+}
+
+/// Uniform workload: 64 items × 3 units.
+fn uniform_workload() -> Vec<u64> {
+    vec![3u64; 64]
+}
+
+/// The retired strategy: split into contiguous fixed chunks, one scoped OS
+/// thread per chunk (exactly what the pre-PR-4 rayon shim did).
+fn eager_chunked_map(items: &[u64], threads: usize) -> f64 {
+    let threads = threads.min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().map(|&c| busy(c)).sum();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut total = 0.0;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(|&c| busy(c)).sum::<f64>()))
+            .collect();
+        for h in handles {
+            total += h.join().expect("chunk worker panicked");
+        }
+    });
+    total
+}
+
+/// The work-stealing strategy: `par_iter` on a pool pinned to `t` threads.
+fn pool_map(pool: &ThreadPool, items: &[u64]) -> f64 {
+    pool.install(|| items.par_iter().map(|&c| busy(c)).sum::<f64>())
+}
+
+/// Best-of-3 wall-clock seconds.
+fn time_secs(mut f: impl FnMut() -> f64) -> f64 {
+    let _ = f(); // warmup
+    (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            let _ = std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+struct Record {
+    workload: &'static str,
+    threads: usize,
+    chunked_secs: f64,
+    pool_secs: f64,
+}
+
+impl Record {
+    /// Pool speedup over the eager chunked strategy at the same thread count.
+    fn speedup(&self) -> f64 {
+        self.chunked_secs / self.pool_secs
+    }
+}
+
+fn main() {
+    let workloads: [(&'static str, Vec<u64>); 2] =
+        [("imbalanced", imbalanced_workload()), ("uniform", uniform_workload())];
+    let thread_counts = [1usize, 2, 4];
+
+    let mut records = Vec::new();
+    for (name, items) in &workloads {
+        for &t in &thread_counts {
+            let pool = ThreadPool::new(t);
+            let pool_secs = time_secs(|| pool_map(&pool, items));
+            let chunked_secs = time_secs(|| eager_chunked_map(items, t));
+            records.push(Record { workload: name, threads: t, chunked_secs, pool_secs });
+        }
+    }
+
+    println!(
+        "{:<12} {:>8} {:>14} {:>14} {:>9}",
+        "workload", "threads", "chunked (s)", "pool (s)", "speedup"
+    );
+    for r in &records {
+        println!(
+            "{:<12} {:>8} {:>14.4} {:>14.4} {:>8.2}x",
+            r.workload,
+            r.threads,
+            r.chunked_secs,
+            r.pool_secs,
+            r.speedup()
+        );
+    }
+
+    // Self-scaling of the pool (imbalanced workload, pool_1 / pool_t).
+    let pool_time = |t: usize| {
+        records
+            .iter()
+            .find(|r| r.workload == "imbalanced" && r.threads == t)
+            .map(|r| r.pool_secs)
+            .expect("missing record")
+    };
+    println!(
+        "\npool self-scaling (imbalanced): 2T {:.2}x, 4T {:.2}x",
+        pool_time(1) / pool_time(2),
+        pool_time(1) / pool_time(4)
+    );
+
+    // JSON snapshot at the repository root. The host core count is recorded
+    // because the speedups are only meaningful relative to it (a 1-core
+    // container can show ~1.0x regardless of strategy).
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut json = String::from(
+        "{\n  \"generated_by\": \"cargo bench -p dalia-bench --bench pool_bench\",\n",
+    );
+    json.push_str(&format!(
+        "  \"host_cores\": {cores},\n  \"note\": \"speedups at T threads are only \
+         meaningful when host_cores >= T; the >=1.6x acceptance gate applies to the \
+         4-thread imbalanced record on a >=4-core host (CI regenerates and uploads \
+         this file as the pool-bench artifact on every run)\",\n  \"records\": [\n"
+    ));
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"eager_chunked_seconds\": {:.6}, \"pool_seconds\": {:.6}, \"speedup_vs_chunked\": {:.3}}}{}\n",
+            r.workload,
+            r.threads,
+            r.chunked_secs,
+            r.pool_secs,
+            r.speedup(),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"pool_self_scaling_imbalanced\": {{\"x2\": {:.3}, \"x4\": {:.3}}}\n}}\n",
+        pool_time(1) / pool_time(2),
+        pool_time(1) / pool_time(4)
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pool.json");
+    std::fs::write(path, json).expect("write BENCH_pool.json");
+    println!("\nwrote {path}");
+
+    // The tentpole acceptance gate: >= 1.6x over the eager chunked strategy
+    // at 4 threads on the imbalanced workload. Only meaningful with >= 4
+    // real cores; overridable for constrained environments.
+    let gate = records
+        .iter()
+        .find(|r| r.workload == "imbalanced" && r.threads == 4)
+        .expect("missing 4-thread imbalanced record");
+    if std::env::var_os("DALIA_BENCH_NO_ASSERT").is_none() && cores >= 4 {
+        assert!(
+            gate.speedup() >= 1.6,
+            "work-stealing pool at 4 threads is only {:.2}x the eager chunked map on the \
+             imbalanced workload (need >= 1.6x)",
+            gate.speedup()
+        );
+        println!(
+            "gate: pool {:.2}x >= 1.6x over eager chunked at 4 threads (imbalanced) — OK",
+            gate.speedup()
+        );
+    } else {
+        println!(
+            "gate: skipped (cores = {cores}, DALIA_BENCH_NO_ASSERT = {})",
+            std::env::var_os("DALIA_BENCH_NO_ASSERT").is_some()
+        );
+    }
+}

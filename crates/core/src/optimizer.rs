@@ -5,6 +5,13 @@
 //! stateful solvers amortize assembly workspaces and symbolic analysis across
 //! the `2·dim(θ) + 1` evaluations of every gradient and the dozens of
 //! gradients of a BFGS run.
+//!
+//! The S1 fan-out (`par_iter` over the evaluation points) executes on the
+//! work-stealing pool (`dalia-pool`): lanes have non-uniform costs — line
+//! searches and ±h shifts hit different factorization difficulty — so idle
+//! workers steal queued lanes instead of waiting on a fixed chunk. Lane
+//! placement never changes results: the `session_reuse` suite pins parallel
+//! and sequential gradients to be bitwise-identical.
 
 use crate::engine::InlaSession;
 use crate::objective::FobjResult;

@@ -3,6 +3,8 @@
 //! Stands in for the MPI + NCCL + 496-GPU substrate of the original DALIA
 //! framework:
 //!
+//! * [`pool`] — the work-stealing fork-join thread pool (re-export of the
+//!   `dalia-pool` crate) that executes the S1/S3 fan-outs,
 //! * [`comm`] — in-process SPMD communicator (threads + channels) with
 //!   barrier / broadcast / all-reduce / gather and traffic accounting,
 //! * [`alloc`] — allocation of devices across the three nested
@@ -14,6 +16,20 @@
 pub mod alloc;
 pub mod comm;
 pub mod perfmodel;
+
+/// Work-stealing fork-join thread pool (re-export of the `dalia-pool` crate).
+///
+/// This is the execution substrate of the workspace's parallel layers: the
+/// vendored `rayon` shim's `par_iter` splits adaptively onto this pool, so
+/// the S1 gradient lanes (`dalia-core`) and the S3 partition eliminations
+/// (`serinv::distributed`) are balanced by stealing instead of fixed
+/// chunking. See the crate docs of [`dalia_pool`] for the scheduling
+/// discipline (per-worker deques, LIFO pop / FIFO steal, injector channel)
+/// and the determinism guarantees; `crates/hpc/tests/pool_stress.rs` pins
+/// the concurrency behavior.
+pub mod pool {
+    pub use dalia_pool::*;
+}
 
 pub use alloc::{allocate, AllocationInput, StrategyAllocation};
 pub use comm::{run_spmd, Communicator, TrafficStats};

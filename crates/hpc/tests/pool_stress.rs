@@ -1,0 +1,261 @@
+//! Stress / soak suite for the work-stealing pool (`dalia_hpc::pool`).
+//!
+//! The pool schedules the S1/S3 fan-outs of the solver stack, so its
+//! concurrency behavior is pinned by tests, not luck:
+//!
+//! * **exactly-once execution** under N external producers × M stealing
+//!   workers with seeded, highly non-uniform task costs,
+//! * **no deadlock** under deeply nested `join` (fork-join trees several
+//!   levels deeper than the worker count),
+//! * **panic propagation**: a panicking task unwinds at its fork point
+//!   without poisoning the pool — subsequent work schedules normally.
+//!
+//! Every test runs under a watchdog so a scheduling deadlock fails the suite
+//! instead of hanging CI forever.
+
+use dalia_hpc::pool::{self, ThreadPool};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run `f` on a fresh thread and panic if it has not finished within
+/// `secs` seconds — the deadlock guard for every scheduling test.
+fn with_watchdog<F>(secs: u64, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(()) => handle.join().expect("watchdogged test panicked"),
+        Err(_) => panic!("deadlock suspected: test did not finish within {secs}s"),
+    }
+}
+
+/// Deterministic splitmix-style cost sequence: most tasks are cheap, a few
+/// are hundreds of times more expensive — the S1/S3 imbalance shape.
+fn seeded_costs(n: usize, seed: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = (state >> 33) % 100;
+            if r < 90 {
+                50 + r // cheap: ~50..140 spin units
+            } else {
+                20_000 + (state >> 40) % 20_000 // heavy tail
+            }
+        })
+        .collect()
+}
+
+/// Spin for `units` of deterministic work (not elidable by the optimizer).
+fn busy(units: u64) -> u64 {
+    let mut acc = units;
+    for i in 0..units {
+        acc = acc.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(i);
+    }
+    std::hint::black_box(acc)
+}
+
+#[test]
+fn producers_and_stealers_run_every_task_exactly_once() {
+    with_watchdog(120, || {
+        const PRODUCERS: usize = 4;
+        const TASKS_PER_PRODUCER: usize = 256;
+        let pool = Arc::new(ThreadPool::new(4));
+        let counters: Arc<Vec<AtomicUsize>> = Arc::new(
+            (0..PRODUCERS * TASKS_PER_PRODUCER).map(|_| AtomicUsize::new(0)).collect(),
+        );
+
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let pool = Arc::clone(&pool);
+                let counters = Arc::clone(&counters);
+                s.spawn(move || {
+                    let costs = seeded_costs(TASKS_PER_PRODUCER, 0xC0FFEE + p as u64);
+                    // Each external producer drives its own fork-join region
+                    // on the shared pool; workers steal across regions.
+                    pool.scope(|scope| {
+                        for (t, &cost) in costs.iter().enumerate() {
+                            let counters = Arc::clone(&counters);
+                            scope.spawn(move || {
+                                busy(cost);
+                                counters[p * TASKS_PER_PRODUCER + t]
+                                    .fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "task {i} ran a wrong number of times");
+        }
+    });
+}
+
+#[test]
+fn nested_joins_do_not_deadlock() {
+    with_watchdog(120, || {
+        // A fork-join tree 12 levels deep on a 3-worker pool: far more live
+        // forks than workers, so completion requires the pop-back / steal /
+        // help-while-waiting discipline to be sound.
+        fn tree_sum(range: std::ops::Range<u64>) -> u64 {
+            let len = range.end - range.start;
+            if len <= 1 {
+                return range.start;
+            }
+            let mid = range.start + len / 2;
+            let (a, b) = pool::join(|| tree_sum(range.start..mid), || tree_sum(mid..range.end));
+            a + b
+        }
+        let pool = ThreadPool::new(3);
+        let total = pool.install(|| tree_sum(0..4096));
+        assert_eq!(total, 4096 * 4095 / 2);
+    });
+}
+
+#[test]
+fn nested_join_under_scope_under_join_does_not_deadlock() {
+    with_watchdog(120, || {
+        let pool = ThreadPool::new(2);
+        let sum = AtomicUsize::new(0);
+        let (left, ()) = pool.join(
+            || {
+                // join -> scope -> join nesting on the same 2 workers.
+                pool::scope(|s| {
+                    let sum = &sum;
+                    for i in 0..16usize {
+                        s.spawn(move || {
+                            let (a, b) = pool::join(|| i, || i * 2);
+                            sum.fetch_add(a + b, Ordering::Relaxed);
+                        });
+                    }
+                });
+                7usize
+            },
+            || {
+                busy(10_000);
+            },
+        );
+        assert_eq!(left, 7);
+        assert_eq!(sum.load(Ordering::Relaxed), (0..16).map(|i| 3 * i).sum::<usize>());
+    });
+}
+
+#[test]
+fn panicking_task_propagates_without_poisoning_the_pool() {
+    with_watchdog(120, || {
+        let pool = ThreadPool::new(4);
+
+        // join: panic in the stolen/pushed half reaches the caller.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.join(|| busy(1000), || -> u64 { panic!("join-task failure") });
+        }));
+        let payload = r.expect_err("join panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "join-task failure");
+
+        // scope: one panicking task among many; the rest complete, the panic
+        // surfaces at the scope exit.
+        let completed = AtomicUsize::new(0);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                let completed = &completed;
+                for i in 0..64usize {
+                    s.spawn(move || {
+                        if i == 17 {
+                            panic!("scope-task failure");
+                        }
+                        busy(200);
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(r.is_err(), "scope panic must propagate");
+        assert_eq!(completed.load(Ordering::Relaxed), 63);
+
+        // The pool is not poisoned: a full imbalanced workload still runs
+        // every task exactly once afterwards.
+        let costs = seeded_costs(512, 0xFACADE);
+        let counters: Vec<AtomicUsize> = (0..costs.len()).map(|_| AtomicUsize::new(0)).collect();
+        pool.scope(|s| {
+            let counters = &counters;
+            for (t, &cost) in costs.iter().enumerate() {
+                s.spawn(move || {
+                    busy(cost);
+                    counters[t].fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        let (a, b) = pool.join(|| 2 + 2, || 3 * 3);
+        assert_eq!((a, b), (4, 9));
+    });
+}
+
+#[test]
+fn join_results_are_correct_under_heavy_stealing_churn() {
+    with_watchdog(120, || {
+        let pool = ThreadPool::new(4);
+        // Repeated imbalanced trees: left side trivial, right side heavy, so
+        // the right subtree is stolen constantly; results must stay exact.
+        let out = pool.install(|| {
+            let mut total = 0u64;
+            for round in 0..50u64 {
+                let (l, r) = pool::join(
+                    || round,
+                    || {
+                        let (a, b) = pool::join(|| busy(5_000) & 1, || busy(5_000) & 1);
+                        a + b + round
+                    },
+                );
+                total += l + r;
+            }
+            total
+        });
+        // Exact value: sum over rounds of (round + round + parity terms).
+        let parity = pool.install(|| busy(5_000) & 1) * 2;
+        let expected: u64 = (0..50).map(|r| 2 * r + parity).sum();
+        assert_eq!(out, expected);
+    });
+}
+
+#[test]
+fn env_thread_count_is_respected_by_instance_pools() {
+    with_watchdog(60, || {
+        // Instance pools pin exact worker counts (the global pool reads
+        // DALIA_NUM_THREADS once per process; tests use instances so they
+        // cannot interfere with each other).
+        for n in [1, 2, 5] {
+            let pool = ThreadPool::new(n);
+            assert_eq!(pool.num_threads(), n);
+            // All work lands on exactly that pool's workers.
+            let distinct = pool.install(|| {
+                use std::collections::HashSet;
+                use std::sync::Mutex;
+                let ids = Mutex::new(HashSet::new());
+                pool::scope(|s| {
+                    let ids = &ids;
+                    for _ in 0..64 {
+                        s.spawn(move || {
+                            ids.lock().unwrap().insert(std::thread::current().id());
+                            busy(2_000);
+                        });
+                    }
+                });
+                let len = ids.lock().unwrap().len();
+                len
+            });
+            assert!(distinct <= n, "{distinct} distinct workers on a {n}-thread pool");
+        }
+    });
+}

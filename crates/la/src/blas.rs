@@ -361,6 +361,85 @@ fn gemm_packed(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Parallel trailing-update path.
+// ---------------------------------------------------------------------------
+
+/// Minimum problem volume (`m·n·k`) for the parallel trailing-update path:
+/// below this the fork/steal overhead outweighs the extra cores. Engages at
+/// roughly the 128³ reduced-system blocks of the distributed BTA solver.
+const PAR_MIN_FLOPS: usize = 1 << 21;
+
+/// Minimum columns of C per parallel leaf task.
+const PAR_MIN_COLS: usize = 64;
+
+thread_local! {
+    /// Per-thread packing workspace for the parallel gemm leaves: every pool
+    /// worker packs into its own buffers, so parallel tasks never contend.
+    static PAR_PACK: std::cell::RefCell<PackBuffer> =
+        std::cell::RefCell::new(PackBuffer::new());
+}
+
+/// Whether [`gemm_with`] should take the parallel column-split path.
+fn use_parallel_gemm(m: usize, n: usize, k: usize) -> bool {
+    m * n * k >= PAR_MIN_FLOPS && n >= 2 * PAR_MIN_COLS && dalia_pool::current_num_threads() > 1
+}
+
+/// Parallel `C += alpha · op(A) op(B)`: the columns of C are split into
+/// NR-aligned chunks executed as a fork-join tree on the work-stealing pool
+/// (`dalia-pool`), each leaf running the sequential [`gemm_packed`] engine on
+/// its disjoint column panel with a per-worker [`PackBuffer`].
+///
+/// Every element of C accumulates the exact same sequence of floating-point
+/// operations as in a sequential [`gemm_packed`] call — column panels are
+/// independent in the blocked engine, and the split points only regroup them
+/// — so the result is **bitwise identical** to the single-threaded path (see
+/// `parallel_gemm_is_bitwise_identical_to_sequential_packed`).
+#[allow(clippy::too_many_arguments)]
+fn gemm_packed_parallel(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: StridedRef<'_>,
+    b: StridedRef<'_>,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let threads = dalia_pool::current_num_threads();
+    // ~2 leaf tasks per worker, NR-aligned, never below the overhead floor.
+    let chunk = n.div_ceil(threads * 2).next_multiple_of(NR).max(PAR_MIN_COLS);
+    dalia_pool::install(|| split_columns(m, n, k, alpha, a, b, c, ldc, chunk));
+}
+
+/// Recursive NR-aligned halving of the C column range down to `chunk`.
+#[allow(clippy::too_many_arguments)]
+fn split_columns(
+    m: usize,
+    ncols: usize,
+    k: usize,
+    alpha: f64,
+    a: StridedRef<'_>,
+    b: StridedRef<'_>,
+    c: &mut [f64],
+    ldc: usize,
+    chunk: usize,
+) {
+    if ncols <= chunk {
+        PAR_PACK.with(|pack| {
+            gemm_packed(m, ncols, k, alpha, a, b, c, 0, ldc, &mut pack.borrow_mut())
+        });
+        return;
+    }
+    let mid = (ncols / 2).next_multiple_of(NR);
+    let (c_lo, c_hi) = c.split_at_mut(mid * ldc);
+    let b_hi = b.shifted(0, mid);
+    dalia_pool::join(
+        || split_columns(m, mid, k, alpha, a, b, c_lo, ldc, chunk),
+        || split_columns(m, ncols - mid, k, alpha, a, b_hi, c_hi, ldc, chunk),
+    );
+}
+
 /// Apply the beta prefactor to a full dense C.
 fn scale_matrix(beta: f64, c: &mut Matrix) {
     if beta == 1.0 {
@@ -383,6 +462,11 @@ fn scale_matrix(beta: f64, c: &mut Matrix) {
 /// particular `(Trans::Yes, Trans::Yes)` computes `C += alpha · AᵀBᵀ`
 /// (equal to `alpha · (B A)ᵀ`), with `A` consumed along its rows and `B`
 /// along its columns by the packing routines.
+///
+/// Products at reduced-system scale (`m·n·k ≥ 2²¹` with enough columns to
+/// split) additionally fan their C column panels out across the
+/// work-stealing pool; the parallel path is bitwise-identical to the
+/// sequential one, so callers never observe thread-count-dependent results.
 ///
 /// This entry point allocates a transient workspace for large inputs; hot
 /// loops should hold a [`PackBuffer`] and call [`gemm_with`].
@@ -444,6 +528,21 @@ pub fn gemm_with(
         return;
     }
     let ldc = c.nrows();
+    if use_parallel_gemm(m, n, k) {
+        // Reduced-system-scale products split their C columns across the
+        // work-stealing pool; bitwise-identical to the sequential engine.
+        gemm_packed_parallel(
+            m,
+            n,
+            k,
+            alpha,
+            op_ref(a, trans_a),
+            op_ref(b, trans_b),
+            c.as_mut_slice(),
+            ldc,
+        );
+        return;
+    }
     gemm_packed(
         m,
         n,
@@ -1275,6 +1374,59 @@ mod tests {
         gemm_with(&mut pack, Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c2);
         assert_eq!(c1.as_slice(), c2.as_slice());
         assert!(approx_eq(&c1, &matmul(&a, &b), 1e-12));
+    }
+
+    #[test]
+    fn parallel_gemm_is_bitwise_identical_to_sequential_packed() {
+        // 160·144·150 = 3.46M > PAR_MIN_FLOPS with 144 ≥ 2·PAR_MIN_COLS
+        // columns. The parallel side runs inside a pool pinned to 4 workers
+        // so the column-split path is exercised even on a 1-core host (the
+        // global pool would size itself to the hardware and fall back to the
+        // sequential engine there).
+        let (m, n, k) = (160, 144, 150);
+        let pool = dalia_pool::ThreadPool::new(4);
+        pool.install(|| assert!(use_parallel_gemm(m, n, k)));
+        let a = test_mat(m, k, 21);
+        let b = test_mat(k, n, 22);
+        let mut c_par = Matrix::zeros(m, n);
+        pool.install(|| gemm(Trans::No, Trans::No, 1.25, &a, &b, 0.0, &mut c_par));
+        // Ground truth: the sequential packed engine, bypassing the split.
+        let mut c_seq = Matrix::zeros(m, n);
+        let mut pack = PackBuffer::new();
+        gemm_packed(
+            m,
+            n,
+            k,
+            1.25,
+            op_ref(&a, Trans::No),
+            op_ref(&b, Trans::No),
+            c_seq.as_mut_slice(),
+            0,
+            m,
+            &mut pack,
+        );
+        for (x, y) in c_par.as_slice().iter().zip(c_seq.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "parallel gemm drifted from sequential");
+        }
+        // And the transposed variants route identically.
+        let mut ct_par = Matrix::zeros(n, m);
+        pool.install(|| gemm(Trans::Yes, Trans::Yes, -0.5, &b, &a, 0.0, &mut ct_par));
+        let mut ct_seq = Matrix::zeros(n, m);
+        gemm_packed(
+            n,
+            m,
+            k,
+            -0.5,
+            op_ref(&b, Trans::Yes),
+            op_ref(&a, Trans::Yes),
+            ct_seq.as_mut_slice(),
+            0,
+            n,
+            &mut pack,
+        );
+        for (x, y) in ct_par.as_slice().iter().zip(ct_seq.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "parallel gemm (transposed) drifted");
+        }
     }
 
     #[test]

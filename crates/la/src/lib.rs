@@ -9,8 +9,11 @@
 //! * [`chol`] — dense Cholesky (POTRF/POTRS), LU, inverses and log-determinants,
 //! * [`eigen`] — symmetric Jacobi eigendecomposition (hyperparameter Hessians).
 //!
-//! All kernels are deliberately dependency-free and validated against naive
-//! reference implementations plus property-based tests.
+//! All kernels are validated against naive reference implementations plus
+//! property-based tests. The only dependency is `dalia-pool`: large `gemm`
+//! trailing updates (the reduced-system products of the distributed BTA
+//! solver) split their output columns across the work-stealing pool, with
+//! results bitwise-identical to the sequential blocked path.
 
 pub mod blas;
 pub mod chol;

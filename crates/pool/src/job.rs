@@ -1,0 +1,249 @@
+//! Erased job references and completion latches.
+//!
+//! This module contains the crate's only `unsafe` code (the workspace's
+//! second sanctioned exception, next to the AVX2 micro-kernel in
+//! `dalia_la::blas`): a [`JobRef`] is a type- and lifetime-erased pointer to
+//! a job that lives either on the publishing caller's stack ([`StackJob`]) or
+//! in a heap allocation ([`HeapJob`]). Erasure is what lets a long-lived
+//! worker thread execute a closure that borrows the caller's locals — the
+//! same mechanism `rayon-core` and `crossbeam::scope` are built on.
+//!
+//! Soundness contract, enforced by the callers in `lib.rs`:
+//!
+//! * a [`StackJob`]'s publisher does not return (and therefore does not
+//!   invalidate the job's stack slot) until the job's [`Latch`] has been set,
+//!   and the latch is set only by [`StackJob::execute_erased`] *after* it has
+//!   finished touching the job;
+//! * a [`HeapJob`]'s allocation is owned by its [`JobRef`] and released
+//!   exactly once, inside [`HeapJob::execute_erased`];
+//! * every published [`JobRef`] is executed exactly once: it is consumed
+//!   either by the worker that dequeued it or by the publisher popping it
+//!   back.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// A binary completion latch: one-shot, set by the executor, awaited by the
+/// publisher. Built on `Mutex` + `Condvar` so waiting threads sleep.
+pub(crate) struct Latch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Self {
+        Latch { done: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    /// Mark the latch as set and wake all waiters.
+    pub(crate) fn set(&self) {
+        *self.done.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        self.cv.notify_all();
+    }
+
+    /// Non-blocking check.
+    pub(crate) fn probe(&self) -> bool {
+        *self.done.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Block until the latch is set.
+    pub(crate) fn wait(&self) {
+        let mut g = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*g {
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Block until the latch is set or `timeout` elapses; returns the state.
+    pub(crate) fn wait_timeout(&self, timeout: Duration) -> bool {
+        let g = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        if *g {
+            return true;
+        }
+        let (g, _) = self.cv.wait_timeout(g, timeout).unwrap_or_else(PoisonError::into_inner);
+        *g
+    }
+}
+
+/// A counting latch for scopes: incremented per spawned task, decremented on
+/// completion; waiters wake when the count reaches zero.
+pub(crate) struct CountLatch {
+    pending: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl CountLatch {
+    pub(crate) fn new() -> Self {
+        CountLatch { pending: Mutex::new(0), cv: Condvar::new() }
+    }
+
+    pub(crate) fn increment(&self) {
+        *self.pending.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+    }
+
+    pub(crate) fn decrement(&self) {
+        let mut g = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        *g -= 1;
+        if *g == 0 {
+            drop(g);
+            self.cv.notify_all();
+        }
+    }
+
+    pub(crate) fn is_clear(&self) -> bool {
+        *self.pending.lock().unwrap_or_else(PoisonError::into_inner) == 0
+    }
+
+    /// Block until the count reaches zero or `timeout` elapses; returns
+    /// whether the count is zero.
+    pub(crate) fn wait_timeout(&self, timeout: Duration) -> bool {
+        let g = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        if *g == 0 {
+            return true;
+        }
+        let (g, _) = self.cv.wait_timeout(g, timeout).unwrap_or_else(PoisonError::into_inner);
+        *g == 0
+    }
+}
+
+/// Type- and lifetime-erased pointer to a publishable job.
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: a `JobRef` always points at a job whose closure is `Send` (bounded
+// at construction in `StackJob::new` / `HeapJob::new`), and logical ownership
+// of the pointee transfers with the ref: exactly one thread executes it.
+#[allow(unsafe_code)]
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Stable identity of the underlying job, used by `join` to recognize its
+    /// own pending task when popping the local deque.
+    pub(crate) fn id(&self) -> usize {
+        self.data as usize
+    }
+
+    /// Run the job. Consumes the ref; must be called exactly once.
+    #[allow(unsafe_code)]
+    pub(crate) fn execute(self) {
+        // SAFETY: the constructors guarantee `data` points at a live job of
+        // the type `execute_fn` expects, and the exactly-once discipline in
+        // the pool guarantees no double execution.
+        unsafe { (self.execute_fn)(self.data) }
+    }
+}
+
+/// A job whose storage lives on the publisher's stack, with a result slot and
+/// a completion latch. Used by `join` and `install`.
+pub(crate) struct StackJob<F, R> {
+    func: Mutex<Option<F>>,
+    result: Mutex<Option<std::thread::Result<R>>>,
+    pub(crate) latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(f: F) -> Self {
+        StackJob { func: Mutex::new(Some(f)), result: Mutex::new(None), latch: Latch::new() }
+    }
+
+    /// Erase this job into a publishable [`JobRef`].
+    ///
+    /// The caller promises to keep `self` alive (not return, not move it)
+    /// until [`Latch::set`] has been observed on `self.latch`.
+    pub(crate) fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            execute_fn: Self::execute_erased,
+        }
+    }
+
+    /// Take the stored result after the latch is set.
+    pub(crate) fn take_result(&self) -> std::thread::Result<R> {
+        self.result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("StackJob result taken before completion")
+    }
+
+    #[allow(unsafe_code)]
+    unsafe fn execute_erased(data: *const ()) {
+        // SAFETY: `data` came from `as_job_ref` on a `StackJob<F, R>` whose
+        // publisher keeps it alive until `latch.set()` below.
+        let job = unsafe { &*(data as *const Self) };
+        let f = job
+            .func
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("StackJob executed twice");
+        let res = catch_unwind(AssertUnwindSafe(f));
+        *job.result.lock().unwrap_or_else(PoisonError::into_inner) = Some(res);
+        job.latch.set();
+    }
+}
+
+/// A heap-allocated fire-and-forget job. Used by `scope` spawns, where the
+/// closure must outlive the spawning call but not the scope itself; all
+/// bookkeeping (panic capture, scope counting) is folded into the closure by
+/// the caller.
+pub(crate) struct HeapJob<F> {
+    func: F,
+}
+
+impl<F> HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    pub(crate) fn new(func: F) -> Box<Self> {
+        Box::new(HeapJob { func })
+    }
+
+    /// Erase the boxed job into a publishable [`JobRef`] that owns the
+    /// allocation.
+    pub(crate) fn into_job_ref(self: Box<Self>) -> JobRef {
+        JobRef {
+            data: Box::into_raw(self) as *const (),
+            execute_fn: Self::execute_erased,
+        }
+    }
+
+    #[allow(unsafe_code)]
+    unsafe fn execute_erased(data: *const ()) {
+        // SAFETY: `data` came from `Box::into_raw` in `into_job_ref` and is
+        // reconstructed exactly once here.
+        let job = unsafe { Box::from_raw(data as *mut Self) };
+        (job.func)();
+    }
+}
+
+/// Panic payload storage shared by a scope and its spawned tasks: the first
+/// captured payload wins and is re-thrown when the scope completes.
+pub(crate) struct PanicSlot {
+    slot: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl PanicSlot {
+    pub(crate) fn new() -> Self {
+        PanicSlot { slot: Mutex::new(None) }
+    }
+
+    pub(crate) fn store(&self, payload: Box<dyn Any + Send>) {
+        let mut g = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if g.is_none() {
+            *g = Some(payload);
+        }
+    }
+
+    pub(crate) fn take(&self) -> Option<Box<dyn Any + Send>> {
+        self.slot.lock().unwrap_or_else(PoisonError::into_inner).take()
+    }
+}

@@ -1,0 +1,703 @@
+//! # dalia-pool — work-stealing fork-join thread pool
+//!
+//! The execution substrate of the workspace's parallel fan-outs. The paper's
+//! S1 (per-lane θ evaluations) and S3 (per-partition BTA elimination) layers
+//! have *non-uniform* per-item costs, so a fixed-chunk eager map load
+//! imbalances badly; this crate provides the work-stealing pool that the
+//! vendored `rayon` shim's `par_iter` and the solver stack run on instead:
+//!
+//! * a **global, lazily-initialized pool** ([`global`]) sized by the
+//!   `DALIA_NUM_THREADS` environment variable (default: all cores), plus
+//!   independent [`ThreadPool`] instances for tests and benchmarks;
+//! * **per-worker deques** in the Chili / crossbeam style: owners push and
+//!   pop at the back (LIFO, cache-hot depth-first execution), thieves steal
+//!   from the front (FIFO, breadth-first — the oldest, typically largest
+//!   subtree moves to the idle worker);
+//! * an **injector channel** (the vendored `crossbeam` bounded channel)
+//!   through which external threads submit work and on whose timed `recv` the
+//!   idle workers park;
+//! * fork-join primitives — [`join`], [`scope`], [`install`], detached
+//!   [`spawn`] — with **panic capture and propagation**: a panicking task
+//!   unwinds at the fork point of its publisher, and the pool survives.
+//!
+//! # Scheduling discipline and determinism
+//!
+//! `join(a, b)` called on a worker pushes `b` onto the worker's own deque and
+//! runs `a` inline; when `a` returns, the worker pops `b` back (common case:
+//! no synchronization with other workers beyond the deque lock) or, if `b`
+//! was stolen, helps other workers while waiting for the thief to finish.
+//! Nested `join`s therefore split **inline** on the current pool — calling a
+//! parallel region from inside another parallel region never spawns new OS
+//! threads and never oversubscribes.
+//!
+//! Work stealing randomizes *where* a task runs, never *what* it computes:
+//! every task owns a disjoint slice of the output, so parallel results are
+//! identical to sequential ones (see the parity suites in the `rayon` shim
+//! and `tests/session_reuse.rs`).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+
+mod job;
+
+use job::{CountLatch, HeapJob, JobRef, PanicSlot, StackJob};
+
+/// How long an idle worker parks on the injector channel before re-scanning
+/// the deques for stealable work. Bounds the worst-case steal latency.
+const IDLE_PARK: Duration = Duration::from_micros(500);
+
+/// Injector channel capacity. Submissions beyond this back-pressure the
+/// submitting thread (blocking send), which is the desired behavior.
+const INJECTOR_CAP: usize = 1024;
+
+/// A unit of work traveling through the injector channel.
+enum Injected {
+    /// An erased job: a borrowed `install`/`scope` job, or a heap-allocated
+    /// detached task (which carries its own panic capture).
+    Job(JobRef),
+    /// Worker shutdown token (one per worker, sent on pool drop).
+    Shutdown,
+}
+
+/// Shared state of one pool: the per-worker deques and the injector.
+struct PoolInner {
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    injector_tx: Sender<Injected>,
+    injector_rx: Receiver<Injected>,
+    shutdown: AtomicBool,
+    /// Panics swallowed from detached `spawn` tasks (observable for tests /
+    /// diagnostics; detached tasks have no caller to propagate to).
+    detached_panics: AtomicUsize,
+}
+
+impl PoolInner {
+    fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index].lock().unwrap_or_else(PoisonError::into_inner).push_back(job);
+    }
+
+    /// LIFO pop from the worker's own deque.
+    fn pop_local(&self, index: usize) -> Option<JobRef> {
+        self.deques[index].lock().unwrap_or_else(PoisonError::into_inner).pop_back()
+    }
+
+    /// FIFO steal sweep over the other workers' deques.
+    fn steal(&self, thief: usize) -> Option<JobRef> {
+        let n = self.deques.len();
+        for k in 1..n {
+            let victim = (thief + k) % n;
+            let job =
+                self.deques[victim].lock().unwrap_or_else(PoisonError::into_inner).pop_front();
+            if job.is_some() {
+                return job;
+            }
+        }
+        None
+    }
+
+    fn inject(&self, msg: Injected) {
+        // The receiver lives in `self`, so the channel can only disconnect
+        // while a send is in flight if the pool is being torn down mid-use,
+        // which the drop protocol forbids.
+        if self.injector_tx.send(msg).is_err() {
+            panic!("dalia-pool: injector disconnected (pool used after drop)");
+        }
+    }
+}
+
+/// Thread-local identity of a pool worker.
+struct WorkerCtx {
+    pool: Arc<PoolInner>,
+    index: usize,
+}
+
+thread_local! {
+    static WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+}
+
+/// The pool (and worker index) of the current thread, if it is a worker.
+fn current_worker() -> Option<(Arc<PoolInner>, usize)> {
+    WORKER.with(|w| w.borrow().as_ref().map(|ctx| (Arc::clone(&ctx.pool), ctx.index)))
+}
+
+/// Whether the current thread is a worker of *any* dalia pool.
+pub fn is_worker() -> bool {
+    WORKER.with(|w| w.borrow().is_some())
+}
+
+fn worker_loop(inner: Arc<PoolInner>, index: usize) {
+    WORKER.with(|w| {
+        *w.borrow_mut() = Some(WorkerCtx { pool: Arc::clone(&inner), index });
+    });
+    loop {
+        if let Some(job) = inner.pop_local(index) {
+            job.execute();
+            continue;
+        }
+        if let Some(job) = inner.steal(index) {
+            job.execute();
+            continue;
+        }
+        match inner.injector_rx.recv_timeout(IDLE_PARK) {
+            Ok(Injected::Job(job)) => job.execute(),
+            Ok(Injected::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+        }
+    }
+    WORKER.with(|w| *w.borrow_mut() = None);
+}
+
+/// A work-stealing fork-join thread pool.
+///
+/// Most code uses the process-wide [`global`] pool through the free functions
+/// ([`join`], [`scope`], [`install`], [`spawn`]); explicit instances exist so
+/// tests and benchmarks can pin an exact thread count:
+///
+/// ```
+/// let pool = dalia_pool::ThreadPool::new(2);
+/// let (a, b) = pool.join(|| 21 * 2, || "forty-two");
+/// assert_eq!((a, b), (42, "forty-two"));
+/// ```
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Create a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let (injector_tx, injector_rx) = channel::bounded(INJECTOR_CAP);
+        let inner = Arc::new(PoolInner {
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector_tx,
+            injector_rx,
+            shutdown: AtomicBool::new(false),
+            detached_panics: AtomicUsize::new(0),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("dalia-pool-{i}"))
+                    .spawn(move || worker_loop(inner, i))
+                    .expect("dalia-pool: failed to spawn worker thread")
+            })
+            .collect();
+        ThreadPool { inner, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.inner.num_threads()
+    }
+
+    /// Number of panics swallowed from detached [`ThreadPool::spawn`] tasks.
+    pub fn detached_panic_count(&self) -> usize {
+        self.inner.detached_panics.load(Ordering::Relaxed)
+    }
+
+    /// Run `a` and `b`, potentially in parallel, and return both results.
+    ///
+    /// Called on a worker of this pool, `b` is published to the worker's own
+    /// deque (stealable by idle workers) and `a` runs inline — nested `join`s
+    /// split in place without spawning threads. Called from any other thread,
+    /// the whole join is [`install`](Self::install)ed into the pool first.
+    ///
+    /// If either closure panics, the panic is re-thrown here after *both*
+    /// closures have been retired, so the pool is never left with a dangling
+    /// task (no poisoning).
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        if self.inner.num_threads() <= 1 {
+            return (a(), b());
+        }
+        match current_worker() {
+            Some((pool, index)) if Arc::ptr_eq(&pool, &self.inner) => {
+                join_in_worker(&pool, index, a, b)
+            }
+            _ => self.install(|| {
+                let (pool, index) = current_worker().expect("installed job not on a worker");
+                join_in_worker(&pool, index, a, b)
+            }),
+        }
+    }
+
+    /// Run `f` on a pool worker, blocking until it returns. A no-op wrapper
+    /// when already called from a worker of this pool.
+    ///
+    /// This is the bridge from external threads into the pool: the closure is
+    /// published through the injector channel, and nested parallelism inside
+    /// `f` then uses the worker deques.
+    pub fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if let Some((pool, _)) = current_worker() {
+            if Arc::ptr_eq(&pool, &self.inner) {
+                return f();
+            }
+        }
+        let job = StackJob::new(f);
+        self.inner.inject(Injected::Job(job.as_job_ref()));
+        job.latch.wait();
+        match job.take_result() {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Create a fork-join scope: closures spawned on it may borrow data that
+    /// outlives the `scope` call, and `scope` does not return until every
+    /// spawned task has completed.
+    ///
+    /// The first panic among the body and the spawned tasks is re-thrown
+    /// after all tasks have completed.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        scope_on(&self.inner, op)
+    }
+
+    /// Submit a detached `'static` task. Panics inside the task are caught
+    /// and counted ([`ThreadPool::detached_panic_count`]) rather than
+    /// propagated — a detached task has no caller to unwind into — and never
+    /// poison the pool.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        spawn_detached(&self.inner, f);
+    }
+}
+
+/// Publish a detached task. On a worker of `inner` the task goes to the
+/// worker's own deque — a worker must never block on its own injector, since
+/// it is one of the channel's consumers (a full injector would deadlock a
+/// 1-thread pool). From any other thread it goes through the injector, whose
+/// blocking send is ordinary backpressure drained by the target pool.
+fn spawn_detached<F>(inner: &Arc<PoolInner>, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let pool_ref = Arc::clone(inner);
+    let task = move || {
+        if catch_unwind(AssertUnwindSafe(f)).is_err() {
+            pool_ref.detached_panics.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+    let job = HeapJob::new(task).into_job_ref();
+    match current_worker() {
+        Some((pool, index)) if Arc::ptr_eq(&pool, inner) => pool.push_local(index, job),
+        _ => inner.inject(Injected::Job(job)),
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for _ in &self.handles {
+            let _ = self.inner.injector_tx.send(Injected::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// `join` on the current worker: publish `b`, run `a`, then pop `b` back or
+/// wait for its thief (helping with other queued work meanwhile).
+fn join_in_worker<A, B, RA, RB>(pool: &Arc<PoolInner>, index: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b);
+    let ref_b = job_b.as_job_ref();
+    let b_id = ref_b.id();
+    pool.push_local(index, ref_b);
+
+    let ra = catch_unwind(AssertUnwindSafe(a));
+
+    // Retire everything we still own on the local deque. By LIFO discipline
+    // the only job left from this frame is `b` itself (nested joins inside
+    // `a` retired their own pushes before returning), but executing whatever
+    // is found keeps this correct even for helped-in jobs.
+    while let Some(job) = pool.pop_local(index) {
+        let is_ours = job.id() == b_id;
+        job.execute();
+        if is_ours {
+            break;
+        }
+    }
+    // If `b` was stolen, help other workers while its thief finishes.
+    while !job_b.latch.probe() {
+        if let Some(job) = pool.steal(index) {
+            job.execute();
+        } else if job_b.latch.wait_timeout(IDLE_PARK) {
+            break;
+        }
+    }
+
+    let rb = job_b.take_result();
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => resume_unwind(payload),
+        (_, Err(payload)) => resume_unwind(payload),
+    }
+}
+
+/// Run a fork-join scope on the given pool: create the scope, run the body,
+/// wait for every spawned task (helping with queued work when the caller is
+/// itself a worker of this pool), then re-throw the first captured panic.
+fn scope_on<'scope, OP, R>(inner: &Arc<PoolInner>, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let state = Arc::new(ScopeState::new());
+    let scope = Scope {
+        pool: Arc::clone(inner),
+        state: Arc::clone(&state),
+        _marker: std::marker::PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    match current_worker() {
+        Some((pool, index)) if Arc::ptr_eq(&pool, inner) => {
+            while !state.latch.is_clear() {
+                if let Some(job) = pool.pop_local(index) {
+                    job.execute();
+                } else if let Some(job) = pool.steal(index) {
+                    job.execute();
+                } else {
+                    state.latch.wait_timeout(IDLE_PARK);
+                }
+            }
+        }
+        _ => {
+            while !state.latch.wait_timeout(Duration::from_millis(50)) {}
+        }
+    }
+    if let Some(payload) = state.panic.take() {
+        resume_unwind(payload);
+    }
+    match result {
+        Ok(r) => r,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// Shared bookkeeping of one [`Scope`]: outstanding-task count + first panic.
+struct ScopeState {
+    latch: CountLatch,
+    panic: PanicSlot,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState { latch: CountLatch::new(), panic: PanicSlot::new() }
+    }
+}
+
+/// A fork-join scope created by [`ThreadPool::scope`] / [`scope`]. Tasks
+/// spawned on it may borrow from the enclosing stack frame (`'scope`).
+pub struct Scope<'scope> {
+    pool: Arc<PoolInner>,
+    state: Arc<ScopeState>,
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task on the scope. The task may borrow `'scope` data; the
+    /// enclosing `scope` call blocks until it completes.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.latch.increment();
+        let state = Arc::clone(&self.state);
+        let task = move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                state.panic.store(payload);
+            }
+            state.latch.decrement();
+        };
+        let job = HeapJob::new(task).into_job_ref();
+        match current_worker() {
+            Some((pool, index)) if Arc::ptr_eq(&pool, &self.pool) => pool.push_local(index, job),
+            _ => self.pool.inject(Injected::Job(job)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global pool + context-following free functions.
+// ---------------------------------------------------------------------------
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// Parse a `DALIA_NUM_THREADS`-style value; `None` / unparsable / zero fall
+/// through to the hardware default.
+fn parse_threads(var: Option<&str>) -> Option<usize> {
+    var.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
+fn default_num_threads() -> usize {
+    parse_threads(std::env::var("DALIA_NUM_THREADS").ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    })
+}
+
+/// The process-wide pool, created on first use with `DALIA_NUM_THREADS`
+/// workers (default: all available cores).
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(default_num_threads()))
+}
+
+/// Worker count of the *current* pool: the pool this thread works for when
+/// called on a worker, the global pool otherwise. Parallel algorithms use
+/// this to pick their split granularity.
+pub fn current_num_threads() -> usize {
+    match current_worker() {
+        Some((pool, _)) => pool.num_threads(),
+        None => global().num_threads(),
+    }
+}
+
+/// [`ThreadPool::join`] on the current pool (the worker's own pool when
+/// called from a worker, the global pool otherwise).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if let Some((pool, index)) = current_worker() {
+        if pool.num_threads() <= 1 {
+            return (a(), b());
+        }
+        return join_in_worker(&pool, index, a, b);
+    }
+    global().join(a, b)
+}
+
+/// [`ThreadPool::install`] on the current pool.
+pub fn install<F, R>(f: F) -> R
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    if is_worker() {
+        return f();
+    }
+    global().install(f)
+}
+
+/// [`ThreadPool::scope`] on the current pool.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    if let Some((pool, _)) = current_worker() {
+        // Scope on the worker's own pool without going through a `ThreadPool`
+        // handle (workers only hold the shared inner state).
+        return scope_on(&pool, op);
+    }
+    global().scope(op)
+}
+
+/// [`ThreadPool::spawn`] on the current pool.
+pub fn spawn<F>(f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    if let Some((pool, _)) = current_worker() {
+        spawn_detached(&pool, f);
+        return;
+    }
+    global().spawn(f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPool::new(2);
+        let (a, b) = pool.join(|| 1 + 1, || 2 + 2);
+        assert_eq!((a, b), (2, 4));
+    }
+
+    #[test]
+    fn join_borrows_stack_data() {
+        let pool = ThreadPool::new(2);
+        let data: Vec<u64> = (0..1000).collect();
+        let (lo, hi) = pool.join(
+            || data[..500].iter().sum::<u64>(),
+            || data[500..].iter().sum::<u64>(),
+        );
+        assert_eq!(lo + hi, 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn nested_joins_split_inline() {
+        fn sum(pool_depth: usize, range: std::ops::Range<u64>) -> u64 {
+            let len = range.end - range.start;
+            if pool_depth == 0 || len <= 1 {
+                return range.sum();
+            }
+            let mid = range.start + len / 2;
+            let (a, b) = join(
+                || sum(pool_depth - 1, range.start..mid),
+                || sum(pool_depth - 1, mid..range.end),
+            );
+            a + b
+        }
+        let pool = ThreadPool::new(4);
+        let total = pool.install(|| sum(8, 0..4096));
+        assert_eq!(total, 4096 * 4095 / 2);
+    }
+
+    #[test]
+    fn join_propagates_panic_from_b_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.join(|| 1, || panic!("boom-b"));
+        }));
+        let payload = r.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "boom-b");
+        // Pool still functional.
+        let (a, b) = pool.join(|| 10, || 20);
+        assert_eq!((a, b), (10, 20));
+    }
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let pool = ThreadPool::new(3);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_propagates_task_panic_after_all_tasks_finish() {
+        let pool = ThreadPool::new(2);
+        let finished = AtomicUsize::new(0);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                let finished = &finished;
+                for i in 0..8 {
+                    s.spawn(move || {
+                        if i == 3 {
+                            panic!("scope-task");
+                        }
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(r.is_err());
+        assert_eq!(finished.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn detached_spawn_runs_and_swallows_panics() {
+        let pool = ThreadPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.spawn(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.spawn(|| panic!("detached"));
+        for _ in 0..2000 {
+            if done.load(Ordering::Relaxed) == 1 && pool.detached_panic_count() == 1 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("detached tasks did not complete in time");
+    }
+
+    #[test]
+    fn worker_side_spawn_flood_does_not_deadlock() {
+        // Regression: detached spawns from a worker must go to the local
+        // deque, never block on the pool's own injector — on a 1-thread pool
+        // a worker blocked in send() would be the only possible consumer.
+        const FLOOD: usize = 2 * INJECTOR_CAP;
+        let pool = ThreadPool::new(1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.install(move || {
+            for _ in 0..FLOOD {
+                let d = Arc::clone(&d);
+                spawn(move || {
+                    d.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        for _ in 0..10_000 {
+            if done.load(Ordering::Relaxed) == FLOOD {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("flooded detached spawns did not drain: {}/{FLOOD}", done.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let (a, b) = pool.join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(pool.num_threads(), 1);
+    }
+
+    #[test]
+    fn install_reports_worker_context() {
+        let pool = ThreadPool::new(2);
+        assert!(!is_worker());
+        let inside = pool.install(is_worker);
+        assert!(inside);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 8 ")), Some(8));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("many")), None);
+        assert_eq!(parse_threads(None), None);
+    }
+}

@@ -11,11 +11,18 @@
 //! partition again.
 //!
 //! In the original framework each partition lives on its own GPU and the
-//! reduced system is gathered with NCCL; here partitions are processed by
-//! Rayon worker threads of a single process, which preserves the algorithmic
-//! structure (work split, reduced-system bottleneck, load imbalance) while the
-//! cluster-level behaviour is captured by the performance model in
-//! `dalia-hpc`.
+//! reduced system is gathered with NCCL; here partitions are tasks on the
+//! work-stealing pool (`dalia-pool`, reached through the vendored `rayon`
+//! shim's `par_iter`): each partition splits adaptively across the pool's
+//! workers, and idle workers steal the still-queued partitions, so
+//! load-imbalanced partitionings no longer serialize on the unluckiest
+//! worker. This preserves the algorithmic structure (work split,
+//! reduced-system bottleneck, load imbalance) while the cluster-level
+//! behaviour is captured by the performance model in `dalia-hpc`. Large
+//! reduced-system `gemm` trailing updates additionally fan out column panels
+//! on the same pool inside `dalia_la::blas` — bitwise-identically to the
+//! sequential kernels, so the distributed results stay independent of the
+//! worker count.
 //!
 //! The three phases mirror their sequential counterparts and compute the same
 //! paper quantities (`log |Q|`, `Q⁻¹ r`, `diag(Q⁻¹)`):

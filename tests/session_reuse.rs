@@ -107,6 +107,56 @@ fn check_session_evaluation_reuse(d1: &[f64], d2: &[f64]) {
     }
 }
 
+/// S1 parity: the gradient fan-out evaluated in parallel on the
+/// work-stealing pool must give *bitwise-identical* results to the
+/// single-threaded evaluation of the same session configuration, for every
+/// backend. This pins the determinism guarantee of the execution model: work
+/// stealing may move lanes between workers, but every lane computes the same
+/// bits, and the parallel `gemm` trailing updates are split so that each
+/// output element sees the exact same operation sequence.
+fn check_parallel_vs_sequential_session(d: &[f64]) {
+    let (model, theta0) = toy_model(1);
+    let theta = shifted(&theta0, d);
+    let prior = ThetaPrior::weakly_informative(&theta0, 3.0);
+
+    for backend in backends() {
+        let mut par_settings = InlaSettings::dalia(1);
+        par_settings.backend = backend;
+        par_settings.parallel_feval = true;
+        let mut seq_settings = par_settings.clone();
+        seq_settings.parallel_feval = false;
+
+        let par_session = InlaEngine::builder(&model)
+            .prior(prior.clone())
+            .settings(par_settings)
+            .build()
+            .unwrap();
+        let seq_session = InlaEngine::builder(&model)
+            .prior(prior.clone())
+            .settings(seq_settings)
+            .build()
+            .unwrap();
+
+        let g_par = dalia_core::evaluate_gradient(&par_session, &theta).unwrap();
+        let g_seq = dalia_core::evaluate_gradient(&seq_session, &theta).unwrap();
+
+        let tag = format!("parallel-vs-sequential [{backend:?}]");
+        assert_eq!(g_par.value.to_bits(), g_seq.value.to_bits(), "{tag}: objective value");
+        assert_bits_eq(&g_par.gradient, &g_seq.gradient, &tag);
+        assert_eq!(
+            g_par.central.logdet_qp.to_bits(),
+            g_seq.central.logdet_qp.to_bits(),
+            "{tag}: logdet_qp"
+        );
+        assert_eq!(
+            g_par.central.logdet_qc.to_bits(),
+            g_seq.central.logdet_qc.to_bits(),
+            "{tag}: logdet_qc"
+        );
+        assert_bits_eq(&g_par.central.mean, &g_seq.central.mean, &tag);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -124,5 +174,16 @@ proptest! {
         d2 in vec(-0.4f64..0.4, 9),
     ) {
         check_session_evaluation_reuse(&d1, &d2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn parallel_gradient_is_bitwise_identical_to_sequential(
+        d in vec(-0.3f64..0.3, 4),
+    ) {
+        check_parallel_vs_sequential_session(&d);
     }
 }

@@ -6,6 +6,18 @@
 //! Implemented as a `Mutex` + two `Condvar`s around a `VecDeque` — blocked
 //! parties sleep on a condvar (no polling) and wake on the matching
 //! notification or disconnect.
+//!
+//! `bounded(0)` creates a **rendezvous channel**: a send completes only once
+//! a receiver has committed to the handoff (it blocks until a receiver is
+//! waiting in `recv`/`recv_timeout`). One shim-level approximation: the send
+//! returns at handoff *commit* — if the committed receiver then times out
+//! before collecting, the message stays in flight and is delivered to the
+//! next receiver instead of being returned to the sender.
+//!
+//! This shim is the injector path of the `dalia-pool` work-stealing pool
+//! (submission via blocking `send`, idle-worker parking via `recv_timeout`),
+//! so its timed edge cases — zero timeouts, capacity-0 rendezvous,
+//! disconnect while blocked — are pinned by tests below.
 
 /// Multi-producer multi-consumer bounded channels.
 pub mod channel {
@@ -55,6 +67,10 @@ pub mod channel {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// Receivers currently committed to a rendezvous handoff (capacity-0
+        /// channels only): a sender may enqueue one in-flight message per
+        /// committed receiver.
+        recv_waiting: usize,
     }
 
     struct Shared<T> {
@@ -67,6 +83,16 @@ pub mod channel {
     impl<T> Shared<T> {
         fn lock(&self) -> MutexGuard<'_, State<T>> {
             self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Whether a sender may enqueue right now: below capacity, or — on a
+        /// rendezvous channel — matched by a committed receiver.
+        fn may_push(&self, st: &State<T>) -> bool {
+            if self.cap == 0 {
+                st.queue.len() < st.recv_waiting
+            } else {
+                st.queue.len() < self.cap
+            }
         }
     }
 
@@ -124,7 +150,7 @@ pub mod channel {
                 if st.receivers == 0 {
                     return Err(SendError(value));
                 }
-                if st.queue.len() < self.shared.cap {
+                if self.shared.may_push(&st) {
                     st.queue.push_back(value);
                     drop(st);
                     self.shared.not_empty.notify_one();
@@ -134,7 +160,10 @@ pub mod channel {
             }
         }
 
-        /// Block for at most `timeout` trying to enqueue the value.
+        /// Block for at most `timeout` trying to enqueue the value. A zero
+        /// timeout degenerates to a try-send: it enqueues if there is room
+        /// (or a committed rendezvous receiver) right now, else returns
+        /// [`SendTimeoutError::Timeout`] without blocking.
         pub fn send_timeout(
             &self,
             value: T,
@@ -146,7 +175,7 @@ pub mod channel {
                 if st.receivers == 0 {
                     return Err(SendTimeoutError::Disconnected(value));
                 }
-                if st.queue.len() < self.shared.cap {
+                if self.shared.may_push(&st) {
                     st.queue.push_back(value);
                     drop(st);
                     self.shared.not_empty.notify_one();
@@ -168,36 +197,70 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Block until a value arrives (or the channel disconnects).
         pub fn recv(&self) -> Result<T, RecvError> {
+            let rendezvous = self.shared.cap == 0;
+            let mut registered = false;
             let mut st = self.shared.lock();
             loop {
                 if let Some(value) = st.queue.pop_front() {
+                    if registered {
+                        st.recv_waiting -= 1;
+                    }
                     drop(st);
                     self.shared.not_full.notify_one();
                     return Ok(value);
                 }
                 if st.senders == 0 {
+                    if registered {
+                        st.recv_waiting -= 1;
+                    }
                     return Err(RecvError);
+                }
+                if rendezvous && !registered {
+                    // Commit to the handoff so a blocked sender may enqueue.
+                    st.recv_waiting += 1;
+                    registered = true;
+                    self.shared.not_full.notify_all();
                 }
                 st = self.shared.not_empty.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         }
 
-        /// Block for at most `timeout` waiting for a value.
+        /// Block for at most `timeout` waiting for a value. A zero timeout
+        /// degenerates to a try-receive: it returns a value that is already
+        /// queued, else [`RecvTimeoutError::Timeout`] without blocking (on a
+        /// rendezvous channel it cannot pair with a sender that has not
+        /// already committed).
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
             let deadline = Instant::now() + timeout;
+            let rendezvous = self.shared.cap == 0;
+            let mut registered = false;
             let mut st = self.shared.lock();
             loop {
                 if let Some(value) = st.queue.pop_front() {
+                    if registered {
+                        st.recv_waiting -= 1;
+                    }
                     drop(st);
                     self.shared.not_full.notify_one();
                     return Ok(value);
                 }
                 if st.senders == 0 {
+                    if registered {
+                        st.recv_waiting -= 1;
+                    }
                     return Err(RecvTimeoutError::Disconnected);
                 }
                 let Some(remaining) = deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero()) else {
+                    if registered {
+                        st.recv_waiting -= 1;
+                    }
                     return Err(RecvTimeoutError::Timeout);
                 };
+                if rendezvous && !registered {
+                    st.recv_waiting += 1;
+                    registered = true;
+                    self.shared.not_full.notify_all();
+                }
                 let (guard, _) = self
                     .shared
                     .not_empty
@@ -208,13 +271,18 @@ pub mod channel {
         }
     }
 
-    /// Create a bounded channel of capacity `cap` (must be at least 1;
-    /// crossbeam's zero-capacity rendezvous mode is not implemented).
+    /// Create a bounded channel of capacity `cap`. `bounded(0)` creates a
+    /// rendezvous channel: sends block until a receiver commits to the
+    /// handoff (see the module docs for the one shim-level approximation).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        assert!(cap >= 1, "this shim does not implement zero-capacity rendezvous channels");
         let shared = Arc::new(Shared {
             cap,
-            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                recv_waiting: 0,
+            }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
         });
@@ -313,6 +381,121 @@ pub mod channel {
                 rx.recv_timeout(Duration::from_millis(10)),
                 Err(RecvTimeoutError::Disconnected)
             );
+        }
+
+        #[test]
+        fn zero_timeout_is_a_try_operation() {
+            let (tx, rx) = bounded::<u8>(1);
+            // Empty channel: zero-timeout recv must not block.
+            assert_eq!(rx.recv_timeout(Duration::ZERO), Err(RecvTimeoutError::Timeout));
+            // Room available: zero-timeout send succeeds immediately.
+            tx.send_timeout(1, Duration::ZERO).unwrap();
+            // Full channel: zero-timeout send must not block.
+            match tx.send_timeout(2, Duration::ZERO) {
+                Err(SendTimeoutError::Timeout(2)) => {}
+                other => panic!("expected Timeout(2), got {other:?}"),
+            }
+            // Queued value: zero-timeout recv succeeds immediately.
+            assert_eq!(rx.recv_timeout(Duration::ZERO), Ok(1));
+        }
+
+        #[test]
+        fn rendezvous_send_blocks_until_receiver_commits() {
+            let (tx, rx) = bounded::<u8>(0);
+            // No receiver committed yet: a timed send must time out.
+            match tx.send_timeout(1, Duration::from_millis(10)) {
+                Err(SendTimeoutError::Timeout(1)) => {}
+                other => panic!("expected Timeout(1), got {other:?}"),
+            }
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                let tx2 = tx.clone();
+                s.spawn(move || {
+                    // Blocks until the main thread commits via recv.
+                    tx2.send(7).unwrap();
+                });
+                std::thread::sleep(Duration::from_millis(20));
+                assert_eq!(rx.recv(), Ok(7));
+            });
+            assert!(
+                t0.elapsed() >= Duration::from_millis(15),
+                "rendezvous send completed before the receiver committed"
+            );
+        }
+
+        #[test]
+        fn rendezvous_pairs_each_send_with_one_receive() {
+            let (tx, rx) = bounded::<usize>(0);
+            std::thread::scope(|s| {
+                for i in 0..4 {
+                    let tx = tx.clone();
+                    s.spawn(move || tx.send(i).unwrap());
+                }
+                let mut got: Vec<usize> = (0..4).map(|_| rx.recv().unwrap()).collect();
+                got.sort_unstable();
+                assert_eq!(got, vec![0, 1, 2, 3]);
+            });
+            // All handoffs consumed: nothing left in flight.
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+        }
+
+        #[test]
+        fn rendezvous_zero_timeout_send_never_blocks() {
+            let (tx, rx) = bounded::<u8>(0);
+            match tx.send_timeout(3, Duration::ZERO) {
+                Err(SendTimeoutError::Timeout(3)) => {}
+                other => panic!("expected Timeout(3), got {other:?}"),
+            }
+            drop(rx);
+            match tx.send_timeout(4, Duration::ZERO) {
+                Err(SendTimeoutError::Disconnected(4)) => {}
+                other => panic!("expected Disconnected(4), got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn receiver_dropped_mid_send_unblocks_the_sender() {
+            // A sender blocked on a full channel must observe the last
+            // receiver going away and fail with SendError instead of hanging.
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            std::thread::scope(|s| {
+                let tx2 = tx.clone();
+                let h = s.spawn(move || tx2.send(2));
+                std::thread::sleep(Duration::from_millis(20));
+                drop(rx); // sender is still parked in send()
+                assert_eq!(h.join().unwrap(), Err(SendError(2)));
+            });
+        }
+
+        #[test]
+        fn receiver_dropped_mid_rendezvous_send_unblocks_the_sender() {
+            let (tx, rx) = bounded::<u8>(0);
+            std::thread::scope(|s| {
+                let tx2 = tx.clone();
+                let h = s.spawn(move || tx2.send(9));
+                std::thread::sleep(Duration::from_millis(20));
+                drop(rx);
+                assert_eq!(h.join().unwrap(), Err(SendError(9)));
+            });
+        }
+
+        #[test]
+        fn rendezvous_recv_timeout_deregisters_cleanly() {
+            let (tx, rx) = bounded::<u8>(0);
+            // Receiver commits, times out, deregisters.
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+            // A later send must NOT see a stale committed receiver.
+            match tx.send_timeout(5, Duration::from_millis(10)) {
+                Err(SendTimeoutError::Timeout(5)) => {}
+                other => panic!("expected Timeout(5), got {other:?}"),
+            }
+            // A fresh pairing still works.
+            std::thread::scope(|s| {
+                let tx2 = tx.clone();
+                s.spawn(move || tx2.send(6).unwrap());
+                assert_eq!(rx.recv(), Ok(6));
+            });
         }
     }
 }

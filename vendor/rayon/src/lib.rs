@@ -1,19 +1,30 @@
-//! Minimal, API-compatible shim for the `rayon` crate.
+//! Minimal, API-compatible shim for the `rayon` crate, executing on the
+//! workspace's work-stealing pool.
 //!
 //! The DALIA-RS build environment has no registry access, so this vendored
 //! crate provides the parallel-iterator surface the workspace uses:
 //! `par_iter()` on slices/`Vec`s, `into_par_iter()` on ranges and collections,
-//! and an **eager, order-preserving** `map(..).collect()` executed on scoped
-//! OS threads. There is no work stealing — items are split into contiguous
-//! chunks, one per available core — which is a good fit for the workspace's
-//! uniform-cost fan-outs (gradient evaluations, per-partition factorizations).
+//! and an **eager, order-preserving** `map(..).collect()`. Since PR 4 the
+//! execution engine is no longer an eager fixed-chunk map on scoped OS
+//! threads but the work-stealing pool in `dalia-pool`: the item list is split
+//! **adaptively** (recursive halving down to a grain of
+//! `n / (threads × 8)` items) via `dalia_pool::join`, so idle workers steal
+//! the larger, older half-ranges and non-uniform per-item costs — the S1
+//! per-lane θ evaluations, the S3 per-partition eliminations — load-balance
+//! instead of serializing on the unluckiest chunk.
+//!
+//! Each task writes a disjoint, index-addressed slice of the output, so
+//! results (values *and* order) are identical to the sequential iterator no
+//! matter how the work was stolen — pinned by the proptest parity suite in
+//! `tests/proptest_parity.rs`.
 //!
 //! Semantic differences from real rayon worth knowing about:
 //! * `map` is eager (it runs when called, not at `collect`); the workspace
 //!   always follows `map` immediately with `collect`, so this is unobservable.
 //! * A panic in a worker propagates to the caller at the `map` call site.
-
-use std::num::NonZeroUsize;
+//! * Calling `par_iter` from inside a pool worker (nested parallelism) splits
+//!   inline on the current pool — it never spawns new OS threads, so nesting
+//!   cannot oversubscribe the machine.
 
 /// Parallel iterator over an owned list of items.
 ///
@@ -63,35 +74,44 @@ impl<T: Send> ParIter<T> {
     }
 }
 
+/// Order-preserving parallel map on the work-stealing pool: recursive halving
+/// into grain-sized leaf tasks, each filling its own disjoint output range.
 fn parallel_map<T: Send, O: Send, F: Fn(T) -> O + Sync>(items: Vec<T>, f: &F) -> Vec<O> {
     let n = items.len();
-    let threads = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
-    let threads = threads.min(n.max(1));
+    let threads = dalia_pool::current_num_threads();
     if threads <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk_size = n.div_ceil(threads);
-    let mut items = items;
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    while !items.is_empty() {
-        let take = items.len().min(chunk_size);
-        let rest = items.split_off(take);
-        chunks.push(std::mem::replace(&mut items, rest));
-    }
-    let mut out: Vec<Vec<O>> = Vec::with_capacity(chunks.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
-            .collect();
-        for h in handles {
-            match h.join() {
-                Ok(part) => out.push(part),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
+    // Grain: aim for ~8 leaf tasks per worker so stealing has enough slack to
+    // balance non-uniform item costs without drowning in task overhead.
+    let grain = (n / (threads * 8)).max(1);
+    let mut input: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut output: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    dalia_pool::install(|| split_map(&mut input, &mut output, f, grain));
+    output.into_iter().map(|o| o.expect("parallel_map: missing output slot")).collect()
+}
+
+/// Recursive adaptive split: halve until at most `grain` items remain, then
+/// map the leaf sequentially into its slice of the output.
+fn split_map<T: Send, O: Send, F: Fn(T) -> O + Sync>(
+    input: &mut [Option<T>],
+    output: &mut [Option<O>],
+    f: &F,
+    grain: usize,
+) {
+    if input.len() <= grain {
+        for (slot_in, slot_out) in input.iter_mut().zip(output.iter_mut()) {
+            *slot_out = Some(f(slot_in.take().expect("parallel_map: item taken twice")));
         }
-    });
-    out.into_iter().flatten().collect()
+        return;
+    }
+    let mid = input.len() / 2;
+    let (in_lo, in_hi) = input.split_at_mut(mid);
+    let (out_lo, out_hi) = output.split_at_mut(mid);
+    dalia_pool::join(
+        || split_map(in_lo, out_lo, f, grain),
+        || split_map(in_hi, out_hi, f, grain),
+    );
 }
 
 /// Conversion of owned collections into a parallel iterator.
@@ -174,9 +194,50 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         });
         let distinct = ids.lock().unwrap().len();
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        if cores > 1 {
+        if dalia_pool::current_num_threads() > 1 {
             assert!(distinct > 1, "expected work on >1 thread, saw {distinct}");
+        }
+    }
+
+    #[test]
+    fn tasks_run_on_pool_workers_not_fresh_threads() {
+        let on_workers: Vec<bool> =
+            (0..64usize).into_par_iter().map(|_| dalia_pool::is_worker()).collect();
+        if dalia_pool::current_num_threads() > 1 {
+            assert!(
+                on_workers.iter().all(|&b| b),
+                "par_iter items must execute on pool workers"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_par_iter_does_not_oversubscribe() {
+        use std::collections::HashSet;
+        // Nested parallelism: every task of both levels must stay on the
+        // work-stealing pool's workers (the old shim spawned fresh OS threads
+        // per level). With stealing, distinct thread ids are bounded by the
+        // pool size instead of growing with nesting depth.
+        let ids: Vec<(bool, Vec<bool>, std::thread::ThreadId)> = dalia_pool::install(|| {
+            (0..16usize)
+                .into_par_iter()
+                .map(|_| {
+                    let inner: Vec<bool> =
+                        (0..8usize).into_par_iter().map(|_| dalia_pool::is_worker()).collect();
+                    (dalia_pool::is_worker(), inner, std::thread::current().id())
+                })
+                .collect()
+        });
+        let pool_size = dalia_pool::current_num_threads();
+        let distinct: HashSet<_> = ids.iter().map(|(_, _, id)| *id).collect();
+        assert!(
+            distinct.len() <= pool_size,
+            "outer tasks ran on {} distinct threads, pool has {pool_size}",
+            distinct.len()
+        );
+        for (outer, inner, _) in &ids {
+            assert!(*outer, "outer task escaped the pool");
+            assert!(inner.iter().all(|&b| b), "nested task escaped the pool");
         }
     }
 
@@ -185,5 +246,19 @@ mod tests {
     fn worker_panic_propagates() {
         let _: Vec<usize> =
             (0..8usize).into_par_iter().map(|x| if x == 3 { panic!("boom") } else { x }).collect();
+    }
+
+    #[test]
+    fn pool_survives_propagated_panic() {
+        let r = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..32usize)
+                .into_par_iter()
+                .map(|x| if x == 11 { panic!("transient") } else { x })
+                .collect();
+        });
+        assert!(r.is_err());
+        // The pool must keep scheduling correctly afterwards.
+        let v: Vec<usize> = (0..100usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(v, (1..=100).collect::<Vec<_>>());
     }
 }

@@ -1,0 +1,66 @@
+//! Property-based parity: the pool-backed `par_iter().map().collect()` must
+//! be order-identical (element for element) to the sequential iterator for
+//! random lengths, value distributions and split granularities — work
+//! stealing may reorder *execution*, never *results*.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+/// The mapped function: cheap but value-dependent, so any misrouted index or
+/// reordered write shows up immediately.
+fn scramble(x: u64) -> u64 {
+    x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17) ^ 0xdead_beef
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn par_map_collect_is_order_identical(
+        len in 0usize..512,
+        salt in 0usize..1_000_000,
+    ) {
+        let items: Vec<u64> = (0..len).map(|i| (i * 2654435761 + salt) as u64).collect();
+        let par: Vec<u64> = items.par_iter().map(|&x| scramble(x)).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| scramble(x)).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges_is_order_identical(len in 0usize..300) {
+        let par: Vec<usize> = (0..len).into_par_iter().map(|x| x * x + 1).collect();
+        let seq: Vec<usize> = (0..len).map(|x| x * x + 1).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn parity_holds_with_nonuniform_item_costs(costs in vec(0usize..64, 64)) {
+        // Items spin for wildly different durations, maximizing steal churn;
+        // ordering must still be exactly sequential.
+        let busy = |c: usize| -> u64 {
+            let mut acc = c as u64;
+            for i in 0..(c * 997) {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+            }
+            std::hint::black_box(acc)
+        };
+        let par: Vec<u64> = costs.par_iter().map(|&c| busy(c)).collect();
+        let seq: Vec<u64> = costs.iter().map(|&c| busy(c)).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn nested_parity(outer in 1usize..12, inner in 1usize..24) {
+        // Nested par_iter (splitting inline on the pool) must compose into
+        // the same nested sequential result.
+        let par: Vec<Vec<usize>> = (0..outer)
+            .into_par_iter()
+            .map(|i| (0..inner).into_par_iter().map(|j| i * 1000 + j).collect())
+            .collect();
+        let seq: Vec<Vec<usize>> = (0..outer)
+            .map(|i| (0..inner).map(|j| i * 1000 + j).collect())
+            .collect();
+        prop_assert_eq!(par, seq);
+    }
+}

@@ -13,6 +13,8 @@
 //!   by the benchmark harnesses to evaluate the scaling experiments at paper
 //!   scale.
 
+#![warn(missing_docs)]
+
 pub mod alloc;
 pub mod comm;
 pub mod perfmodel;
@@ -24,9 +26,10 @@ pub mod perfmodel;
 /// the S1 gradient lanes (`dalia-core`) and the S3 partition eliminations
 /// (`serinv::distributed`) are balanced by stealing instead of fixed
 /// chunking. See the crate docs of [`dalia_pool`] for the scheduling
-/// discipline (per-worker deques, LIFO pop / FIFO steal, injector channel)
-/// and the determinism guarantees; `crates/hpc/tests/pool_stress.rs` pins
-/// the concurrency behavior.
+/// discipline (per-worker deques, LIFO pop / FIFO steal, injector channel,
+/// event-parked idle workers with targeted wakes) and the determinism
+/// guarantees; `crates/hpc/tests/pool_stress.rs` pins the concurrency
+/// behavior.
 pub mod pool {
     pub use dalia_pool::*;
 }

@@ -8,17 +8,23 @@
 //! * **no deadlock** under deeply nested `join` (fork-join trees several
 //!   levels deeper than the worker count),
 //! * **panic propagation**: a panicking task unwinds at its fork point
-//!   without poisoning the pool — subsequent work schedules normally.
+//!   without poisoning the pool — subsequent work schedules normally,
+//! * **event-parking edge cases** (pool v2): idle workers genuinely park
+//!   (no polling), spurious wakes never stall progress, park/unpark races
+//!   with pool shutdown cannot hang `Drop`, and a skewed 1-big/N-tiny
+//!   partition layout completes within 2× of the balanced layout's wall
+//!   time at 4 threads thanks to stealable `d_pobtaf` interiors.
 //!
 //! Every test runs under a watchdog so a scheduling deadlock fails the suite
 //! instead of hanging CI forever.
 
 use dalia_hpc::pool::{self, ThreadPool};
+use serinv::{d_pobtaf_scheduled, testing::test_matrix, InteriorSchedule, Partitioning};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Run `f` on a fresh thread and panic if it has not finished within
 /// `secs` seconds — the deadlock guard for every scheduling test.
@@ -226,6 +232,136 @@ fn join_results_are_correct_under_heavy_stealing_churn() {
         let parity = pool.install(|| busy(5_000) & 1) * 2;
         let expected: u64 = (0..50).map(|r| 2 * r + parity).sum();
         assert_eq!(out, expected);
+    });
+}
+
+#[test]
+fn idle_pool_parks_and_spurious_wakes_do_not_stall_progress() {
+    with_watchdog(120, || {
+        let pool = ThreadPool::new(3);
+        // Let the pool go fully idle: all workers must end up parked (the
+        // event-parking protocol, not a timed poll).
+        pool.install(|| busy(1_000));
+        std::thread::sleep(Duration::from_millis(80));
+        let idle = pool.wake_stats();
+        assert!(idle.parks >= 3, "idle workers must park, saw {idle:?}");
+
+        // Hammer the pool from several external threads with tiny tasks:
+        // each injector send issues a targeted wake, workers race for the
+        // job, and the losers take spurious wakes. Every task must still
+        // run exactly once, and the counters must stay consistent.
+        const ROUNDS: usize = 200;
+        const EXTERNALS: usize = 3;
+        let ran = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..EXTERNALS {
+                let pool = &pool;
+                let ran = Arc::clone(&ran);
+                s.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        let ran = Arc::clone(&ran);
+                        pool.install(move || {
+                            busy(50);
+                            ran.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), ROUNDS * EXTERNALS);
+        let end = pool.wake_stats();
+        assert!(end.parks >= idle.parks, "park counter must be monotonic");
+        assert!(
+            end.injector_wakes > idle.injector_wakes,
+            "external submissions to an idle pool must issue targeted injector wakes: {end:?}"
+        );
+        // Spurious wakes are permitted but bounded: every spurious wake is a
+        // worker that lost a race for one published job, so the count cannot
+        // exceed the total wakes issued.
+        let wakes = end.push_wakes + end.injector_wakes + end.completion_wakes;
+        assert!(
+            end.spurious_wakes <= wakes,
+            "spurious wakes ({}) exceed total issued wakes ({wakes}): {end:?}",
+            end.spurious_wakes
+        );
+    });
+}
+
+#[test]
+fn park_unpark_races_with_shutdown_do_not_hang_drop() {
+    // The nastiest window: workers heading into (or sitting in) a park while
+    // the pool is dropped mid-traffic. The shutdown broadcast must win every
+    // interleaving — a lost wake here hangs `Drop` forever, which the
+    // watchdog turns into a failure.
+    with_watchdog(120, || {
+        for round in 0..200 {
+            let pool = ThreadPool::new(4);
+            // Mix of detached work (may still be queued at drop) and a
+            // completed install, so drop races against every worker state:
+            // executing, scanning, announcing, parked.
+            for i in 0..8 {
+                pool.spawn(move || {
+                    busy(10 + (i % 3) * 30);
+                });
+            }
+            pool.install(|| busy(20));
+            if round % 3 == 0 {
+                // Sometimes give workers time to park before dropping;
+                // sometimes drop while they are mid-scan.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            drop(pool); // must never hang
+        }
+    });
+}
+
+#[test]
+fn skewed_partition_layout_completes_within_2x_of_balanced() {
+    // The tentpole property: with stealable interiors, a 1-big/N-tiny
+    // partition layout (the worst case that used to serialize the whole S3
+    // fan-out on one worker) finishes within 2x of the balanced layout's
+    // wall time at 4 threads. Both layouts factorize the same matrix, so on
+    // a single hardware core the ratio is ~1 by construction; on multi-core
+    // hosts the bound fails without interior splitting (the big partition
+    // alone costs ~3-4x the balanced critical path).
+    with_watchdog(300, || {
+        let (n, b, a) = (18, 64, 3);
+        let m = test_matrix(n, b, a, 0xBA1A);
+        // Big partition in the middle: interior partitions carry the
+        // left-separator fill, the shape worth stealing from.
+        let skewed = Partitioning::from_sizes(&[1, 13, 1, 1, 1, 1]);
+        let balanced = Partitioning::even(n, 6);
+        let pool = ThreadPool::new(4);
+
+        let time_layout = |part: &Partitioning| {
+            // Warmup, then best-of-3.
+            let run = || {
+                pool.install(|| {
+                    d_pobtaf_scheduled(&m, part, InteriorSchedule::Stealable)
+                        .expect("factorization")
+                        .logdet()
+                })
+            };
+            let _ = run();
+            (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(run());
+                    t0.elapsed().as_secs_f64()
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+
+        let balanced_secs = time_layout(&balanced);
+        let skewed_secs = time_layout(&skewed);
+        // 2x with a small absolute floor so micro-second-scale jitter on
+        // fast machines cannot flake the bound.
+        let bound = (2.0 * balanced_secs).max(balanced_secs + 0.005);
+        assert!(
+            skewed_secs <= bound,
+            "skewed layout took {skewed_secs:.4}s vs balanced {balanced_secs:.4}s \
+             (bound {bound:.4}s) — stealable interiors are not spreading the big partition"
+        );
     });
 }
 

@@ -23,88 +23,162 @@
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, PoisonError};
-use std::time::Duration;
+
+use crate::park::WakeHandle;
 
 /// A binary completion latch: one-shot, set by the executor, awaited by the
 /// publisher. Built on `Mutex` + `Condvar` so waiting threads sleep.
+///
+/// A pool worker that waits on a latch does not sit on the condvar — it
+/// registers a [`WakeHandle`] (its own parker) via [`Latch::set_waker`] and
+/// parks, so `set` wakes it through the pool's event-parking protocol and
+/// the worker can also be woken by newly published work in the meantime.
+/// External (non-worker) threads use the condvar [`Latch::wait`] directly.
+///
+/// The completion flag and the waker live under **one** mutex, which closes
+/// both halves of the set/register race: `set_waker` refuses to register
+/// once the latch is set (so a waiter can never park against an
+/// already-completed job), and `set` publishes completion and extracts the
+/// waker atomically, notifying the condvar while still holding the lock.
+/// The latter matters for lifetime soundness: the instant a waiter can
+/// observe the latch as set it may free the job this latch lives in (a
+/// [`StackJob`] is storage on the *waiter's* stack), so `set` must never
+/// touch `self` after the lock is released — the extracted [`WakeHandle`]
+/// is self-contained and safe to invoke afterwards.
 pub(crate) struct Latch {
-    done: Mutex<bool>,
+    state: Mutex<LatchState>,
     cv: Condvar,
+}
+
+struct LatchState {
+    done: bool,
+    waker: Option<WakeHandle>,
 }
 
 impl Latch {
     pub(crate) fn new() -> Self {
-        Latch { done: Mutex::new(false), cv: Condvar::new() }
+        Latch { state: Mutex::new(LatchState { done: false, waker: None }), cv: Condvar::new() }
     }
 
-    /// Mark the latch as set and wake all waiters.
+    /// Mark the latch as set and wake all waiters — condvar sleepers and the
+    /// registered parked worker, if any. See the type docs for why the
+    /// publish and the waker extraction are a single critical section.
     pub(crate) fn set(&self) {
-        *self.done.lock().unwrap_or_else(PoisonError::into_inner) = true;
-        self.cv.notify_all();
+        let waker = {
+            let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            st.done = true;
+            self.cv.notify_all();
+            st.waker.take()
+        };
+        if let Some(handle) = waker {
+            handle.wake();
+        }
+    }
+
+    /// Register the parked worker to be woken by [`Latch::set`]. Returns
+    /// `false` without registering if the latch is already set (the caller
+    /// must then not park on it).
+    pub(crate) fn set_waker(&self, handle: WakeHandle) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.done {
+            return false;
+        }
+        st.waker = Some(handle);
+        true
+    }
+
+    /// Deregister the waker (the waiting worker is awake and re-checking).
+    pub(crate) fn take_waker(&self) {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).waker.take();
     }
 
     /// Non-blocking check.
     pub(crate) fn probe(&self) -> bool {
-        *self.done.lock().unwrap_or_else(PoisonError::into_inner)
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).done
     }
 
     /// Block until the latch is set.
     pub(crate) fn wait(&self) {
-        let mut g = self.done.lock().unwrap_or_else(PoisonError::into_inner);
-        while !*g {
+        let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while !g.done {
             g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
-    }
-
-    /// Block until the latch is set or `timeout` elapses; returns the state.
-    pub(crate) fn wait_timeout(&self, timeout: Duration) -> bool {
-        let g = self.done.lock().unwrap_or_else(PoisonError::into_inner);
-        if *g {
-            return true;
-        }
-        let (g, _) = self.cv.wait_timeout(g, timeout).unwrap_or_else(PoisonError::into_inner);
-        *g
     }
 }
 
 /// A counting latch for scopes: incremented per spawned task, decremented on
-/// completion; waiters wake when the count reaches zero.
+/// completion; waiters wake when the count reaches zero. Like [`Latch`], it
+/// wakes both condvar sleepers (external threads in [`CountLatch::wait`])
+/// and a registered parked pool worker, with count and waker under one
+/// mutex so registration against an already-clear latch is refused rather
+/// than lost. (A `CountLatch` lives in an `Arc`'d scope state, so unlike
+/// [`Latch`] it has no use-after-free hazard — the shared discipline is
+/// kept for uniformity.)
 pub(crate) struct CountLatch {
-    pending: Mutex<usize>,
+    state: Mutex<CountLatchState>,
     cv: Condvar,
+}
+
+struct CountLatchState {
+    pending: usize,
+    waker: Option<WakeHandle>,
 }
 
 impl CountLatch {
     pub(crate) fn new() -> Self {
-        CountLatch { pending: Mutex::new(0), cv: Condvar::new() }
+        CountLatch {
+            state: Mutex::new(CountLatchState { pending: 0, waker: None }),
+            cv: Condvar::new(),
+        }
     }
 
     pub(crate) fn increment(&self) {
-        *self.pending.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).pending += 1;
     }
 
     pub(crate) fn decrement(&self) {
-        let mut g = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
-        *g -= 1;
-        if *g == 0 {
-            drop(g);
+        let waker = {
+            let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            st.pending -= 1;
+            if st.pending != 0 {
+                return;
+            }
             self.cv.notify_all();
+            st.waker.take()
+        };
+        if let Some(handle) = waker {
+            handle.wake();
         }
     }
 
     pub(crate) fn is_clear(&self) -> bool {
-        *self.pending.lock().unwrap_or_else(PoisonError::into_inner) == 0
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).pending == 0
     }
 
-    /// Block until the count reaches zero or `timeout` elapses; returns
-    /// whether the count is zero.
-    pub(crate) fn wait_timeout(&self, timeout: Duration) -> bool {
-        let g = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
-        if *g == 0 {
-            return true;
+    /// Block (condvar, no polling) until the count reaches zero. Used by
+    /// external threads waiting on a scope; workers park instead (see
+    /// [`CountLatch::set_waker`]).
+    pub(crate) fn wait(&self) {
+        let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while g.pending != 0 {
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
-        let (g, _) = self.cv.wait_timeout(g, timeout).unwrap_or_else(PoisonError::into_inner);
-        *g == 0
+    }
+
+    /// Register the parked worker to be woken when the count reaches zero.
+    /// Returns `false` without registering if the count is already zero.
+    pub(crate) fn set_waker(&self, handle: WakeHandle) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.pending == 0 {
+            return false;
+        }
+        st.waker = Some(handle);
+        true
+    }
+
+    /// Deregister the waker.
+    pub(crate) fn take_waker(&self) {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).waker.take();
     }
 }
 

@@ -14,8 +14,16 @@
 //!   from the front (FIFO, breadth-first — the oldest, typically largest
 //!   subtree moves to the idle worker);
 //! * an **injector channel** (the vendored `crossbeam` bounded channel)
-//!   through which external threads submit work and on whose timed `recv` the
-//!   idle workers park;
+//!   through which external threads submit work;
+//! * **event-parked idle workers** (since pool v2): a worker that fails to
+//!   find work backs off through a few yielding re-scans and then parks on a
+//!   condvar-based [`Parker`]. It is woken by a *targeted* wake — a job
+//!   pushed onto any deque, a send through the injector (via the `crossbeam`
+//!   shim's notify hook), or the completion latch it is waiting on — never
+//!   by a timer. The retired v1 protocol polled the injector with a 500 µs
+//!   timed `recv`; v2 wake latency is measured in tens of microseconds (see
+//!   `BENCH_pool.json`) and an idle pool consumes no CPU. [`WakeStats`]
+//!   exposes the park/wake accounting;
 //! * fork-join primitives — [`join`], [`scope`], [`install`], detached
 //!   [`spawn`] — with **panic capture and propagation**: a panicking task
 //!   unwinds at the fork point of its publisher, and the pool survives.
@@ -25,15 +33,40 @@
 //! `join(a, b)` called on a worker pushes `b` onto the worker's own deque and
 //! runs `a` inline; when `a` returns, the worker pops `b` back (common case:
 //! no synchronization with other workers beyond the deque lock) or, if `b`
-//! was stolen, helps other workers while waiting for the thief to finish.
-//! Nested `join`s therefore split **inline** on the current pool — calling a
-//! parallel region from inside another parallel region never spawns new OS
-//! threads and never oversubscribes.
+//! was stolen, helps other workers while waiting for the thief to finish —
+//! parking when there is nothing to help with. Nested `join`s therefore
+//! split **inline** on the current pool — calling a parallel region from
+//! inside another parallel region never spawns new OS threads and never
+//! oversubscribes.
 //!
 //! Work stealing randomizes *where* a task runs, never *what* it computes:
 //! every task owns a disjoint slice of the output, so parallel results are
 //! identical to sequential ones (see the parity suites in the `rayon` shim
 //! and `tests/session_reuse.rs`).
+//!
+//! # Safety
+//!
+//! The pool contains the workspace's second sanctioned `unsafe` block (next
+//! to the AVX2 micro-kernel in `dalia_la::blas`): the **job lifetime
+//! erasure** in the private `job` module. A `join`/`scope`/`install` closure
+//! may borrow the publishing caller's stack, yet must be executed by a
+//! long-lived worker thread, so the closure is erased to a raw
+//! pointer + vtable pair (`JobRef`). Soundness rests on two invariants that
+//! every publishing site in this crate upholds:
+//!
+//! 1. **The publisher outlives the job.** A stack-allocated job's publisher
+//!    blocks (helping or parked, never returning) until the job's completion
+//!    latch is set, and the latch is set only *after* the executor has
+//!    finished touching the job. Heap-allocated jobs (`spawn`, scope tasks)
+//!    own their closure and are released exactly once, inside execution.
+//! 2. **Exactly-once execution.** Every published `JobRef` is consumed by
+//!    exactly one executor: the worker that dequeued it or the publisher
+//!    popping it back. The deques and the injector never duplicate a ref.
+//!
+//! The full contract is documented in `src/job.rs`; everything else in this
+//! crate — including the v2 parking protocol — is safe code.
+
+#![warn(missing_docs)]
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -41,37 +74,35 @@ use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
-use std::time::Duration;
 
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{self, Receiver, Sender};
 
 mod job;
+mod park;
+
+pub use park::{Parker, Unparker, WakeStats};
 
 use job::{CountLatch, HeapJob, JobRef, PanicSlot, StackJob};
+use park::{Sleep, WakeReason};
 
-/// How long an idle worker parks on the injector channel before re-scanning
-/// the deques for stealable work. Bounds the worst-case steal latency.
-const IDLE_PARK: Duration = Duration::from_micros(500);
+/// How many fruitless scan rounds (pop + steal sweep + injector poll, with a
+/// `yield_now` between rounds) a worker tolerates before it commits to the
+/// park protocol. Steal-failure backoff: a transiently empty pool is re-run
+/// at deque-lock cost, a genuinely idle one goes to sleep.
+const STEAL_BACKOFF_SCANS: usize = 3;
 
 /// Injector channel capacity. Submissions beyond this back-pressure the
 /// submitting thread (blocking send), which is the desired behavior.
 const INJECTOR_CAP: usize = 1024;
 
-/// A unit of work traveling through the injector channel.
-enum Injected {
-    /// An erased job: a borrowed `install`/`scope` job, or a heap-allocated
-    /// detached task (which carries its own panic capture).
-    Job(JobRef),
-    /// Worker shutdown token (one per worker, sent on pool drop).
-    Shutdown,
-}
-
-/// Shared state of one pool: the per-worker deques and the injector.
+/// Shared state of one pool: the per-worker deques, the injector, and the
+/// idle/wake registry.
 struct PoolInner {
     deques: Vec<Mutex<VecDeque<JobRef>>>,
-    injector_tx: Sender<Injected>,
-    injector_rx: Receiver<Injected>,
+    injector_tx: Sender<JobRef>,
+    injector_rx: Receiver<JobRef>,
     shutdown: AtomicBool,
+    sleep: Arc<Sleep>,
     /// Panics swallowed from detached `spawn` tasks (observable for tests /
     /// diagnostics; detached tasks have no caller to propagate to).
     detached_panics: AtomicUsize,
@@ -82,8 +113,11 @@ impl PoolInner {
         self.deques.len()
     }
 
+    /// Push onto the worker's own deque and issue a targeted wake: the new
+    /// job is immediately stealable by a parked worker.
     fn push_local(&self, index: usize, job: JobRef) {
         self.deques[index].lock().unwrap_or_else(PoisonError::into_inner).push_back(job);
+        self.sleep.wake_one(WakeReason::Push);
     }
 
     /// LIFO pop from the worker's own deque.
@@ -105,11 +139,62 @@ impl PoolInner {
         None
     }
 
-    fn inject(&self, msg: Injected) {
+    /// One full scan for work in priority order: own deque (LIFO), then the
+    /// other deques (FIFO steal), then the injector (non-blocking poll).
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        self.pop_local(index)
+            .or_else(|| self.steal(index))
+            .or_else(|| self.injector_rx.try_recv().ok())
+    }
+
+    /// Racy peek used only for spurious-wake accounting.
+    fn has_visible_work(&self, index: usize) -> bool {
+        if !self.injector_rx.is_empty() {
+            return true;
+        }
+        let n = self.deques.len();
+        (0..n).any(|k| {
+            !self.deques[(index + k) % n]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_empty()
+        })
+    }
+
+    /// One round of the event-park protocol for worker `index`: announce
+    /// idle, re-check `done` / shutdown / the work queues, and only park if
+    /// none of them fired (see `park.rs` for why the announce-then-re-check
+    /// order makes lost wakeups impossible).
+    ///
+    /// Returns a job found during the re-check — the caller executes it and
+    /// does not park. Returns `None` either because `done`/shutdown turned
+    /// true or because the worker parked and has been woken; the caller
+    /// re-evaluates its wait condition in both cases.
+    fn park_or_find(&self, index: usize, done: &dyn Fn() -> bool) -> Option<JobRef> {
+        self.sleep.announce(index);
+        if done() || self.shutdown.load(Ordering::Acquire) {
+            self.sleep.retract(index);
+            return None;
+        }
+        if let Some(job) = self.find_work(index) {
+            self.sleep.retract(index);
+            return Some(job);
+        }
+        self.sleep.note_park();
+        park_current_worker();
+        self.sleep.retract(index);
+        if !done() && !self.shutdown.load(Ordering::Acquire) && !self.has_visible_work(index) {
+            self.sleep.note_spurious();
+        }
+        None
+    }
+
+    fn inject(&self, job: JobRef) {
         // The receiver lives in `self`, so the channel can only disconnect
         // while a send is in flight if the pool is being torn down mid-use,
-        // which the drop protocol forbids.
-        if self.injector_tx.send(msg).is_err() {
+        // which the drop protocol forbids. The send's notify hook issues the
+        // targeted wake.
+        if self.injector_tx.send(job).is_err() {
             panic!("dalia-pool: injector disconnected (pool used after drop)");
         }
     }
@@ -119,6 +204,9 @@ impl PoolInner {
 struct WorkerCtx {
     pool: Arc<PoolInner>,
     index: usize,
+    /// The worker's own parking primitive; its unparker is registered with
+    /// the pool's [`Sleep`] registry for targeted wakes.
+    parker: Parker,
 }
 
 thread_local! {
@@ -130,33 +218,53 @@ fn current_worker() -> Option<(Arc<PoolInner>, usize)> {
     WORKER.with(|w| w.borrow().as_ref().map(|ctx| (Arc::clone(&ctx.pool), ctx.index)))
 }
 
+/// Park the current thread on its worker parker. Must only be called from a
+/// worker thread (enforced by the callers: `park_or_find` runs on workers).
+fn park_current_worker() {
+    WORKER.with(|w| {
+        let ctx = w.borrow();
+        ctx.as_ref().expect("dalia-pool: park requested off-worker").parker.park();
+    });
+}
+
 /// Whether the current thread is a worker of *any* dalia pool.
 pub fn is_worker() -> bool {
     WORKER.with(|w| w.borrow().is_some())
 }
 
-fn worker_loop(inner: Arc<PoolInner>, index: usize) {
+fn worker_loop(inner: Arc<PoolInner>, index: usize, parker: Parker) {
     WORKER.with(|w| {
-        *w.borrow_mut() = Some(WorkerCtx { pool: Arc::clone(&inner), index });
+        *w.borrow_mut() = Some(WorkerCtx { pool: Arc::clone(&inner), index, parker });
     });
+    let mut fruitless_scans = 0usize;
     loop {
-        if let Some(job) = inner.pop_local(index) {
+        if inner.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        if let Some(job) = inner.find_work(index) {
+            fruitless_scans = 0;
             job.execute();
             continue;
         }
-        if let Some(job) = inner.steal(index) {
-            job.execute();
+        // Steal-failure backoff: yield through a few more scan rounds before
+        // committing to the park protocol.
+        fruitless_scans += 1;
+        if fruitless_scans <= STEAL_BACKOFF_SCANS {
+            std::thread::yield_now();
             continue;
         }
-        match inner.injector_rx.recv_timeout(IDLE_PARK) {
-            Ok(Injected::Job(job)) => job.execute(),
-            Ok(Injected::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
-            Err(RecvTimeoutError::Timeout) => {
-                if inner.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-            }
+        fruitless_scans = 0;
+        if let Some(job) = inner.park_or_find(index, &|| false) {
+            job.execute();
         }
+    }
+    // Shutdown drain: run whatever was already published (detached `spawn`
+    // jobs still queued in the deques or the injector) instead of leaking
+    // it — a `JobRef` reclaims its heap allocation only when executed. New
+    // external submissions are impossible (drop takes the pool by value);
+    // worker-side respawns are drained too, until the queues are empty.
+    while let Some(job) = inner.find_work(index) {
+        job.execute();
     }
     WORKER.with(|w| *w.borrow_mut() = None);
 }
@@ -182,19 +290,31 @@ impl ThreadPool {
     pub fn new(threads: usize) -> ThreadPool {
         let threads = threads.max(1);
         let (injector_tx, injector_rx) = channel::bounded(INJECTOR_CAP);
+        let parkers: Vec<Parker> = (0..threads).map(|_| Parker::new()).collect();
+        let sleep = Arc::new(Sleep::new(parkers.iter().map(|p| p.unparker()).collect()));
+        // Targeted wake on injector push: the channel's notify hook fires
+        // after every successful enqueue, so an external submission unparks
+        // exactly one sleeping worker instead of waiting for a poll tick.
+        let hook_sleep = Arc::clone(&sleep);
+        injector_tx
+            .set_notify_hook(Arc::new(move || hook_sleep.wake_one(WakeReason::Injector)))
+            .unwrap_or_else(|_| unreachable!("freshly created channel already has a hook"));
         let inner = Arc::new(PoolInner {
             deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             injector_tx,
             injector_rx,
             shutdown: AtomicBool::new(false),
+            sleep,
             detached_panics: AtomicUsize::new(0),
         });
-        let handles = (0..threads)
-            .map(|i| {
+        let handles = parkers
+            .into_iter()
+            .enumerate()
+            .map(|(i, parker)| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("dalia-pool-{i}"))
-                    .spawn(move || worker_loop(inner, i))
+                    .spawn(move || worker_loop(inner, i, parker))
                     .expect("dalia-pool: failed to spawn worker thread")
             })
             .collect();
@@ -209,6 +329,14 @@ impl ThreadPool {
     /// Number of panics swallowed from detached [`ThreadPool::spawn`] tasks.
     pub fn detached_panic_count(&self) -> usize {
         self.inner.detached_panics.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the pool's parking/wake accounting: how often workers
+    /// parked, how they were woken (targeted push/injector wakes vs
+    /// completion wakes), and how many wakes were spurious. Counters are
+    /// monotonic over the pool's lifetime.
+    pub fn wake_stats(&self) -> WakeStats {
+        self.inner.sleep.stats()
     }
 
     /// Run `a` and `b`, potentially in parallel, and return both results.
@@ -246,8 +374,9 @@ impl ThreadPool {
     /// when already called from a worker of this pool.
     ///
     /// This is the bridge from external threads into the pool: the closure is
-    /// published through the injector channel, and nested parallelism inside
-    /// `f` then uses the worker deques.
+    /// published through the injector channel (whose notify hook wakes a
+    /// parked worker), and nested parallelism inside `f` then uses the
+    /// worker deques.
     pub fn install<F, R>(&self, f: F) -> R
     where
         F: FnOnce() -> R + Send,
@@ -259,7 +388,7 @@ impl ThreadPool {
             }
         }
         let job = StackJob::new(f);
-        self.inner.inject(Injected::Job(job.as_job_ref()));
+        self.inner.inject(job.as_job_ref());
         job.latch.wait();
         match job.take_result() {
             Ok(r) => r,
@@ -310,16 +439,18 @@ where
     let job = HeapJob::new(task).into_job_ref();
     match current_worker() {
         Some((pool, index)) if Arc::ptr_eq(&pool, inner) => pool.push_local(index, job),
-        _ => inner.inject(Injected::Job(job)),
+        _ => inner.inject(job),
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
+        // Store the flag first, then broadcast-wake every worker: a worker
+        // mid-park wakes on its token, one about to park re-checks the flag
+        // after announcing (park tokens persist, so the wake cannot be
+        // lost), one executing a job checks the flag on its next loop.
         self.inner.shutdown.store(true, Ordering::Release);
-        for _ in &self.handles {
-            let _ = self.inner.injector_tx.send(Injected::Shutdown);
-        }
+        self.inner.sleep.wake_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -327,7 +458,8 @@ impl Drop for ThreadPool {
 }
 
 /// `join` on the current worker: publish `b`, run `a`, then pop `b` back or
-/// wait for its thief (helping with other queued work meanwhile).
+/// wait for its thief (helping with other queued work, parking when there is
+/// nothing to help with).
 fn join_in_worker<A, B, RA, RB>(pool: &Arc<PoolInner>, index: usize, a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -353,12 +485,23 @@ where
             break;
         }
     }
-    // If `b` was stolen, help other workers while its thief finishes.
+    // If `b` was stolen, help other workers while its thief finishes. With
+    // nothing to help with, register this worker on `b`'s latch and park:
+    // the thief's completion (or any newly published job) wakes it.
     while !job_b.latch.probe() {
-        if let Some(job) = pool.steal(index) {
+        if let Some(job) = pool.find_work(index) {
             job.execute();
-        } else if job_b.latch.wait_timeout(IDLE_PARK) {
+            continue;
+        }
+        // `set_waker` refuses registration if the latch is already set (so
+        // this worker can never park against a completed job).
+        if !job_b.latch.set_waker(pool.sleep.completion_handle(index)) {
             break;
+        }
+        let found = pool.park_or_find(index, &|| job_b.latch.probe());
+        job_b.latch.take_waker();
+        if let Some(job) = found {
+            job.execute();
         }
     }
 
@@ -372,7 +515,8 @@ where
 
 /// Run a fork-join scope on the given pool: create the scope, run the body,
 /// wait for every spawned task (helping with queued work when the caller is
-/// itself a worker of this pool), then re-throw the first captured panic.
+/// itself a worker of this pool, parking when there is nothing to help
+/// with), then re-throw the first captured panic.
 fn scope_on<'scope, OP, R>(inner: &Arc<PoolInner>, op: OP) -> R
 where
     OP: FnOnce(&Scope<'scope>) -> R,
@@ -387,18 +531,23 @@ where
     match current_worker() {
         Some((pool, index)) if Arc::ptr_eq(&pool, inner) => {
             while !state.latch.is_clear() {
-                if let Some(job) = pool.pop_local(index) {
+                if let Some(job) = pool.find_work(index) {
                     job.execute();
-                } else if let Some(job) = pool.steal(index) {
+                    continue;
+                }
+                if !state.latch.set_waker(pool.sleep.completion_handle(index)) {
+                    break;
+                }
+                let found = pool.park_or_find(index, &|| state.latch.is_clear());
+                state.latch.take_waker();
+                if let Some(job) = found {
                     job.execute();
-                } else {
-                    state.latch.wait_timeout(IDLE_PARK);
                 }
             }
         }
-        _ => {
-            while !state.latch.wait_timeout(Duration::from_millis(50)) {}
-        }
+        // External threads cannot help; they sleep on the latch's condvar
+        // until the count reaches zero (no polling).
+        _ => state.latch.wait(),
     }
     if let Some(payload) = state.panic.take() {
         resume_unwind(payload);
@@ -447,7 +596,7 @@ impl<'scope> Scope<'scope> {
         let job = HeapJob::new(task).into_job_ref();
         match current_worker() {
             Some((pool, index)) if Arc::ptr_eq(&pool, &self.pool) => pool.push_local(index, job),
-            _ => self.pool.inject(Injected::Job(job)),
+            _ => self.pool.inject(job),
         }
     }
 }
@@ -545,6 +694,7 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
 
     #[test]
     fn join_returns_both_results() {
@@ -699,5 +849,78 @@ mod tests {
         assert_eq!(parse_threads(Some("0")), None);
         assert_eq!(parse_threads(Some("many")), None);
         assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn drop_drains_queued_detached_jobs() {
+        // Jobs already published when the pool is dropped must still run
+        // (and reclaim their heap allocations) — the shutdown drain, not a
+        // leak. The first job keeps the single worker busy so the rest are
+        // verifiably still queued when `drop` sets the shutdown flag.
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = ThreadPool::new(1);
+        let d = Arc::clone(&done);
+        pool.spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        for _ in 0..16 {
+            let d = Arc::clone(&done);
+            pool.spawn(move || {
+                d.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // joins the worker; the drain must run every queued job
+        assert_eq!(done.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn idle_workers_park_instead_of_polling() {
+        let pool = ThreadPool::new(2);
+        // Run something so the workers are definitely live, then go idle.
+        let (a, b) = pool.join(|| 1, || 2);
+        assert_eq!(a + b, 3);
+        std::thread::sleep(Duration::from_millis(60));
+        let idle = pool.wake_stats();
+        assert!(idle.parks >= 2, "both workers should be parked while idle: {idle:?}");
+        // New work still completes promptly (the targeted wake path).
+        let sum = pool.install(|| (0..100u64).sum::<u64>());
+        assert_eq!(sum, 4950);
+        let after = pool.wake_stats();
+        assert!(
+            after.injector_wakes > idle.injector_wakes || after.push_wakes > idle.push_wakes,
+            "waking an idle pool must issue a targeted wake: {after:?} vs {idle:?}"
+        );
+    }
+
+    #[test]
+    fn wake_stats_are_monotonic_and_consistent() {
+        let pool = ThreadPool::new(3);
+        let mut prev = pool.wake_stats();
+        for round in 0..20 {
+            let ran = AtomicUsize::new(0);
+            pool.install(|| {
+                scope(|s| {
+                    let ran = &ran;
+                    for _ in 0..16 {
+                        s.spawn(move || {
+                            ran.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+            assert_eq!(ran.load(Ordering::Relaxed), 16, "round {round}");
+            let now = pool.wake_stats();
+            for (a, b) in [
+                (now.parks, prev.parks),
+                (now.push_wakes, prev.push_wakes),
+                (now.injector_wakes, prev.injector_wakes),
+                (now.completion_wakes, prev.completion_wakes),
+                (now.spurious_wakes, prev.spurious_wakes),
+            ] {
+                assert!(a >= b, "wake counters must be monotonic: {now:?} vs {prev:?}");
+            }
+            prev = now;
+        }
     }
 }

@@ -24,6 +24,30 @@
 //! sequential kernels, so the distributed results stay independent of the
 //! worker count.
 //!
+//! # Stealable partition interiors
+//!
+//! Since pool v2 a partition interior is no longer one indivisible task:
+//! [`d_pobtaf`] expresses the trailing-update DAG of every interior block
+//! column as `join`-structured subtasks ([`InteriorSchedule::Stealable`]).
+//! Per column, the diagonal `potrf` stays on the critical path, then the
+//! three independent `trsm` solves against `L_jjᵀ` (sub-diagonal coupling,
+//! left-separator fill `W`, arrow panel `C`) fork as one join group, and the
+//! Schur accumulation / next-column propagation (which touch disjoint
+//! output blocks) fork as a second. Each subtask owns a dedicated
+//! [`PackBuffer`] lane so the packed micro-kernels never contend for
+//! workspace. An idle worker can therefore steal *inside* a single huge
+//! partition — the skewed 1-big/N-tiny layout that used to serialize the
+//! whole S3 fan-out now scales (see `pool_bench`'s skewed-partition
+//! scenario and the watchdogged stress test in
+//! `crates/hpc/tests/pool_stress.rs`).
+//!
+//! Splitting changes only *where* each block operation runs, never its
+//! operand values or kernel call sequence, so the factors are **bitwise
+//! identical** to the [`InteriorSchedule::Indivisible`] baseline and to a
+//! 1-thread run — pinned by `stealable_interiors_bitwise_match_indivisible`
+//! below and by the parallel-vs-sequential session proptest in
+//! `tests/session_reuse.rs`.
+//!
 //! The three phases mirror their sequential counterparts and compute the same
 //! paper quantities (`log |Q|`, `Q⁻¹ r`, `diag(Q⁻¹)`):
 //!
@@ -134,12 +158,82 @@ impl DistBtaCholesky {
     }
 }
 
+/// How [`d_pobtaf`] schedules the interior elimination of each partition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InteriorSchedule {
+    /// Split every interior block column into `join`-structured pool
+    /// subtasks (independent `trsm` solves, then Schur accumulation and
+    /// next-column propagation), each with a dedicated [`PackBuffer`] lane —
+    /// idle workers can steal work *inside* a single large partition. The
+    /// default; bitwise identical to [`InteriorSchedule::Indivisible`].
+    #[default]
+    Stealable,
+    /// Eliminate each partition interior as one sequential task (the pool v1
+    /// behaviour). Kept as the measurable baseline for `pool_bench`'s
+    /// skewed-partition scenario and as the no-overhead path for callers
+    /// that pin one partition per worker.
+    Indivisible,
+}
+
+/// Below this diagonal block size the column subtasks are too small to repay
+/// the fork overhead (a `trsm` at `b = 48` is a few microseconds), so the
+/// stealable schedule falls back to the sequential column step. Scheduling
+/// only — results are bitwise identical either way.
+const STEAL_MIN_BLOCK: usize = 48;
+
+/// Dedicated pack-buffer lanes for the stealable interior elimination: one
+/// per concurrent `join` subtask, reused across all block columns of the
+/// partition, so the packed micro-kernels never contend for workspace and a
+/// warm partition task allocates nothing per column.
+struct InteriorPacks {
+    /// Critical path (`potrf`) + sub-diagonal `trsm` + `D_{j+1}` propagation.
+    diag: PackBuffer,
+    /// Left-separator fill `trsm` + `W_{j+1}`/`C_{j+1}` propagation.
+    left: PackBuffer,
+    /// Arrow-panel `trsm`.
+    arrow: PackBuffer,
+    /// Schur accumulation onto the reduced system.
+    schur: PackBuffer,
+}
+
+impl InteriorPacks {
+    fn new() -> Self {
+        InteriorPacks {
+            diag: PackBuffer::new(),
+            left: PackBuffer::new(),
+            arrow: PackBuffer::new(),
+            schur: PackBuffer::new(),
+        }
+    }
+}
+
+/// Run three independent subtasks of one column step, either as a
+/// `join`-structured fork (stealable by idle pool workers) or inline. The
+/// subtasks write disjoint outputs, so the fork changes scheduling only.
+fn run3(split: bool, f: impl FnOnce() + Send, g: impl FnOnce() + Send, h: impl FnOnce() + Send) {
+    if split {
+        dalia_pool::join(f, || {
+            dalia_pool::join(g, h);
+        });
+    } else {
+        f();
+        g();
+        h();
+    }
+}
+
 /// Interior elimination of one partition. Returns the partition factor and its
 /// Schur contribution to the reduced system.
+///
+/// With [`InteriorSchedule::Stealable`] the per-column trailing-update DAG is
+/// forked into pool subtasks (see the module docs); the kernel calls and
+/// their operands are identical in both schedules, so the factors match
+/// bitwise.
 fn factor_partition(
     a: &BtaMatrix,
     part: &Partitioning,
     p: usize,
+    sched: InteriorSchedule,
 ) -> Result<(PartitionFactor, SchurContribution), SerinvError> {
     let (s, e) = part.interior(p);
     let num_parts = part.num_partitions();
@@ -148,6 +242,9 @@ fn factor_partition(
     let has_left = p > 0;
     let has_right = p + 1 < num_parts;
     let has_arrow = aa > 0;
+    let split = sched == InteriorSchedule::Stealable
+        && b >= STEAL_MIN_BLOCK
+        && dalia_pool::current_num_threads() > 1;
 
     let len = e.saturating_sub(s);
     let mut l_diag = Vec::with_capacity(len);
@@ -156,7 +253,7 @@ fn factor_partition(
     let mut l_arrow = Vec::with_capacity(len);
     let mut l_right = None;
 
-    let mut pack = PackBuffer::new();
+    let mut packs = InteriorPacks::new();
     let mut s_ll = if has_left { Some(Matrix::zeros(b, b)) } else { None };
     let mut s_rr = if has_right { Some(Matrix::zeros(b, b)) } else { None };
     let mut s_rl = if has_left && has_right { Some(Matrix::zeros(b, b)) } else { None };
@@ -174,73 +271,124 @@ fn factor_partition(
 
     for j in s..e {
         let is_last = j + 1 == e;
-        // Factorize the diagonal block.
-        chol::potrf_with(&mut pack, &mut diag_work)
+        // Factorize the diagonal block — the critical path of the column.
+        chol::potrf_with(&mut packs.diag, &mut diag_work)
             .map_err(|err| SerinvError::Factorization { block: j, source: err })?;
         let l_jj = diag_work.clone();
 
-        // Off-diagonal couplings of this column, divided by L_jjᵀ on the right.
+        // Off-diagonal couplings of this column, divided by L_jjᵀ on the
+        // right: three independent solves, forked as the first subtask group
+        // (`b_j` and `r_j` are mutually exclusive, so lane one solves
+        // whichever exists).
         let mut b_j = if !is_last { Some(a.sub[j].clone()) } else { None };
         let mut r_j = if is_last && has_right { Some(a.sub[j].clone()) } else { None };
-        if let Some(bj) = b_j.as_mut() {
-            blas::trsm_with(&mut pack, Side::Right, Triangle::Lower, Trans::Yes, &l_jj, bj);
-        }
-        if let Some(rj) = r_j.as_mut() {
-            blas::trsm_with(&mut pack, Side::Right, Triangle::Lower, Trans::Yes, &l_jj, rj);
-        }
-        if let Some(w) = left_work.as_mut() {
-            blas::trsm_with(&mut pack, Side::Right, Triangle::Lower, Trans::Yes, &l_jj, w);
-        }
-        if has_arrow {
-            blas::trsm_with(&mut pack, Side::Right, Triangle::Lower, Trans::Yes, &l_jj, &mut arrow_work);
+        {
+            let InteriorPacks { diag: pk_diag, left: pk_left, arrow: pk_arrow, .. } = &mut packs;
+            let l = &l_jj;
+            let sub_rhs = b_j.as_mut().or(r_j.as_mut());
+            let left_rhs = left_work.as_mut();
+            let arrow_rhs = if has_arrow { Some(&mut arrow_work) } else { None };
+            run3(
+                split,
+                move || {
+                    if let Some(m) = sub_rhs {
+                        blas::trsm_with(pk_diag, Side::Right, Triangle::Lower, Trans::Yes, l, m);
+                    }
+                },
+                move || {
+                    if let Some(w) = left_rhs {
+                        blas::trsm_with(pk_left, Side::Right, Triangle::Lower, Trans::Yes, l, w);
+                    }
+                },
+                move || {
+                    if let Some(c) = arrow_rhs {
+                        blas::trsm_with(pk_arrow, Side::Right, Triangle::Lower, Trans::Yes, l, c);
+                    }
+                },
+            );
         }
         let w_j = left_work.clone();
         let c_j = arrow_work.clone();
 
-        // Schur updates onto the reduced system.
-        if let (Some(sll), Some(w)) = (s_ll.as_mut(), w_j.as_ref()) {
-            blas::syrk_full_with(&mut pack, Trans::No, 1.0, w, 1.0, sll);
+        // Second subtask group: Schur accumulation onto the reduced system
+        // and propagation to the next interior column. The three lanes write
+        // disjoint outputs (the `s_*` accumulators; `D_{j+1}`;
+        // `W_{j+1}`/`C_{j+1}`) and only share read-only inputs.
+        let mut next_diag = if !is_last { Some(a.diag[j + 1].clone()) } else { None };
+        // W_{j+1} = -W_j B_jᵀ starts from zeros (no original coupling for
+        // j+1 > s); C_{j+1} starts from the original arrow block.
+        let mut next_left =
+            if !is_last && w_j.is_some() { Some(Matrix::zeros(b, b)) } else { None };
+        let mut next_arrow = if !is_last { Some(a.arrow[j + 1].clone()) } else { None };
+        {
+            let InteriorPacks { diag: pk_diag, left: pk_left, schur: pk_schur, .. } = &mut packs;
+            let (s_ll, s_rr, s_rl, s_al, s_ar, s_tt) =
+                (&mut s_ll, &mut s_rr, &mut s_rl, &mut s_al, &mut s_ar, &mut s_tt);
+            let (b_j, r_j, w_j, c_j) = (&b_j, &r_j, &w_j, &c_j);
+            let (next_diag, next_left, next_arrow) =
+                (&mut next_diag, &mut next_left, &mut next_arrow);
+            run3(
+                split,
+                move || {
+                    // Schur updates onto the reduced system.
+                    if let (Some(sll), Some(w)) = (s_ll.as_mut(), w_j.as_ref()) {
+                        blas::syrk_full_with(pk_schur, Trans::No, 1.0, w, 1.0, sll);
+                    }
+                    if has_arrow {
+                        if let (Some(sal), Some(w)) = (s_al.as_mut(), w_j.as_ref()) {
+                            blas::gemm_with(pk_schur, Trans::No, Trans::Yes, 1.0, c_j, w, 1.0, sal);
+                        }
+                        blas::syrk_full_with(pk_schur, Trans::No, 1.0, c_j, 1.0, s_tt);
+                    }
+                    if is_last {
+                        if let (Some(srr), Some(r)) = (s_rr.as_mut(), r_j.as_ref()) {
+                            blas::syrk_full_with(pk_schur, Trans::No, 1.0, r, 1.0, srr);
+                        }
+                        if let (Some(srl), (Some(r), Some(w))) =
+                            (s_rl.as_mut(), (r_j.as_ref(), w_j.as_ref()))
+                        {
+                            blas::gemm_with(pk_schur, Trans::No, Trans::Yes, 1.0, r, w, 1.0, srl);
+                        }
+                        if has_arrow {
+                            if let (Some(sar), Some(r)) = (s_ar.as_mut(), r_j.as_ref()) {
+                                blas::gemm_with(
+                                    pk_schur,
+                                    Trans::No,
+                                    Trans::Yes,
+                                    1.0,
+                                    c_j,
+                                    r,
+                                    1.0,
+                                    sar,
+                                );
+                            }
+                        }
+                    }
+                },
+                move || {
+                    // D_{j+1} -= B_j B_jᵀ.
+                    if let (Some(nd), Some(bj)) = (next_diag.as_mut(), b_j.as_ref()) {
+                        blas::syrk_full_with(pk_diag, Trans::No, -1.0, bj, 1.0, nd);
+                    }
+                },
+                move || {
+                    if let Some(bj) = b_j.as_ref() {
+                        // W_{j+1} = -W_j B_jᵀ.
+                        if let (Some(nl), Some(w)) = (next_left.as_mut(), w_j.as_ref()) {
+                            blas::gemm_with(pk_left, Trans::No, Trans::Yes, -1.0, w, bj, 0.0, nl);
+                        }
+                        // C_{j+1} -= C_j B_jᵀ.
+                        if let (Some(na), true) = (next_arrow.as_mut(), has_arrow) {
+                            blas::gemm_with(pk_left, Trans::No, Trans::Yes, -1.0, c_j, bj, 1.0, na);
+                        }
+                    }
+                },
+            );
         }
-        if has_arrow {
-            if let (Some(sal), Some(w)) = (s_al.as_mut(), w_j.as_ref()) {
-                blas::gemm_with(&mut pack, Trans::No, Trans::Yes, 1.0, &c_j, w, 1.0, sal);
-            }
-            blas::syrk_full_with(&mut pack, Trans::No, 1.0, &c_j, 1.0, &mut s_tt);
-        }
-        if is_last {
-            if let (Some(srr), Some(r)) = (s_rr.as_mut(), r_j.as_ref()) {
-                blas::syrk_full_with(&mut pack, Trans::No, 1.0, r, 1.0, srr);
-            }
-            if let (Some(srl), (Some(r), Some(w))) = (s_rl.as_mut(), (r_j.as_ref(), w_j.as_ref())) {
-                blas::gemm_with(&mut pack, Trans::No, Trans::Yes, 1.0, r, w, 1.0, srl);
-            }
-            if has_arrow {
-                if let (Some(sar), Some(r)) = (s_ar.as_mut(), r_j.as_ref()) {
-                    blas::gemm_with(&mut pack, Trans::No, Trans::Yes, 1.0, &c_j, r, 1.0, sar);
-                }
-            }
-        }
-
-        // Propagate to the next interior column.
         if !is_last {
-            let bj = b_j.as_ref().unwrap();
-            // D_{j+1} -= B_j B_jᵀ.
-            let mut next_diag = a.diag[j + 1].clone();
-            blas::syrk_full_with(&mut pack, Trans::No, -1.0, bj, 1.0, &mut next_diag);
-            // W_{j+1} = -W_j B_jᵀ (no original coupling for j+1 > s).
-            let next_left = w_j.as_ref().map(|w| {
-                let mut nl = Matrix::zeros(b, b);
-                blas::gemm_with(&mut pack, Trans::No, Trans::Yes, -1.0, w, bj, 0.0, &mut nl);
-                nl
-            });
-            // C_{j+1} -= C_j B_jᵀ.
-            let mut next_arrow = a.arrow[j + 1].clone();
-            if has_arrow {
-                blas::gemm_with(&mut pack, Trans::No, Trans::Yes, -1.0, &c_j, bj, 1.0, &mut next_arrow);
-            }
-            diag_work = next_diag;
+            diag_work = next_diag.expect("next diagonal block exists before the last column");
             left_work = next_left;
-            arrow_work = next_arrow;
+            arrow_work = next_arrow.expect("next arrow block exists before the last column");
         }
 
         // Store the factor blocks of this column.
@@ -314,8 +462,22 @@ fn assemble_reduced(a: &BtaMatrix, part: &Partitioning, contribs: &[SchurContrib
     reduced
 }
 
-/// Distributed BTA Cholesky factorization (`d_pobtaf`).
+/// Distributed BTA Cholesky factorization (`d_pobtaf`) with stealable
+/// partition interiors ([`InteriorSchedule::Stealable`]).
 pub fn d_pobtaf(a: &BtaMatrix, part: &Partitioning) -> Result<DistBtaCholesky, SerinvError> {
+    d_pobtaf_scheduled(a, part, InteriorSchedule::Stealable)
+}
+
+/// [`d_pobtaf`] with an explicit [`InteriorSchedule`].
+///
+/// The two schedules produce **bitwise identical** factors; `Indivisible`
+/// exists as the measurable pool v1 baseline (one sequential task per
+/// partition interior) for `pool_bench` and the stress tests.
+pub fn d_pobtaf_scheduled(
+    a: &BtaMatrix,
+    part: &Partitioning,
+    sched: InteriorSchedule,
+) -> Result<DistBtaCholesky, SerinvError> {
     assert_eq!(part.num_blocks(), a.n, "partitioning does not match the matrix");
     let num_parts = part.num_partitions();
     if num_parts == 1 {
@@ -323,7 +485,7 @@ pub fn d_pobtaf(a: &BtaMatrix, part: &Partitioning) -> Result<DistBtaCholesky, S
     }
     let results: Result<Vec<_>, SerinvError> = (0..num_parts)
         .into_par_iter()
-        .map(|p| factor_partition(a, part, p))
+        .map(|p| factor_partition(a, part, p, sched))
         .collect();
     let results = results?;
     let (partitions, contribs): (Vec<_>, Vec<_>) = results.into_iter().unzip();
@@ -812,5 +974,92 @@ mod tests {
     fn distributed_many_partitions_odd_sizes() {
         check_equivalence(11, 2, 2, 3, 1.3);
         check_equivalence(9, 3, 1, 4, 1.0);
+    }
+
+    /// Exact (bitwise) equality of two partition factor sets.
+    fn assert_factors_bitwise_equal(x: &DistBtaCholesky, y: &DistBtaCholesky, tag: &str) {
+        let (DistBtaCholesky::Partitioned { partitions: px, reduced: rx, .. },
+             DistBtaCholesky::Partitioned { partitions: py, reduced: ry, .. }) = (x, y)
+        else {
+            panic!("{tag}: expected partitioned factorizations");
+        };
+        assert_eq!(px.len(), py.len(), "{tag}: partition count");
+        for (fx, fy) in px.iter().zip(py) {
+            let p = fx.p;
+            assert_eq!(fx.interior, fy.interior, "{tag}: interior range of partition {p}");
+            for (i, (mx, my)) in fx.l_diag.iter().zip(&fy.l_diag).enumerate() {
+                assert_eq!(mx.max_abs_diff(my), 0.0, "{tag}: l_diag[{i}] of partition {p}");
+            }
+            for (i, (mx, my)) in fx.l_sub.iter().zip(&fy.l_sub).enumerate() {
+                assert_eq!(mx.max_abs_diff(my), 0.0, "{tag}: l_sub[{i}] of partition {p}");
+            }
+            for (i, (mx, my)) in fx.l_left.iter().zip(&fy.l_left).enumerate() {
+                assert_eq!(mx.max_abs_diff(my), 0.0, "{tag}: l_left[{i}] of partition {p}");
+            }
+            for (i, (mx, my)) in fx.l_arrow.iter().zip(&fy.l_arrow).enumerate() {
+                assert_eq!(mx.max_abs_diff(my), 0.0, "{tag}: l_arrow[{i}] of partition {p}");
+            }
+            match (&fx.l_right, &fy.l_right) {
+                (Some(mx), Some(my)) => {
+                    assert_eq!(mx.max_abs_diff(my), 0.0, "{tag}: l_right of partition {p}")
+                }
+                (None, None) => {}
+                _ => panic!("{tag}: l_right presence mismatch in partition {p}"),
+            }
+        }
+        assert_eq!(rx.logdet().to_bits(), ry.logdet().to_bits(), "{tag}: reduced logdet");
+    }
+
+    #[test]
+    fn stealable_interiors_bitwise_match_indivisible() {
+        // Blocks above STEAL_MIN_BLOCK so the stealable schedule actually
+        // forks, on a multi-worker pool so subtasks really get stolen. The
+        // two schedules (and any worker count) must agree to the last bit.
+        let n = 9;
+        let (b, aa) = (STEAL_MIN_BLOCK + 16, 3);
+        let m = test_matrix(n, b, aa, 7);
+        let part = Partitioning::from_sizes(&[6, 1, 1, 1]);
+        let pool = dalia_pool::ThreadPool::new(4);
+        let stealable =
+            pool.install(|| d_pobtaf_scheduled(&m, &part, InteriorSchedule::Stealable)).unwrap();
+        let indivisible =
+            d_pobtaf_scheduled(&m, &part, InteriorSchedule::Indivisible).unwrap();
+        assert_factors_bitwise_equal(&stealable, &indivisible, "stealable-vs-indivisible");
+        // And a second stealable run is deterministic despite stealing.
+        let again =
+            pool.install(|| d_pobtaf_scheduled(&m, &part, InteriorSchedule::Stealable)).unwrap();
+        assert_factors_bitwise_equal(&stealable, &again, "stealable-rerun");
+    }
+
+    #[test]
+    fn skewed_partitioning_matches_sequential() {
+        // A deliberately imbalanced 1-big/N-tiny layout (the shape the
+        // stealable schedule exists for) still reproduces the sequential
+        // factorization's quantities.
+        let (n, b, aa) = (12, 3, 2);
+        let m = test_matrix(n, b, aa, 99);
+        let part = Partitioning::from_sizes(&[9, 1, 1, 1]);
+        let seq = pobtaf(&m).unwrap();
+        let dist = d_pobtaf(&m, &part).unwrap();
+        assert!(
+            (seq.logdet() - dist.logdet()).abs() < 1e-8 * (1.0 + seq.logdet().abs()),
+            "skewed logdet mismatch: {} vs {}",
+            seq.logdet(),
+            dist.logdet()
+        );
+        let rhs0 = test_rhs(m.dim(), 2);
+        let mut rhs_seq = rhs0.clone();
+        pobtas(&seq, &mut rhs_seq);
+        let mut rhs_dist = rhs0.clone();
+        d_pobtas(&dist, &mut rhs_dist);
+        assert!(rhs_seq.max_abs_diff(&rhs_dist) < 1e-8, "skewed solve mismatch");
+        let sel_seq = pobtasi(&seq);
+        let sel_dist = d_pobtasi(&dist);
+        for i in 0..n {
+            assert!(
+                sel_seq.blocks.diag[i].max_abs_diff(&sel_dist.blocks.diag[i]) < 1e-8,
+                "skewed selected-inverse diag {i} mismatch"
+            );
+        }
     }
 }

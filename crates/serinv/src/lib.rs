@@ -21,7 +21,10 @@ pub mod sequential;
 pub mod testing;
 
 pub use bta::{BtaCholesky, BtaMatrix};
-pub use distributed::{d_pobtaf, d_pobtas, d_pobtasi, DistBtaCholesky, PartitionFactor};
+pub use distributed::{
+    d_pobtaf, d_pobtaf_scheduled, d_pobtas, d_pobtasi, DistBtaCholesky, InteriorSchedule,
+    PartitionFactor,
+};
 pub use partition::Partitioning;
 pub use sequential::{
     pobtaf, pobtaf_reusing, pobtaf_with, pobtas, pobtas_vec, pobtasi, pobtasi_with,

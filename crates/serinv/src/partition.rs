@@ -82,6 +82,32 @@ impl Partitioning {
         Self { boundaries }
     }
 
+    /// Explicit partitioning from per-partition sizes (each `>= 1`). The
+    /// general constructor behind [`Partitioning::even`] /
+    /// [`Partitioning::load_balanced`]; used directly to build deliberately
+    /// *skewed* layouts (one huge partition next to many tiny ones) for the
+    /// stealable-interior stress tests and `pool_bench`'s skewed-partition
+    /// scenario.
+    ///
+    /// ```
+    /// let p = serinv::Partitioning::from_sizes(&[5, 1, 2]);
+    /// assert_eq!(p.num_partitions(), 3);
+    /// assert_eq!(p.range(0), (0, 5));
+    /// assert_eq!(p.range(2), (6, 8));
+    /// ```
+    pub fn from_sizes(sizes: &[usize]) -> Self {
+        assert!(!sizes.is_empty(), "need at least one partition");
+        assert!(sizes.iter().all(|&s| s >= 1), "every partition needs at least one block");
+        let mut boundaries = Vec::with_capacity(sizes.len() + 1);
+        boundaries.push(0);
+        let mut acc = 0;
+        for &s in sizes {
+            acc += s;
+            boundaries.push(acc);
+        }
+        Self { boundaries }
+    }
+
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
         self.boundaries.len() - 1
@@ -195,5 +221,25 @@ mod tests {
     #[should_panic]
     fn too_many_partitions_panics() {
         let _ = Partitioning::even(3, 5);
+    }
+
+    #[test]
+    fn from_sizes_builds_skewed_layouts() {
+        let p = Partitioning::from_sizes(&[9, 1, 1, 1]);
+        assert_eq!(p.num_blocks(), 12);
+        assert_eq!(p.num_partitions(), 4);
+        assert_eq!(p.size(0), 9);
+        assert_eq!(p.interior(0), (0, 8)); // separator 8 excluded
+        assert_eq!(p.interior(1), (9, 9)); // single-block partition: empty interior
+        assert_eq!(p.interior(3), (11, 12)); // last partition keeps its block
+        assert_eq!(p.separators(), vec![8, 9, 10]);
+        // Equivalent to the general constructors where layouts coincide.
+        assert_eq!(Partitioning::from_sizes(&[4, 3, 3]), Partitioning::even(10, 3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_sizes_rejects_empty_partitions() {
+        let _ = Partitioning::from_sizes(&[3, 0, 2]);
     }
 }

@@ -1,11 +1,17 @@
 #!/usr/bin/env python3
-"""Fail on broken relative links in README.md and docs/*.md.
+"""Fail on broken relative links (and broken anchors) in README.md and docs/*.md.
 
 Scans markdown inline links and images (``[text](target)`` / ``![alt](target)``)
 in the repository's prose documentation. External targets (http/https/mailto)
 are ignored; every other target must resolve — after stripping any
 ``#fragment`` — to an existing file or directory relative to the file that
 references it (or to the repository root for absolute-style ``/`` targets).
+
+Fragments are verified too: for ``file.md#anchor`` and same-file ``#anchor``
+targets, the fragment must match a heading anchor of the target markdown
+file, using GitHub's slug rules (lowercase; markdown formatting stripped;
+punctuation other than hyphens/underscores removed; spaces become hyphens; duplicate
+slugs get ``-1``, ``-2``, ... suffixes).
 
 Exit code 0 when all links resolve, 1 otherwise (one line per broken link).
 Run from anywhere: paths are anchored at this script's parent repository.
@@ -20,6 +26,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 # Inline markdown link/image: [text](target) with no nested parentheses.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 EXTERNAL = ("http://", "https://", "mailto:")
 
 
@@ -29,29 +36,72 @@ def doc_files() -> list[Path]:
     return [f for f in files if f.exists()]
 
 
-def check_file(path: Path) -> list[str]:
+def strip_fences(text: str) -> str:
+    """Drop fenced code blocks: their contents are not links or headings."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (sans the leading ``#``s)."""
+    # Strip inline markdown: code spans, emphasis, links ([text](url) -> text).
+    text = re.sub(r"`([^`]*)`", r"\1", heading)
+    text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    # Emphasis markers only — underscores inside identifiers are kept by
+    # GitHub (`DALIA_NUM_THREADS` → dalia_num_threads).
+    text = re.sub(r"[*~]", "", text)
+    text = text.strip().lower()
+    # Keep alphanumerics (unicode), spaces, hyphens and underscores.
+    text = "".join(c for c in text if c.isalnum() or c in " -_")
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: dict[Path, set[str]]) -> set[str]:
+    """All heading anchors of a markdown file, with -N dedup suffixes."""
+    if path in cache:
+        return cache[path]
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    for line in strip_fences(path.read_text(encoding="utf-8")).splitlines():
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    cache[path] = anchors
+    return anchors
+
+
+def check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
     errors = []
-    text = path.read_text(encoding="utf-8")
-    # Drop fenced code blocks: their bracket/paren sequences are not links.
-    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    text = strip_fences(path.read_text(encoding="utf-8"))
     for match in LINK_RE.finditer(text):
         target = match.group(1)
-        if target.startswith(EXTERNAL) or target.startswith("#"):
+        if target.startswith(EXTERNAL):
             continue
-        resolved = target.split("#", 1)[0]
-        if not resolved:
-            continue
-        base = REPO if resolved.startswith("/") else path.parent
-        candidate = (base / resolved.lstrip("/")).resolve()
-        if not candidate.exists():
-            errors.append(f"{path.relative_to(REPO)}: broken link -> {target}")
+        resolved, _, fragment = target.partition("#")
+        if resolved:
+            base = REPO if resolved.startswith("/") else path.parent
+            candidate = (base / resolved.lstrip("/")).resolve()
+            if not candidate.exists():
+                errors.append(f"{path.relative_to(REPO)}: broken link -> {target}")
+                continue
+        else:
+            candidate = path  # same-file "#fragment" link
+        # Verify the fragment against the target's heading anchors (markdown
+        # files only: other file types have no well-defined anchor set).
+        if fragment and candidate.suffix == ".md":
+            if fragment not in anchors_of(candidate, anchor_cache):
+                errors.append(f"{path.relative_to(REPO)}: broken anchor -> {target}")
     return errors
 
 
 def main() -> int:
     errors = []
+    anchor_cache: dict[Path, set[str]] = {}
     for f in doc_files():
-        errors.extend(check_file(f))
+        errors.extend(check_file(f, anchor_cache))
     for e in errors:
         print(e, file=sys.stderr)
     if errors:

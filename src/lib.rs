@@ -35,6 +35,13 @@
 //! assert!(session.objective(&theta0).unwrap().is_finite());
 //! ```
 
+/// The user guide (`docs/guide.md`), included so that every Rust snippet in
+/// it is compiled and executed as a doctest by `cargo test` — the guide
+/// cannot drift from the API without CI noticing.
+#[cfg(doctest)]
+#[doc = include_str!("../docs/guide.md")]
+pub struct GuideDoctests;
+
 pub use dalia_core as core;
 pub use dalia_data as data;
 pub use dalia_hpc as hpc;

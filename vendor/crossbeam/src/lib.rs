@@ -14,16 +14,28 @@
 //! before collecting, the message stays in flight and is delivered to the
 //! next receiver instead of being returned to the sender.
 //!
-//! This shim is the injector path of the `dalia-pool` work-stealing pool
-//! (submission via blocking `send`, idle-worker parking via `recv_timeout`),
+//! This shim is the injector path of the `dalia-pool` work-stealing pool,
 //! so its timed edge cases — zero timeouts, capacity-0 rendezvous,
 //! disconnect while blocked — are pinned by tests below.
+//!
+//! # Notify hooks (shim extension)
+//!
+//! [`channel::Sender::set_notify_hook`] registers a callback invoked after
+//! every successful enqueue, outside the channel lock. Real crossbeam has no
+//! such hook; it exists so the event-parked `dalia-pool` can issue a
+//! *targeted wake* (unpark exactly one sleeping worker) the moment a job
+//! lands in the injector, instead of workers polling the channel with a
+//! timed `recv`. The hook is set once, before the channel is shared, and is
+//! shared by all cloned senders.
 
 /// Multi-producer multi-consumer bounded channels.
 pub mod channel {
     use std::collections::VecDeque;
-    use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
     use std::time::{Duration, Instant};
+
+    /// Callback invoked (outside the lock) after every successful enqueue.
+    pub type NotifyHook = Arc<dyn Fn() + Send + Sync>;
 
     /// Error returned by [`Sender::send`] when all receivers are gone.
     #[derive(Debug, PartialEq, Eq)]
@@ -38,6 +50,15 @@ pub mod channel {
     pub enum RecvTimeoutError {
         /// The timeout elapsed with no message available.
         Timeout,
+        /// All senders disconnected and the channel is empty.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is queued right now.
+        Empty,
         /// All senders disconnected and the channel is empty.
         Disconnected,
     }
@@ -78,6 +99,9 @@ pub mod channel {
         state: Mutex<State<T>>,
         not_empty: Condvar,
         not_full: Condvar,
+        /// Post-enqueue notify hook (shim extension, see the crate docs);
+        /// write-once, invoked outside the state lock.
+        notify: OnceLock<NotifyHook>,
     }
 
     impl<T> Shared<T> {
@@ -143,6 +167,21 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
+        /// Register the post-enqueue notify hook (shim extension). Returns
+        /// `Err` with the hook if one was already registered; the hook is
+        /// shared by every clone of this sender.
+        pub fn set_notify_hook(&self, hook: NotifyHook) -> Result<(), NotifyHook> {
+            self.shared.notify.set(hook)
+        }
+
+        /// Invoke the notify hook, if registered. Called after every
+        /// successful enqueue, outside the state lock.
+        fn notify_enqueue(&self) {
+            if let Some(hook) = self.shared.notify.get() {
+                hook();
+            }
+        }
+
         /// Block until the value is enqueued (or the channel disconnects).
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut st = self.shared.lock();
@@ -154,6 +193,7 @@ pub mod channel {
                     st.queue.push_back(value);
                     drop(st);
                     self.shared.not_empty.notify_one();
+                    self.notify_enqueue();
                     return Ok(());
                 }
                 st = self.shared.not_full.wait(st).unwrap_or_else(PoisonError::into_inner);
@@ -179,6 +219,7 @@ pub mod channel {
                     st.queue.push_back(value);
                     drop(st);
                     self.shared.not_empty.notify_one();
+                    self.notify_enqueue();
                     return Ok(());
                 }
                 let Some(remaining) = deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero()) else {
@@ -195,6 +236,28 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// Whether the queue is empty right now. A racy snapshot — only
+        /// suitable for heuristics and accounting, never for synchronization.
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().queue.is_empty()
+        }
+
+        /// Non-blocking receive: a value that is already queued, else an
+        /// immediate [`TryRecvError`]. On a rendezvous channel this cannot
+        /// pair with a sender that has not already committed a handoff.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.lock();
+            if let Some(value) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if st.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
         /// Block until a value arrives (or the channel disconnects).
         pub fn recv(&self) -> Result<T, RecvError> {
             let rendezvous = self.shared.cap == 0;
@@ -285,6 +348,7 @@ pub mod channel {
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            notify: OnceLock::new(),
         });
         (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
     }
@@ -478,6 +542,68 @@ pub mod channel {
                 drop(rx);
                 assert_eq!(h.join().unwrap(), Err(SendError(9)));
             });
+        }
+
+        #[test]
+        fn try_recv_is_nonblocking_and_reports_disconnect() {
+            let (tx, rx) = bounded::<u8>(2);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(3).unwrap();
+            assert_eq!(rx.try_recv(), Ok(3));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(4).unwrap();
+            drop(tx);
+            // Queued values drain before the disconnect is reported.
+            assert_eq!(rx.try_recv(), Ok(4));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn notify_hook_fires_once_per_successful_enqueue() {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let (tx, rx) = bounded::<u8>(1);
+            let fired = Arc::new(AtomicUsize::new(0));
+            let hook_count = Arc::clone(&fired);
+            assert!(tx
+                .set_notify_hook(Arc::new(move || {
+                    hook_count.fetch_add(1, Ordering::Relaxed);
+                }))
+                .is_ok());
+            // A second registration is rejected, the original hook stays.
+            assert!(tx
+                .set_notify_hook(Arc::new(|| panic!("replaced hook must never fire")))
+                .is_err());
+
+            tx.send(1).unwrap();
+            assert_eq!(fired.load(Ordering::Relaxed), 1);
+            // A failed (timed-out) send must not fire the hook.
+            assert!(tx.send_timeout(2, Duration::ZERO).is_err());
+            assert_eq!(fired.load(Ordering::Relaxed), 1);
+            assert_eq!(rx.recv(), Ok(1));
+            // Clones share the hook.
+            let tx2 = tx.clone();
+            tx2.send_timeout(5, Duration::from_millis(10)).unwrap();
+            assert_eq!(fired.load(Ordering::Relaxed), 2);
+            assert_eq!(rx.recv(), Ok(5));
+        }
+
+        #[test]
+        fn notify_hook_fires_on_rendezvous_handoff() {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let (tx, rx) = bounded::<u8>(0);
+            let fired = Arc::new(AtomicUsize::new(0));
+            let hook_count = Arc::clone(&fired);
+            assert!(tx
+                .set_notify_hook(Arc::new(move || {
+                    hook_count.fetch_add(1, Ordering::Relaxed);
+                }))
+                .is_ok());
+            std::thread::scope(|s| {
+                let tx2 = tx.clone();
+                s.spawn(move || tx2.send(7).unwrap());
+                assert_eq!(rx.recv(), Ok(7));
+            });
+            assert_eq!(fired.load(Ordering::Relaxed), 1);
         }
 
         #[test]

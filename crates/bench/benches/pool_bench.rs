@@ -4,12 +4,13 @@
 //!    strategy (contiguous chunks, one scoped OS thread each — the pre-PR-4
 //!    shim): an **imbalanced** heavy-head shape (the S3 load-imbalance
 //!    pattern) and a **uniform** no-regression reference.
-//! 2. **Skewed-partition `d_pobtaf`** (pool v2): a 1-big/N-tiny time-domain
-//!    layout factorized with stealable interiors
+//! 2. **Skewed-partition S3 pass** (`d_pobtaf` + `d_pobtas` + `d_pobtasi`):
+//!    a 1-big/N-tiny time-domain layout processed with stealable interiors
 //!    (`InteriorSchedule::Stealable`, the default) versus the indivisible
-//!    pre-split baseline. Without interior splitting the single huge
-//!    partition serializes the whole fan-out to 1-thread throughput no
-//!    matter how many workers exist.
+//!    pre-split baseline, for each stage separately and for the combined
+//!    factorize + solve + selected-inverse pass. Without interior splitting
+//!    the single huge partition serializes the whole fan-out to 1-thread
+//!    throughput no matter how many workers exist.
 //! 3. **Idle-pool wake latency**: submit a no-op to a fully parked pool and
 //!    time until it runs — the metric the event-parking protocol (condvar
 //!    `Parker` + targeted wakes) improves over the retired 500 µs timed
@@ -19,14 +20,18 @@
 //! prints tables and rewrites `BENCH_pool.json` at the repository root. CI
 //! runs it at 1/2/4 threads, uploads the JSON as an artifact, and the bench
 //! itself asserts the acceptance gates: **≥ 1.6× at 4 threads on the
-//! imbalanced workload** over eager chunking, and **≥ 1.5× at 4 threads for
-//! stealable over indivisible interiors on the skewed layout** (both
-//! skipped when fewer than 4 cores are available or `DALIA_BENCH_NO_ASSERT`
-//! is set).
+//! imbalanced workload** over eager chunking, **≥ 1.5× at 4 threads for
+//! stealable over indivisible `d_pobtaf` interiors on the skewed layout**,
+//! and **≥ 1.4× at 4 threads for the combined factor + solve + selinv S3
+//! pass** (all skipped when fewer than 4 cores are available or
+//! `DALIA_BENCH_NO_ASSERT` is set).
 
 use dalia_hpc::pool::ThreadPool;
 use rayon::prelude::*;
-use serinv::{d_pobtaf_scheduled, testing::test_matrix, InteriorSchedule, Partitioning};
+use serinv::testing::{test_matrix, test_rhs};
+use serinv::{
+    d_pobtaf_scheduled, d_pobtas_scheduled, d_pobtasi_scheduled, InteriorSchedule, Partitioning,
+};
 use std::time::Instant;
 
 /// One spin unit: enough deterministic flops to be scheduling-visible
@@ -124,46 +129,105 @@ fn skewed_partitioning() -> Partitioning {
     Partitioning::from_sizes(&[1, SKEW_BLOCKS - 5, 1, 1, 1, 1])
 }
 
+/// Right-hand-side columns for the skewed solve stage (the multi-RHS shape
+/// the INLA conditional-mean solves use).
+const SKEW_RHS_COLS: usize = 8;
+
+/// Per-stage timings of the skewed S3 pass under both interior schedules.
 struct SkewRecord {
     threads: usize,
-    indivisible_secs: f64,
-    stealable_secs: f64,
+    factor_indivisible_secs: f64,
+    factor_stealable_secs: f64,
+    solve_indivisible_secs: f64,
+    solve_stealable_secs: f64,
+    selinv_indivisible_secs: f64,
+    selinv_stealable_secs: f64,
 }
 
 impl SkewRecord {
     /// Stealable-interior speedup over the indivisible pre-split baseline.
-    fn speedup(&self) -> f64 {
-        self.indivisible_secs / self.stealable_secs
+    fn factor_speedup(&self) -> f64 {
+        self.factor_indivisible_secs / self.factor_stealable_secs
+    }
+
+    fn solve_speedup(&self) -> f64 {
+        self.solve_indivisible_secs / self.solve_stealable_secs
+    }
+
+    fn selinv_speedup(&self) -> f64 {
+        self.selinv_indivisible_secs / self.selinv_stealable_secs
+    }
+
+    /// Combined factorize + solve + selected-inverse pass speedup — the
+    /// quantity the ≥ 1.4× S3 acceptance gate applies to.
+    fn combined_speedup(&self) -> f64 {
+        (self.factor_indivisible_secs + self.solve_indivisible_secs + self.selinv_indivisible_secs)
+            / (self.factor_stealable_secs
+                + self.solve_stealable_secs
+                + self.selinv_stealable_secs)
     }
 }
 
-/// Time `d_pobtaf` on the skewed layout under both interior schedules.
-/// Factorizations are ~20 ms, so one background-CPU hiccup can double a
-/// single measurement; best-of-two `time_secs` rounds (six timed runs per
-/// schedule) keeps the committed snapshot stable.
+/// Time the full S3 pass (`d_pobtaf`, `d_pobtas`, `d_pobtasi`) on the skewed
+/// layout under both interior schedules. Stage timings are ~20 ms, so one
+/// background-CPU hiccup can double a single measurement; best-of-two
+/// `time_secs` rounds (six timed runs per stage and schedule) keeps the
+/// committed snapshot stable. Solve and selected inverse are timed against
+/// the same (stealable-built, schedule-independent) factor.
 fn skewed_partition_records(thread_counts: &[usize]) -> Vec<SkewRecord> {
     let m = test_matrix(SKEW_BLOCKS, SKEW_BLOCK_SIZE, SKEW_ARROW, 42);
     let part = skewed_partitioning();
+    let rhs0 = test_rhs(m.dim(), SKEW_RHS_COLS);
     thread_counts
         .iter()
         .map(|&t| {
             let pool = ThreadPool::new(t);
-            let best = |sched: InteriorSchedule| {
-                (0..2)
-                    .map(|_| {
-                        time_secs(|| {
-                            pool.install(|| {
-                                d_pobtaf_scheduled(&m, &part, sched)
-                                    .expect("skewed factorization")
-                                    .logdet()
-                            })
-                        })
-                    })
-                    .fold(f64::INFINITY, f64::min)
+            let best = |f: &mut dyn FnMut() -> f64| {
+                (0..2).map(|_| time_secs(&mut *f)).fold(f64::INFINITY, f64::min)
             };
-            let stealable_secs = best(InteriorSchedule::Stealable);
-            let indivisible_secs = best(InteriorSchedule::Indivisible);
-            SkewRecord { threads: t, indivisible_secs, stealable_secs }
+            let factor_best = |sched: InteriorSchedule| {
+                best(&mut || {
+                    pool.install(|| {
+                        d_pobtaf_scheduled(&m, &part, sched)
+                            .expect("skewed factorization")
+                            .logdet()
+                    })
+                })
+            };
+            let factor_stealable_secs = factor_best(InteriorSchedule::Stealable);
+            let factor_indivisible_secs = factor_best(InteriorSchedule::Indivisible);
+
+            // Both schedules produce bitwise-identical factors; reuse one.
+            let factor = pool
+                .install(|| d_pobtaf_scheduled(&m, &part, InteriorSchedule::Stealable))
+                .expect("skewed factorization");
+            let solve_best = |sched: InteriorSchedule| {
+                best(&mut || {
+                    let mut rhs = rhs0.clone();
+                    pool.install(|| d_pobtas_scheduled(&factor, &mut rhs, sched));
+                    rhs.as_slice()[0]
+                })
+            };
+            let solve_stealable_secs = solve_best(InteriorSchedule::Stealable);
+            let solve_indivisible_secs = solve_best(InteriorSchedule::Indivisible);
+            let selinv_best = |sched: InteriorSchedule| {
+                best(&mut || {
+                    let sel = pool.install(|| d_pobtasi_scheduled(&factor, sched));
+                    sel.blocks.diag[0].as_slice()[0]
+                })
+            };
+            let selinv_stealable_secs = selinv_best(InteriorSchedule::Stealable);
+            let selinv_indivisible_secs = selinv_best(InteriorSchedule::Indivisible);
+
+            SkewRecord {
+                threads: t,
+                factor_indivisible_secs,
+                factor_stealable_secs,
+                solve_indivisible_secs,
+                solve_stealable_secs,
+                selinv_indivisible_secs,
+                selinv_stealable_secs,
+            }
         })
         .collect()
 }
@@ -243,23 +307,26 @@ fn main() {
         pool_time(1) / pool_time(4)
     );
 
-    // Skewed-partition d_pobtaf: stealable vs indivisible interiors.
+    // Skewed-partition S3 pass: stealable vs indivisible interiors, per
+    // stage and combined.
     let skew = skewed_partition_records(&thread_counts);
     println!(
-        "\nskewed-partition d_pobtaf ({SKEW_BLOCKS} blocks of b = {SKEW_BLOCK_SIZE}, layout {SKEW_LAYOUT}):"
+        "\nskewed-partition S3 pass ({SKEW_BLOCKS} blocks of b = {SKEW_BLOCK_SIZE}, layout {SKEW_LAYOUT}, \
+         {SKEW_RHS_COLS} rhs):"
     );
     println!(
-        "{:<8} {:>18} {:>16} {:>9}",
-        "threads", "indivisible (s)", "stealable (s)", "speedup"
+        "{:<8} {:<8} {:>18} {:>16} {:>9}",
+        "threads", "stage", "indivisible (s)", "stealable (s)", "speedup"
     );
     for r in &skew {
-        println!(
-            "{:<8} {:>18.4} {:>16.4} {:>8.2}x",
-            r.threads,
-            r.indivisible_secs,
-            r.stealable_secs,
-            r.speedup()
-        );
+        for (stage, ind, steal, sp) in [
+            ("factor", r.factor_indivisible_secs, r.factor_stealable_secs, r.factor_speedup()),
+            ("solve", r.solve_indivisible_secs, r.solve_stealable_secs, r.solve_speedup()),
+            ("selinv", r.selinv_indivisible_secs, r.selinv_stealable_secs, r.selinv_speedup()),
+        ] {
+            println!("{:<8} {:<8} {:>18.4} {:>16.4} {:>8.2}x", r.threads, stage, ind, steal, sp);
+        }
+        println!("{:<8} {:<8} {:>35} {:>8.2}x", r.threads, "combined", "", r.combined_speedup());
     }
 
     // Idle-pool wake latency (event parking vs the retired 500 µs poll).
@@ -299,17 +366,29 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"skewed_partition\": {{\n    \"blocks\": {SKEW_BLOCKS}, \"block_size\": {SKEW_BLOCK_SIZE}, \
-         \"arrow\": {SKEW_ARROW}, \"layout\": \"{SKEW_LAYOUT}\",\n    \"note\": \"d_pobtaf stealable vs \
-         indivisible interiors (big partition interior, so its columns carry the W fill); the \
-         >=1.5x acceptance gate applies to the 4-thread record on a >=4-core host\",\n    \"records\": [\n"
+         \"arrow\": {SKEW_ARROW}, \"layout\": \"{SKEW_LAYOUT}\", \"rhs_cols\": {SKEW_RHS_COLS},\n    \
+         \"note\": \"full S3 pass (d_pobtaf + d_pobtas + d_pobtasi), stealable vs indivisible \
+         interiors (big partition interior, so its columns carry the W fill); on a >=4-core host \
+         the 4-thread record must show >=1.5x on factor and >=1.4x combined\",\n    \"records\": [\n"
     ));
     for (i, r) in skew.iter().enumerate() {
         json.push_str(&format!(
-            "      {{\"threads\": {}, \"indivisible_seconds\": {:.6}, \"stealable_seconds\": {:.6}, \"speedup_vs_indivisible\": {:.3}}}{}\n",
+            "      {{\"threads\": {}, \
+             \"factor_indivisible_seconds\": {:.6}, \"factor_stealable_seconds\": {:.6}, \"factor_speedup\": {:.3}, \
+             \"solve_indivisible_seconds\": {:.6}, \"solve_stealable_seconds\": {:.6}, \"solve_speedup\": {:.3}, \
+             \"selinv_indivisible_seconds\": {:.6}, \"selinv_stealable_seconds\": {:.6}, \"selinv_speedup\": {:.3}, \
+             \"combined_speedup\": {:.3}}}{}\n",
             r.threads,
-            r.indivisible_secs,
-            r.stealable_secs,
-            r.speedup(),
+            r.factor_indivisible_secs,
+            r.factor_stealable_secs,
+            r.factor_speedup(),
+            r.solve_indivisible_secs,
+            r.solve_stealable_secs,
+            r.solve_speedup(),
+            r.selinv_indivisible_secs,
+            r.selinv_stealable_secs,
+            r.selinv_speedup(),
+            r.combined_speedup(),
             if i + 1 < skew.len() { "," } else { "" }
         ));
     }
@@ -347,14 +426,27 @@ fn main() {
         // degenerating to 1-thread throughput — >= 1.5x over the
         // indivisible baseline at 4 threads.
         assert!(
-            skew_gate.speedup() >= 1.5,
+            skew_gate.factor_speedup() >= 1.5,
             "stealable d_pobtaf interiors at 4 threads are only {:.2}x the indivisible \
              baseline on the skewed layout (need >= 1.5x)",
-            skew_gate.speedup()
+            skew_gate.factor_speedup()
         );
         println!(
             "gate: stealable interiors {:.2}x >= 1.5x over indivisible at 4 threads (skewed) — OK",
-            skew_gate.speedup()
+            skew_gate.factor_speedup()
+        );
+        // PR 6 gate: the combined factorize + solve + selected-inverse S3
+        // pass must profit from stealable solve/selinv interiors too —
+        // >= 1.4x over the indivisible baseline at 4 threads.
+        assert!(
+            skew_gate.combined_speedup() >= 1.4,
+            "stealable S3 pass (factor+solve+selinv) at 4 threads is only {:.2}x the \
+             indivisible baseline on the skewed layout (need >= 1.4x)",
+            skew_gate.combined_speedup()
+        );
+        println!(
+            "gate: stealable S3 pass {:.2}x >= 1.4x over indivisible at 4 threads (skewed) — OK",
+            skew_gate.combined_speedup()
         );
     } else {
         println!(

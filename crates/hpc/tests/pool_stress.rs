@@ -12,14 +12,18 @@
 //! * **event-parking edge cases** (pool v2): idle workers genuinely park
 //!   (no polling), spurious wakes never stall progress, park/unpark races
 //!   with pool shutdown cannot hang `Drop`, and a skewed 1-big/N-tiny
-//!   partition layout completes within 2× of the balanced layout's wall
-//!   time at 4 threads thanks to stealable `d_pobtaf` interiors.
+//!   partition layout completes a full S3 pass (factorize + solve + selected
+//!   inverse) within 2× of the balanced layout's wall time at 4 threads
+//!   thanks to stealable `d_pobtaf`/`d_pobtas`/`d_pobtasi` interiors.
 //!
 //! Every test runs under a watchdog so a scheduling deadlock fails the suite
 //! instead of hanging CI forever.
 
 use dalia_hpc::pool::{self, ThreadPool};
-use serinv::{d_pobtaf_scheduled, testing::test_matrix, InteriorSchedule, Partitioning};
+use serinv::testing::{test_matrix, test_rhs};
+use serinv::{
+    d_pobtaf_scheduled, d_pobtas_scheduled, d_pobtasi_scheduled, InteriorSchedule, Partitioning,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -320,13 +324,16 @@ fn skewed_partition_layout_completes_within_2x_of_balanced() {
     // The tentpole property: with stealable interiors, a 1-big/N-tiny
     // partition layout (the worst case that used to serialize the whole S3
     // fan-out on one worker) finishes within 2x of the balanced layout's
-    // wall time at 4 threads. Both layouts factorize the same matrix, so on
-    // a single hardware core the ratio is ~1 by construction; on multi-core
-    // hosts the bound fails without interior splitting (the big partition
-    // alone costs ~3-4x the balanced critical path).
+    // wall time at 4 threads — for the full S3 pass (factorize + solve +
+    // selected inverse), not just factorization. Both layouts process the
+    // same matrix, so on a single hardware core the ratio is ~1 by
+    // construction; on multi-core hosts the bound fails without interior
+    // splitting (the big partition alone costs ~3-4x the balanced critical
+    // path).
     with_watchdog(300, || {
         let (n, b, a) = (18, 64, 3);
         let m = test_matrix(n, b, a, 0xBA1A);
+        let rhs0 = test_rhs(m.dim(), 8);
         // Big partition in the middle: interior partitions carry the
         // left-separator fill, the shape worth stealing from.
         let skewed = Partitioning::from_sizes(&[1, 13, 1, 1, 1, 1]);
@@ -334,12 +341,15 @@ fn skewed_partition_layout_completes_within_2x_of_balanced() {
         let pool = ThreadPool::new(4);
 
         let time_layout = |part: &Partitioning| {
-            // Warmup, then best-of-3.
+            // Warmup, then best-of-3, each run a full S3 pass.
             let run = || {
                 pool.install(|| {
-                    d_pobtaf_scheduled(&m, part, InteriorSchedule::Stealable)
-                        .expect("factorization")
-                        .logdet()
+                    let f = d_pobtaf_scheduled(&m, part, InteriorSchedule::Stealable)
+                        .expect("factorization");
+                    let mut rhs = rhs0.clone();
+                    d_pobtas_scheduled(&f, &mut rhs, InteriorSchedule::Stealable);
+                    let sel = d_pobtasi_scheduled(&f, InteriorSchedule::Stealable);
+                    f.logdet() + rhs.as_slice()[0] + sel.blocks.diag[0].as_slice()[0]
                 })
             };
             let _ = run();

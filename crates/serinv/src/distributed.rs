@@ -6,9 +6,8 @@
 //! partition are eliminated independently (and in parallel), producing Schur
 //! complement contributions onto the *separator* blocks (the last block of
 //! each partition) and the arrow tip. The resulting *reduced system* is again
-//! a BTA matrix with `P−1` diagonal blocks, which is factorized sequentially;
-//! back-substitution and selected inversion then proceed independently per
-//! partition again.
+//! a BTA matrix with `P−1` diagonal blocks; back-substitution and selected
+//! inversion then proceed independently per partition again.
 //!
 //! In the original framework each partition lives on its own GPU and the
 //! reduced system is gathered with NCCL; here partitions are tasks on the
@@ -27,39 +26,64 @@
 //! # Stealable partition interiors
 //!
 //! Since pool v2 a partition interior is no longer one indivisible task:
-//! [`d_pobtaf`] expresses the trailing-update DAG of every interior block
-//! column as `join`-structured subtasks ([`InteriorSchedule::Stealable`]).
-//! Per column, the diagonal `potrf` stays on the critical path, then the
-//! three independent `trsm` solves against `L_jjᵀ` (sub-diagonal coupling,
-//! left-separator fill `W`, arrow panel `C`) fork as one join group, and the
-//! Schur accumulation / next-column propagation (which touch disjoint
-//! output blocks) fork as a second. Each subtask owns a dedicated
-//! [`PackBuffer`] lane so the packed micro-kernels never contend for
-//! workspace. An idle worker can therefore steal *inside* a single huge
-//! partition — the skewed 1-big/N-tiny layout that used to serialize the
-//! whole S3 fan-out now scales (see `pool_bench`'s skewed-partition
-//! scenario and the watchdogged stress test in
+//! [`d_pobtaf`], [`d_pobtas`] and [`d_pobtasi`] express the per-column DAG of
+//! every interior block column as `join`-structured subtasks
+//! ([`InteriorSchedule::Stealable`]). In the factorization the diagonal
+//! `potrf` stays on the critical path, then the three independent `trsm`
+//! solves against `L_jjᵀ` (sub-diagonal coupling, left-separator fill `W`,
+//! arrow panel `C`) fork as one join group, and the Schur accumulation /
+//! next-column propagation (which touch disjoint output blocks) fork as a
+//! second. The solve forks the three separator/tip right-hand-side
+//! accumulations per column, and the selected inversion forks the three
+//! independent selected-inverse columns (`Σ_{ls,j}`, `Σ_{j+1,j}`/`Σ_{rs,j}`,
+//! `Σ_{T,j}`) between the `L_jj⁻¹` solve and the diagonal recovery. Each
+//! subtask owns a dedicated [`PackBuffer`] lane so the packed micro-kernels
+//! never contend for workspace. An idle worker can therefore steal *inside*
+//! a single huge partition — the skewed 1-big/N-tiny layout that used to
+//! serialize the whole S3 fan-out now scales (see `pool_bench`'s
+//! skewed-partition scenario and the watchdogged stress test in
 //! `crates/hpc/tests/pool_stress.rs`).
 //!
 //! Splitting changes only *where* each block operation runs, never its
-//! operand values or kernel call sequence, so the factors are **bitwise
-//! identical** to the [`InteriorSchedule::Indivisible`] baseline and to a
-//! 1-thread run — pinned by `stealable_interiors_bitwise_match_indivisible`
-//! below and by the parallel-vs-sequential session proptest in
-//! `tests/session_reuse.rs`.
+//! operand values or kernel call sequence, so the factors, solutions and
+//! selected inverses are **bitwise identical** to the
+//! [`InteriorSchedule::Indivisible`] baseline and to a 1-thread run — pinned
+//! by the `*_bitwise_match_indivisible` tests below and by the
+//! parallel-vs-sequential session proptest in `tests/session_reuse.rs`.
+//!
+//! # The reduced system is no longer sequential
+//!
+//! Two stages of the pipeline used to run on one worker regardless of `P`:
+//!
+//! * **Schur assembly** is a *tree reduction*: per-partition
+//!   [`SchurContribution`]s merge pairwise along a fixed binary tree
+//!   (contiguous partition ranges split at their midpoint, left half always
+//!   accumulated before the right). The pairing order is a function of `P`
+//!   alone, so the assembled reduced matrix is bitwise independent of the
+//!   worker count and of whether the merge ran forked or inline.
+//! * **Reduced-system factorization** runs through [`pobtaf_parallel`]: the
+//!   right-looking trailing updates of each reduced block column (the
+//!   `trsm` pair, then the `syrk`/`gemm`/`syrk` Schur and arrow updates)
+//!   fork as join groups with per-subtask [`PackBuffer`] lanes, exactly
+//!   like the stealable interiors. Tiny reduced systems (`b` below the
+//!   fork cutoff, or a 1-thread pool) fall back to the sequential
+//!   [`pobtaf`] kernel; either way the factor is bitwise identical to it.
 //!
 //! The three phases mirror their sequential counterparts and compute the same
 //! paper quantities (`log |Q|`, `Q⁻¹ r`, `diag(Q⁻¹)`):
 //!
-//! 1. **`d_pobtaf`** — per-partition interior elimination (parallel), Schur
-//!    assembly onto the separators/tip, then a *sequential* `pobtaf` of the
-//!    reduced `(P−1)`-block BTA system — the scalability bottleneck the
-//!    paper's Fig. 5 measures.
-//! 2. **`d_pobtas`** — parallel forward substitution on the interiors, a
-//!    sequential reduced-system solve, and a parallel backward pass.
+//! 1. **`d_pobtaf`** — per-partition interior elimination (parallel), a
+//!    tree-reduced Schur assembly onto the separators/tip, then a parallel
+//!    `pobtaf` of the reduced `(P−1)`-block BTA system — formerly the
+//!    sequential scalability bottleneck the paper's Fig. 5 measures.
+//! 2. **`d_pobtas`** — parallel forward substitution on the interiors (with
+//!    forked separator/tip accumulations per column), the reduced-system
+//!    solve, and a parallel backward pass (with the carried sub-diagonal
+//!    term and the separator/tip back-couplings forked per column).
 //! 3. **`d_pobtasi`** — selected inversion of the reduced system followed by
 //!    an independent backward sweep per partition (pure `trsm`/`syrk`/`gemm`
-//!    block work).
+//!    block work), the three selected-inverse columns forked per block
+//!    column.
 //!
 //! Every parallel closure owns a private [`PackBuffer`], so the packed
 //! micro-kernels in `dalia_la::blas` never contend for workspace across
@@ -219,6 +243,18 @@ fn run3(split: bool, f: impl FnOnce() + Send, g: impl FnOnce() + Send, h: impl F
         f();
         g();
         h();
+    }
+}
+
+/// Two-subtask variant of [`run3`] for column steps with only a pair of
+/// independent lanes (the reduced-system `trsm` pair, the solve's carried /
+/// external update split).
+fn run2(split: bool, f: impl FnOnce() + Send, g: impl FnOnce() + Send) {
+    if split {
+        dalia_pool::join(f, g);
+    } else {
+        f();
+        g();
     }
 }
 
@@ -411,9 +447,131 @@ fn factor_partition(
     ))
 }
 
+/// Merged Schur contributions of a contiguous partition range, keyed by
+/// reduced block index — one node of the tree reduction in
+/// [`assemble_reduced`]. Each list is sorted by index; a matrix moves from
+/// its [`SchurContribution`] into the leaf and is then only ever added to
+/// (`axpy`), never copied, as nodes merge upward.
+struct SchurSpan {
+    /// Updates to reduced diagonal blocks `(k, ΔD_k)`.
+    diag: Vec<(usize, Matrix)>,
+    /// Updates to reduced sub-diagonal blocks `(k, ΔB_k)` at `(k+1, k)`.
+    sub: Vec<(usize, Matrix)>,
+    /// Updates to reduced arrow blocks `(k, ΔC_k)`.
+    arrow: Vec<(usize, Matrix)>,
+    /// Update to the arrow tip (absent when `a = 0`).
+    tip: Option<Matrix>,
+}
+
+impl SchurSpan {
+    /// Leaf node: the contributions of one partition. Partition `p` touches
+    /// reduced index `p-1` through its left separator and `p` through its
+    /// right one, so the index lists are sorted by construction.
+    fn leaf(c: &mut SchurContribution, has_arrow: bool) -> SchurSpan {
+        let p = c.p;
+        let mut diag = Vec::with_capacity(2);
+        if let Some(sll) = c.s_ll.take() {
+            diag.push((p - 1, sll));
+        }
+        if let Some(srr) = c.s_rr.take() {
+            diag.push((p, srr));
+        }
+        let sub = c.s_rl.take().map(|srl| (p - 1, srl)).into_iter().collect();
+        let mut arrow = Vec::with_capacity(2);
+        let tip = if has_arrow {
+            if let Some(sal) = c.s_al.take() {
+                arrow.push((p - 1, sal));
+            }
+            if let Some(sar) = c.s_ar.take() {
+                arrow.push((p, sar));
+            }
+            Some(std::mem::replace(&mut c.s_tt, Matrix::zeros(0, 0)))
+        } else {
+            None
+        };
+        SchurSpan { diag, sub, arrow, tip }
+    }
+
+    /// Merge two sorted update lists; overlapping indices accumulate as
+    /// `left + right` (the only overlap is the junction block between the
+    /// two partition ranges).
+    fn merge_lists(left: Vec<(usize, Matrix)>, right: Vec<(usize, Matrix)>) -> Vec<(usize, Matrix)> {
+        let mut out = Vec::with_capacity(left.len() + right.len());
+        let mut r = right.into_iter().peekable();
+        for (k, mut m) in left {
+            while let Some(&(rk, _)) = r.peek() {
+                if rk < k {
+                    out.push(r.next().unwrap());
+                } else if rk == k {
+                    m.axpy(1.0, &r.next().unwrap().1);
+                } else {
+                    break;
+                }
+            }
+            out.push((k, m));
+        }
+        out.extend(r);
+        out
+    }
+
+    /// Combine the spans of two adjacent partition ranges: always
+    /// `left + right`, so the accumulation order depends only on the tree
+    /// shape, never on which worker finished first.
+    fn merge(left: SchurSpan, right: SchurSpan) -> SchurSpan {
+        let tip = match (left.tip, right.tip) {
+            (Some(mut l), Some(r)) => {
+                l.axpy(1.0, &r);
+                Some(l)
+            }
+            (l, r) => l.or(r),
+        };
+        SchurSpan {
+            diag: Self::merge_lists(left.diag, right.diag),
+            sub: Self::merge_lists(left.sub, right.sub),
+            arrow: Self::merge_lists(left.arrow, right.arrow),
+            tip,
+        }
+    }
+}
+
+/// Tree-reduce a contiguous range of Schur contributions. The range always
+/// splits at its midpoint and every merge accumulates left-before-right, so
+/// the result is a pure function of the contribution values — forking the
+/// two halves onto the pool changes scheduling only, and the assembled
+/// reduced system stays bitwise independent of the worker count.
+fn reduce_schur(contribs: &mut [SchurContribution], has_arrow: bool, split: bool) -> SchurSpan {
+    match contribs {
+        [] => SchurSpan { diag: Vec::new(), sub: Vec::new(), arrow: Vec::new(), tip: None },
+        [c] => SchurSpan::leaf(c, has_arrow),
+        _ => {
+            let mid = contribs.len() / 2;
+            let (left, right) = contribs.split_at_mut(mid);
+            let (ls, rs) = if split {
+                dalia_pool::join(
+                    || reduce_schur(left, has_arrow, split),
+                    || reduce_schur(right, has_arrow, split),
+                )
+            } else {
+                (reduce_schur(left, has_arrow, false), reduce_schur(right, has_arrow, false))
+            };
+            SchurSpan::merge(ls, rs)
+        }
+    }
+}
+
 /// Assemble the reduced BTA system over the separators + tip from the original
 /// matrix and the partitions' Schur contributions.
-fn assemble_reduced(a: &BtaMatrix, part: &Partitioning, contribs: &[SchurContribution]) -> BtaMatrix {
+///
+/// The per-partition contributions combine by tree reduction ([`reduce_schur`])
+/// instead of a linear left-to-right walk: pairs of adjacent partition ranges
+/// merge in parallel on the pool, and the deep sum onto the arrow tip (every
+/// partition contributes to it) accumulates along a fixed binary tree rather
+/// than serializing over `P` terms.
+fn assemble_reduced(
+    a: &BtaMatrix,
+    part: &Partitioning,
+    contribs: &mut [SchurContribution],
+) -> BtaMatrix {
     let seps = part.separators();
     let n_red = seps.len();
     let b = a.b;
@@ -435,31 +593,113 @@ fn assemble_reduced(a: &BtaMatrix, part: &Partitioning, contribs: &[SchurContrib
     }
     reduced.tip = a.tip.clone();
 
-    for c in contribs {
-        let p = c.p;
-        // Left separator of partition p is reduced index p-1, right separator
-        // is reduced index p.
-        if let Some(sll) = &c.s_ll {
-            reduced.diag[p - 1].axpy(-1.0, sll);
-        }
-        if let Some(srr) = &c.s_rr {
-            reduced.diag[p].axpy(-1.0, srr);
-        }
-        if let Some(srl) = &c.s_rl {
-            // Coupling between reduced blocks p (row) and p-1 (column).
-            reduced.sub[p - 1].axpy(-1.0, srl);
-        }
-        if aa > 0 {
-            if let Some(sal) = &c.s_al {
-                reduced.arrow[p - 1].axpy(-1.0, sal);
-            }
-            if let Some(sar) = &c.s_ar {
-                reduced.arrow[p].axpy(-1.0, sar);
-            }
-            reduced.tip.axpy(-1.0, &c.s_tt);
-        }
+    let split = dalia_pool::current_num_threads() > 1;
+    let span = reduce_schur(contribs, aa > 0, split);
+    for (k, m) in &span.diag {
+        reduced.diag[*k].axpy(-1.0, m);
+    }
+    for (k, m) in &span.sub {
+        // Coupling between reduced blocks k+1 (row) and k (column).
+        reduced.sub[*k].axpy(-1.0, m);
+    }
+    for (k, m) in &span.arrow {
+        reduced.arrow[*k].axpy(-1.0, m);
+    }
+    if let Some(tip) = &span.tip {
+        reduced.tip.axpy(-1.0, tip);
     }
     reduced
+}
+
+/// Fork-join parallel BTA Cholesky factorization: [`pobtaf`] with the
+/// right-looking trailing updates of every block column forked as pool join
+/// groups — the path [`d_pobtaf_scheduled`] uses for the reduced system,
+/// which a linear chain of partitions cannot parallelize any other way.
+///
+/// Per column the diagonal `potrf` stays on the critical path; the two
+/// independent `trsm` solves against `L_iiᵀ` (sub-diagonal `B_i`, arrow
+/// panel `C_i`) fork as one join group, and the three trailing updates with
+/// disjoint outputs (`D_{i+1} −= B_i B_iᵀ`, `C_{i+1} −= C_i B_iᵀ`,
+/// `T −= C_i C_iᵀ`) fork as a second, each subtask on a dedicated
+/// [`PackBuffer`] lane. The kernel calls and their operands are identical to
+/// the sequential loop, so the factor is **bitwise identical** to
+/// [`pobtaf`]'s. Tiny systems (`b` below the fork cutoff), single-block
+/// matrices and 1-thread pools fall back to the sequential kernel outright.
+pub fn pobtaf_parallel(a: &BtaMatrix) -> Result<BtaCholesky, SerinvError> {
+    let split =
+        a.b >= STEAL_MIN_BLOCK && a.n > 1 && dalia_pool::current_num_threads() > 1;
+    if !split {
+        return pobtaf(a);
+    }
+
+    let mut m = a.clone();
+    let n = m.n;
+    let has_arrow = m.a > 0;
+    let mut packs = InteriorPacks::new();
+    for i in 0..n {
+        // D_i = L_ii L_iiᵀ — the critical path of the column.
+        chol::potrf_with(&mut packs.diag, &mut m.diag[i])
+            .map_err(|e| SerinvError::Factorization { block: i, source: e })?;
+
+        // B_i := B_i L_ii⁻ᵀ ∥ C_i := C_i L_ii⁻ᵀ (disjoint outputs, shared
+        // read of L_ii).
+        {
+            let InteriorPacks { diag: pk_diag, arrow: pk_arrow, .. } = &mut packs;
+            let l_ii = &m.diag[i];
+            let sub_rhs = if i + 1 < n { Some(&mut m.sub[i]) } else { None };
+            let arrow_rhs = if has_arrow { Some(&mut m.arrow[i]) } else { None };
+            run2(
+                split,
+                move || {
+                    if let Some(bi) = sub_rhs {
+                        blas::trsm_with(pk_diag, Side::Right, Triangle::Lower, Trans::Yes, l_ii, bi);
+                    }
+                },
+                move || {
+                    if let Some(ci) = arrow_rhs {
+                        blas::trsm_with(pk_arrow, Side::Right, Triangle::Lower, Trans::Yes, l_ii, ci);
+                    }
+                },
+            );
+        }
+
+        // Trailing updates: D_{i+1}, C_{i+1} and the tip are disjoint.
+        {
+            let InteriorPacks { diag: pk_diag, left: pk_left, schur: pk_schur, .. } = &mut packs;
+            let (_, diag_tail) = m.diag.split_at_mut(i + 1);
+            let arrow_mid = (i + 1).min(m.arrow.len());
+            let (arrow_head, arrow_tail) = m.arrow.split_at_mut(arrow_mid);
+            let b_i = if i + 1 < n { Some(&m.sub[i]) } else { None };
+            let c_i = if has_arrow { Some(&arrow_head[i]) } else { None };
+            let next_diag = if i + 1 < n { Some(&mut diag_tail[0]) } else { None };
+            let next_arrow =
+                if has_arrow && i + 1 < n { Some(&mut arrow_tail[0]) } else { None };
+            let tip = if has_arrow { Some(&mut m.tip) } else { None };
+            run3(
+                split,
+                move || {
+                    if let (Some(nd), Some(bi)) = (next_diag, b_i) {
+                        blas::syrk_full_with(pk_diag, Trans::No, -1.0, bi, 1.0, nd);
+                    }
+                },
+                move || {
+                    if let (Some(na), Some(ci), Some(bi)) = (next_arrow, c_i, b_i) {
+                        blas::gemm_with(pk_left, Trans::No, Trans::Yes, -1.0, ci, bi, 1.0, na);
+                    }
+                },
+                move || {
+                    if let (Some(t), Some(ci)) = (tip, c_i) {
+                        blas::syrk_full_with(pk_schur, Trans::No, -1.0, ci, 1.0, t);
+                    }
+                },
+            );
+        }
+    }
+    if has_arrow {
+        chol::potrf_with(&mut packs.diag, &mut m.tip)
+            .map_err(|e| SerinvError::Factorization { block: n, source: e })?;
+    }
+    Ok(BtaCholesky { blocks: m })
 }
 
 /// Distributed BTA Cholesky factorization (`d_pobtaf`) with stealable
@@ -472,7 +712,10 @@ pub fn d_pobtaf(a: &BtaMatrix, part: &Partitioning) -> Result<DistBtaCholesky, S
 ///
 /// The two schedules produce **bitwise identical** factors; `Indivisible`
 /// exists as the measurable pool v1 baseline (one sequential task per
-/// partition interior) for `pool_bench` and the stress tests.
+/// partition interior, sequential reduced-system factorization) for
+/// `pool_bench` and the stress tests. The Schur assembly tree-reduces under
+/// both schedules — its pairing order is fixed, so it is not a scheduling
+/// degree of freedom.
 pub fn d_pobtaf_scheduled(
     a: &BtaMatrix,
     part: &Partitioning,
@@ -488,9 +731,12 @@ pub fn d_pobtaf_scheduled(
         .map(|p| factor_partition(a, part, p, sched))
         .collect();
     let results = results?;
-    let (partitions, contribs): (Vec<_>, Vec<_>) = results.into_iter().unzip();
-    let reduced_matrix = assemble_reduced(a, part, &contribs);
-    let reduced = pobtaf(&reduced_matrix)?;
+    let (partitions, mut contribs): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    let reduced_matrix = assemble_reduced(a, part, &mut contribs);
+    let reduced = match sched {
+        InteriorSchedule::Stealable => pobtaf_parallel(&reduced_matrix)?,
+        InteriorSchedule::Indivisible => pobtaf(&reduced_matrix)?,
+    };
     Ok(DistBtaCholesky::Partitioned {
         structure: (a.n, a.b, a.a),
         partitioning: part.clone(),
@@ -499,11 +745,26 @@ pub fn d_pobtaf_scheduled(
     })
 }
 
-/// Distributed BTA triangular solve (`d_pobtas`, the paper's `PPOBTAS`).
+/// Distributed BTA triangular solve (`d_pobtas`, the paper's `PPOBTAS`) with
+/// stealable partition interiors ([`InteriorSchedule::Stealable`]).
 ///
 /// Solves `A X = B` for the dense right-hand side `rhs` (overwritten with the
 /// solution), given a distributed factorization.
 pub fn d_pobtas(factor: &DistBtaCholesky, rhs: &mut Matrix) {
+    d_pobtas_scheduled(factor, rhs, InteriorSchedule::Stealable)
+}
+
+/// [`d_pobtas`] with an explicit [`InteriorSchedule`].
+///
+/// With [`InteriorSchedule::Stealable`] every interior column forks its
+/// independent subtasks as pool join groups: in the forward sweep the three
+/// separator/tip right-hand-side accumulations (left fill `W`, right
+/// coupling, arrow panel) run after the column's `trsm`; in the backward
+/// sweep the carried sub-diagonal term and the external separator/tip
+/// back-couplings fork against each other. The two schedules execute the
+/// same kernel calls on the same operands, so the solutions are **bitwise
+/// identical** — the fork changes scheduling only.
+pub fn d_pobtas_scheduled(factor: &DistBtaCholesky, rhs: &mut Matrix, sched: InteriorSchedule) {
     match factor {
         DistBtaCholesky::Sequential(f) => pobtas(f, rhs),
         DistBtaCholesky::Partitioned { structure, partitioning, partitions, reduced } => {
@@ -513,6 +774,9 @@ pub fn d_pobtas(factor: &DistBtaCholesky, rhs: &mut Matrix) {
             let a0 = n * b;
             let seps = partitioning.separators();
             let n_red = seps.len();
+            let split = sched == InteriorSchedule::Stealable
+                && b >= STEAL_MIN_BLOCK
+                && dalia_pool::current_num_threads() > 1;
 
             // ---- Forward substitution on the interiors (parallel). ----
             // Per partition: (partition index, interior solutions, update to
@@ -522,30 +786,48 @@ pub fn d_pobtas(factor: &DistBtaCholesky, rhs: &mut Matrix) {
                 .par_iter()
                 .map(|pf| {
                     let (s, e) = pf.interior;
-                    let mut pack = PackBuffer::new();
-                    let mut ys: Vec<Matrix> = Vec::with_capacity(e - s);
-                    let mut left_update: Option<Matrix> = None;
-                    let mut right_update: Option<Matrix> = None;
+                    let len = e - s;
+                    let mut packs = InteriorPacks::new();
+                    let mut ys: Vec<Matrix> = Vec::with_capacity(len);
+                    let mut left_update: Option<Matrix> =
+                        (!pf.l_left.is_empty()).then(|| Matrix::zeros(b, k));
+                    let mut right_update: Option<Matrix> =
+                        pf.l_right.as_ref().map(|_| Matrix::zeros(b, k));
                     let mut tip_update = Matrix::zeros(a, k);
                     for (idx, j) in (s..e).enumerate() {
                         let mut yj = rhs.block(j * b, 0, b, k);
                         if idx > 0 {
-                            blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, &pf.l_sub[idx - 1], &ys[idx - 1], 1.0, &mut yj);
+                            blas::gemm_with(&mut packs.diag, Trans::No, Trans::No, -1.0, &pf.l_sub[idx - 1], &ys[idx - 1], 1.0, &mut yj);
                         }
-                        blas::trsm_with(&mut pack, Side::Left, Triangle::Lower, Trans::No, &pf.l_diag[idx], &mut yj);
-                        // Accumulate separator / tip updates.
-                        if !pf.l_left.is_empty() {
-                            let lu = left_update.get_or_insert_with(|| Matrix::zeros(b, k));
-                            blas::gemm_with(&mut pack, Trans::No, Trans::No, 1.0, &pf.l_left[idx], &yj, 1.0, lu);
-                        }
-                        if idx + 1 == e - s {
-                            if let Some(r) = &pf.l_right {
-                                let ru = right_update.get_or_insert_with(|| Matrix::zeros(b, k));
-                                blas::gemm_with(&mut pack, Trans::No, Trans::No, 1.0, r, &yj, 1.0, ru);
-                            }
-                        }
-                        if a > 0 {
-                            blas::gemm_with(&mut pack, Trans::No, Trans::No, 1.0, &pf.l_arrow[idx], &yj, 1.0, &mut tip_update);
+                        blas::trsm_with(&mut packs.diag, Side::Left, Triangle::Lower, Trans::No, &pf.l_diag[idx], &mut yj);
+                        // Separator / tip accumulations: three disjoint
+                        // outputs reading the shared y_j — one join group.
+                        {
+                            let InteriorPacks { left: pk_left, arrow: pk_arrow, schur: pk_schur, .. } =
+                                &mut packs;
+                            let (lu, ru, tu) = (&mut left_update, &mut right_update, &mut tip_update);
+                            let y = &yj;
+                            let w = pf.l_left.get(idx);
+                            let r = if idx + 1 == len { pf.l_right.as_ref() } else { None };
+                            let c = if a > 0 { Some(&pf.l_arrow[idx]) } else { None };
+                            run3(
+                                split,
+                                move || {
+                                    if let (Some(lu), Some(w)) = (lu.as_mut(), w) {
+                                        blas::gemm_with(pk_left, Trans::No, Trans::No, 1.0, w, y, 1.0, lu);
+                                    }
+                                },
+                                move || {
+                                    if let (Some(ru), Some(r)) = (ru.as_mut(), r) {
+                                        blas::gemm_with(pk_schur, Trans::No, Trans::No, 1.0, r, y, 1.0, ru);
+                                    }
+                                },
+                                move || {
+                                    if let Some(c) = c {
+                                        blas::gemm_with(pk_arrow, Trans::No, Trans::No, 1.0, c, y, 1.0, tu);
+                                    }
+                                },
+                            );
                         }
                         ys.push(yj);
                     }
@@ -580,7 +862,7 @@ pub fn d_pobtas(factor: &DistBtaCholesky, rhs: &mut Matrix) {
                 }
             }
 
-            // ---- Solve the reduced system (sequential). ----
+            // ---- Solve the reduced system. ----
             pobtas(reduced, &mut reduced_rhs);
 
             // Scatter the separator / tip solutions back.
@@ -593,39 +875,64 @@ pub fn d_pobtas(factor: &DistBtaCholesky, rhs: &mut Matrix) {
                 rhs.set_block(a0, 0, &tip_block);
             }
 
+            // Hoist the separator / tip solution blocks out of the parallel
+            // region: every partition reads (at most) two separators and the
+            // tip, so one extraction per reduced block replaces the former
+            // per-partition clones.
+            let sep_x: Vec<Matrix> = (0..n_red).map(|kk| reduced_rhs.block(kk * b, 0, b, k)).collect();
+            let tip_x = (a > 0).then(|| reduced_rhs.block(n_red * b, 0, a, k));
+
             // ---- Backward substitution on the interiors (parallel). ----
+            let last_p = partitioning.num_partitions() - 1;
             let solutions: Vec<(usize, Vec<Matrix>)> = partitions
                 .par_iter()
                 .map(|pf| {
                     let (s, e) = pf.interior;
                     let len = e - s;
-                    let mut pack = PackBuffer::new();
+                    let mut packs = InteriorPacks::new();
                     let mut xs: Vec<Matrix> = vec![Matrix::zeros(0, 0); len];
-                    let x_left = if pf.p > 0 { Some(reduced_rhs.block((pf.p - 1) * b, 0, b, k)) } else { None };
-                    let x_right = if pf.p < partitioning.num_partitions() - 1 {
-                        Some(reduced_rhs.block(pf.p * b, 0, b, k))
-                    } else {
-                        None
-                    };
-                    let x_tip = if a > 0 { Some(reduced_rhs.block(n_red * b, 0, a, k)) } else { None };
+                    let x_left = if pf.p > 0 { Some(&sep_x[pf.p - 1]) } else { None };
+                    let x_right = if pf.p < last_p { Some(&sep_x[pf.p]) } else { None };
+                    let x_tip = tip_x.as_ref();
+                    // The external separator / tip back-couplings accumulate
+                    // into a dedicated buffer so they can fork against the
+                    // carried sub-diagonal term; both schedules run the same
+                    // sequence, keeping the result schedule-independent.
+                    let mut ext = if len > 0 { Matrix::zeros(b, k) } else { Matrix::zeros(0, 0) };
                     for idx in (0..len).rev() {
                         let j = s + idx;
                         let mut t = rhs.block(j * b, 0, b, k);
-                        if idx + 1 < len {
-                            blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, &pf.l_sub[idx], &xs[idx + 1], 1.0, &mut t);
+                        ext.fill_zero();
+                        {
+                            let InteriorPacks { diag: pk_diag, left: pk_left, .. } = &mut packs;
+                            let carried =
+                                if idx + 1 < len { Some((&pf.l_sub[idx], &xs[idx + 1])) } else { None };
+                            let (t_ref, ext_ref) = (&mut t, &mut ext);
+                            let w = pf.l_left.get(idx);
+                            let r = if idx + 1 == len { pf.l_right.as_ref() } else { None };
+                            let c = &pf.l_arrow;
+                            run2(
+                                split,
+                                move || {
+                                    if let Some((l, x)) = carried {
+                                        blas::gemm_with(pk_diag, Trans::Yes, Trans::No, -1.0, l, x, 1.0, t_ref);
+                                    }
+                                },
+                                move || {
+                                    if let (Some(w), Some(xl)) = (w, x_left) {
+                                        blas::gemm_with(pk_left, Trans::Yes, Trans::No, -1.0, w, xl, 1.0, ext_ref);
+                                    }
+                                    if let (Some(r), Some(xr)) = (r, x_right) {
+                                        blas::gemm_with(pk_left, Trans::Yes, Trans::No, -1.0, r, xr, 1.0, ext_ref);
+                                    }
+                                    if let Some(xt) = x_tip {
+                                        blas::gemm_with(pk_left, Trans::Yes, Trans::No, -1.0, &c[idx], xt, 1.0, ext_ref);
+                                    }
+                                },
+                            );
                         }
-                        if let (Some(w), Some(xl)) = (pf.l_left.get(idx), x_left.as_ref()) {
-                            blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, w, xl, 1.0, &mut t);
-                        }
-                        if idx + 1 == len {
-                            if let (Some(r), Some(xr)) = (pf.l_right.as_ref(), x_right.as_ref()) {
-                                blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, r, xr, 1.0, &mut t);
-                            }
-                        }
-                        if let Some(xt) = x_tip.as_ref() {
-                            blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, &pf.l_arrow[idx], xt, 1.0, &mut t);
-                        }
-                        blas::trsm_with(&mut pack, Side::Left, Triangle::Lower, Trans::Yes, &pf.l_diag[idx], &mut t);
+                        t.axpy(1.0, &ext);
+                        blas::trsm_with(&mut packs.diag, Side::Left, Triangle::Lower, Trans::Yes, &pf.l_diag[idx], &mut t);
                         xs[idx] = t;
                     }
                     (pf.p, xs)
@@ -643,14 +950,31 @@ pub fn d_pobtas(factor: &DistBtaCholesky, rhs: &mut Matrix) {
 }
 
 /// Distributed selected inversion (`d_pobtasi`): the selected inverse blocks
-/// on the original BTA pattern, matching [`pobtasi`] exactly.
+/// on the original BTA pattern, matching [`pobtasi`] exactly. Uses stealable
+/// partition interiors ([`InteriorSchedule::Stealable`]).
 pub fn d_pobtasi(factor: &DistBtaCholesky) -> BtaSelectedInverse {
+    d_pobtasi_scheduled(factor, InteriorSchedule::Stealable)
+}
+
+/// [`d_pobtasi`] with an explicit [`InteriorSchedule`].
+///
+/// With [`InteriorSchedule::Stealable`] every interior column of the backward
+/// selected-inverse pass forks its three independent Σ products — `Σ_{ls,j}`
+/// (left separator column), `Σ_{j+1,j}` / `Σ_{rs,j}` (below-diagonal), and
+/// `Σ_{T,j}` (arrow row) — as one pool join group with per-lane
+/// `PackBuffer`s; `L_jj⁻¹` and the diagonal update stay on the critical path.
+/// Both schedules execute the same kernel calls on the same operands, so the
+/// selected inverse is **bitwise identical** across schedules.
+pub fn d_pobtasi_scheduled(factor: &DistBtaCholesky, sched: InteriorSchedule) -> BtaSelectedInverse {
     match factor {
         DistBtaCholesky::Sequential(f) => pobtasi(f),
         DistBtaCholesky::Partitioned { structure, partitioning, partitions, reduced } => {
             let (n, b, a) = *structure;
             let seps = partitioning.separators();
             let n_red = seps.len();
+            let split = sched == InteriorSchedule::Stealable
+                && b >= STEAL_MIN_BLOCK
+                && dalia_pool::current_num_threads() > 1;
             let reduced_sel = pobtasi(reduced);
             let mut inv = BtaMatrix::zeros(n, b, a);
 
@@ -688,19 +1012,22 @@ pub fn d_pobtasi(factor: &DistBtaCholesky) -> BtaSelectedInverse {
                     let (s, e) = pf.interior;
                     let len = e - s;
                     let p = pf.p;
-                    let mut pack = PackBuffer::new();
+                    let mut packs = InteriorPacks::new();
                     let has_left = p > 0;
                     let has_right = p + 1 < partitioning.num_partitions();
 
-                    let sig_ls_ls = if has_left { Some(reduced_sel.blocks.diag[p - 1].clone()) } else { None };
-                    let sig_rs_rs = if has_right { Some(reduced_sel.blocks.diag[p].clone()) } else { None };
+                    // Borrowed views into the shared reduced selected inverse
+                    // — no per-partition clones (the reduced system is
+                    // read-only during this pass).
+                    let sig_ls_ls = if has_left { Some(&reduced_sel.blocks.diag[p - 1]) } else { None };
+                    let sig_rs_rs = if has_right { Some(&reduced_sel.blocks.diag[p]) } else { None };
                     let sig_rs_ls = if has_left && has_right {
-                        Some(reduced_sel.blocks.sub[p - 1].clone())
+                        Some(&reduced_sel.blocks.sub[p - 1])
                     } else {
                         None
                     };
-                    let sig_t_ls = if has_left && a > 0 { Some(reduced_sel.blocks.arrow[p - 1].clone()) } else { None };
-                    let sig_t_rs = if has_right && a > 0 { Some(reduced_sel.blocks.arrow[p].clone()) } else { None };
+                    let sig_t_ls = if has_left && a > 0 { Some(&reduced_sel.blocks.arrow[p - 1]) } else { None };
+                    let sig_t_rs = if has_right && a > 0 { Some(&reduced_sel.blocks.arrow[p]) } else { None };
                     let sig_tt = &reduced_sel.blocks.tip;
 
                     let mut diag_out: Vec<Matrix> = vec![Matrix::zeros(0, 0); len];
@@ -718,105 +1045,124 @@ pub fn d_pobtasi(factor: &DistBtaCholesky) -> BtaSelectedInverse {
                         let is_last = idx + 1 == len;
                         let l_jj = &pf.l_diag[idx];
                         let mut l_inv = Matrix::identity(b);
-                        blas::trsm_with(&mut pack, Side::Left, Triangle::Lower, Trans::No, l_jj, &mut l_inv);
+                        blas::trsm_with(&mut packs.diag, Side::Left, Triangle::Lower, Trans::No, l_jj, &mut l_inv);
 
                         let w_j = pf.l_left.get(idx);
                         let c_j = &pf.l_arrow[idx];
                         let b_j = if !is_last { Some(&pf.l_sub[idx]) } else { None };
                         let r_j = if is_last { pf.l_right.as_ref() } else { None };
 
-                        // Σ_{ls,j}.
-                        let sigma_left = if has_left {
-                            let mut m = Matrix::zeros(b, b);
-                            if let (Some(bj), Some(nl)) = (b_j, next_left.as_ref()) {
-                                blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, nl, bj, 1.0, &mut m);
-                            }
-                            if let (Some(sll), Some(w)) = (sig_ls_ls.as_ref(), w_j) {
-                                blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, sll, w, 1.0, &mut m);
-                            }
-                            if let (Some(rj), Some(srl)) = (r_j, sig_rs_ls.as_ref()) {
-                                // Σ_{ls,rs} = Σ_{rs,ls}ᵀ.
-                                blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, srl, rj, 1.0, &mut m);
-                            }
-                            if a > 0 {
-                                if let Some(stl) = sig_t_ls.as_ref() {
-                                    blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, stl, c_j, 1.0, &mut m);
-                                }
-                            }
-                            let mut out = Matrix::zeros(b, b);
-                            blas::gemm_with(&mut pack, Trans::No, Trans::No, 1.0, &m, &l_inv, 0.0, &mut out);
-                            Some(out)
-                        } else {
-                            None
-                        };
-
-                        // Σ_{j+1,j} (within partition) or Σ_{rs,j} (last column).
-                        let sigma_below = if let Some(bj) = b_j {
-                            let mut m = Matrix::zeros(b, b);
-                            blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, next_diag.as_ref().unwrap(), bj, 1.0, &mut m);
-                            if let (Some(nl), Some(w)) = (next_left.as_ref(), w_j) {
-                                // Σ_{j+1,ls} = Σ_{ls,j+1}ᵀ.
-                                blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, nl, w, 1.0, &mut m);
-                            }
-                            if a > 0 {
-                                blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, next_arrow.as_ref().unwrap(), c_j, 1.0, &mut m);
-                            }
-                            let mut out = Matrix::zeros(b, b);
-                            blas::gemm_with(&mut pack, Trans::No, Trans::No, 1.0, &m, &l_inv, 0.0, &mut out);
-                            Some(out)
-                        } else if let Some(rj) = r_j {
-                            let mut m = Matrix::zeros(b, b);
-                            blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, sig_rs_rs.as_ref().unwrap(), rj, 1.0, &mut m);
-                            if let (Some(srl), Some(w)) = (sig_rs_ls.as_ref(), w_j) {
-                                blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, srl, w, 1.0, &mut m);
-                            }
-                            if a > 0 {
-                                if let Some(str_) = sig_t_rs.as_ref() {
-                                    blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, str_, c_j, 1.0, &mut m);
-                                }
-                            }
-                            let mut out = Matrix::zeros(b, b);
-                            blas::gemm_with(&mut pack, Trans::No, Trans::No, 1.0, &m, &l_inv, 0.0, &mut out);
-                            Some(out)
-                        } else {
-                            None
-                        };
-
-                        // Σ_{T,j}.
-                        let sigma_tip = if a > 0 {
-                            let mut m = Matrix::zeros(a, b);
-                            if let Some(bj) = b_j {
-                                blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, next_arrow.as_ref().unwrap(), bj, 1.0, &mut m);
-                            }
-                            if let (Some(stl), Some(w)) = (sig_t_ls.as_ref(), w_j) {
-                                blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, stl, w, 1.0, &mut m);
-                            }
-                            if let (Some(str_), Some(rj)) = (sig_t_rs.as_ref(), r_j) {
-                                blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, str_, rj, 1.0, &mut m);
-                            }
-                            blas::gemm_with(&mut pack, Trans::No, Trans::No, -1.0, sig_tt, c_j, 1.0, &mut m);
-                            let mut out = Matrix::zeros(a, b);
-                            blas::gemm_with(&mut pack, Trans::No, Trans::No, 1.0, &m, &l_inv, 0.0, &mut out);
-                            Some(out)
-                        } else {
-                            None
-                        };
+                        // The three Σ products of this column are mutually
+                        // independent (disjoint outputs, shared read-only
+                        // inputs) — fork them as one join group.
+                        let mut sigma_left: Option<Matrix> = None;
+                        let mut sigma_below: Option<Matrix> = None;
+                        let mut sigma_tip: Option<Matrix> = None;
+                        {
+                            let InteriorPacks { left: pk_left, arrow: pk_arrow, schur: pk_schur, .. } =
+                                &mut packs;
+                            let (sl_out, sb_out, st_out) =
+                                (&mut sigma_left, &mut sigma_below, &mut sigma_tip);
+                            let li = &l_inv;
+                            let nd = next_diag.as_ref();
+                            let nl = next_left.as_ref();
+                            let na = next_arrow.as_ref();
+                            run3(
+                                split,
+                                // Σ_{ls,j}.
+                                move || {
+                                    if has_left {
+                                        let mut m = Matrix::zeros(b, b);
+                                        if let (Some(bj), Some(nl)) = (b_j, nl) {
+                                            blas::gemm_with(pk_left, Trans::No, Trans::No, -1.0, nl, bj, 1.0, &mut m);
+                                        }
+                                        if let (Some(sll), Some(w)) = (sig_ls_ls, w_j) {
+                                            blas::gemm_with(pk_left, Trans::No, Trans::No, -1.0, sll, w, 1.0, &mut m);
+                                        }
+                                        if let (Some(rj), Some(srl)) = (r_j, sig_rs_ls) {
+                                            // Σ_{ls,rs} = Σ_{rs,ls}ᵀ.
+                                            blas::gemm_with(pk_left, Trans::Yes, Trans::No, -1.0, srl, rj, 1.0, &mut m);
+                                        }
+                                        if a > 0 {
+                                            if let Some(stl) = sig_t_ls {
+                                                blas::gemm_with(pk_left, Trans::Yes, Trans::No, -1.0, stl, c_j, 1.0, &mut m);
+                                            }
+                                        }
+                                        let mut out = Matrix::zeros(b, b);
+                                        blas::gemm_with(pk_left, Trans::No, Trans::No, 1.0, &m, li, 0.0, &mut out);
+                                        *sl_out = Some(out);
+                                    }
+                                },
+                                // Σ_{j+1,j} (within partition) or Σ_{rs,j} (last column).
+                                move || {
+                                    *sb_out = if let Some(bj) = b_j {
+                                        let mut m = Matrix::zeros(b, b);
+                                        blas::gemm_with(pk_schur, Trans::No, Trans::No, -1.0, nd.unwrap(), bj, 1.0, &mut m);
+                                        if let (Some(nl), Some(w)) = (nl, w_j) {
+                                            // Σ_{j+1,ls} = Σ_{ls,j+1}ᵀ.
+                                            blas::gemm_with(pk_schur, Trans::Yes, Trans::No, -1.0, nl, w, 1.0, &mut m);
+                                        }
+                                        if a > 0 {
+                                            blas::gemm_with(pk_schur, Trans::Yes, Trans::No, -1.0, na.unwrap(), c_j, 1.0, &mut m);
+                                        }
+                                        let mut out = Matrix::zeros(b, b);
+                                        blas::gemm_with(pk_schur, Trans::No, Trans::No, 1.0, &m, li, 0.0, &mut out);
+                                        Some(out)
+                                    } else if let Some(rj) = r_j {
+                                        let mut m = Matrix::zeros(b, b);
+                                        blas::gemm_with(pk_schur, Trans::No, Trans::No, -1.0, sig_rs_rs.unwrap(), rj, 1.0, &mut m);
+                                        if let (Some(srl), Some(w)) = (sig_rs_ls, w_j) {
+                                            blas::gemm_with(pk_schur, Trans::No, Trans::No, -1.0, srl, w, 1.0, &mut m);
+                                        }
+                                        if a > 0 {
+                                            if let Some(str_) = sig_t_rs {
+                                                blas::gemm_with(pk_schur, Trans::Yes, Trans::No, -1.0, str_, c_j, 1.0, &mut m);
+                                            }
+                                        }
+                                        let mut out = Matrix::zeros(b, b);
+                                        blas::gemm_with(pk_schur, Trans::No, Trans::No, 1.0, &m, li, 0.0, &mut out);
+                                        Some(out)
+                                    } else {
+                                        None
+                                    };
+                                },
+                                // Σ_{T,j}.
+                                move || {
+                                    if a > 0 {
+                                        let mut m = Matrix::zeros(a, b);
+                                        if let Some(bj) = b_j {
+                                            blas::gemm_with(pk_arrow, Trans::No, Trans::No, -1.0, na.unwrap(), bj, 1.0, &mut m);
+                                        }
+                                        if let (Some(stl), Some(w)) = (sig_t_ls, w_j) {
+                                            blas::gemm_with(pk_arrow, Trans::No, Trans::No, -1.0, stl, w, 1.0, &mut m);
+                                        }
+                                        if let (Some(str_), Some(rj)) = (sig_t_rs, r_j) {
+                                            blas::gemm_with(pk_arrow, Trans::No, Trans::No, -1.0, str_, rj, 1.0, &mut m);
+                                        }
+                                        blas::gemm_with(pk_arrow, Trans::No, Trans::No, -1.0, sig_tt, c_j, 1.0, &mut m);
+                                        let mut out = Matrix::zeros(a, b);
+                                        blas::gemm_with(pk_arrow, Trans::No, Trans::No, 1.0, &m, li, 0.0, &mut out);
+                                        *st_out = Some(out);
+                                    }
+                                },
+                            );
+                        }
 
                         // Σ_{jj} = L_jj^{-T}(L_jj^{-1} − Σ_k L_{k,j}ᵀ Σ_{k,j}).
                         let mut inner = l_inv.clone();
                         if let (Some(bj), Some(sb)) = (b_j, sigma_below.as_ref()) {
-                            blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, bj, sb, 1.0, &mut inner);
+                            blas::gemm_with(&mut packs.diag, Trans::Yes, Trans::No, -1.0, bj, sb, 1.0, &mut inner);
                         }
                         if let (Some(rj), Some(sb)) = (r_j, sigma_below.as_ref()) {
-                            blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, rj, sb, 1.0, &mut inner);
+                            blas::gemm_with(&mut packs.diag, Trans::Yes, Trans::No, -1.0, rj, sb, 1.0, &mut inner);
                         }
                         if let (Some(w), Some(sl)) = (w_j, sigma_left.as_ref()) {
-                            blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, w, sl, 1.0, &mut inner);
+                            blas::gemm_with(&mut packs.diag, Trans::Yes, Trans::No, -1.0, w, sl, 1.0, &mut inner);
                         }
                         if let Some(st) = sigma_tip.as_ref() {
-                            blas::gemm_with(&mut pack, Trans::Yes, Trans::No, -1.0, c_j, st, 1.0, &mut inner);
+                            blas::gemm_with(&mut packs.diag, Trans::Yes, Trans::No, -1.0, c_j, st, 1.0, &mut inner);
                         }
-                        blas::trsm_with(&mut pack, Side::Left, Triangle::Lower, Trans::Yes, l_jj, &mut inner);
+                        blas::trsm_with(&mut packs.diag, Side::Left, Triangle::Lower, Trans::Yes, l_jj, &mut inner);
                         inner.symmetrize();
 
                         diag_out[idx] = inner.clone();
@@ -1008,6 +1354,39 @@ mod tests {
             }
         }
         assert_eq!(rx.logdet().to_bits(), ry.logdet().to_bits(), "{tag}: reduced logdet");
+        assert_chol_bitwise_equal(rx, ry, &format!("{tag}: reduced factor"));
+    }
+
+    /// Exact (bitwise) equality of two BTA Cholesky factors, block by block.
+    fn assert_chol_bitwise_equal(x: &BtaCholesky, y: &BtaCholesky, tag: &str) {
+        let (bx, by) = (&x.blocks, &y.blocks);
+        assert_eq!(bx.n, by.n, "{tag}: block count");
+        for (i, (mx, my)) in bx.diag.iter().zip(&by.diag).enumerate() {
+            assert_eq!(mx.max_abs_diff(my), 0.0, "{tag}: diag[{i}]");
+        }
+        for (i, (mx, my)) in bx.sub.iter().zip(&by.sub).enumerate() {
+            assert_eq!(mx.max_abs_diff(my), 0.0, "{tag}: sub[{i}]");
+        }
+        for (i, (mx, my)) in bx.arrow.iter().zip(&by.arrow).enumerate() {
+            assert_eq!(mx.max_abs_diff(my), 0.0, "{tag}: arrow[{i}]");
+        }
+        assert_eq!(bx.tip.max_abs_diff(&by.tip), 0.0, "{tag}: tip");
+    }
+
+    /// Exact (bitwise) equality of two selected inverses, block by block.
+    fn assert_selinv_bitwise_equal(x: &BtaSelectedInverse, y: &BtaSelectedInverse, tag: &str) {
+        let (bx, by) = (&x.blocks, &y.blocks);
+        assert_eq!(bx.n, by.n, "{tag}: block count");
+        for (i, (mx, my)) in bx.diag.iter().zip(&by.diag).enumerate() {
+            assert_eq!(mx.max_abs_diff(my), 0.0, "{tag}: diag[{i}]");
+        }
+        for (i, (mx, my)) in bx.sub.iter().zip(&by.sub).enumerate() {
+            assert_eq!(mx.max_abs_diff(my), 0.0, "{tag}: sub[{i}]");
+        }
+        for (i, (mx, my)) in bx.arrow.iter().zip(&by.arrow).enumerate() {
+            assert_eq!(mx.max_abs_diff(my), 0.0, "{tag}: arrow[{i}]");
+        }
+        assert_eq!(bx.tip.max_abs_diff(&by.tip), 0.0, "{tag}: tip");
     }
 
     #[test]
@@ -1029,6 +1408,149 @@ mod tests {
         let again =
             pool.install(|| d_pobtaf_scheduled(&m, &part, InteriorSchedule::Stealable)).unwrap();
         assert_factors_bitwise_equal(&stealable, &again, "stealable-rerun");
+    }
+
+    #[test]
+    fn parallel_reduced_pobtaf_bitwise_matches_sequential() {
+        // The forked right-looking reduced-system factorization must agree
+        // with the sequential kernel to the last bit, with and without an
+        // arrow, and on a 1-thread pool (where it falls back outright).
+        let pool = dalia_pool::ThreadPool::new(4);
+        let single = dalia_pool::ThreadPool::new(1);
+        for (aa, seed) in [(3, 11), (0, 12)] {
+            let m = test_matrix(5, STEAL_MIN_BLOCK + 16, aa, seed);
+            let seq = pobtaf(&m).unwrap();
+            let par = pool.install(|| pobtaf_parallel(&m)).unwrap();
+            assert_chol_bitwise_equal(&par, &seq, &format!("pobtaf_parallel a={aa}"));
+            let one = single.install(|| pobtaf_parallel(&m)).unwrap();
+            assert_chol_bitwise_equal(&one, &seq, &format!("pobtaf_parallel 1T a={aa}"));
+        }
+        // Below the fork cutoff the parallel entry point is the sequential
+        // kernel by definition.
+        let m = test_matrix(6, STEAL_MIN_BLOCK / 2, 2, 13);
+        let par = pool.install(|| pobtaf_parallel(&m)).unwrap();
+        assert_chol_bitwise_equal(&par, &pobtaf(&m).unwrap(), "pobtaf_parallel tiny");
+    }
+
+    #[test]
+    fn tree_reduced_assembly_independent_of_worker_count() {
+        // 8 partitions give a 3-level Schur reduction tree; the sequential
+        // (1-thread) and forked (4-thread) reductions share the same pairing
+        // order, so the assembled reduced factor must agree bitwise.
+        let m = test_matrix(16, 3, 2, 33);
+        let part = Partitioning::load_balanced(16, 8, 1.0);
+        let f1 = dalia_pool::ThreadPool::new(1).install(|| d_pobtaf(&m, &part)).unwrap();
+        let f4 = dalia_pool::ThreadPool::new(4).install(|| d_pobtaf(&m, &part)).unwrap();
+        assert_factors_bitwise_equal(&f1, &f4, "tree-reduce worker count");
+    }
+
+    #[test]
+    fn stealable_solve_and_selinv_bitwise_match_indivisible() {
+        // Same contract as the factorization test: blocks above the fork
+        // cutoff on a multi-worker pool, stealable vs indivisible schedules
+        // (and reruns, and different worker counts) agree to the last bit.
+        let n = 9;
+        let (b, aa) = (STEAL_MIN_BLOCK + 16, 3);
+        let m = test_matrix(n, b, aa, 21);
+        let part = Partitioning::from_sizes(&[6, 1, 1, 1]);
+        let pool = dalia_pool::ThreadPool::new(4);
+        let factor = pool.install(|| d_pobtaf(&m, &part)).unwrap();
+
+        let rhs0 = test_rhs(m.dim(), 3);
+        let mut steal = rhs0.clone();
+        pool.install(|| d_pobtas_scheduled(&factor, &mut steal, InteriorSchedule::Stealable));
+        let mut indiv = rhs0.clone();
+        d_pobtas_scheduled(&factor, &mut indiv, InteriorSchedule::Indivisible);
+        assert_eq!(steal.max_abs_diff(&indiv), 0.0, "solve: stealable vs indivisible");
+        let mut again = rhs0.clone();
+        pool.install(|| d_pobtas_scheduled(&factor, &mut again, InteriorSchedule::Stealable));
+        assert_eq!(steal.max_abs_diff(&again), 0.0, "solve: stealable rerun");
+        let mut one = rhs0.clone();
+        dalia_pool::ThreadPool::new(1)
+            .install(|| d_pobtas_scheduled(&factor, &mut one, InteriorSchedule::Stealable));
+        assert_eq!(steal.max_abs_diff(&one), 0.0, "solve: 1-thread vs 4-thread");
+
+        let sel_steal = pool.install(|| d_pobtasi_scheduled(&factor, InteriorSchedule::Stealable));
+        let sel_indiv = d_pobtasi_scheduled(&factor, InteriorSchedule::Indivisible);
+        assert_selinv_bitwise_equal(&sel_steal, &sel_indiv, "selinv: stealable vs indivisible");
+        let sel_again = pool.install(|| d_pobtasi_scheduled(&factor, InteriorSchedule::Stealable));
+        assert_selinv_bitwise_equal(&sel_steal, &sel_again, "selinv: stealable rerun");
+    }
+
+    /// Full-pipeline schedule parity on a given explicit layout: factor,
+    /// solve and selected inverse must be bitwise identical across schedules
+    /// and numerically match the sequential pipeline.
+    fn check_schedules_agree(n: usize, b: usize, aa: usize, sizes: &[usize], tag: &str) {
+        let m = test_matrix(n, b, aa, 5);
+        let part = Partitioning::from_sizes(sizes);
+        let pool = dalia_pool::ThreadPool::new(4);
+        let fs = pool
+            .install(|| d_pobtaf_scheduled(&m, &part, InteriorSchedule::Stealable))
+            .unwrap();
+        let fi = d_pobtaf_scheduled(&m, &part, InteriorSchedule::Indivisible).unwrap();
+        assert_factors_bitwise_equal(&fs, &fi, tag);
+
+        let rhs0 = test_rhs(m.dim(), 2);
+        let mut xs = rhs0.clone();
+        pool.install(|| d_pobtas_scheduled(&fs, &mut xs, InteriorSchedule::Stealable));
+        let mut xi = rhs0.clone();
+        d_pobtas_scheduled(&fi, &mut xi, InteriorSchedule::Indivisible);
+        assert_eq!(xs.max_abs_diff(&xi), 0.0, "{tag}: solve schedules");
+
+        let ss = pool.install(|| d_pobtasi_scheduled(&fs, InteriorSchedule::Stealable));
+        let si = d_pobtasi_scheduled(&fi, InteriorSchedule::Indivisible);
+        assert_selinv_bitwise_equal(&ss, &si, tag);
+
+        let seq = pobtaf(&m).unwrap();
+        let mut xq = rhs0.clone();
+        pobtas(&seq, &mut xq);
+        assert!(xs.max_abs_diff(&xq) < 1e-8, "{tag}: solve vs sequential");
+        let sq = pobtasi(&seq);
+        for i in 0..n {
+            assert!(
+                sq.blocks.diag[i].max_abs_diff(&ss.blocks.diag[i]) < 1e-8,
+                "{tag}: selected-inverse diag {i} vs sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn schedules_agree_on_skewed_layout() {
+        check_schedules_agree(8, STEAL_MIN_BLOCK + 16, 2, &[5, 1, 1, 1], "skewed");
+    }
+
+    #[test]
+    fn schedules_agree_with_empty_interiors() {
+        // P = n: every partition is a single block, all interiors empty.
+        check_schedules_agree(4, STEAL_MIN_BLOCK + 16, 1, &[1, 1, 1, 1], "empty-interior");
+    }
+
+    #[test]
+    fn schedules_agree_without_arrow() {
+        check_schedules_agree(8, STEAL_MIN_BLOCK + 16, 0, &[5, 1, 1, 1], "no-arrow");
+    }
+
+    #[test]
+    fn schedules_agree_on_one_thread() {
+        // On a 1-thread pool the stealable schedule never forks; pin that
+        // the fallback path is the same computation.
+        let m = test_matrix(8, STEAL_MIN_BLOCK + 16, 2, 5);
+        let part = Partitioning::from_sizes(&[5, 1, 1, 1]);
+        let pool = dalia_pool::ThreadPool::new(1);
+        let fs = pool
+            .install(|| d_pobtaf_scheduled(&m, &part, InteriorSchedule::Stealable))
+            .unwrap();
+        let fi = d_pobtaf_scheduled(&m, &part, InteriorSchedule::Indivisible).unwrap();
+        assert_factors_bitwise_equal(&fs, &fi, "1-thread");
+        let rhs0 = test_rhs(m.dim(), 2);
+        let mut xs = rhs0.clone();
+        pool.install(|| d_pobtas_scheduled(&fs, &mut xs, InteriorSchedule::Stealable));
+        let mut xi = rhs0.clone();
+        d_pobtas_scheduled(&fi, &mut xi, InteriorSchedule::Indivisible);
+        assert_eq!(xs.max_abs_diff(&xi), 0.0, "1-thread: solve schedules");
+        let ss = pool.install(|| d_pobtasi_scheduled(&fs, InteriorSchedule::Stealable));
+        let si = d_pobtasi_scheduled(&fi, InteriorSchedule::Indivisible);
+        assert_selinv_bitwise_equal(&ss, &si, "1-thread");
     }
 
     #[test]

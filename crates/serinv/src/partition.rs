@@ -14,6 +14,40 @@
 //! [`Partitioning`] is pure structure (no numeric data), so the stateful
 //! solvers compute it once per model and reuse it for every θ.
 
+/// Take `excess` blocks back from `sizes` after the floored shares of
+/// [`Partitioning::load_balanced`] overshoot `n` (the `max(1)` floor of
+/// tiny interior shares can push the total past `n`).
+///
+/// Interior partitions give blocks back first (round-robin over `1..p-1`)
+/// while any of them still has more than one block; the boundary partitions
+/// — which the load-balancing factor deliberately over-provisions — only
+/// shrink once every interior partition is down to a single block, and then
+/// alternately starting with the larger one. Every partition keeps at least
+/// one block.
+fn shrink_excess(sizes: &mut [usize], mut excess: usize) {
+    let p = sizes.len();
+    let mut idx = 0usize;
+    while excess > 0 && p > 2 && sizes[1..p - 1].iter().any(|&s| s > 1) {
+        let target = 1 + idx % (p - 2);
+        idx += 1;
+        if sizes[target] > 1 {
+            sizes[target] -= 1;
+            excess -= 1;
+        }
+    }
+    // All interiors are at their one-block minimum: boundaries give the rest
+    // back, larger side first so the two stay balanced.
+    let mut take_last = sizes[p - 1] > sizes[0];
+    while excess > 0 {
+        let target = if take_last { p - 1 } else { 0 };
+        take_last = !take_last;
+        if sizes[target] > 1 {
+            sizes[target] -= 1;
+            excess -= 1;
+        }
+    }
+}
+
 /// A contiguous partitioning of `n` diagonal blocks into `P` slices.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Partitioning {
@@ -61,14 +95,8 @@ impl Partitioning {
                 assigned += 1;
                 idx += 1;
             }
-            idx = 1;
-            while assigned > n {
-                let target = idx % p;
-                if sizes[target] > 1 {
-                    sizes[target] -= 1;
-                    assigned -= 1;
-                }
-                idx += 1;
+            if assigned > n {
+                shrink_excess(&mut sizes, assigned - n);
             }
         }
         let mut boundaries = Vec::with_capacity(p + 1);
@@ -221,6 +249,56 @@ mod tests {
     #[should_panic]
     fn too_many_partitions_panics() {
         let _ = Partitioning::even(3, 5);
+    }
+
+    #[test]
+    fn shrink_excess_prefers_interior_partitions() {
+        // Interiors (indices 1..p-1) give blocks back round-robin; the
+        // over-provisioned boundaries stay untouched while any interior can
+        // still shrink. The retired traversal walked `idx % p` from 1 and so
+        // hit the boundaries (targets 0 and p-1) on every lap.
+        let mut sizes = [3usize, 2, 2, 3];
+        shrink_excess(&mut sizes, 2);
+        assert_eq!(sizes, [3, 1, 1, 3]);
+
+        // More excess than one lap: interiors first, all the way down...
+        let mut sizes = [4usize, 3, 2, 4];
+        shrink_excess(&mut sizes, 3);
+        assert_eq!(sizes, [4, 1, 1, 4]);
+
+        // ...then the boundaries, larger one first, alternating.
+        let mut sizes = [2usize, 1, 1, 3];
+        shrink_excess(&mut sizes, 2);
+        assert_eq!(sizes, [1, 1, 1, 2]);
+        let mut sizes = [2usize, 1, 1, 2];
+        shrink_excess(&mut sizes, 2);
+        assert_eq!(sizes, [1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn load_balanced_overshoot_shrinks_without_starving() {
+        // n = 6, p = 5, lb = 4: weights total 11, so the boundary floors are
+        // 2 each while every interior share floors to 0 and is bumped to the
+        // one-block minimum — 2+1+1+1+2 = 7 > 6, the floored shares
+        // overshoot and the excess-removal path runs.
+        let p = Partitioning::load_balanced(6, 5, 4.0);
+        assert_eq!(p.num_blocks(), 6);
+        let sizes: Vec<usize> = (0..5).map(|i| p.size(i)).collect();
+        assert!(sizes.iter().all(|&s| s >= 1), "starved partition: {sizes:?}");
+        // The interiors were already at their minimum, so the excess must
+        // come out of a boundary — never out of an interior's last block.
+        assert_eq!(&sizes[1..4], &[1, 1, 1]);
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+
+        // Sweep overshoot-prone corners: totals must always match and no
+        // partition may starve.
+        for (n, np, lb) in [(6usize, 5usize, 4.0f64), (7, 6, 5.0), (9, 7, 3.0), (10, 8, 6.0)] {
+            let p = Partitioning::load_balanced(n, np, lb);
+            assert_eq!(p.num_blocks(), n, "n={n} p={np} lb={lb}");
+            for i in 0..np {
+                assert!(p.size(i) >= 1, "n={n} p={np} lb={lb} partition {i} starved");
+            }
+        }
     }
 
     #[test]

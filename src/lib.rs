@@ -71,7 +71,11 @@ pub mod prelude {
     };
     pub use dalia_sparse::{CooMatrix, CsrMatrix, Permutation, SparseCholesky};
     pub use dalia_spde::{SpatialSpde, SpatioTemporalSpde, StHyper};
-    pub use serinv::{d_pobtaf, d_pobtas, d_pobtasi, pobtaf, pobtas, pobtasi, BtaMatrix, Partitioning};
+    pub use serinv::{
+        d_pobtaf, d_pobtaf_scheduled, d_pobtas, d_pobtas_scheduled, d_pobtasi,
+        d_pobtasi_scheduled, pobtaf, pobtaf_parallel, pobtas, pobtasi, BtaMatrix,
+        InteriorSchedule, Partitioning,
+    };
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@ use crate::posterior::{
     fixed_effect_summaries, latent_marginals, FixedEffectSummary, HyperMarginals, LatentMarginals,
 };
 use crate::settings::InlaSettings;
+use crate::snapshot::PosteriorSnapshot;
 use crate::solver::{LatentSolver, PhaseTimers};
 use crate::CoreError;
 use dalia_model::{CoregionalModel, ModelHyper, ThetaPrior};
@@ -72,6 +73,39 @@ pub struct InlaResult {
     /// If other threads evaluate through the same session concurrently, their
     /// phase times are included in the delta.
     pub timers: PhaseTimers,
+}
+
+impl InlaResult {
+    /// Freeze this result into an immutable, `Arc`-shareable
+    /// [`PosteriorSnapshot`], consuming the result's summaries (the
+    /// non-cloning counterpart of [`InlaSession::snapshot`]).
+    ///
+    /// Re-factorizes `Q_c` at the result's mode on a pooled solver (one-time
+    /// cost, recorded in the session timers) and extracts the portable
+    /// read-only factor; the optimizer trace and timing fields are dropped —
+    /// a snapshot is a serving artifact, not a fit report.
+    pub fn into_snapshot<'m>(
+        self,
+        session: &InlaSession<'m>,
+    ) -> Result<PosteriorSnapshot<'m>, CoreError> {
+        let mut solver = session.pool.acquire();
+        solver.reset_timers();
+        let factor = solver
+            .factorize_conditional(&self.hyper_mode)
+            .and_then(|()| solver.snapshot_factor());
+        let backend = solver.backend_name();
+        session.accum.lock().expect("timer accumulator poisoned").merge(&solver.timers());
+        session.pool.release(solver);
+        Ok(PosteriorSnapshot::from_parts(
+            session.model,
+            self.hyper_mode,
+            self.latent,
+            self.hyper,
+            self.fixed_effects,
+            factor?,
+            backend,
+        ))
+    }
 }
 
 /// A pool of stateful solvers, one per concurrent evaluation lane. The S1
@@ -182,6 +216,14 @@ impl<'m> InlaSession<'m> {
         self.accum.lock().expect("timer accumulator poisoned").merge(&solver.timers());
         self.pool.release(solver);
         result
+    }
+
+    /// Freeze `result` into an immutable, `Arc`-shareable
+    /// [`PosteriorSnapshot`] for read-only serving, cloning the result's
+    /// posterior summaries (see [`InlaResult::into_snapshot`] for the
+    /// consuming variant).
+    pub fn snapshot(&self, result: &InlaResult) -> Result<PosteriorSnapshot<'m>, CoreError> {
+        result.clone().into_snapshot(self)
     }
 
     /// Phase timings accumulated over every evaluation since the session was

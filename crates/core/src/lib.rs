@@ -15,13 +15,18 @@
 //! * [`posterior`] — hyperparameter marginals, latent marginals via selected
 //!   inversion, fixed-effect summaries, response correlations and prediction,
 //! * [`engine`] — the end-to-end [`engine::InlaSession`], built via
-//!   [`engine::InlaEngine::builder`].
+//!   [`engine::InlaEngine::builder`],
+//! * [`snapshot`] — the immutable, `Arc`-shareable
+//!   [`snapshot::PosteriorSnapshot`] extracted from a completed fit, the
+//!   read-only artifact the `dalia-serve` crate serves concurrent predictive
+//!   queries from.
 
 pub mod engine;
 pub mod objective;
 pub mod optimizer;
 pub mod posterior;
 pub mod settings;
+pub mod snapshot;
 pub mod solver;
 
 pub use engine::{InlaEngine, InlaResult, InlaSession, InlaSessionBuilder};
@@ -30,10 +35,11 @@ pub use objective::{evaluate_fobj_with, FobjResult};
 pub use objective::evaluate_fobj;
 pub use optimizer::{evaluate_gradient, maximize_fobj, negative_hessian, OptimizationResult};
 pub use posterior::{
-    fixed_effect_summaries, latent_marginals, predict, response_correlations, FixedEffectSummary,
-    HyperMarginals, LatentMarginals, Prediction,
+    fixed_effect_summaries, latent_marginals, normal_quantile, predict, response_correlations,
+    FixedEffectSummary, HyperMarginals, LatentMarginals, Prediction,
 };
 pub use settings::{feature_table, InlaSettings, SolverBackend};
+pub use snapshot::{PosteriorSnapshot, SnapshotFactor, VarianceMode};
 pub use solver::{
     DistributedBtaSolver, LatentSolver, PhaseTimers, SequentialBtaSolver, SparseCholeskySolver,
 };

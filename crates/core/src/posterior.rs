@@ -7,6 +7,70 @@ use crate::CoreError;
 use dalia_la::{chol, eigen, Matrix};
 use dalia_model::{CoregionalModel, ModelHyper, PredictionTarget};
 
+/// Inverse standard-normal CDF `Φ⁻¹(p)` (Acklam's rational approximation,
+/// absolute error below `1.2e-9` across `(0, 1)`).
+///
+/// This is the single source of normal quantiles for every credible interval
+/// in the crate — `normal_quantile(0.975) ≈ 1.95996` replaces the hard-coded
+/// `1.96` the summaries used historically.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile: p={p} outside (0, 1)");
+    // Acklam's coefficients for the central and tail rational approximants.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p > 1.0 - P_LOW {
+        -normal_quantile(1.0 - p)
+    } else {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    }
+}
+
+/// The ± multiplier of a central Gaussian credible interval at `level`
+/// (e.g. `credible_z(0.95) ≈ 1.96`).
+fn credible_z(level: f64) -> f64 {
+    assert!(level > 0.0 && level < 1.0, "credible level {level} outside (0, 1)");
+    normal_quantile(0.5 * (1.0 + level))
+}
+
 /// Gaussian approximation of the hyperparameter posterior.
 #[derive(Clone, Debug)]
 pub struct HyperMarginals {
@@ -16,6 +80,11 @@ pub struct HyperMarginals {
     pub covariance: Matrix,
     /// Marginal standard deviations.
     pub sd: Vec<f64>,
+    /// Number of covariance diagonal entries that were negative (numerically
+    /// indefinite inverse) and clamped to zero when forming `sd`. Zero for a
+    /// healthy fit; a nonzero count is the signal the old silent
+    /// `max(0.0)` swallowed.
+    pub clamped: usize,
 }
 
 impl HyperMarginals {
@@ -34,13 +103,23 @@ impl HyperMarginals {
             }
         }
         let covariance = chol::spd_inverse(&h).map_err(|_| CoreError::HessianNotPositiveDefinite)?;
+        let clamped = (0..dim).filter(|&i| covariance[(i, i)] < 0.0).count();
         let sd = (0..dim).map(|i| covariance[(i, i)].max(0.0).sqrt()).collect();
-        Ok(Self { mode, covariance, sd })
+        Ok(Self { mode, covariance, sd, clamped })
     }
 
-    /// `(lower, upper)` quantiles of component `i` at the ±1.96 sd level.
+    /// `(lower, upper)` central credible interval of component `i` at the 95%
+    /// level — [`credible_interval_at`](Self::credible_interval_at) with
+    /// `level = 0.95`.
     pub fn credible_interval(&self, i: usize) -> (f64, f64) {
-        (self.mode[i] - 1.96 * self.sd[i], self.mode[i] + 1.96 * self.sd[i])
+        self.credible_interval_at(i, 0.95)
+    }
+
+    /// `(lower, upper)` central credible interval of component `i` at `level`
+    /// (e.g. `0.95`, `0.99`) under the Gaussian approximation.
+    pub fn credible_interval_at(&self, i: usize, level: f64) -> (f64, f64) {
+        let z = credible_z(level);
+        (self.mode[i] - z * self.sd[i], self.mode[i] + z * self.sd[i])
     }
 }
 
@@ -51,6 +130,11 @@ pub struct LatentMarginals {
     pub mean: Vec<f64>,
     /// Posterior standard deviations (permuted latent ordering).
     pub sd: Vec<f64>,
+    /// Number of selected-inverse variances that were negative (numerical
+    /// noise around zero, or a failing factorization) and clamped to zero
+    /// when forming `sd`. Zero for a healthy fit; previously these were
+    /// swallowed silently by `v.max(0.0)`.
+    pub clamped: usize,
 }
 
 /// Compute the latent marginals at the hyperparameter mode: the conditional
@@ -65,8 +149,9 @@ pub fn latent_marginals(
     // Only Q_c is needed here; skip the Q_p factorization.
     solver.factorize_conditional(hyper)?;
     let variances = solver.selected_inverse_diag();
+    let clamped = variances.iter().filter(|v| **v < 0.0).count();
     let sd = variances.iter().map(|v| v.max(0.0).sqrt()).collect();
-    Ok(LatentMarginals { mean, sd })
+    Ok(LatentMarginals { mean, sd, clamped })
 }
 
 /// Posterior summary of one fixed effect.
@@ -91,6 +176,7 @@ pub fn fixed_effect_summaries(
     model: &CoregionalModel,
     marginals: &LatentMarginals,
 ) -> Vec<FixedEffectSummary> {
+    let z = credible_z(0.95);
     let mut out = Vec::new();
     for l in 0..model.dims.nv {
         for r in 0..model.dims.nr {
@@ -102,8 +188,8 @@ pub fn fixed_effect_summaries(
                 effect: r,
                 mean,
                 sd,
-                q025: mean - 1.96 * sd,
-                q975: mean + 1.96 * sd,
+                q025: mean - z * sd,
+                q975: mean + z * sd,
             });
         }
     }
@@ -133,8 +219,21 @@ pub struct Prediction {
     pub sd: Vec<f64>,
 }
 
+impl Prediction {
+    /// `(lower, upper)` central predictive interval of target `i` at `level`
+    /// (e.g. `0.95`), using the same normal-quantile helper as the
+    /// hyperparameter and fixed-effect summaries.
+    pub fn credible_interval_at(&self, i: usize, level: f64) -> (f64, f64) {
+        let z = credible_z(level);
+        (self.mean[i] - z * self.sd[i], self.mean[i] + z * self.sd[i])
+    }
+}
+
 /// Predict the latent response surface at `targets` given the latent
-/// marginals.
+/// marginals, with the diagonal variance approximation (see
+/// [`Prediction::sd`]). For exact predictive variances through the frozen
+/// conditional factor, use
+/// [`PosteriorSnapshot::predict_exact`](crate::snapshot::PosteriorSnapshot::predict_exact).
 pub fn predict(
     model: &CoregionalModel,
     hyper: &ModelHyper,
@@ -159,6 +258,7 @@ pub fn predict(
 mod tests {
     use super::*;
     use crate::settings::{InlaSettings, SolverBackend};
+    use dalia_la::blas;
     use dalia_mesh::{Domain, Point, TriangleMesh};
     use dalia_model::{ModelHyper, Observation};
     use serinv::{pobtaf, pobtasi};
@@ -189,8 +289,43 @@ mod tests {
         let m = HyperMarginals::from_hessian(vec![0.5, -0.2], &h).unwrap();
         assert_eq!(m.sd.len(), 2);
         assert!(m.sd[0] > 0.0);
+        assert_eq!(m.clamped, 0, "SPD Hessian must not clamp any variance");
         let (lo, hi) = m.credible_interval(0);
         assert!(lo < 0.5 && hi > 0.5);
+    }
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        assert!(normal_quantile(0.5).abs() < 1e-12);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.995) - 2.575829).abs() < 1e-5);
+        assert!((normal_quantile(0.999) - 3.090232).abs() < 1e-5);
+        assert!((normal_quantile(1e-6) + 4.753424).abs() < 1e-4);
+        // Antisymmetry across the median, and monotonicity.
+        for &p in &[0.001, 0.01, 0.1, 0.3, 0.49] {
+            assert!((normal_quantile(p) + normal_quantile(1.0 - p)).abs() < 1e-9, "p={p}");
+        }
+        let mut last = f64::NEG_INFINITY;
+        for i in 1..100 {
+            let q = normal_quantile(i as f64 / 100.0);
+            assert!(q > last);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn credible_intervals_widen_with_level() {
+        let h = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let m = HyperMarginals::from_hessian(vec![0.5, -0.2], &h).unwrap();
+        let (l95, u95) = m.credible_interval_at(0, 0.95);
+        let (l99, u99) = m.credible_interval_at(0, 0.99);
+        assert!(l99 < l95 && u95 < u99, "99% interval must contain the 95% one");
+        assert_eq!(m.credible_interval(0), m.credible_interval_at(0, 0.95));
+        // The default level reproduces the classic 1.96 multiplier (to the
+        // approximation's accuracy — the old code hard-coded the rounding).
+        let z = (u95 - m.mode[0]) / m.sd[0];
+        assert!((z - 1.96).abs() < 1e-3, "default z {z}");
     }
 
     #[test]
@@ -222,6 +357,77 @@ mod tests {
         for (a, b) in bta.sd.iter().zip(&dist.sd) {
             assert!((a - b).abs() < 1e-7);
         }
+        // A healthy SPD conditional precision clamps nothing, on any backend.
+        for m in [&bta, &sparse, &dist] {
+            debug_assert_eq!(m.clamped, 0);
+            assert_eq!(m.clamped, 0, "selected inverse clamped {} variances", m.clamped);
+        }
+    }
+
+    #[test]
+    fn diagonal_variance_approximation_vs_dense_truth() {
+        // Pin down the semantics of `predict`'s diagonal variance
+        // approximation: compare against the brute-force dense truth
+        // Var = diag(A Q_c⁻¹ Aᵀ), and show that the factor-backed exact mode
+        // (a blocked multi-RHS solve, see `SnapshotFactor::solve_many`)
+        // reproduces the truth while the diagonal shortcut carries a real,
+        // documented gap — the gap the serving layer's
+        // `VarianceMode::Exact` closes.
+        let (model, hyper) = toy_model();
+        let mut solver = SolverBackend::Bta { partitions: 1, load_balance: 1.0 }.build(&model);
+        let marg = latent_marginals(solver.as_mut(), &hyper, vec![0.0; model.dims.latent_dim()])
+            .unwrap();
+
+        let targets: Vec<PredictionTarget> = (0..8)
+            .map(|i| PredictionTarget {
+                var: 0,
+                t: i % 2,
+                loc: Point::new(0.1 + 0.09 * i as f64, 0.2 + 0.08 * i as f64),
+                covariates: vec![1.0],
+            })
+            .collect();
+        let pred = predict(&model, &hyper, &marg, &targets).unwrap();
+
+        // Brute-force dense truth.
+        let (qc, _) = model.assemble_qc_bta(&hyper);
+        let sigma = chol::spd_inverse(&qc.to_dense()).unwrap();
+        let a = model.prediction_design(&hyper, &targets).unwrap().to_dense();
+        let asat = blas::matmul(&blas::matmul(&a, &sigma), &a.transpose());
+        let truth: Vec<f64> = (0..targets.len()).map(|j| asat[(j, j)].sqrt()).collect();
+
+        // Exact mode: Z = Q_c⁻¹ Aᵀ through the frozen factor.
+        let factor = solver.snapshot_factor().unwrap();
+        let n = model.dims.latent_dim();
+        let mut rhs = Matrix::from_fn(n, targets.len(), |i, j| a[(j, i)]);
+        factor.solve_many(&mut rhs);
+        for j in 0..targets.len() {
+            let v: f64 = (0..n).map(|i| a[(j, i)] * rhs.col(j)[i]).sum();
+            let exact_sd = v.max(0.0).sqrt();
+            assert!(
+                (exact_sd - truth[j]).abs() < 1e-8 * (1.0 + truth[j]),
+                "target {j}: exact-mode sd {exact_sd} vs dense truth {}",
+                truth[j]
+            );
+        }
+
+        // The diagonal approximation is in the right ballpark but NOT exact:
+        // it drops every off-diagonal covariance a prediction functional
+        // mixes in. Document the gap instead of hiding it.
+        let mut max_rel_gap: f64 = 0.0;
+        for j in 0..targets.len() {
+            let rel = (pred.sd[j] - truth[j]).abs() / truth[j];
+            // Same order of magnitude (on this toy model it overestimates by
+            // up to ~2.5×, because the dropped cross-covariances of a smooth
+            // field are what cancel neighboring nodes' variance contributions).
+            assert!(rel < 5.0, "target {j}: diagonal sd {} vs truth {}", pred.sd[j], truth[j]);
+            max_rel_gap = max_rel_gap.max(rel);
+        }
+        assert!(
+            max_rel_gap > 1e-3,
+            "diagonal approximation unexpectedly matched the dense truth \
+             (max relative gap {max_rel_gap:.2e}); if cross-covariances are \
+             now included, retire this documented gap"
+        );
     }
 
     #[test]
@@ -269,7 +475,7 @@ mod tests {
     fn prediction_at_observed_location_tracks_mean_field() {
         let (model, hyper) = toy_model();
         let mean: Vec<f64> = (0..model.dims.latent_dim()).map(|i| 0.01 * i as f64).collect();
-        let marg = LatentMarginals { sd: vec![0.1; mean.len()], mean };
+        let marg = LatentMarginals { sd: vec![0.1; mean.len()], mean, clamped: 0 };
         let targets = vec![PredictionTarget {
             var: 0,
             t: 1,

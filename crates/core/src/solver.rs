@@ -33,13 +33,14 @@
 //! allocation at all (see `docs/performance.md`).
 
 use crate::settings::SolverBackend;
+use crate::snapshot::SnapshotFactor;
 use crate::CoreError;
-use dalia_la::PackBuffer;
+use dalia_la::{Matrix, PackBuffer};
 use dalia_model::{CoregionalModel, ModelHyper};
 use dalia_sparse::{ops, CholeskySymbolic, CsrMatrix, SparseCholesky, SparseError};
 use serinv::{
-    d_pobtaf, d_pobtas, d_pobtasi, pobtaf_with, pobtas, pobtasi_with, BtaCholesky, BtaMatrix,
-    DistBtaCholesky, Partitioning,
+    d_pobtaf, d_pobtas, d_pobtasi, pobtaf, pobtaf_with, pobtas, pobtasi_with, BtaCholesky,
+    BtaMatrix, DistBtaCholesky, Partitioning,
 };
 use std::time::Instant;
 
@@ -105,7 +106,13 @@ impl PhaseTimers {
 /// solver skip the per-evaluation allocation and symbolic-analysis cost.
 /// All query methods refer to the most recent successful `factorize` call and
 /// panic if none has happened yet.
-pub trait LatentSolver: Send {
+///
+/// The trait is `Send + Sync`: the mutable entry points (`factorize`,
+/// `solve_mean`, `selected_inverse_diag`) naturally serialize through `&mut`,
+/// while the read-only [`solve_many`](Self::solve_many) path can be shared
+/// across threads once a factorization exists — the property the serving
+/// layer's [`PosteriorSnapshot`](crate::snapshot::PosteriorSnapshot) builds on.
+pub trait LatentSolver: Send + Sync {
     /// Short backend name for reports and diagnostics.
     fn backend_name(&self) -> &'static str;
 
@@ -135,6 +142,25 @@ pub trait LatentSolver: Send {
 
     /// Solve `Q_c μ = rhs` (the conditional-mean system).
     fn solve_mean(&mut self, rhs: &[f64]) -> Vec<f64>;
+
+    /// Read-only blocked multi-RHS solve `Q_c X = B` against the conditional
+    /// factor of the last `factorize`/`factorize_conditional`, overwriting
+    /// `rhs` (one right-hand side per column) with the solution.
+    ///
+    /// Takes `&self`, so any number of threads may solve concurrently against
+    /// one factorization. Because of that it does not touch the (mutably
+    /// accumulated) phase timers; read-heavy callers time themselves.
+    fn solve_many(&self, rhs: &mut Matrix);
+
+    /// Extract an owned, backend-independent copy of the conditional factor
+    /// (and nothing else) for read-only serving — the factor half of a
+    /// [`PosteriorSnapshot`](crate::snapshot::PosteriorSnapshot).
+    ///
+    /// Like the other query methods this refers to the most recent successful
+    /// `factorize`/`factorize_conditional` and panics if none has happened;
+    /// the `Result` covers backends that must re-factor into the portable
+    /// representation (the distributed BTA solver).
+    fn snapshot_factor(&self) -> Result<SnapshotFactor, CoreError>;
 
     /// Quadratic form `xᵀ Q_p x` for the currently assembled `Q_p`.
     fn quadratic_form_qp(&self, x: &[f64]) -> f64;
@@ -311,6 +337,16 @@ impl LatentSolver for SequentialBtaSolver<'_> {
         out
     }
 
+    fn solve_many(&self, rhs: &mut Matrix) {
+        let fc = self.fc.as_ref().expect("LatentSolver: factorize must be called first");
+        pobtas(fc, rhs);
+    }
+
+    fn snapshot_factor(&self) -> Result<SnapshotFactor, CoreError> {
+        let fc = self.fc.as_ref().expect("LatentSolver: factorize must be called first");
+        Ok(SnapshotFactor::Bta(fc.clone()))
+    }
+
     fn quadratic_form_qp(&self, x: &[f64]) -> f64 {
         quadratic_form_bta(&self.ws.qp, x)
     }
@@ -404,6 +440,22 @@ impl LatentSolver for DistributedBtaSolver<'_> {
         let out = m.col(0).to_vec();
         self.ws.timers.solve_seconds += t0.elapsed().as_secs_f64();
         out
+    }
+
+    fn solve_many(&self, rhs: &mut Matrix) {
+        let fc = self.fc.as_ref().expect("LatentSolver: factorize must be called first");
+        d_pobtas(fc, rhs);
+    }
+
+    fn snapshot_factor(&self) -> Result<SnapshotFactor, CoreError> {
+        // The distributed factor's nested-dissection representation is tied to
+        // the partitioning (permuted interiors + reduced system), so it cannot
+        // be handed out as-is. Re-factor the assembled `Q_c` sequentially into
+        // the portable monolithic form — a one-time cost paid at snapshot
+        // extraction, not per query.
+        assert!(self.fc.is_some(), "LatentSolver: factorize must be called first");
+        let fc = pobtaf(&self.ws.qc).map_err(CoreError::Solver)?;
+        Ok(SnapshotFactor::Bta(fc))
     }
 
     fn quadratic_form_qp(&self, x: &[f64]) -> f64 {
@@ -540,6 +592,21 @@ impl LatentSolver for SparseCholeskySolver<'_> {
         let out = fc.solve(rhs);
         self.timers.solve_seconds += t0.elapsed().as_secs_f64();
         out
+    }
+
+    fn solve_many(&self, rhs: &mut Matrix) {
+        let fc = self.fc.as_ref().expect("LatentSolver: factorize must be called first");
+        // The sparse backend's triangular solves are vector-shaped; apply them
+        // column by column (the blocked path is the BTA backends' specialty).
+        for j in 0..rhs.ncols() {
+            let x = fc.solve(rhs.col(j));
+            rhs.col_mut(j).copy_from_slice(&x);
+        }
+    }
+
+    fn snapshot_factor(&self) -> Result<SnapshotFactor, CoreError> {
+        let fc = self.fc.as_ref().expect("LatentSolver: factorize must be called first");
+        Ok(SnapshotFactor::Sparse(fc.clone()))
     }
 
     fn quadratic_form_qp(&self, x: &[f64]) -> f64 {

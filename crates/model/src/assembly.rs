@@ -147,33 +147,62 @@ impl CoregionalModel {
     }
 
     /// Design matrix for arbitrary prediction targets (posterior prediction /
-    /// downscaling).
+    /// downscaling). Equivalent to [`prediction_plan`](Self::prediction_plan)
+    /// followed by [`PredictionPlan::design`]; callers that evaluate the same
+    /// targets more than once (mean and variance passes of a serving query,
+    /// several hyperparameter values) should build the plan once instead.
     pub fn prediction_design(
         &self,
         hyper: &ModelHyper,
         targets: &[PredictionTarget],
     ) -> Result<CsrMatrix, ModelError> {
+        Ok(self.prediction_plan(targets)?.design(hyper))
+    }
+
+    /// Resolve prediction targets against the mesh once, producing a reusable
+    /// [`PredictionPlan`].
+    ///
+    /// The mesh walk (point location + P1 barycentric weights) is the
+    /// hyperparameter-independent part of prediction-design assembly; a plan
+    /// performs it once per target set and then stamps out design matrices for
+    /// any `θ`. The plan also validates the targets' variable/time indices and
+    /// covariate lengths up front, with the same diagnostics the constructor
+    /// applies to observations, instead of silently assembling an
+    /// inconsistent design.
+    pub fn prediction_plan(
+        &self,
+        targets: &[PredictionTarget],
+    ) -> Result<PredictionPlan, ModelError> {
+        let d = self.dims;
         let mut projections = Vec::with_capacity(targets.len());
         let mut vars = Vec::with_capacity(targets.len());
         let mut times = Vec::with_capacity(targets.len());
         let mut covariates = Vec::with_capacity(targets.len());
-        for t in targets {
+        for (i, t) in targets.iter().enumerate() {
+            if t.var >= d.nv {
+                return Err(ModelError::InvalidObservation {
+                    index: i,
+                    reason: "prediction target response-variable index out of range".into(),
+                });
+            }
+            if t.t >= d.nt {
+                return Err(ModelError::InvalidObservation {
+                    index: i,
+                    reason: "prediction target time index out of range".into(),
+                });
+            }
+            if t.covariates.len() != d.nr {
+                return Err(ModelError::InvalidObservation {
+                    index: i,
+                    reason: "prediction target covariate length mismatch".into(),
+                });
+            }
             projections.push(project_point(&self.mesh, &t.loc)?);
             vars.push(t.var);
             times.push(t.t);
             covariates.push(t.covariates.clone());
         }
-        Ok(build_design(
-            hyper,
-            &projections,
-            &vars,
-            &times,
-            &covariates,
-            self.dims.nv,
-            self.dims.ns,
-            self.dims.nt,
-            self.dims.nr,
-        ))
+        Ok(PredictionPlan { dims: d, projections, vars, times, covariates })
     }
 
     /// Observation noise precisions per observation row (the diagonal of `D`).
@@ -407,6 +436,57 @@ impl CoregionalModel {
     }
 }
 
+/// Mesh-resolved prediction targets, ready to stamp out design matrices.
+///
+/// Produced by [`CoregionalModel::prediction_plan`]. The plan owns the
+/// targets' barycentric projections, variable/time indices, and covariates —
+/// everything about prediction design that does *not* depend on the
+/// hyperparameters — so the mesh walk is paid once per target set no matter
+/// how many designs are built from it. It holds no reference to the model, so
+/// snapshots can carry a plan independently of the fit-time session.
+#[derive(Clone, Debug)]
+pub struct PredictionPlan {
+    dims: ModelDims,
+    projections: Vec<Projection>,
+    vars: Vec<usize>,
+    times: Vec<usize>,
+    covariates: Vec<Vec<f64>>,
+}
+
+impl PredictionPlan {
+    /// Number of planned targets (rows of any design built from this plan).
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the plan contains no targets.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The model dimensions the plan was resolved against.
+    pub fn dims(&self) -> ModelDims {
+        self.dims
+    }
+
+    /// Build the prediction design matrix `Λ·A_pred` for hyperparameters
+    /// `hyper`. Bitwise identical to
+    /// [`CoregionalModel::prediction_design`] on the same targets.
+    pub fn design(&self, hyper: &ModelHyper) -> CsrMatrix {
+        build_design(
+            hyper,
+            &self.projections,
+            &self.vars,
+            &self.times,
+            &self.covariates,
+            self.dims.nv,
+            self.dims.ns,
+            self.dims.nt,
+            self.dims.nr,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -491,6 +571,58 @@ mod tests {
         model.assemble_qp_bta_into(&hyper, &mut copied);
         model.extend_qp_to_qc(&hyper, &mut copied);
         assert_eq!(copied.to_dense().max_abs_diff(&qc_fresh.to_dense()), 0.0);
+    }
+
+    #[test]
+    fn prediction_plan_matches_direct_design_bitwise() {
+        let (model, hyper) = small_model(2);
+        let targets: Vec<PredictionTarget> = (0..6)
+            .map(|i| PredictionTarget {
+                var: i % 2,
+                t: i % 3,
+                loc: Point::new(0.15 + 0.1 * i as f64, 0.9 - 0.1 * i as f64),
+                covariates: vec![1.0],
+            })
+            .collect();
+        let plan = model.prediction_plan(&targets).unwrap();
+        assert_eq!(plan.len(), targets.len());
+        assert!(!plan.is_empty());
+        assert_eq!(plan.dims(), model.dims);
+        // The plan stamps out designs for several θ; each must be bitwise
+        // identical to the direct per-call path.
+        let mut other = ModelHyper::default_for(2, 0.4, 1.5);
+        other.lambdas = vec![0.9];
+        for h in [&hyper, &other] {
+            assert_eq!(plan.design(h), model.prediction_design(h, &targets).unwrap());
+        }
+    }
+
+    #[test]
+    fn prediction_plan_rejects_invalid_targets() {
+        let (model, _) = small_model(2);
+        let good = PredictionTarget {
+            var: 0,
+            t: 0,
+            loc: Point::new(0.5, 0.5),
+            covariates: vec![1.0],
+        };
+        let bad_var = PredictionTarget { var: 2, ..good.clone() };
+        let bad_t = PredictionTarget { t: 3, ..good.clone() };
+        let bad_cov = PredictionTarget { covariates: vec![], ..good.clone() };
+        for (i, bad) in [bad_var, bad_t, bad_cov].into_iter().enumerate() {
+            let err = model.prediction_plan(&[good.clone(), bad]).unwrap_err();
+            match err {
+                ModelError::InvalidObservation { index, .. } => {
+                    assert_eq!(index, 1, "case {i}: wrong offending index")
+                }
+                other => panic!("case {i}: expected InvalidObservation, got {other:?}"),
+            }
+        }
+        let outside = PredictionTarget { loc: Point::new(5.0, 5.0), ..good };
+        assert!(matches!(
+            model.prediction_plan(&[outside]).unwrap_err(),
+            ModelError::LocationOutsideDomain { .. }
+        ));
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub mod assembly;
 pub mod hyper;
 pub mod observations;
 
-pub use assembly::{CoregionalModel, ModelDims};
+pub use assembly::{CoregionalModel, ModelDims, PredictionPlan};
 pub use hyper::{theta_dim, ModelHyper, ThetaPrior};
 pub use observations::{Observation, PredictionTarget};
 

@@ -56,7 +56,7 @@
 //! Two stages of the pipeline used to run on one worker regardless of `P`:
 //!
 //! * **Schur assembly** is a *tree reduction*: per-partition
-//!   [`SchurContribution`]s merge pairwise along a fixed binary tree
+//!   `SchurContribution`s merge pairwise along a fixed binary tree
 //!   (contiguous partition ranges split at their midpoint, left half always
 //!   accumulated before the right). The pairing order is a function of `P`
 //!   alone, so the assembled reduced matrix is bitwise independent of the

@@ -27,7 +27,7 @@ pub use distributed::{
 };
 pub use partition::Partitioning;
 pub use sequential::{
-    pobtaf, pobtaf_reusing, pobtaf_with, pobtas, pobtas_vec, pobtasi, pobtasi_with,
+    pobtaf, pobtaf_reusing, pobtaf_with, pobtas, pobtas_lt, pobtas_vec, pobtasi, pobtasi_with,
     BtaSelectedInverse,
 };
 

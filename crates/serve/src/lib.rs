@@ -1,0 +1,604 @@
+//! # dalia-serve — batched read-only posterior serving
+//!
+//! The serving layer of DALIA-RS: an [`InlaService`] front-end that admits
+//! predictive queries from many concurrent clients against one immutable
+//! [`PosteriorSnapshot`] and coalesces them, under a configurable batching
+//! window and size, into bursts executed in parallel on `dalia-pool`.
+//!
+//! ## Why a snapshot, why batching
+//!
+//! A fit-time [`InlaSession`](dalia_core::InlaSession) funnels every query
+//! through mutable solver workspaces; nothing can serve concurrent read-only
+//! traffic. The snapshot freezes the fitted artifacts — the Cholesky factor
+//! of `Q_c(θ*)`, conditional mean, selected-inverse marginals, the
+//! hyperparameter posterior — behind `&self` methods, so one snapshot answers
+//! any number of threads. The service adds admission control on top: clients
+//! that arrive within one `batch_window` ride in one coalesced batch whose
+//! requests execute as parallel tasks on the pool, amortizing thread wake-ups
+//! and keeping every worker busy under load.
+//!
+//! ## Determinism contract
+//!
+//! Each request is answered by a pure function of `(snapshot, request)` —
+//! requests are *never* merged into a shared multi-RHS solve across request
+//! boundaries (each request's own targets already form one blocked solve).
+//! Results are therefore bitwise identical regardless of batch composition,
+//! concurrency, or arrival order; a stress test pins this. See the "Serving"
+//! section of `docs/architecture.md` for the policy rationale.
+//!
+//! ```
+//! use dalia_core::{InlaEngine, VarianceMode};
+//! use dalia_mesh::{Domain, Point, TriangleMesh};
+//! use dalia_model::{CoregionalModel, ModelHyper, Observation, PredictionTarget};
+//! use dalia_serve::{InlaService, ServeConfig};
+//!
+//! let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+//! let obs: Vec<Observation> = (0..3)
+//!     .map(|t| Observation {
+//!         var: 0,
+//!         t,
+//!         loc: Point::new(0.3, 0.4),
+//!         covariates: vec![1.0],
+//!         value: 0.1 * t as f64,
+//!     })
+//!     .collect();
+//! let model = CoregionalModel::new(&mesh, 3, 1.0, 1, 1, obs).unwrap();
+//! let theta0 = ModelHyper::default_for(1, 0.7, 2.0).to_theta();
+//! let session = InlaEngine::builder(&model).max_iter(2).build().unwrap();
+//! let snapshot = session.run(&theta0).unwrap().into_snapshot(&session).unwrap();
+//!
+//! let service = InlaService::new(snapshot, ServeConfig::default());
+//! let served = service
+//!     .predict(
+//!         &[PredictionTarget { var: 0, t: 1, loc: Point::new(0.5, 0.5), covariates: vec![1.0] }],
+//!         VarianceMode::Exact,
+//!     )
+//!     .unwrap();
+//! assert!(served.value.sd[0] > 0.0);
+//! assert_eq!(served.timing.batch_size, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+use dalia_core::snapshot::{PosteriorSnapshot, VarianceMode};
+use dalia_core::{CoreError, Prediction};
+use dalia_la::Matrix;
+use dalia_model::{PredictionPlan, PredictionTarget};
+use dalia_pool::ThreadPool;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Errors produced by the serving layer.
+#[derive(Clone, Debug)]
+pub enum ServeError {
+    /// The underlying engine rejected the request (bad targets, locations
+    /// outside the mesh domain, ...).
+    Core(CoreError),
+    /// A latent-marginal lookup indexed past the latent dimension.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The snapshot's latent dimension.
+        dim: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Core(e) => write!(f, "serve: {e}"),
+            ServeError::IndexOutOfRange { index, dim } => {
+                write!(f, "serve: latent index {index} out of range (latent dimension {dim})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+/// Admission-control knobs of an [`InlaService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Close the batching window early once this many requests are pending.
+    /// The cap steers the window, it does not split batches: a drain takes
+    /// everything pending at that instant.
+    pub max_batch: usize,
+    /// How long the first client of a batch (the *leader*) waits for
+    /// followers before executing. `Duration::ZERO` disables coalescing —
+    /// every request executes immediately (the unbatched baseline).
+    pub batch_window: Duration,
+    /// Worker threads of the service's own execution pool; `0` shares the
+    /// process-global `dalia-pool` instead of owning one.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { max_batch: 32, batch_window: Duration::from_micros(200), workers: 0 }
+    }
+}
+
+/// Per-request phase timings, reported with every response.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeTiming {
+    /// Seconds from submission to execution start (window wait + queueing).
+    pub queue_seconds: f64,
+    /// Seconds executing this request's own task (design application,
+    /// triangular solves, sampling).
+    pub solve_seconds: f64,
+    /// Number of requests in the coalesced batch this one rode in.
+    pub batch_size: usize,
+}
+
+/// A served response: the value plus its [`ServeTiming`].
+#[derive(Clone, Debug)]
+pub struct Served<T> {
+    /// The request's result.
+    pub value: T,
+    /// Where the request's wall-clock went.
+    pub timing: ServeTiming,
+}
+
+/// Running counters of a service (see [`InlaService::stats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Total requests admitted.
+    pub requests: u64,
+    /// Total batches executed.
+    pub batches: u64,
+    /// Largest coalesced batch seen.
+    pub largest_batch: usize,
+}
+
+impl ServiceStats {
+    /// Mean requests per batch (1.0 when nothing coalesced).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The kinds of work a request can ask for. Prediction targets are resolved
+/// into a [`PredictionPlan`] on the *client* thread at submission, so
+/// execution is infallible and the mesh walk never blocks the batch.
+enum RequestKind {
+    Predict { plan: PredictionPlan, mode: VarianceMode },
+    LatentMarginals { indices: Vec<usize> },
+    Draws { n: usize, seed: u64 },
+}
+
+/// Response payload matching [`RequestKind`].
+enum Response {
+    Prediction(Prediction),
+    LatentMarginals(Vec<(f64, f64)>),
+    Draws(Matrix),
+}
+
+/// One client's rendezvous cell: filled by the executing task, awaited by the
+/// submitting thread.
+struct Slot {
+    done: Mutex<Option<(Response, ServeTiming)>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self { done: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    fn fill(&self, value: (Response, ServeTiming)) {
+        *self.done.lock().expect("serve slot poisoned") = Some(value);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> (Response, ServeTiming) {
+        let mut g = self.done.lock().expect("serve slot poisoned");
+        loop {
+            match g.take() {
+                Some(v) => return v,
+                None => g = self.cv.wait(g).expect("serve slot poisoned"),
+            }
+        }
+    }
+}
+
+struct PendingRequest {
+    kind: RequestKind,
+    slot: Arc<Slot>,
+    submitted: Instant,
+}
+
+/// Leader–follower batch queue. The first client to find no active leader
+/// becomes the leader: it waits out the batching window (closing early at
+/// `max_batch`), drains everything pending into one batch, and executes it.
+/// Followers just park on their slot. Leadership is released at drain time,
+/// *before* execution, so a new batch can form (and run on the pool) while
+/// the previous one is still executing.
+struct BatchQueue {
+    state: Mutex<QueueState>,
+    leader_cv: Condvar,
+}
+
+struct QueueState {
+    pending: Vec<PendingRequest>,
+    leader_active: bool,
+}
+
+/// Which pool executes batches.
+enum PoolHandle {
+    Owned(ThreadPool),
+    Global,
+}
+
+impl PoolHandle {
+    fn get(&self) -> &ThreadPool {
+        match self {
+            PoolHandle::Owned(p) => p,
+            PoolHandle::Global => dalia_pool::global(),
+        }
+    }
+}
+
+/// A concurrent, batching front-end over one frozen [`PosteriorSnapshot`].
+///
+/// All methods take `&self`; share the service by reference (or `Arc`) across
+/// any number of client threads. See the [crate docs](self) for the
+/// coalescing policy and determinism contract.
+pub struct InlaService<'m> {
+    snapshot: PosteriorSnapshot<'m>,
+    config: ServeConfig,
+    pool: PoolHandle,
+    queue: BatchQueue,
+    stats: Mutex<ServiceStats>,
+}
+
+impl<'m> InlaService<'m> {
+    /// Wrap `snapshot` in a service with the given admission configuration.
+    pub fn new(snapshot: PosteriorSnapshot<'m>, config: ServeConfig) -> Self {
+        let pool = if config.workers == 0 {
+            PoolHandle::Global
+        } else {
+            PoolHandle::Owned(ThreadPool::new(config.workers))
+        };
+        Self {
+            snapshot,
+            config,
+            pool,
+            queue: BatchQueue {
+                state: Mutex::new(QueueState { pending: Vec::new(), leader_active: false }),
+                leader_cv: Condvar::new(),
+            },
+            stats: Mutex::new(ServiceStats::default()),
+        }
+    }
+
+    /// The frozen snapshot the service answers from.
+    pub fn snapshot(&self) -> &PosteriorSnapshot<'m> {
+        &self.snapshot
+    }
+
+    /// The admission configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Unwrap the service, recovering the snapshot.
+    pub fn into_snapshot(self) -> PosteriorSnapshot<'m> {
+        self.snapshot
+    }
+
+    /// Running request/batch counters.
+    pub fn stats(&self) -> ServiceStats {
+        *self.stats.lock().expect("serve stats poisoned")
+    }
+
+    /// Predict at `targets` in the requested [`VarianceMode`]. Target
+    /// validation and the mesh walk happen on the calling thread before the
+    /// request enters the batch queue; the whole target set is answered by
+    /// one design application (plus, for [`VarianceMode::Exact`], one blocked
+    /// multi-RHS solve).
+    pub fn predict(
+        &self,
+        targets: &[PredictionTarget],
+        mode: VarianceMode,
+    ) -> Result<Served<Prediction>, ServeError> {
+        let plan = self.snapshot.plan(targets)?;
+        let (resp, timing) = self.submit(RequestKind::Predict { plan, mode });
+        match resp {
+            Response::Prediction(p) => Ok(Served { value: p, timing }),
+            _ => unreachable!("serve: response kind mismatch"),
+        }
+    }
+
+    /// Look up `(mean, sd)` of the latent components `indices`.
+    pub fn latent_marginals(
+        &self,
+        indices: &[usize],
+    ) -> Result<Served<Vec<(f64, f64)>>, ServeError> {
+        let dim = self.snapshot.latent_dim();
+        if let Some(&bad) = indices.iter().find(|&&i| i >= dim) {
+            return Err(ServeError::IndexOutOfRange { index: bad, dim });
+        }
+        let (resp, timing) =
+            self.submit(RequestKind::LatentMarginals { indices: indices.to_vec() });
+        match resp {
+            Response::LatentMarginals(v) => Ok(Served { value: v, timing }),
+            _ => unreachable!("serve: response kind mismatch"),
+        }
+    }
+
+    /// Draw `n` posterior samples of the latent field (one per column),
+    /// deterministic per `(snapshot, n, seed)`.
+    pub fn draws(&self, n: usize, seed: u64) -> Result<Served<Matrix>, ServeError> {
+        let (resp, timing) = self.submit(RequestKind::Draws { n, seed });
+        match resp {
+            Response::Draws(m) => Ok(Served { value: m, timing }),
+            _ => unreachable!("serve: response kind mismatch"),
+        }
+    }
+
+    /// Enqueue a validated request and drive the leader–follower protocol to
+    /// completion.
+    fn submit(&self, kind: RequestKind) -> (Response, ServeTiming) {
+        let slot = Slot::new();
+        let pending = PendingRequest { kind, slot: Arc::clone(&slot), submitted: Instant::now() };
+
+        let mut st = self.queue.state.lock().expect("serve queue poisoned");
+        st.pending.push(pending);
+        if st.leader_active {
+            // Follower: maybe close the leader's window early, then park.
+            if st.pending.len() >= self.config.max_batch {
+                self.queue.leader_cv.notify_one();
+            }
+            drop(st);
+            return slot.wait();
+        }
+
+        // Leader: wait out the window (or a full batch), then drain & execute.
+        st.leader_active = true;
+        let deadline = Instant::now() + self.config.batch_window;
+        while st.pending.len() < self.config.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self
+                .queue
+                .leader_cv
+                .wait_timeout(st, deadline - now)
+                .expect("serve queue poisoned");
+            st = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let batch: Vec<PendingRequest> = st.pending.drain(..).collect();
+        st.leader_active = false;
+        drop(st);
+
+        self.execute_batch(batch);
+        slot.wait()
+    }
+
+    /// Run every request of `batch` as its own task on the pool. Requests are
+    /// deliberately *not* merged into one shared solve: per-request execution
+    /// keeps every answer a pure function of `(snapshot, request)`, so batch
+    /// composition can never perturb results (see the crate docs).
+    fn execute_batch(&self, batch: Vec<PendingRequest>) {
+        let n = batch.len();
+        {
+            let mut stats = self.stats.lock().expect("serve stats poisoned");
+            stats.requests += n as u64;
+            stats.batches += 1;
+            stats.largest_batch = stats.largest_batch.max(n);
+        }
+        let snapshot = &self.snapshot;
+        self.pool.get().scope(|s| {
+            for req in batch {
+                s.spawn(move || {
+                    let t0 = Instant::now();
+                    let queue_seconds = t0.duration_since(req.submitted).as_secs_f64();
+                    let value = execute(snapshot, req.kind);
+                    let timing = ServeTiming {
+                        queue_seconds,
+                        solve_seconds: t0.elapsed().as_secs_f64(),
+                        batch_size: n,
+                    };
+                    req.slot.fill((value, timing));
+                });
+            }
+        });
+    }
+}
+
+/// Pure request execution against the frozen snapshot.
+fn execute(snapshot: &PosteriorSnapshot<'_>, kind: RequestKind) -> Response {
+    match kind {
+        RequestKind::Predict { plan, mode } => {
+            Response::Prediction(snapshot.predict_planned(&plan, mode))
+        }
+        RequestKind::LatentMarginals { indices } => Response::LatentMarginals(
+            indices.iter().map(|&i| snapshot.latent_marginal(i)).collect(),
+        ),
+        RequestKind::Draws { n, seed } => Response::Draws(snapshot.sample(n, seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dalia_core::{InlaEngine, InlaSettings};
+    use dalia_mesh::{Domain, Point, TriangleMesh};
+    use dalia_model::{CoregionalModel, ModelHyper, Observation};
+
+    fn toy_model() -> (CoregionalModel, Vec<f64>) {
+        let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+        let nt = 3;
+        let mut obs = Vec::new();
+        for t in 0..nt {
+            for &(x, y) in &[(0.2, 0.3), (0.7, 0.6), (0.5, 0.9), (0.85, 0.2)] {
+                obs.push(Observation {
+                    var: 0,
+                    t,
+                    loc: Point::new(x, y),
+                    covariates: vec![1.0],
+                    value: 0.1 * x + 0.05 * t as f64,
+                });
+            }
+        }
+        let model = CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs).unwrap();
+        let theta0 = ModelHyper::default_for(1, 0.7, 2.0).to_theta();
+        (model, theta0)
+    }
+
+    fn service_for<'m>(
+        model: &'m CoregionalModel,
+        theta0: &[f64],
+        config: ServeConfig,
+    ) -> InlaService<'m> {
+        let session = InlaEngine::builder(model)
+            .settings(InlaSettings::dalia(1))
+            .max_iter(2)
+            .build()
+            .unwrap();
+        let snapshot = session.run(theta0).unwrap().into_snapshot(&session).unwrap();
+        InlaService::new(snapshot, config)
+    }
+
+    fn targets_near(seed: usize) -> Vec<PredictionTarget> {
+        (0..3)
+            .map(|i| PredictionTarget {
+                var: 0,
+                t: (seed + i) % 3,
+                loc: Point::new(
+                    0.15 + 0.07 * ((seed + i) % 9) as f64,
+                    0.2 + 0.08 * ((seed * 3 + i) % 9) as f64,
+                ),
+                covariates: vec![1.0],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_request_matches_direct_snapshot_call() {
+        let (model, theta0) = toy_model();
+        let svc = service_for(&model, &theta0, ServeConfig::default());
+        let targets = targets_near(1);
+        for mode in [VarianceMode::Diagonal, VarianceMode::Exact] {
+            let served = svc.predict(&targets, mode).unwrap();
+            let plan = svc.snapshot().plan(&targets).unwrap();
+            let direct = svc.snapshot().predict_planned(&plan, mode);
+            assert_eq!(served.value.mean, direct.mean, "{mode:?}");
+            assert_eq!(served.value.sd, direct.sd, "{mode:?}");
+            assert_eq!(served.timing.batch_size, 1);
+            assert!(served.timing.solve_seconds >= 0.0);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.batches, 2);
+    }
+
+    #[test]
+    fn latent_marginals_and_draws_round_trip() {
+        let (model, theta0) = toy_model();
+        let svc = service_for(&model, &theta0, ServeConfig::default());
+        let served = svc.latent_marginals(&[0, 3, 7]).unwrap();
+        assert_eq!(served.value.len(), 3);
+        assert_eq!(served.value[1], svc.snapshot().latent_marginal(3));
+
+        let draws = svc.draws(5, 99).unwrap();
+        assert_eq!(draws.value.ncols(), 5);
+        assert_eq!(draws.value.nrows(), svc.snapshot().latent_dim());
+        let again = svc.draws(5, 99).unwrap();
+        assert_eq!(draws.value.max_abs_diff(&again.value), 0.0, "seeded draws must repeat");
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_before_queueing() {
+        let (model, theta0) = toy_model();
+        let svc = service_for(&model, &theta0, ServeConfig::default());
+        let outside = vec![PredictionTarget {
+            var: 0,
+            t: 0,
+            loc: Point::new(9.0, 9.0),
+            covariates: vec![1.0],
+        }];
+        assert!(matches!(
+            svc.predict(&outside, VarianceMode::Diagonal),
+            Err(ServeError::Core(_))
+        ));
+        let dim = svc.snapshot().latent_dim();
+        assert!(matches!(
+            svc.latent_marginals(&[0, dim]),
+            Err(ServeError::IndexOutOfRange { index, .. }) if index == dim
+        ));
+        // Rejected requests never entered the queue.
+        assert_eq!(svc.stats().requests, 0);
+    }
+
+    #[test]
+    fn zero_window_disables_coalescing() {
+        let (model, theta0) = toy_model();
+        let svc = service_for(
+            &model,
+            &theta0,
+            ServeConfig { batch_window: Duration::ZERO, ..ServeConfig::default() },
+        );
+        for i in 0..4 {
+            let served = svc.predict(&targets_near(i), VarianceMode::Diagonal).unwrap();
+            assert_eq!(served.timing.batch_size, 1);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.batches, 4);
+        assert_eq!(stats.largest_batch, 1);
+        assert_eq!(stats.mean_batch(), 1.0);
+    }
+
+    #[test]
+    fn concurrent_clients_coalesce_under_a_wide_window() {
+        let (model, theta0) = toy_model();
+        let svc = service_for(
+            &model,
+            &theta0,
+            ServeConfig {
+                batch_window: Duration::from_millis(50),
+                max_batch: 8,
+                workers: 2,
+            },
+        );
+        std::thread::scope(|s| {
+            for i in 0..6 {
+                let svc = &svc;
+                s.spawn(move || svc.predict(&targets_near(i), VarianceMode::Exact).unwrap());
+            }
+        });
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 6);
+        // With a 50ms window and near-simultaneous arrival, at least some
+        // coalescing must happen (strictly fewer batches than requests).
+        assert!(
+            stats.batches < 6,
+            "no coalescing: {} batches for {} requests",
+            stats.batches,
+            stats.requests
+        );
+        assert!(stats.largest_batch >= 2);
+        assert!(stats.mean_batch() > 1.0);
+    }
+
+    #[test]
+    fn service_error_display() {
+        let e = ServeError::IndexOutOfRange { index: 9, dim: 4 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+    }
+}

@@ -1,5 +1,8 @@
 #!/usr/bin/env python3
-"""Fail on broken relative links (and broken anchors) in README.md and docs/*.md.
+"""Fail on broken relative links (and broken anchors) in the prose docs.
+
+Coverage: README.md, ROADMAP.md, CHANGES.md, PAPER.md, vendor/README.md,
+docs/*.md, and examples/*.md.
 
 Scans markdown inline links and images (``[text](target)`` / ``![alt](target)``)
 in the repository's prose documentation. External targets (http/https/mailto)
@@ -31,14 +34,27 @@ EXTERNAL = ("http://", "https://", "mailto:")
 
 
 def doc_files() -> list[Path]:
-    files = [REPO / "README.md"]
+    files = [
+        REPO / "README.md",
+        REPO / "ROADMAP.md",
+        REPO / "CHANGES.md",
+        REPO / "PAPER.md",
+        REPO / "vendor" / "README.md",
+    ]
     files.extend(sorted((REPO / "docs").glob("*.md")))
+    files.extend(sorted((REPO / "examples").glob("*.md")))
     return [f for f in files if f.exists()]
 
 
 def strip_fences(text: str) -> str:
     """Drop fenced code blocks: their contents are not links or headings."""
     return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def strip_code_spans(text: str) -> str:
+    """Drop inline code spans: a literal ``[text](file#anchor)`` inside
+    backticks is documentation about link syntax, not a link."""
+    return re.sub(r"`[^`\n]*`", "", text)
 
 
 def github_slug(heading: str) -> str:
@@ -75,7 +91,7 @@ def anchors_of(path: Path, cache: dict[Path, set[str]]) -> set[str]:
 
 def check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
     errors = []
-    text = strip_fences(path.read_text(encoding="utf-8"))
+    text = strip_code_spans(strip_fences(path.read_text(encoding="utf-8")))
     for match in LINK_RE.finditer(text):
         target = match.group(1)
         if target.startswith(EXTERNAL):

@@ -48,6 +48,7 @@ pub use dalia_hpc as hpc;
 pub use dalia_la as la;
 pub use dalia_mesh as mesh;
 pub use dalia_model as model;
+pub use dalia_serve as serve;
 pub use dalia_sparse as sparse;
 pub use dalia_spde as spde;
 pub use serinv;
@@ -55,8 +56,9 @@ pub use serinv;
 /// Convenience prelude bringing the most commonly used types into scope.
 pub mod prelude {
     pub use dalia_core::{
-        predict, response_correlations, InlaEngine, InlaResult, InlaSession, InlaSessionBuilder,
-        InlaSettings, LatentSolver, PhaseTimers, SolverBackend,
+        normal_quantile, predict, response_correlations, InlaEngine, InlaResult, InlaSession,
+        InlaSessionBuilder, InlaSettings, LatentSolver, PhaseTimers, PosteriorSnapshot,
+        SolverBackend, VarianceMode,
     };
     #[allow(deprecated)]
     pub use dalia_core::evaluate_fobj;
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use dalia_model::{
         CoregionalModel, ModelHyper, Observation, PredictionTarget, ThetaPrior,
     };
+    pub use dalia_serve::{InlaService, ServeConfig, Served};
     pub use dalia_sparse::{CooMatrix, CsrMatrix, Permutation, SparseCholesky};
     pub use dalia_spde::{SpatialSpde, SpatioTemporalSpde, StHyper};
     pub use serinv::{

@@ -92,6 +92,7 @@ fn downscaling_produces_denser_surface_than_input() {
     let marginals = dalia::core::LatentMarginals {
         sd: vec![0.1; res.mean.len()],
         mean: res.mean.clone(),
+        clamped: 0,
     };
     let domain = Domain::northern_italy_like();
     let fine = observation_grid(&domain, 21, 12);

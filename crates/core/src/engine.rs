@@ -33,7 +33,7 @@
 //! assert!(session.objective(&theta0).unwrap().is_finite());
 //! ```
 
-use crate::objective::{evaluate_fobj_with, FobjResult};
+use crate::objective::{evaluate_fobj_with_inner, FobjResult, InnerSettings};
 use crate::optimizer::{evaluate_gradient, maximize_fobj, negative_hessian, IterationRecord};
 use crate::posterior::{
     fixed_effect_summaries, latent_marginals, FixedEffectSummary, HyperMarginals, LatentMarginals,
@@ -90,9 +90,16 @@ impl InlaResult {
     ) -> Result<PosteriorSnapshot<'m>, CoreError> {
         let mut solver = session.pool.acquire();
         solver.reset_timers();
-        let factor = solver
-            .factorize_conditional(&self.hyper_mode)
-            .and_then(|()| solver.snapshot_factor());
+        let factor = solver.factorize_conditional(&self.hyper_mode).and_then(|()| {
+            // Non-Gaussian families: the Gaussian approximation lives at the
+            // conditional mode's working weights, not the η = 0 seed weights.
+            if !session.model.likelihood().is_quadratic() {
+                let eta = solver.design().spmv(&self.latent.mean);
+                let w = solver.model().working_weights(&self.hyper_mode, &eta);
+                solver.refactorize_conditional(&w)?;
+            }
+            solver.snapshot_factor()
+        });
         let backend = solver.backend_name();
         session.accum.lock().expect("timer accumulator poisoned").merge(&solver.timers());
         session.pool.release(solver);
@@ -181,7 +188,12 @@ impl<'m> InlaSession<'m> {
     /// Evaluate the objective at `theta`, returning the full result.
     pub fn evaluate(&self, theta: &[f64]) -> Result<FobjResult, CoreError> {
         let mut solver = self.pool.acquire();
-        let result = evaluate_fobj_with(solver.as_mut(), &self.prior, theta);
+        let result = evaluate_fobj_with_inner(
+            solver.as_mut(),
+            &self.prior,
+            theta,
+            InnerSettings::from(&self.settings),
+        );
         self.pool.release(solver);
         if let Ok(r) = &result {
             self.accum.lock().expect("timer accumulator poisoned").merge(&r.timers);

@@ -9,7 +9,9 @@
 //! * [`solver`] — the [`solver::LatentSolver`] backend trait with three
 //!   stateful implementations (sequential BTA, distributed BTA, general
 //!   sparse Cholesky) whose workspaces are amortized across evaluations,
-//! * [`objective`] — the objective `f_obj(θ)` of Eq. 8,
+//! * [`objective`] — the objective `f_obj(θ)` of Eq. 8 and the inner Newton
+//!   loop [`objective::conditional_mode`] locating the latent conditional
+//!   mode under non-Gaussian likelihoods,
 //! * [`optimizer`] — parallel central-difference gradients (Eq. 10, S1) and
 //!   BFGS, plus the finite-difference Hessian at the mode,
 //! * [`posterior`] — hyperparameter marginals, latent marginals via selected
@@ -30,7 +32,10 @@ pub mod snapshot;
 pub mod solver;
 
 pub use engine::{InlaEngine, InlaResult, InlaSession, InlaSessionBuilder};
-pub use objective::{evaluate_fobj_with, FobjResult};
+pub use objective::{
+    conditional_mode, evaluate_fobj_with, evaluate_fobj_with_inner, FobjResult, InnerModeResult,
+    InnerSettings,
+};
 #[allow(deprecated)]
 pub use objective::evaluate_fobj;
 pub use optimizer::{evaluate_gradient, maximize_fobj, negative_hessian, OptimizationResult};

@@ -148,6 +148,14 @@ pub fn latent_marginals(
 ) -> Result<LatentMarginals, CoreError> {
     // Only Q_c is needed here; skip the Q_p factorization.
     solver.factorize_conditional(hyper)?;
+    // Non-Gaussian families: re-weight Q_c at the mode's working weights so
+    // the selected inverse describes the Gaussian approximation at the mode
+    // (`mean`), not at the η = 0 seed weights.
+    if !solver.model().likelihood().is_quadratic() {
+        let eta = solver.design().spmv(&mean);
+        let w = solver.model().working_weights(hyper, &eta);
+        solver.refactorize_conditional(&w)?;
+    }
     let variances = solver.selected_inverse_diag();
     let clamped = variances.iter().filter(|v| **v < 0.0).count();
     let sd = variances.iter().map(|v| v.max(0.0).sqrt()).collect();

@@ -40,6 +40,12 @@ pub struct InlaSettings {
     pub grad_tol: f64,
     /// Finite-difference step for gradients and Hessians.
     pub fd_step: f64,
+    /// Convergence tolerance of the inner Newton loop (‖Δx‖∞ on the latent
+    /// mode update). Irrelevant for the Gaussian likelihood, which converges
+    /// in one step.
+    pub inner_tol: f64,
+    /// Maximum inner Newton iterations per objective evaluation.
+    pub inner_max_iter: usize,
 }
 
 impl InlaSettings {
@@ -53,6 +59,8 @@ impl InlaSettings {
             max_iter: 50,
             grad_tol: 1e-3,
             fd_step: 1e-3,
+            inner_tol: 1e-8,
+            inner_max_iter: 50,
         }
     }
 
@@ -66,6 +74,8 @@ impl InlaSettings {
             max_iter: 50,
             grad_tol: 1e-3,
             fd_step: 1e-3,
+            inner_tol: 1e-8,
+            inner_max_iter: 50,
         }
     }
 
@@ -80,6 +90,8 @@ impl InlaSettings {
             max_iter: 50,
             grad_tol: 1e-3,
             fd_step: 1e-3,
+            inner_tol: 1e-8,
+            inner_max_iter: 50,
         }
     }
 
@@ -118,6 +130,17 @@ impl InlaSettings {
                 "grad_tol must be a positive finite number (got {})",
                 self.grad_tol
             )));
+        }
+        if !(self.inner_tol > 0.0) || !self.inner_tol.is_finite() {
+            return Err(CoreError::InvalidSettings(format!(
+                "inner_tol must be a positive finite number (got {})",
+                self.inner_tol
+            )));
+        }
+        if self.inner_max_iter == 0 {
+            return Err(CoreError::InvalidSettings(
+                "inner_max_iter must be >= 1".to_string(),
+            ));
         }
         Ok(())
     }
@@ -182,6 +205,14 @@ mod tests {
         assert!(s.validate().is_err());
         s = InlaSettings::rinla_like();
         s.grad_tol = 0.0;
+        assert!(s.validate().is_err());
+        s = InlaSettings::dalia(1);
+        s.inner_tol = 0.0;
+        assert!(s.validate().is_err());
+        s.inner_tol = f64::INFINITY;
+        assert!(s.validate().is_err());
+        s = InlaSettings::dalia(1);
+        s.inner_max_iter = 0;
         assert!(s.validate().is_err());
     }
 

@@ -251,6 +251,31 @@ impl<'m> PosteriorSnapshot<'m> {
         Prediction { mean, sd }
     }
 
+    /// Predict at `targets` on the **response scale** with the diagonal
+    /// variance approximation — see
+    /// [`predict_response_planned`](Self::predict_response_planned).
+    pub fn predict_response(&self, targets: &[PredictionTarget]) -> Result<Prediction, CoreError> {
+        Ok(self.predict_response_planned(&self.plan(targets)?, VarianceMode::Diagonal))
+    }
+
+    /// Predict for an already-resolved plan on the **response scale**: the
+    /// latent prediction `η ± sd` pushed through the likelihood's inverse
+    /// link at unit scale (rate per unit exposure for Poisson, success
+    /// probability for Bernoulli, identity for Gaussian), with the delta
+    /// method `sd_resp = |h′(η)| · sd_η` for the standard deviations.
+    pub fn predict_response_planned(&self, plan: &PredictionPlan, mode: VarianceMode) -> Prediction {
+        let linear = self.predict_planned(plan, mode);
+        let lik = self.model.likelihood();
+        let mean = linear.mean.iter().map(|&e| lik.mean_response(e, 1.0)).collect();
+        let sd = linear
+            .mean
+            .iter()
+            .zip(&linear.sd)
+            .map(|(&e, &s)| lik.mean_response_deriv(e, 1.0).abs() * s)
+            .collect();
+        Prediction { mean, sd }
+    }
+
     /// Draw `n_draws` joint samples from the Gaussian approximation
     /// `x | y, θ* ~ N(μ_c, Q_c⁻¹)`, one draw per column.
     ///

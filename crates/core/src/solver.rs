@@ -131,6 +131,18 @@ pub trait LatentSolver: Send + Sync {
         self.factorize(hyper)
     }
 
+    /// Re-assemble and re-factorize *only* the conditional precision for new
+    /// per-observation working weights:
+    /// `Q_c = Q_p + Aᵀ diag(weights) A`.
+    ///
+    /// This is the inner Newton loop's per-iteration step for non-Gaussian
+    /// likelihoods — the likelihood only perturbs the diagonal congruence
+    /// term, so the already-assembled `Q_p`, the design matrix and the warm
+    /// factor storage of the last `factorize`/`factorize_conditional` (which
+    /// must precede this call, at the same hyperparameters) are all reused;
+    /// neither `Q_p` nor its factorization is touched.
+    fn refactorize_conditional(&mut self, weights: &[f64]) -> Result<(), CoreError>;
+
     /// The joint design matrix `Λ·A` assembled by the last `factorize`.
     fn design(&self) -> &CsrMatrix;
 
@@ -263,6 +275,19 @@ impl<'m> BtaWorkspace<'m> {
     fn design(&self) -> &CsrMatrix {
         self.design.as_ref().expect("LatentSolver: factorize must be called first")
     }
+
+    /// Rebuild `qc = qp + Aᵀ diag(weights) A` in place from the assembled
+    /// `qp` and the design of the last [`assemble`](Self::assemble); records
+    /// assembly time.
+    fn reweight_qc(&mut self, weights: &[f64]) {
+        let t0 = Instant::now();
+        let design =
+            self.design.as_ref().expect("LatentSolver: factorize must be called first");
+        self.qc.copy_values_from(&self.qp);
+        let congruence = ops::congruence_diag(design, weights);
+        self.model.add_congruence_to_bta(&congruence, &mut self.qc);
+        self.timers.assembly_seconds += t0.elapsed().as_secs_f64();
+    }
 }
 
 /// Sequential BTA solver (`pobtaf`/`pobtas`/`pobtasi`): the single-device
@@ -308,6 +333,16 @@ impl LatentSolver for SequentialBtaSolver<'_> {
         self.ws.assemble(hyper);
         let t0 = Instant::now();
         self.fp = None;
+        let fc_store = self.fc.take().map(|f| f.blocks);
+        self.fc =
+            Some(pobtaf_with(&self.ws.qc, fc_store, &mut self.ws.pack).map_err(CoreError::Solver)?);
+        self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    fn refactorize_conditional(&mut self, weights: &[f64]) -> Result<(), CoreError> {
+        self.ws.reweight_qc(weights);
+        let t0 = Instant::now();
         let fc_store = self.fc.take().map(|f| f.blocks);
         self.fc =
             Some(pobtaf_with(&self.ws.qc, fc_store, &mut self.ws.pack).map_err(CoreError::Solver)?);
@@ -420,6 +455,14 @@ impl LatentSolver for DistributedBtaSolver<'_> {
         Ok(())
     }
 
+    fn refactorize_conditional(&mut self, weights: &[f64]) -> Result<(), CoreError> {
+        self.ws.reweight_qc(weights);
+        let t0 = Instant::now();
+        self.fc = Some(d_pobtaf(&self.ws.qc, &self.part).map_err(CoreError::Solver)?);
+        self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
     fn design(&self) -> &CsrMatrix {
         self.ws.design()
     }
@@ -513,7 +556,7 @@ impl<'m> SparseCholeskySolver<'m> {
         let t0 = Instant::now();
         let qp = self.model.assemble_qp_csr(hyper, true);
         let design = self.model.joint_design(hyper);
-        let d_diag = self.model.noise_diag(hyper);
+        let d_diag = self.model.initial_working_weights(hyper);
         let congruence = ops::congruence_diag(&design, &d_diag);
         let qc = ops::add(1.0, &qp, 1.0, &congruence);
         self.timers.assembly_seconds += t0.elapsed().as_secs_f64();
@@ -571,6 +614,21 @@ impl LatentSolver for SparseCholeskySolver<'_> {
         self.timers.factorize_seconds += t0.elapsed().as_secs_f64();
         self.qp = Some(qp);
         self.design = Some(design);
+        Ok(())
+    }
+
+    fn refactorize_conditional(&mut self, weights: &[f64]) -> Result<(), CoreError> {
+        let t0 = Instant::now();
+        let qp = self.qp.as_ref().expect("LatentSolver: factorize must be called first");
+        let design =
+            self.design.as_ref().expect("LatentSolver: factorize must be called first");
+        let congruence = ops::congruence_diag(design, weights);
+        let qc = ops::add(1.0, qp, 1.0, &congruence);
+        self.timers.assembly_seconds += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        self.fc =
+            Some(factor_with_cached_symbolic(&mut self.sym_qc, &qc).map_err(CoreError::SparseSolver)?);
+        self.timers.factorize_seconds += t1.elapsed().as_secs_f64();
         Ok(())
     }
 

@@ -5,13 +5,16 @@
 //!   scaled-down form (for measured runs),
 //! * [`synthetic`] — synthetic multivariate air-pollution-like datasets with
 //!   known ground truth (the CAMS reanalysis substitute), smooth random
-//!   spatio-temporal fields, an elevation covariate and observation grids.
+//!   spatio-temporal fields, an elevation covariate and observation grids,
+//!   plus Poisson count and binomial exceedance generators for the
+//!   non-Gaussian likelihood path.
 
 pub mod configs;
 pub mod synthetic;
 
 pub use configs::{all_configs, ap1, mb1, mb2, sa1, wa1, wa2, wa2_mesh_ladder, DatasetConfig};
 pub use synthetic::{
-    correlation, elevation_km, generate_pollution_dataset, generate_univariate_dataset,
-    observation_grid, GroundTruth, SmoothField,
+    correlation, elevation_km, generate_count_dataset, generate_exceedance_dataset,
+    generate_pollution_dataset, generate_univariate_dataset, observation_grid, sample_poisson,
+    CountGroundTruth, GroundTruth, SmoothField,
 };

@@ -201,6 +201,158 @@ pub fn generate_univariate_dataset(
     )
 }
 
+/// Ground truth of a synthetic count (Poisson) or exceedance (binomial)
+/// dataset.
+#[derive(Clone, Debug)]
+pub struct CountGroundTruth {
+    /// The latent-field hyperparameters used for generation. The noise
+    /// precision component is inert under non-Gaussian likelihoods (pinned
+    /// only by its prior) but kept for θ-packing compatibility.
+    pub hyper: ModelHyper,
+    /// Intercept of the log-rate / logit.
+    pub intercept: f64,
+    /// Elevation coefficient of the log-rate / logit.
+    pub elevation_effect: f64,
+    /// Per-observation scales, aligned with the observation list: exposures
+    /// `E_i` for Poisson, trial counts `n_i` for binomial.
+    pub scales: Vec<f64>,
+}
+
+/// Draw one Poisson(λ) variate.
+///
+/// Knuth's product-of-uniforms method below λ = 30, a rounded-and-clamped
+/// normal approximation (Box–Muller) above — accurate enough for synthetic
+/// data at the rates these generators produce, and built only on the uniform
+/// generator available here.
+pub fn sample_poisson(rng: &mut StdRng, lambda: f64) -> f64 {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "sample_poisson: bad rate {lambda}");
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= 1.0 - rng.random();
+            if p <= l {
+                return k as f64;
+            }
+            k += 1;
+        }
+    }
+    let u1: f64 = 1.0 - rng.random();
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (lambda + lambda.sqrt() * z).round().max(0.0)
+}
+
+/// Generate a univariate spatio-temporal **count** dataset: disease counts
+/// (or pollution-threshold exceedance counts) on `grid` locations over `nt`
+/// time steps, `y_i ~ Poisson(E_i · exp(η_i))` with log-rate
+/// `η = intercept + elevation_effect · elev + u(s, t)` and per-location
+/// exposures `E_i` (population at risk) varying across the grid — the
+/// paper's Fig. 8 style epidemic/air-quality workload.
+///
+/// Returns `(observations, truth)`; feed `truth.scales` to
+/// `CoregionalModel::with_observation_scales` as the exposures.
+pub fn generate_count_dataset(
+    domain: &Domain,
+    grid: &[Point],
+    nt: usize,
+    seed: u64,
+) -> (Vec<Observation>, CountGroundTruth) {
+    let hyper = ModelHyper {
+        range_s: vec![0.4 * domain.width()],
+        range_t: vec![4.0],
+        sigmas: vec![0.6],
+        lambdas: vec![],
+        noise_prec: vec![1.0],
+    };
+    let intercept = -0.3;
+    let elevation_effect = -0.5;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let field = SmoothField::new(&mut rng, hyper.range_s[0], hyper.range_t[0], 32);
+    // Population-at-risk exposures, constant over time per location.
+    let exposures_per_loc: Vec<f64> =
+        (0..grid.len()).map(|_| rng.random_range(20.0..80.0)).collect();
+
+    let mut observations = Vec::with_capacity(grid.len() * nt);
+    let mut scales = Vec::with_capacity(grid.len() * nt);
+    for t in 0..nt {
+        for (j, p) in grid.iter().enumerate() {
+            let elev = elevation_km(domain, p);
+            let eta =
+                intercept + elevation_effect * elev + hyper.sigmas[0] * field.eval(p.x, p.y, t as f64);
+            let exposure = exposures_per_loc[j];
+            let y = sample_poisson(&mut rng, exposure * eta.exp());
+            observations.push(Observation {
+                var: 0,
+                t,
+                loc: *p,
+                covariates: vec![1.0, elev],
+                value: y,
+            });
+            scales.push(exposure);
+        }
+    }
+    (observations, CountGroundTruth { hyper, intercept, elevation_effect, scales })
+}
+
+/// Generate a univariate spatio-temporal **exceedance** dataset:
+/// `y_i ~ Binomial(n_i, σ(η_i))` successes out of `n_i` monitoring readings
+/// per cell (how many of the day's readings exceeded a threshold), with
+/// logit `η = intercept + elevation_effect · elev + u(s, t)`.
+///
+/// Returns `(observations, truth)`; feed `truth.scales` to
+/// `CoregionalModel::with_observation_scales` as the trial counts.
+pub fn generate_exceedance_dataset(
+    domain: &Domain,
+    grid: &[Point],
+    nt: usize,
+    seed: u64,
+) -> (Vec<Observation>, CountGroundTruth) {
+    let hyper = ModelHyper {
+        range_s: vec![0.4 * domain.width()],
+        range_t: vec![4.0],
+        sigmas: vec![0.8],
+        lambdas: vec![],
+        noise_prec: vec![1.0],
+    };
+    let intercept = 0.2;
+    let elevation_effect = -0.8;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let field = SmoothField::new(&mut rng, hyper.range_s[0], hyper.range_t[0], 32);
+    let trials_per_loc: Vec<f64> =
+        (0..grid.len()).map(|_| rng.random_range(25.0f64..60.0).floor()).collect();
+
+    let mut observations = Vec::with_capacity(grid.len() * nt);
+    let mut scales = Vec::with_capacity(grid.len() * nt);
+    for t in 0..nt {
+        for (j, p) in grid.iter().enumerate() {
+            let elev = elevation_km(domain, p);
+            let eta =
+                intercept + elevation_effect * elev + hyper.sigmas[0] * field.eval(p.x, p.y, t as f64);
+            let prob = 1.0 / (1.0 + (-eta).exp());
+            let n = trials_per_loc[j];
+            let mut y = 0.0;
+            for _ in 0..(n as usize) {
+                if rng.random() < prob {
+                    y += 1.0;
+                }
+            }
+            observations.push(Observation {
+                var: 0,
+                t,
+                loc: *p,
+                covariates: vec![1.0, elev],
+                value: y,
+            });
+            scales.push(n);
+        }
+    }
+    (observations, CountGroundTruth { hyper, intercept, elevation_effect, scales })
+}
+
 /// Empirical Pearson correlation between two equally long samples.
 pub fn correlation(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len());
@@ -295,6 +447,56 @@ mod tests {
         let grid = observation_grid(&domain, 10, 6);
         assert_eq!(grid.len(), 60);
         assert!(grid.iter().all(|p| domain.contains(p)));
+    }
+
+    #[test]
+    fn poisson_sampler_has_correct_moments() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for &lambda in &[0.5, 4.0, 12.0, 80.0] {
+            let n = 4000;
+            let draws: Vec<f64> = (0..n).map(|_| sample_poisson(&mut rng, lambda)).collect();
+            assert!(draws.iter().all(|&y| y >= 0.0 && y.fract() == 0.0));
+            let mean = draws.iter().sum::<f64>() / n as f64;
+            let var =
+                draws.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / n as f64;
+            // Mean and variance of Poisson(λ) are both λ; 5-sigma-ish bands.
+            let tol = 5.0 * (lambda / n as f64).sqrt() + 0.05 * lambda;
+            assert!((mean - lambda).abs() < tol, "λ={lambda}: mean {mean}");
+            assert!((var - lambda).abs() < 0.2 * lambda + 0.5, "λ={lambda}: var {var}");
+        }
+    }
+
+    #[test]
+    fn count_dataset_has_valid_counts_and_exposures() {
+        let domain = Domain::unit_square();
+        let grid = observation_grid(&domain, 5, 4);
+        let (obs, truth) = generate_count_dataset(&domain, &grid, 4, 9);
+        assert_eq!(obs.len(), 80);
+        assert_eq!(truth.scales.len(), obs.len());
+        assert!(obs.iter().all(|o| o.value >= 0.0 && o.value.fract() == 0.0));
+        assert!(truth.scales.iter().all(|&e| (20.0..80.0).contains(&e)));
+        // Determinism per seed.
+        let (again, _) = generate_count_dataset(&domain, &grid, 4, 9);
+        assert!(obs.iter().zip(&again).all(|(a, b)| a.value == b.value));
+        let (other, _) = generate_count_dataset(&domain, &grid, 4, 10);
+        assert!(obs.iter().zip(&other).any(|(a, b)| a.value != b.value));
+    }
+
+    #[test]
+    fn exceedance_dataset_respects_trial_counts() {
+        let domain = Domain::unit_square();
+        let grid = observation_grid(&domain, 5, 4);
+        let (obs, truth) = generate_exceedance_dataset(&domain, &grid, 3, 5);
+        assert_eq!(obs.len(), 60);
+        assert_eq!(truth.scales.len(), obs.len());
+        for (o, &n) in obs.iter().zip(&truth.scales) {
+            assert!(n >= 1.0 && n.fract() == 0.0, "bad trial count {n}");
+            assert!(
+                o.value >= 0.0 && o.value <= n && o.value.fract() == 0.0,
+                "count {} outside [0, {n}]",
+                o.value
+            );
+        }
     }
 
     #[test]

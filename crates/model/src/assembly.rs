@@ -16,6 +16,7 @@
 //! R-INLA baseline path).
 
 use crate::hyper::ModelHyper;
+use crate::likelihood::Likelihood;
 use crate::observations::{
     build_design, fixed_column, project_point, Observation, PredictionTarget, Projection,
 };
@@ -74,6 +75,8 @@ pub struct CoregionalModel {
     vars: Vec<usize>,
     times: Vec<usize>,
     covariates: Vec<Vec<f64>>,
+    likelihood: Likelihood,
+    obs_scale: Vec<f64>,
 }
 
 impl CoregionalModel {
@@ -111,6 +114,7 @@ impl CoregionalModel {
             covariates.push(obs.covariates.clone());
             y.push(obs.value);
         }
+        let n_obs = y.len();
         Ok(Self {
             spde,
             dims,
@@ -122,7 +126,65 @@ impl CoregionalModel {
             vars,
             times,
             covariates,
+            likelihood: Likelihood::Gaussian,
+            obs_scale: vec![1.0; n_obs],
         })
+    }
+
+    /// Switch the observation likelihood family, validating every observed
+    /// value against the family's support (counts nonnegative for Poisson,
+    /// `0 ≤ y ≤ trials` for binomial data). Gaussian remains the default of
+    /// [`CoregionalModel::new`].
+    pub fn with_likelihood(mut self, likelihood: Likelihood) -> Result<Self, ModelError> {
+        for (i, (&y, &s)) in self.y.iter().zip(&self.obs_scale).enumerate() {
+            likelihood.validate_value(y, s).map_err(|reason| {
+                ModelError::InvalidObservation { index: i, reason }
+            })?;
+        }
+        self.likelihood = likelihood;
+        Ok(self)
+    }
+
+    /// Attach per-observation scales — the Poisson exposure `E_i` or binomial
+    /// trial count `n_i` (unused by the Gaussian family). Must be positive and
+    /// match the observation count; the observed values are re-validated
+    /// against the current likelihood under the new scales.
+    pub fn with_observation_scales(mut self, scales: Vec<f64>) -> Result<Self, ModelError> {
+        if scales.len() != self.y.len() {
+            return Err(ModelError::InvalidObservation {
+                index: scales.len().min(self.y.len()),
+                reason: format!(
+                    "scale count {} does not match observation count {}",
+                    scales.len(),
+                    self.y.len()
+                ),
+            });
+        }
+        for (i, &s) in scales.iter().enumerate() {
+            if !s.is_finite() || s <= 0.0 {
+                return Err(ModelError::InvalidObservation {
+                    index: i,
+                    reason: format!("observation scale {s} must be positive and finite"),
+                });
+            }
+        }
+        self.obs_scale = scales;
+        for (i, (&y, &s)) in self.y.iter().zip(&self.obs_scale).enumerate() {
+            self.likelihood.validate_value(y, s).map_err(|reason| {
+                ModelError::InvalidObservation { index: i, reason }
+            })?;
+        }
+        Ok(self)
+    }
+
+    /// The observation likelihood family.
+    pub fn likelihood(&self) -> Likelihood {
+        self.likelihood
+    }
+
+    /// Per-observation scales (exposure / trials; all `1.0` by default).
+    pub fn observation_scales(&self) -> &[f64] {
+        &self.obs_scale
     }
 
     /// Number of observations.
@@ -205,9 +267,59 @@ impl CoregionalModel {
         Ok(PredictionPlan { dims: d, projections, vars, times, covariates })
     }
 
-    /// Observation noise precisions per observation row (the diagonal of `D`).
+    /// Observation noise precisions per observation row (the diagonal of `D`
+    /// under the Gaussian likelihood).
     pub fn noise_diag(&self, hyper: &ModelHyper) -> Vec<f64> {
         self.vars.iter().map(|&v| hyper.noise_prec[v]).collect()
+    }
+
+    /// Working weights `w_i(η) = −∂²ℓ_i/∂η²` at the linear predictor `eta`
+    /// (one entry per observation). For the Gaussian family this is
+    /// `noise_diag` independently of `eta`; for Poisson/Bernoulli it is the
+    /// diagonal perturbation the inner Newton loop re-assembles `Q_c` from.
+    pub fn working_weights(&self, hyper: &ModelHyper, eta: &[f64]) -> Vec<f64> {
+        match self.likelihood {
+            Likelihood::Gaussian => self.noise_diag(hyper),
+            lik => eta
+                .iter()
+                .zip(&self.obs_scale)
+                .map(|(&e, &s)| lik.working_weight(e, s, 0.0))
+                .collect(),
+        }
+    }
+
+    /// Working weights at `η = 0` — the weights `extend_qp_to_qc` seeds the
+    /// first conditional factorization with. Gaussian: `τ_v` per observation
+    /// (bitwise [`noise_diag`](Self::noise_diag)); Poisson: the exposures
+    /// `E_i`; binomial: `n_i/4`.
+    pub fn initial_working_weights(&self, hyper: &ModelHyper) -> Vec<f64> {
+        match self.likelihood {
+            Likelihood::Gaussian => self.noise_diag(hyper),
+            lik => self.obs_scale.iter().map(|&s| lik.working_weight(0.0, s, 0.0)).collect(),
+        }
+    }
+
+    /// Per-observation scores `g_i(η) = ∂ℓ_i/∂η` at the linear predictor
+    /// `eta`.
+    pub fn likelihood_scores(&self, hyper: &ModelHyper, eta: &[f64]) -> Vec<f64> {
+        match self.likelihood {
+            Likelihood::Gaussian => {
+                let d_diag = self.noise_diag(hyper);
+                self.y
+                    .iter()
+                    .zip(eta)
+                    .zip(&d_diag)
+                    .map(|((y, e), tau)| tau * (y - e))
+                    .collect()
+            }
+            lik => self
+                .y
+                .iter()
+                .zip(eta)
+                .zip(&self.obs_scale)
+                .map(|((&y, &e), &s)| lik.score(y, e, s, 0.0))
+                .collect(),
+        }
     }
 
     /// Assemble the joint prior precision `Q_p` (Eq. 11) as a BTA matrix in
@@ -314,12 +426,15 @@ impl CoregionalModel {
     }
 
     /// Turn a workspace currently holding `Q_p` values into `Q_c` by adding
-    /// the observation information `Aᵀ D A`, returning the joint design
+    /// the observation information `Aᵀ W A`, returning the joint design
     /// matrix. Lets callers that need *both* matrices assemble `Q_p` once,
-    /// copy it, and extend the copy.
+    /// copy it, and extend the copy. `W` is the Gaussian noise-precision
+    /// diagonal, or for non-Gaussian families the working weights at `η = 0`
+    /// (the inner Newton loop's starting point; the loop re-assembles the
+    /// perturbation from updated weights as it iterates).
     pub fn extend_qp_to_qc(&self, hyper: &ModelHyper, bta: &mut BtaMatrix) -> CsrMatrix {
         let design = self.joint_design(hyper);
-        let d_diag = self.noise_diag(hyper);
+        let d_diag = self.initial_working_weights(hyper);
         let congruence = ops::congruence_diag(&design, &d_diag);
         self.add_congruence_to_bta(&congruence, bta);
         design
@@ -394,7 +509,7 @@ impl CoregionalModel {
     pub fn assemble_qc_csr(&self, hyper: &ModelHyper, permuted: bool) -> CsrMatrix {
         let qp = self.assemble_qp_csr(hyper, permuted);
         let design_perm = self.joint_design(hyper);
-        let d_diag = self.noise_diag(hyper);
+        let d_diag = self.initial_working_weights(hyper);
         let design = if permuted {
             design_perm
         } else {
@@ -407,26 +522,46 @@ impl CoregionalModel {
         ops::add(1.0, &qp, 1.0, &congruence)
     }
 
-    /// Information vector `Aᵀ D y` (the right-hand side of the conditional
-    /// mean equation `Q_c μ = Aᵀ D y`), in permuted ordering.
+    /// Information vector `Aᵀ D y` (the right-hand side of the *Gaussian*
+    /// conditional mean equation `Q_c μ = Aᵀ D y`), in permuted ordering. For
+    /// non-Gaussian families the inner Newton loop builds the analogous
+    /// working right-hand side `Aᵀ(W η + g)` per iteration instead.
     pub fn information_vector(&self, hyper: &ModelHyper, design: &CsrMatrix) -> Vec<f64> {
         let d_diag = self.noise_diag(hyper);
         let weighted: Vec<f64> = self.y.iter().zip(&d_diag).map(|(y, d)| y * d).collect();
         design.spmv_t(&weighted)
     }
 
-    /// Gaussian log-likelihood `log ℓ(y | θ, x)` at the latent configuration
-    /// `x` (permuted ordering).
+    /// Log-likelihood `log ℓ(y | θ, x)` at the latent configuration `x`
+    /// (permuted ordering), under the model's likelihood family.
     pub fn log_likelihood(&self, hyper: &ModelHyper, design: &CsrMatrix, x: &[f64]) -> f64 {
-        let d_diag = self.noise_diag(hyper);
         let fitted = design.spmv(x);
-        let ln2pi = (2.0 * std::f64::consts::PI).ln();
-        let mut ll = 0.0;
-        for ((y, f), tau) in self.y.iter().zip(&fitted).zip(&d_diag) {
-            let r = y - f;
-            ll += 0.5 * (tau.ln() - ln2pi) - 0.5 * tau * r * r;
+        self.log_likelihood_at_eta(hyper, &fitted)
+    }
+
+    /// Log-likelihood `Σ_i ℓ_i(η_i)` at an already-computed linear predictor
+    /// `eta` (what the inner loop's line search evaluates without repeating
+    /// the design product).
+    pub fn log_likelihood_at_eta(&self, hyper: &ModelHyper, eta: &[f64]) -> f64 {
+        match self.likelihood {
+            Likelihood::Gaussian => {
+                let d_diag = self.noise_diag(hyper);
+                let ln2pi = (2.0 * std::f64::consts::PI).ln();
+                let mut ll = 0.0;
+                for ((y, f), tau) in self.y.iter().zip(eta).zip(&d_diag) {
+                    let r = y - f;
+                    ll += 0.5 * (tau.ln() - ln2pi) - 0.5 * tau * r * r;
+                }
+                ll
+            }
+            lik => self
+                .y
+                .iter()
+                .zip(eta)
+                .zip(&self.obs_scale)
+                .map(|((&y, &e), &s)| lik.log_density(y, e, s, 0.0))
+                .sum(),
         }
-        ll
     }
 
     /// Index of the fixed-effect coefficient `r` of process `l` in the

@@ -6,6 +6,9 @@
 //!   coregionalization matrix Λ and Gaussian priors on θ,
 //! * [`observations`] — observations, prediction targets and the joint design
 //!   matrix `Λ·A` of Eq. (5),
+//! * [`likelihood`] — the observation [`likelihood::Likelihood`] families
+//!   (Gaussian, Poisson/log, Bernoulli/logit) with the per-observation scores
+//!   and working weights the INLA inner Newton loop consumes,
 //! * [`assembly`] — the [`assembly::CoregionalModel`] assembling the joint
 //!   prior precision (Eq. 11) and conditional precision `Q_c = Q_p + AᵀDA`
 //!   either as block-dense BTA matrices (the DALIA solver path) or as general
@@ -14,10 +17,12 @@
 
 pub mod assembly;
 pub mod hyper;
+pub mod likelihood;
 pub mod observations;
 
 pub use assembly::{CoregionalModel, ModelDims, PredictionPlan};
 pub use hyper::{theta_dim, ModelHyper, ThetaPrior};
+pub use likelihood::Likelihood;
 pub use observations::{Observation, PredictionTarget};
 
 /// Errors produced while building or evaluating a model.

@@ -171,7 +171,7 @@ impl ServiceStats {
 /// into a [`PredictionPlan`] on the *client* thread at submission, so
 /// execution is infallible and the mesh walk never blocks the batch.
 enum RequestKind {
-    Predict { plan: PredictionPlan, mode: VarianceMode },
+    Predict { plan: PredictionPlan, mode: VarianceMode, response_scale: bool },
     LatentMarginals { indices: Vec<usize> },
     Draws { n: usize, seed: u64 },
 }
@@ -312,7 +312,26 @@ impl<'m> InlaService<'m> {
         mode: VarianceMode,
     ) -> Result<Served<Prediction>, ServeError> {
         let plan = self.snapshot.plan(targets)?;
-        let (resp, timing) = self.submit(RequestKind::Predict { plan, mode });
+        let (resp, timing) =
+            self.submit(RequestKind::Predict { plan, mode, response_scale: false });
+        match resp {
+            Response::Prediction(p) => Ok(Served { value: p, timing }),
+            _ => unreachable!("serve: response kind mismatch"),
+        }
+    }
+
+    /// Predict at `targets` on the **response scale** of the model's
+    /// likelihood (Poisson rate per unit exposure, Bernoulli success
+    /// probability, identity for Gaussian), with delta-method standard
+    /// deviations. Same admission path as [`predict`](Self::predict).
+    pub fn predict_response(
+        &self,
+        targets: &[PredictionTarget],
+        mode: VarianceMode,
+    ) -> Result<Served<Prediction>, ServeError> {
+        let plan = self.snapshot.plan(targets)?;
+        let (resp, timing) =
+            self.submit(RequestKind::Predict { plan, mode, response_scale: true });
         match resp {
             Response::Prediction(p) => Ok(Served { value: p, timing }),
             _ => unreachable!("serve: response kind mismatch"),
@@ -423,9 +442,13 @@ impl<'m> InlaService<'m> {
 /// Pure request execution against the frozen snapshot.
 fn execute(snapshot: &PosteriorSnapshot<'_>, kind: RequestKind) -> Response {
     match kind {
-        RequestKind::Predict { plan, mode } => {
-            Response::Prediction(snapshot.predict_planned(&plan, mode))
-        }
+        RequestKind::Predict { plan, mode, response_scale } => Response::Prediction(
+            if response_scale {
+                snapshot.predict_response_planned(&plan, mode)
+            } else {
+                snapshot.predict_planned(&plan, mode)
+            },
+        ),
         RequestKind::LatentMarginals { indices } => Response::LatentMarginals(
             indices.iter().map(|&i| snapshot.latent_marginal(i)).collect(),
         ),
@@ -593,6 +616,17 @@ mod tests {
         );
         assert!(stats.largest_batch >= 2);
         assert!(stats.mean_batch() > 1.0);
+    }
+
+    #[test]
+    fn response_scale_prediction_is_identity_for_gaussian() {
+        let (model, theta0) = toy_model();
+        let svc = service_for(&model, &theta0, ServeConfig::default());
+        let targets = targets_near(2);
+        let lin = svc.predict(&targets, VarianceMode::Diagonal).unwrap();
+        let resp = svc.predict_response(&targets, VarianceMode::Diagonal).unwrap();
+        assert_eq!(lin.value.mean, resp.value.mean, "identity link: mean unchanged");
+        assert_eq!(lin.value.sd, resp.value.sd, "identity link: unit delta factor");
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub struct GuideDoctests;
 
 pub use dalia_core as core;
 pub use dalia_data as data;
+pub use dalia_pool as pool;
 pub use dalia_hpc as hpc;
 pub use dalia_la as la;
 pub use dalia_mesh as mesh;
@@ -56,20 +57,22 @@ pub use serinv;
 /// Convenience prelude bringing the most commonly used types into scope.
 pub mod prelude {
     pub use dalia_core::{
-        normal_quantile, predict, response_correlations, InlaEngine, InlaResult, InlaSession,
-        InlaSessionBuilder, InlaSettings, LatentSolver, PhaseTimers, PosteriorSnapshot,
-        SolverBackend, VarianceMode,
+        conditional_mode, normal_quantile, predict, response_correlations, InlaEngine,
+        InlaResult, InlaSession, InlaSessionBuilder, InlaSettings, InnerModeResult,
+        InnerSettings, LatentSolver, PhaseTimers, PosteriorSnapshot, SolverBackend,
+        VarianceMode,
     };
     #[allow(deprecated)]
     pub use dalia_core::evaluate_fobj;
     pub use dalia_data::{
-        generate_pollution_dataset, generate_univariate_dataset, observation_grid, DatasetConfig,
+        generate_count_dataset, generate_exceedance_dataset, generate_pollution_dataset,
+        generate_univariate_dataset, observation_grid, DatasetConfig,
     };
     pub use dalia_hpc::{dalia_iteration_time, gh200, rinla_iteration_time, ModelDims as PerfModelDims};
     pub use dalia_la::Matrix;
     pub use dalia_mesh::{Domain, Point, TriangleMesh};
     pub use dalia_model::{
-        CoregionalModel, ModelHyper, Observation, PredictionTarget, ThetaPrior,
+        CoregionalModel, Likelihood, ModelHyper, Observation, PredictionTarget, ThetaPrior,
     };
     pub use dalia_serve::{InlaService, ServeConfig, Served};
     pub use dalia_sparse::{CooMatrix, CsrMatrix, Permutation, SparseCholesky};

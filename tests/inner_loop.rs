@@ -1,0 +1,303 @@
+//! Property-based wall around the inner Newton loop ([`conditional_mode`]).
+//!
+//! Four families of invariants, each checked across all three solver
+//! backends on randomized small Poisson/Bernoulli fixtures:
+//!
+//! 1. **Stationarity** — the returned mode is a fixed point of the Newton
+//!    map (one more solve from the mode moves by ≤ a few× the tolerance) and
+//!    a local maximum of ψ along random directions.
+//! 2. **Monotone line search** — the recorded ψ trace is non-decreasing up
+//!    to the O(ε) rounding slack the line search itself allows.
+//! 3. **Warm starts** — restarting the loop from a perturbed copy of the
+//!    mode converges back to the same mode.
+//! 4. **Diagonal perturbation** — `refactorize_conditional(w)` changes the
+//!    conditional operator by exactly `Aᵀ diag(Δw) A`: the Woodbury-style
+//!    residual identity holds through `solve_mean`, and a warm refactorize
+//!    matches a fresh factorization at the same weights.
+
+use dalia::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-10;
+
+fn fixture(lik: Likelihood, values: &[f64]) -> (CoregionalModel, ModelHyper) {
+    let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+    let nt = 2;
+    let locs = [(0.2, 0.3), (0.7, 0.6), (0.45, 0.85), (0.85, 0.2)];
+    let mut obs = Vec::new();
+    let mut scales = Vec::new();
+    let mut k = 0usize;
+    for t in 0..nt {
+        for &(x, y) in &locs {
+            // Map the raw uniform draw in [0, 1) onto a valid count for the
+            // likelihood: Poisson counts 0..8 (exposure 2), Bernoulli
+            // successes 0..5 out of 5 trials.
+            let u = values[k % values.len()];
+            k += 1;
+            let (value, scale) = match lik {
+                Likelihood::Poisson => ((u * 9.0).floor(), 2.0),
+                Likelihood::Bernoulli => ((u * 6.0).floor().min(5.0), 5.0),
+                Likelihood::Gaussian => (u, 1.0),
+            };
+            obs.push(Observation {
+                var: 0,
+                t,
+                loc: Point::new(x, y),
+                covariates: vec![1.0],
+                value,
+            });
+            scales.push(scale);
+        }
+    }
+    let model = CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs)
+        .unwrap()
+        .with_observation_scales(scales)
+        .unwrap()
+        .with_likelihood(lik)
+        .unwrap();
+    let hyper = ModelHyper::default_for(1, 0.6, 2.0);
+    (model, hyper)
+}
+
+fn backends() -> Vec<SolverBackend> {
+    vec![
+        SolverBackend::Bta { partitions: 1, load_balance: 1.0 },
+        SolverBackend::Bta { partitions: 3, load_balance: 1.3 },
+        SolverBackend::SparseGeneral,
+    ]
+}
+
+fn psi(model: &CoregionalModel, solver: &dyn LatentSolver, hyper: &ModelHyper, x: &[f64]) -> f64 {
+    let eta = solver.design().spmv(x);
+    -0.5 * solver.quadratic_form_qp(x) + model.log_likelihood_at_eta(hyper, &eta)
+}
+
+/// Property 1: the mode is a Newton fixed point and a ψ-maximum along
+/// random directions.
+fn check_mode_is_stationary(lik: Likelihood, values: &[f64], dir: &[f64]) {
+    let (model, hyper) = fixture(lik, values);
+    let inner = InnerSettings { tol: TOL, max_iter: 100 };
+    for backend in backends() {
+        let mut solver = backend.build(&model);
+        solver.factorize(&hyper).unwrap();
+        let result = conditional_mode(solver.as_mut(), &hyper, None, inner).unwrap();
+        prop_assert!(result.converged, "{}: inner loop did not converge", solver.backend_name());
+
+        // Newton fixed point: one more solve from the mode barely moves.
+        let eta = solver.design().spmv(&result.mode);
+        let w = model.working_weights(&hyper, &eta);
+        let g = model.likelihood_scores(&hyper, &eta);
+        let work: Vec<f64> =
+            eta.iter().zip(&w).zip(&g).map(|((&e, &wi), &gi)| wi * e + gi).collect();
+        let rhs = solver.design().spmv_t(&work);
+        let target = solver.solve_mean(&rhs);
+        let residual = target
+            .iter()
+            .zip(&result.mode)
+            .fold(0.0f64, |m, (&t, &x)| m.max((t - x).abs()));
+        prop_assert!(
+            residual <= 50.0 * TOL,
+            "{}: Newton residual {residual:.3e} at the reported mode",
+            solver.backend_name()
+        );
+
+        // Local maximum: stepping away along ±dir cannot increase ψ beyond
+        // rounding noise.
+        let psi_star = psi(&model, solver.as_ref(), &hyper, &result.mode);
+        let scale = 1e-4;
+        for sign in [1.0, -1.0] {
+            let shifted: Vec<f64> = result
+                .mode
+                .iter()
+                .enumerate()
+                .map(|(i, &xi)| xi + sign * scale * dir[i % dir.len()])
+                .collect();
+            let psi_shift = psi(&model, solver.as_ref(), &hyper, &shifted);
+            prop_assert!(
+                psi_shift <= psi_star + 1e-10 * (1.0 + psi_star.abs()),
+                "{}: ψ increased away from the mode ({psi_shift} > {psi_star})",
+                solver.backend_name()
+            );
+        }
+    }
+}
+
+/// Property 2: the accepted-step ψ trace is monotone non-decreasing up to
+/// the line search's own rounding slack.
+fn check_psi_trace_monotone(lik: Likelihood, values: &[f64]) {
+    let (model, hyper) = fixture(lik, values);
+    let inner = InnerSettings { tol: TOL, max_iter: 100 };
+    for backend in backends() {
+        let mut solver = backend.build(&model);
+        solver.factorize(&hyper).unwrap();
+        let result = conditional_mode(solver.as_mut(), &hyper, None, inner).unwrap();
+        prop_assert!(result.psi_trace.len() >= 2, "non-Gaussian trace must record steps");
+        for (k, pair) in result.psi_trace.windows(2).enumerate() {
+            let slack = 1e-12 * (1.0 + pair[0].abs());
+            prop_assert!(
+                pair[1] >= pair[0] - slack,
+                "{}: ψ decreased at accepted step {k}: {} -> {}",
+                solver.backend_name(),
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+}
+
+/// Property 3: warm-starting from a perturbed mode converges back to the
+/// cold-start mode.
+fn check_warm_start_recovers_mode(lik: Likelihood, values: &[f64], noise: &[f64]) {
+    let (model, hyper) = fixture(lik, values);
+    let inner = InnerSettings { tol: TOL, max_iter: 100 };
+    for backend in backends() {
+        let mut solver = backend.build(&model);
+        solver.factorize(&hyper).unwrap();
+        let cold = conditional_mode(solver.as_mut(), &hyper, None, inner).unwrap();
+
+        let x0: Vec<f64> = cold
+            .mode
+            .iter()
+            .enumerate()
+            .map(|(i, &xi)| xi + noise[i % noise.len()])
+            .collect();
+        let warm = conditional_mode(solver.as_mut(), &hyper, Some(&x0), inner).unwrap();
+        prop_assert!(warm.converged, "{}: warm restart did not converge", solver.backend_name());
+        for (i, (a, b)) in cold.mode.iter().zip(&warm.mode).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 1e-7,
+                "{}: mode[{i}] {a} vs warm {b}",
+                solver.backend_name()
+            );
+        }
+    }
+}
+
+/// Property 4: reweighting perturbs the conditional operator by exactly
+/// `Aᵀ diag(Δw) A` (nothing off-diagonal, nothing in `Q_p`), and a warm
+/// refactorize agrees with a fresh factorization at the same weights.
+fn check_reweight_is_diagonal_perturbation(lik: Likelihood, values: &[f64], rhs_dir: &[f64]) {
+    let (model, hyper) = fixture(lik, values);
+    for backend in backends() {
+        let mut solver = backend.build(&model);
+        solver.factorize(&hyper).unwrap();
+        let n = solver.design().ncols();
+        let n_obs = solver.design().nrows();
+        let b: Vec<f64> = (0..n).map(|i| rhs_dir[i % rhs_dir.len()]).collect();
+
+        // Two weight vectors from two different linear predictors.
+        let eta1 = vec![0.1; n_obs];
+        let eta2: Vec<f64> = (0..n_obs).map(|i| 0.3 + 0.05 * i as f64).collect();
+        let w1 = model.working_weights(&hyper, &eta1);
+        let w2 = model.working_weights(&hyper, &eta2);
+
+        // x2 = Q_c(w2)⁻¹ b, then the identity
+        //   Q_c(w1) x2 = b − Aᵀ(Δw ⊙ (A x2))
+        // must hold — i.e. solving at w1 with the corrected rhs returns x2.
+        solver.refactorize_conditional(&w2).unwrap();
+        let x2 = solver.solve_mean(&b);
+        let logdet_warm = solver.logdet_qc();
+
+        solver.refactorize_conditional(&w1).unwrap();
+        let ax2 = solver.design().spmv(&x2);
+        let corr: Vec<f64> = ax2
+            .iter()
+            .zip(&w2)
+            .zip(&w1)
+            .map(|((&a, &two), &one)| (two - one) * a)
+            .collect();
+        let corr_t = solver.design().spmv_t(&corr);
+        let b_corr: Vec<f64> = b.iter().zip(&corr_t).map(|(&bi, &ci)| bi - ci).collect();
+        let x2_again = solver.solve_mean(&b_corr);
+        for (i, (a, c)) in x2.iter().zip(&x2_again).enumerate() {
+            prop_assert!(
+                (a - c).abs() <= 1e-8 * (1.0 + a.abs()),
+                "{}: diagonal-perturbation identity broke at [{i}]: {a} vs {c}",
+                solver.backend_name()
+            );
+        }
+
+        // Warm refactorize == fresh factorization at the same weights.
+        let mut fresh = backend.build(&model);
+        fresh.factorize(&hyper).unwrap();
+        fresh.refactorize_conditional(&w2).unwrap();
+        let x2_fresh = fresh.solve_mean(&b);
+        prop_assert!(
+            (fresh.logdet_qc() - logdet_warm).abs() <= 1e-10 * (1.0 + logdet_warm.abs()),
+            "{}: warm logdet_qc {} vs fresh {}",
+            solver.backend_name(),
+            logdet_warm,
+            fresh.logdet_qc()
+        );
+        for (i, (a, c)) in x2.iter().zip(&x2_fresh).enumerate() {
+            prop_assert!(
+                (a - c).abs() <= 1e-10 * (1.0 + a.abs()),
+                "{}: warm solve[{i}] {a} vs fresh {c}",
+                solver.backend_name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn poisson_mode_is_stationary(
+        values in vec(0.0f64..1.0, 8),
+        dir in vec(-1.0f64..1.0, 8),
+    ) {
+        check_mode_is_stationary(Likelihood::Poisson, &values, &dir);
+    }
+
+    #[test]
+    fn bernoulli_mode_is_stationary(
+        values in vec(0.0f64..1.0, 8),
+        dir in vec(-1.0f64..1.0, 8),
+    ) {
+        check_mode_is_stationary(Likelihood::Bernoulli, &values, &dir);
+    }
+
+    #[test]
+    fn poisson_psi_trace_is_monotone(values in vec(0.0f64..1.0, 8)) {
+        check_psi_trace_monotone(Likelihood::Poisson, &values);
+    }
+
+    #[test]
+    fn bernoulli_psi_trace_is_monotone(values in vec(0.0f64..1.0, 8)) {
+        check_psi_trace_monotone(Likelihood::Bernoulli, &values);
+    }
+
+    #[test]
+    fn poisson_warm_starts_recover_the_mode(
+        values in vec(0.0f64..1.0, 8),
+        noise in vec(-0.5f64..0.5, 8),
+    ) {
+        check_warm_start_recovers_mode(Likelihood::Poisson, &values, &noise);
+    }
+
+    #[test]
+    fn bernoulli_warm_starts_recover_the_mode(
+        values in vec(0.0f64..1.0, 8),
+        noise in vec(-0.5f64..0.5, 8),
+    ) {
+        check_warm_start_recovers_mode(Likelihood::Bernoulli, &values, &noise);
+    }
+
+    #[test]
+    fn poisson_reweight_is_a_diagonal_perturbation(
+        values in vec(0.0f64..1.0, 8),
+        rhs in vec(-1.0f64..1.0, 8),
+    ) {
+        check_reweight_is_diagonal_perturbation(Likelihood::Poisson, &values, &rhs);
+    }
+
+    #[test]
+    fn bernoulli_reweight_is_a_diagonal_perturbation(
+        values in vec(0.0f64..1.0, 8),
+        rhs in vec(-1.0f64..1.0, 8),
+    ) {
+        check_reweight_is_diagonal_perturbation(Likelihood::Bernoulli, &values, &rhs);
+    }
+}

@@ -190,7 +190,7 @@ fn skewed_partition_records(thread_counts: &[usize]) -> Vec<SkewRecord> {
                     pool.install(|| {
                         d_pobtaf_scheduled(&m, &part, sched)
                             .expect("skewed factorization")
-                            .logdet()
+                            .logdet().unwrap()
                     })
                 })
             };

@@ -41,7 +41,7 @@ const REQUESTS_PER_CLIENT: usize = 30;
 /// gate is defined at 4 threads).
 const WORKERS: usize = 4;
 
-fn toy_model() -> (CoregionalModel, Vec<f64>) {
+fn toy_model() -> (std::sync::Arc<CoregionalModel>, Vec<f64>) {
     let mesh = TriangleMesh::structured(Domain::unit_square(), MESH_CELLS, MESH_CELLS);
     let mut obs = Vec::new();
     for t in 0..NT {
@@ -58,7 +58,7 @@ fn toy_model() -> (CoregionalModel, Vec<f64>) {
             }
         }
     }
-    let model = CoregionalModel::new(&mesh, NT, 1.0, 1, 1, obs).expect("bench model");
+    let model = std::sync::Arc::new(CoregionalModel::new(&mesh, NT, 1.0, 1, 1, obs).expect("bench model"));
     let theta0 = ModelHyper::default_for(1, 0.7, 2.0).to_theta();
     (model, theta0)
 }
@@ -99,7 +99,7 @@ struct Scenario {
 
 /// Run one serving scenario: `clients` threads each issuing
 /// `REQUESTS_PER_CLIENT` exact-variance predictions back-to-back.
-fn run_scenario(service: &InlaService<'_>, clients: usize, window: Duration) -> Scenario {
+fn run_scenario(service: &InlaService, clients: usize, window: Duration) -> Scenario {
     let t0 = Instant::now();
     let mut latencies_us: Vec<f64> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
@@ -190,7 +190,8 @@ fn main() {
             let service = InlaService::new(
                 session.snapshot(&result).expect("bench snapshot"),
                 ServeConfig { max_batch: 32, batch_window: window, workers: WORKERS },
-            );
+            )
+            .expect("valid serve config");
             let s = run_scenario(&service, clients, window);
             println!(
                 "{:<8} {:>10.0} {:>10.0} {:>10.1} {:>10.1} {:>10.1} {:>11.2} {:>8}",

@@ -1,0 +1,181 @@
+//! Streaming-window bench: amortized per-update cost of advancing a fitted
+//! system by one time slice (`StreamingWindow::append_slices` with `k = 1`,
+//! incremental trailing-block refactorization + re-pin + re-snapshot)
+//! versus the full-refit alternative (build a fresh session on the extended
+//! window, re-run the BFGS fit warm-started at the current mode, snapshot).
+//!
+//! The instance is SA1-shaped (trivariate coregional blocks, `b = 3·n_s`,
+//! `dim θ = 15` — the paper's application-level strong-scaling dataset,
+//! scaled down), with observations produced by `dalia_data::StreamingSource`
+//! so the streamed slices are bit-identical to what a batch refit would see.
+//!
+//! Running this bench (`cargo bench -p dalia-bench --bench stream_bench`)
+//! prints a table and rewrites `BENCH_stream.json` at the repository root.
+//! CI runs it and asserts the acceptance gate: **≥ 3× amortized per-update
+//! speedup at `k = 1`** on the largest window (skipped when fewer than 4
+//! cores are available or `DALIA_BENCH_NO_ASSERT` is set).
+
+use dalia_core::{InlaEngine, InlaSettings};
+use dalia_data::{observation_grid, StreamingSource};
+use dalia_mesh::{Domain, TriangleMesh};
+use dalia_model::{CoregionalModel, ModelHyper, Observation, ThetaPrior};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Window sizes (time slices) to advance through.
+const WINDOWS: &[usize] = &[6, 10, 14];
+/// Streaming updates (each `k = 1`) measured per window size.
+const UPDATES: usize = 3;
+
+struct Record {
+    nt: usize,
+    block_size: usize,
+    stream_seconds: f64,
+    refit_seconds: f64,
+}
+
+impl Record {
+    fn speedup(&self) -> f64 {
+        self.refit_seconds / self.stream_seconds
+    }
+}
+
+fn settings() -> InlaSettings {
+    let mut s = InlaSettings::dalia(1);
+    s.max_iter = 2;
+    s
+}
+
+fn build_model(mesh: &TriangleMesh, nt: usize, obs: Vec<Observation>) -> Arc<CoregionalModel> {
+    Arc::new(CoregionalModel::new(mesh, nt, 1.0, 3, 2, obs).expect("stream bench model"))
+}
+
+fn bench_window(mesh: &TriangleMesh, domain: &Domain, nt: usize) -> Record {
+    let grid = observation_grid(domain, 5, 4);
+    let mut source = StreamingSource::new(domain, &grid, 42);
+    let mut obs = Vec::new();
+    for _ in 0..nt {
+        obs.extend(source.next_slice());
+    }
+    let model = build_model(mesh, nt, obs.clone());
+    let theta0 = ModelHyper::default_for(3, 0.3 * domain.width(), 4.0).to_theta();
+    let prior = ThetaPrior::weakly_informative(&theta0, 3.0);
+
+    let session = InlaEngine::builder(&model)
+        .prior(prior.clone())
+        .settings(settings())
+        .build()
+        .expect("stream bench session");
+    let result = session.run(&theta0).expect("stream bench fit");
+
+    // The slices both paths will consume, pre-drawn so the two timed loops
+    // see identical data and the generator cost stays outside the timings.
+    let slices: Vec<Vec<Observation>> = (0..UPDATES).map(|_| source.next_slice()).collect();
+
+    // Streaming path: advance the fitted window slice by slice, re-snapshot
+    // after each update — the serving-layer loop.
+    let mut window = session.streaming_window(&result).expect("streaming window");
+    let t0 = Instant::now();
+    for slice in &slices {
+        window.append_slices(1, slice.clone()).expect("append slice");
+        std::hint::black_box(window.snapshot().expect("window snapshot"));
+    }
+    let stream_seconds = t0.elapsed().as_secs_f64() / UPDATES as f64;
+
+    // Full-refit path: what advancing the window costs without the streaming
+    // kernels — rebuild the model on the extended window, re-run the fit
+    // (warm-started at the current mode, same settings), snapshot.
+    let mut theta = result.hyper.mode.clone();
+    let t0 = Instant::now();
+    for (u, slice) in slices.iter().enumerate() {
+        obs.extend(slice.iter().cloned());
+        let refit_model = build_model(mesh, nt + u + 1, obs.clone());
+        let refit_session = InlaEngine::builder(&refit_model)
+            .prior(prior.clone())
+            .settings(settings())
+            .build()
+            .expect("refit session");
+        let refit = refit_session.run(&theta).expect("refit");
+        std::hint::black_box(refit_session.snapshot(&refit).expect("refit snapshot"));
+        theta = refit.hyper.mode.clone();
+    }
+    let refit_seconds = t0.elapsed().as_secs_f64() / UPDATES as f64;
+
+    Record { nt, block_size: model.dims.block_size(), stream_seconds, refit_seconds }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let enforce_gate = std::env::var_os("DALIA_BENCH_NO_ASSERT").is_none() && cores >= 4;
+
+    let domain = Domain::unit_square();
+    let mesh = TriangleMesh::with_approx_nodes(domain, 36);
+
+    println!(
+        "streaming windows: amortized k=1 update vs full refit \
+         (trivariate, b = 3·ns = {}, {} updates per window)\n",
+        3 * mesh.n_nodes(),
+        UPDATES
+    );
+    println!(
+        "{:>6} {:>8} {:>16} {:>16} {:>9}",
+        "nt", "b", "stream_ms/upd", "refit_ms/upd", "speedup"
+    );
+    let records: Vec<Record> =
+        WINDOWS.iter().map(|&nt| bench_window(&mesh, &domain, nt)).collect();
+    for r in &records {
+        println!(
+            "{:>6} {:>8} {:>16.2} {:>16.2} {:>8.1}x",
+            r.nt,
+            r.block_size,
+            r.stream_seconds * 1e3,
+            r.refit_seconds * 1e3,
+            r.speedup()
+        );
+    }
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"stream_bench\",\n  \
+         \"note\": \"amortized cost of advancing a fitted trivariate (SA1-shaped) window by one \
+         time slice: StreamingWindow::append_slices(k=1) + re-snapshot, versus a full warm-started \
+         refit of the extended window; on a >=4-core host the largest window must show >=3x\",\n  \
+         \"updates_per_window\": 3,\n  \"records\": [\n",
+    );
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"nt\": {}, \"block_size\": {}, \"stream_seconds_per_update\": {:.6}, \
+             \"refit_seconds_per_update\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            r.nt,
+            r.block_size,
+            r.stream_seconds,
+            r.refit_seconds,
+            r.speedup(),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
+    std::fs::write(path, json).expect("write BENCH_stream.json");
+    println!("\nwrote {path}");
+
+    let gate = records.last().expect("no records");
+    if enforce_gate {
+        assert!(
+            gate.speedup() >= 3.0,
+            "streaming gate: amortized k=1 update must be >=3x cheaper than a full refit \
+             at nt = {}, got {:.1}x",
+            gate.nt,
+            gate.speedup()
+        );
+        println!(
+            "gate: streaming {:.1}x >= 3x at nt = {} — ok",
+            gate.speedup(),
+            gate.nt
+        );
+    } else {
+        println!(
+            "gate: skipped (cores = {cores}, DALIA_BENCH_NO_ASSERT = {})",
+            std::env::var_os("DALIA_BENCH_NO_ASSERT").is_some()
+        );
+    }
+}

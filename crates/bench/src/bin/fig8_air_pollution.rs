@@ -27,7 +27,9 @@ fn main() {
     println!("\nmesh nodes: {}, coarse grid cells: {}, days: {nt}, observations: {}",
              mesh.n_nodes(), coarse.len(), obs.len());
 
-    let model = CoregionalModel::new(&mesh, nt, 1.0, 3, 2, obs).expect("model must build");
+    let model = std::sync::Arc::new(
+        CoregionalModel::new(&mesh, nt, 1.0, 3, 2, obs).expect("model must build"),
+    );
     let mut hyper0 = ModelHyper::default_for(3, 0.3 * domain.width(), 4.0);
     hyper0.lambdas = vec![0.8, -0.3, -0.2];
     let theta0 = hyper0.to_theta();

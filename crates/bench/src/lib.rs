@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 /// A scaled-down instantiation of one of the paper's datasets, ready to run.
 pub struct ScaledInstance {
     /// The model (mesh, observations, design).
-    pub model: CoregionalModel,
+    pub model: std::sync::Arc<CoregionalModel>,
     /// A reasonable starting hyperparameter vector.
     pub theta0: Vec<f64>,
     /// The mesh used.
@@ -68,7 +68,9 @@ pub fn build_instance(config: &DatasetConfig, ns_target: usize, nt: usize, seed:
     };
 
     let n_obs = obs.len();
-    let model = CoregionalModel::new(&mesh, nt, 1.0, nv, nr, obs).expect("scaled instance must be valid");
+    let model = std::sync::Arc::new(
+        CoregionalModel::new(&mesh, nt, 1.0, nv, nr, obs).expect("scaled instance must be valid"),
+    );
     let mut hyper = ModelHyper::default_for(nv, 0.3 * domain.width(), 4.0);
     if nv == 3 {
         hyper.lambdas = vec![0.8, -0.3, -0.2];
@@ -79,7 +81,7 @@ pub fn build_instance(config: &DatasetConfig, ns_target: usize, nt: usize, seed:
 
 /// Build a stateful [`InlaSession`] for a scaled instance with a weakly
 /// informative prior centered at its starting hyperparameters.
-pub fn instance_session<'m>(inst: &'m ScaledInstance, settings: InlaSettings) -> InlaSession<'m> {
+pub fn instance_session(inst: &ScaledInstance, settings: InlaSettings) -> InlaSession {
     InlaEngine::builder(&inst.model)
         .prior(ThetaPrior::weakly_informative(&inst.theta0, 3.0))
         .settings(settings)

@@ -10,6 +10,7 @@
 //! use dalia_core::{InlaEngine, InlaSettings, SolverBackend};
 //! use dalia_mesh::{Domain, Point, TriangleMesh};
 //! use dalia_model::{CoregionalModel, ModelHyper, Observation, ThetaPrior};
+//! use std::sync::Arc;
 //!
 //! let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
 //! let obs = vec![Observation {
@@ -19,7 +20,7 @@
 //!     covariates: vec![1.0],
 //!     value: 0.3,
 //! }];
-//! let model = CoregionalModel::new(&mesh, 2, 1.0, 1, 1, obs).unwrap();
+//! let model = Arc::new(CoregionalModel::new(&mesh, 2, 1.0, 1, 1, obs).unwrap());
 //! let theta0 = ModelHyper::default_for(1, 0.5, 2.0).to_theta();
 //!
 //! let session = InlaEngine::builder(&model)
@@ -42,8 +43,8 @@ use crate::settings::InlaSettings;
 use crate::snapshot::PosteriorSnapshot;
 use crate::solver::{LatentSolver, PhaseTimers};
 use crate::CoreError;
-use dalia_model::{CoregionalModel, ModelHyper, ThetaPrior};
-use std::sync::Mutex;
+use dalia_model::{CoregionalModel, ModelHyper, Observation, ThetaPrior};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Complete result of an INLA run.
@@ -84,10 +85,7 @@ impl InlaResult {
     /// cost, recorded in the session timers) and extracts the portable
     /// read-only factor; the optimizer trace and timing fields are dropped —
     /// a snapshot is a serving artifact, not a fit report.
-    pub fn into_snapshot<'m>(
-        self,
-        session: &InlaSession<'m>,
-    ) -> Result<PosteriorSnapshot<'m>, CoreError> {
+    pub fn into_snapshot(self, session: &InlaSession) -> Result<PosteriorSnapshot, CoreError> {
         let mut solver = session.pool.acquire();
         solver.reset_timers();
         let factor = solver.factorize_conditional(&self.hyper_mode).and_then(|()| {
@@ -104,7 +102,7 @@ impl InlaResult {
         session.accum.lock().expect("timer accumulator poisoned").merge(&solver.timers());
         session.pool.release(solver);
         Ok(PosteriorSnapshot::from_parts(
-            session.model,
+            session.model.clone(),
             self.hyper_mode,
             self.latent,
             self.hyper,
@@ -120,26 +118,26 @@ impl InlaResult {
 /// actual parallelism of the run and every solver keeps its workspaces
 /// (pre-allocated BTA blocks, cached symbolic analysis, partitioning) warm
 /// across evaluations.
-struct SolverPool<'m> {
-    model: &'m CoregionalModel,
+struct SolverPool {
+    model: Arc<CoregionalModel>,
     settings: InlaSettings,
-    idle: Mutex<Vec<Box<dyn LatentSolver + 'm>>>,
+    idle: Mutex<Vec<Box<dyn LatentSolver>>>,
 }
 
-impl<'m> SolverPool<'m> {
-    fn new(model: &'m CoregionalModel, settings: InlaSettings) -> Self {
+impl SolverPool {
+    fn new(model: Arc<CoregionalModel>, settings: InlaSettings) -> Self {
         // Construct the first solver eagerly so the session pays structure
         // setup once at build time, not inside the first timed evaluation.
-        let first = settings.backend.build(model);
+        let first = settings.backend.build(&model);
         Self { model, settings, idle: Mutex::new(vec![first]) }
     }
 
-    fn acquire(&self) -> Box<dyn LatentSolver + 'm> {
+    fn acquire(&self) -> Box<dyn LatentSolver> {
         let recycled = self.idle.lock().expect("solver pool poisoned").pop();
-        recycled.unwrap_or_else(|| self.settings.backend.build(self.model))
+        recycled.unwrap_or_else(|| self.settings.backend.build(&self.model))
     }
 
-    fn release(&self, solver: Box<dyn LatentSolver + 'm>) {
+    fn release(&self, solver: Box<dyn LatentSolver>) {
         self.idle.lock().expect("solver pool poisoned").push(solver);
     }
 
@@ -155,18 +153,18 @@ impl<'m> SolverPool<'m> {
 /// Built via [`InlaEngine::builder`]. All methods take `&self`; the session is
 /// `Sync` and the S1 gradient layer evaluates through it from parallel worker
 /// threads.
-pub struct InlaSession<'m> {
-    model: &'m CoregionalModel,
+pub struct InlaSession {
+    model: Arc<CoregionalModel>,
     prior: ThetaPrior,
     settings: InlaSettings,
-    pool: SolverPool<'m>,
+    pool: SolverPool,
     accum: Mutex<PhaseTimers>,
 }
 
-impl<'m> InlaSession<'m> {
+impl InlaSession {
     /// The latent Gaussian model.
-    pub fn model(&self) -> &'m CoregionalModel {
-        self.model
+    pub fn model(&self) -> &CoregionalModel {
+        &self.model
     }
 
     /// Prior on the hyperparameter vector.
@@ -234,8 +232,42 @@ impl<'m> InlaSession<'m> {
     /// [`PosteriorSnapshot`] for read-only serving, cloning the result's
     /// posterior summaries (see [`InlaResult::into_snapshot`] for the
     /// consuming variant).
-    pub fn snapshot(&self, result: &InlaResult) -> Result<PosteriorSnapshot<'m>, CoreError> {
+    pub fn snapshot(&self, result: &InlaResult) -> Result<PosteriorSnapshot, CoreError> {
         result.clone().into_snapshot(self)
+    }
+
+    /// Open a [`StreamingWindow`] at `result`'s mode: a session mode that
+    /// advances the fitted temporal window slice-by-slice
+    /// ([`append_slices`](StreamingWindow::append_slices) /
+    /// [`retire_slices`](StreamingWindow::retire_slices)) with incremental
+    /// trailing-block refactorization instead of full refits.
+    ///
+    /// The window owns a dedicated solver (built fresh from the session's
+    /// backend, leaving the session pool untouched) pinned at the result's
+    /// hyperparameter mode. Only Gaussian likelihoods stream: the incremental
+    /// kernels advance the conditional factor at the initial working weights,
+    /// which for non-Gaussian families would discard the inner Newton loop's
+    /// mode-dependent reweighting.
+    pub fn streaming_window(&self, result: &InlaResult) -> Result<StreamingWindow, CoreError> {
+        if !self.model.likelihood().is_quadratic() {
+            return Err(CoreError::InvalidWindowUpdate(
+                "streaming windows require a Gaussian likelihood: incremental refactorization \
+                 advances the conditional factor at the initial working weights"
+                    .into(),
+            ));
+        }
+        let mut solver = self.settings.backend.build(&self.model);
+        solver.factorize_conditional(&result.hyper_mode)?;
+        let mut window = StreamingWindow {
+            model: self.model.clone(),
+            hyper_mode: result.hyper_mode.clone(),
+            hyper: result.hyper.clone(),
+            solver,
+            latent: result.latent.clone(),
+            fixed_effects: result.fixed_effects.clone(),
+        };
+        window.repin()?;
+        Ok(window)
     }
 
     /// Phase timings accumulated over every evaluation since the session was
@@ -265,7 +297,7 @@ impl<'m> InlaSession<'m> {
         // 3. Latent marginals at the mode (selected inversion of Q_c).
         let hyper_mode = ModelHyper::from_theta(self.model.dims.nv, &opt.theta);
         let latent = self.latent_marginals(&hyper_mode, opt.central.mean.clone())?;
-        let fixed_effects = fixed_effect_summaries(self.model, &latent);
+        let fixed_effects = fixed_effect_summaries(&self.model, &latent);
 
         let total_seconds = t0.elapsed().as_secs_f64();
         let n_iter = opt.trace.len().max(1);
@@ -285,13 +317,13 @@ impl<'m> InlaSession<'m> {
 }
 
 /// Builder for an [`InlaSession`]. Obtained from [`InlaEngine::builder`].
-pub struct InlaSessionBuilder<'m> {
-    model: &'m CoregionalModel,
+pub struct InlaSessionBuilder {
+    model: Arc<CoregionalModel>,
     prior: Option<ThetaPrior>,
     settings: InlaSettings,
 }
 
-impl<'m> InlaSessionBuilder<'m> {
+impl InlaSessionBuilder {
     /// Set the prior on the hyperparameter vector. Defaults to a weakly
     /// informative prior centered at the model's default hyperparameters.
     pub fn prior(mut self, prior: ThetaPrior) -> Self {
@@ -320,14 +352,14 @@ impl<'m> InlaSessionBuilder<'m> {
 
     /// Validate the configuration and construct the session (including its
     /// first solver workspace).
-    pub fn build(self) -> Result<InlaSession<'m>, CoreError> {
+    pub fn build(self) -> Result<InlaSession, CoreError> {
         self.settings.validate()?;
         let prior = self.prior.unwrap_or_else(|| {
             let theta0 = ModelHyper::default_for(self.model.dims.nv, 0.7, 2.0).to_theta();
             ThetaPrior::weakly_informative(&theta0, 3.0)
         });
         Ok(InlaSession {
-            model: self.model,
+            model: self.model.clone(),
             prior,
             settings: self.settings.clone(),
             pool: SolverPool::new(self.model, self.settings),
@@ -341,9 +373,11 @@ impl<'m> InlaSessionBuilder<'m> {
 pub struct InlaEngine;
 
 impl InlaEngine {
-    /// Start building a session for `model`.
-    pub fn builder(model: &CoregionalModel) -> InlaSessionBuilder<'_> {
-        InlaSessionBuilder { model, prior: None, settings: InlaSettings::dalia(1) }
+    /// Start building a session for `model`. The session clones the `Arc`,
+    /// so one model is shared by any number of sessions, solvers, snapshots
+    /// and streaming windows without copying.
+    pub fn builder(model: &Arc<CoregionalModel>) -> InlaSessionBuilder {
+        InlaSessionBuilder { model: model.clone(), prior: None, settings: InlaSettings::dalia(1) }
     }
 
     /// Create a session with a weakly-informative prior centred at `theta0`.
@@ -361,16 +395,201 @@ impl InlaEngine {
         since = "0.2.0",
         note = "use `InlaEngine::builder(model).prior(..).settings(..).build()`"
     )]
-    pub fn new<'m>(
-        model: &'m CoregionalModel,
+    pub fn new(
+        model: &Arc<CoregionalModel>,
         theta0: &[f64],
         settings: InlaSettings,
-    ) -> InlaSession<'m> {
+    ) -> InlaSession {
         InlaEngine::builder(model)
             .prior(ThetaPrior::weakly_informative(theta0, 3.0))
             .settings(settings)
             .build()
             .expect("invalid InlaSettings passed to the deprecated InlaEngine::new")
+    }
+}
+
+/// A fitted system advancing through time: the streaming session mode opened
+/// by [`InlaSession::streaming_window`].
+///
+/// The window owns a dedicated [`LatentSolver`] pinned at the hyperparameter
+/// mode of the originating fit. [`append_slices`](Self::append_slices) grows
+/// the temporal window by `k` new time slices (with their observations) and
+/// [`retire_slices`](Self::retire_slices) drops the `k` oldest; both advance
+/// the conditional BTA factor through the incremental streaming kernels
+/// (`pobtaf_extend` / `pobtaf_retire`) instead of refitting, then re-pin the
+/// latent mean, marginal standard deviations and fixed-effect summaries on
+/// the new window. The hyperparameter posterior stays pinned at the original
+/// fit — streaming updates the latent field conditional on θ̂, which is the
+/// serving-time trade-off: re-estimate θ with a full refit when the window
+/// has drifted far enough.
+///
+/// [`snapshot`](Self::snapshot) freezes the current window into a fresh
+/// [`PosteriorSnapshot`] without a refit, so a serving layer can follow the
+/// advancing window by swapping snapshots.
+pub struct StreamingWindow {
+    model: Arc<CoregionalModel>,
+    hyper_mode: ModelHyper,
+    hyper: HyperMarginals,
+    solver: Box<dyn LatentSolver>,
+    latent: LatentMarginals,
+    fixed_effects: Vec<FixedEffectSummary>,
+}
+
+impl StreamingWindow {
+    /// The model of the current window.
+    pub fn model(&self) -> &CoregionalModel {
+        &self.model
+    }
+
+    /// The pinned hyperparameters (the originating fit's mode).
+    pub fn hyper_mode(&self) -> &ModelHyper {
+        &self.hyper_mode
+    }
+
+    /// Latent marginals re-pinned on the current window.
+    pub fn latent(&self) -> &LatentMarginals {
+        &self.latent
+    }
+
+    /// Fixed-effect summaries re-pinned on the current window.
+    pub fn fixed_effects(&self) -> &[FixedEffectSummary] {
+        &self.fixed_effects
+    }
+
+    /// The backend driving the incremental updates.
+    pub fn backend_name(&self) -> &'static str {
+        self.solver.backend_name()
+    }
+
+    /// Number of time slices in the current window.
+    pub fn nt(&self) -> usize {
+        self.model.dims.nt
+    }
+
+    /// Append `k` new time slices carrying `new_obs` to the trailing end of
+    /// the window and advance the factorization incrementally (only the
+    /// trailing block columns are re-eliminated).
+    ///
+    /// Every new observation must reference one of the appended slices
+    /// (`t ∈ [nt, nt+k)`); the existing observations are kept verbatim as a
+    /// prefix, which is what makes the retained factor columns valid. New
+    /// observations get unit scale; per-observation scales of the original
+    /// fit are preserved.
+    pub fn append_slices(&mut self, k: usize, new_obs: Vec<Observation>) -> Result<(), CoreError> {
+        if k == 0 {
+            return Err(CoreError::InvalidWindowUpdate(
+                "append_slices: must append at least one slice".into(),
+            ));
+        }
+        let nt_old = self.model.dims.nt;
+        let nt_new = nt_old + k;
+        for o in &new_obs {
+            if o.t < nt_old || o.t >= nt_new {
+                return Err(CoreError::InvalidWindowUpdate(format!(
+                    "append_slices: new observation at t = {} lies outside the appended \
+                     slices [{nt_old}, {nt_new})",
+                    o.t
+                )));
+            }
+        }
+        let mut obs = self.model.observations.clone();
+        let mut scales = self.model.observation_scales().to_vec();
+        scales.resize(obs.len() + new_obs.len(), 1.0);
+        obs.extend(new_obs);
+        let model = Arc::new(
+            CoregionalModel::new(
+                &self.model.mesh,
+                nt_new,
+                self.model.spde.temporal.dt,
+                self.model.dims.nv,
+                self.model.dims.nr,
+                obs,
+            )?
+            .with_observation_scales(scales)?,
+        );
+        self.solver.extend_window(model.clone(), &self.hyper_mode)?;
+        self.model = model;
+        self.repin()
+    }
+
+    /// Retire the `k` oldest time slices: observations on them are dropped,
+    /// the surviving observations are re-indexed (`t -= k`), and the factor
+    /// storage is refilled in place (retiring the head invalidates every
+    /// factor column, so this is a full — but allocation-free — refactor).
+    pub fn retire_slices(&mut self, k: usize) -> Result<(), CoreError> {
+        if k == 0 {
+            return Err(CoreError::InvalidWindowUpdate(
+                "retire_slices: must retire at least one slice".into(),
+            ));
+        }
+        let nt_old = self.model.dims.nt;
+        if k >= nt_old {
+            return Err(CoreError::InvalidWindowUpdate(format!(
+                "retire_slices: retiring {k} of {nt_old} slices would empty the window"
+            )));
+        }
+        let mut obs = Vec::with_capacity(self.model.observations.len());
+        let mut scales = Vec::with_capacity(obs.capacity());
+        for (o, &s) in self.model.observations.iter().zip(self.model.observation_scales()) {
+            if o.t >= k {
+                let mut o = o.clone();
+                o.t -= k;
+                obs.push(o);
+                scales.push(s);
+            }
+        }
+        let model = Arc::new(
+            CoregionalModel::new(
+                &self.model.mesh,
+                nt_old - k,
+                self.model.spde.temporal.dt,
+                self.model.dims.nv,
+                self.model.dims.nr,
+                obs,
+            )?
+            .with_observation_scales(scales)?,
+        );
+        self.solver.retire_window(model.clone(), &self.hyper_mode)?;
+        self.model = model;
+        self.repin()
+    }
+
+    /// Freeze the current window into an immutable [`PosteriorSnapshot`]
+    /// without refitting — the cheap re-snapshot path a serving layer uses to
+    /// follow the advancing window.
+    pub fn snapshot(&self) -> Result<PosteriorSnapshot, CoreError> {
+        let factor = self.solver.snapshot_factor()?;
+        Ok(PosteriorSnapshot::from_parts(
+            self.model.clone(),
+            self.hyper_mode.clone(),
+            self.latent.clone(),
+            self.hyper.clone(),
+            self.fixed_effects.clone(),
+            factor,
+            self.solver.backend_name(),
+        ))
+    }
+
+    /// Re-pin the latent mean, marginal variances and fixed-effect summaries
+    /// on the current window's conditional factor (Gaussian likelihood: the
+    /// conditional mode is the single linear solve `Q_c μ = Aᵀ D y`).
+    fn repin(&mut self) -> Result<(), CoreError> {
+        let info = self.model.information_vector(&self.hyper_mode, self.solver.design());
+        let mean = self.solver.solve_mean(&info);
+        let vars = self.solver.selected_inverse_diag();
+        let mut clamped = 0usize;
+        let sd = vars
+            .iter()
+            .map(|&v| {
+                if v < 0.0 {
+                    clamped += 1;
+                }
+                v.max(0.0).sqrt()
+            })
+            .collect();
+        self.latent = LatentMarginals { mean, sd, clamped };
+        self.fixed_effects = fixed_effect_summaries(&self.model, &self.latent);
+        Ok(())
     }
 }
 
@@ -382,7 +601,7 @@ mod tests {
 
     /// A univariate model with data simulated from known fixed effect and
     /// noise so the engine has something meaningful to recover.
-    fn toy_model() -> (CoregionalModel, Vec<f64>) {
+    fn toy_model() -> (Arc<CoregionalModel>, Vec<f64>) {
         let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
         let nt = 3;
         let beta_true = 1.5;
@@ -404,12 +623,12 @@ mod tests {
                 });
             }
         }
-        let model = CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs).unwrap();
+        let model = Arc::new(CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs).unwrap());
         let theta0 = ModelHyper::default_for(1, 0.7, 2.0).to_theta();
         (model, theta0)
     }
 
-    fn session<'m>(model: &'m CoregionalModel, theta0: &[f64], settings: InlaSettings) -> InlaSession<'m> {
+    fn session(model: &Arc<CoregionalModel>, theta0: &[f64], settings: InlaSettings) -> InlaSession {
         InlaEngine::builder(model)
             .prior(ThetaPrior::weakly_informative(theta0, 3.0))
             .settings(settings)
@@ -547,5 +766,119 @@ mod tests {
         let (model, theta0) = toy_model();
         let engine = InlaEngine::new(&model, &theta0, InlaSettings::dalia(1));
         assert!(engine.objective(&theta0).unwrap().is_finite());
+    }
+
+    fn fresh_obs(t: usize) -> Vec<Observation> {
+        vec![
+            Observation {
+                var: 0,
+                t,
+                loc: Point::new(0.3, 0.4),
+                covariates: vec![0.2],
+                value: 0.5,
+            },
+            Observation {
+                var: 0,
+                t,
+                loc: Point::new(0.8, 0.7),
+                covariates: vec![-0.1],
+                value: -0.2,
+            },
+        ]
+    }
+
+    #[test]
+    fn streaming_window_appends_and_retires_slices() {
+        let (model, theta0) = toy_model();
+        let mut settings = InlaSettings::dalia(1);
+        settings.max_iter = 2;
+        let s = session(&model, &theta0, settings);
+        let result = s.run(&theta0).unwrap();
+        let n_obs_fitted = model.n_obs();
+
+        let mut w = s.streaming_window(&result).unwrap();
+        assert_eq!(w.nt(), 3);
+        // The re-pinned state at construction matches the fit itself.
+        for (a, b) in w.latent().mean.iter().zip(&result.latent.mean) {
+            assert_eq!(a.to_bits(), b.to_bits(), "window construction must not move the mean");
+        }
+
+        w.append_slices(1, fresh_obs(3)).unwrap();
+        assert_eq!(w.nt(), 4);
+        assert_eq!(w.model().n_obs(), n_obs_fitted + 2);
+        assert_eq!(w.latent().mean.len(), w.model().dims.latent_dim());
+        assert!(w.latent().sd.iter().all(|s| s.is_finite() && *s >= 0.0));
+
+        w.retire_slices(2).unwrap();
+        assert_eq!(w.nt(), 2);
+        assert!(w.model().observations.iter().all(|o| o.t < 2));
+        assert_eq!(w.latent().mean.len(), w.model().dims.latent_dim());
+
+        // The cheap re-snapshot path serves the advanced window.
+        let snap = w.snapshot().unwrap();
+        assert_eq!(snap.latent_dim(), w.model().dims.latent_dim());
+        assert_eq!(snap.model().dims.nt, 2);
+    }
+
+    #[test]
+    fn streaming_window_rejects_invalid_updates() {
+        let (model, theta0) = toy_model();
+        let mut settings = InlaSettings::dalia(1);
+        settings.max_iter = 2;
+        let s = session(&model, &theta0, settings);
+        let result = s.run(&theta0).unwrap();
+        let mut w = s.streaming_window(&result).unwrap();
+
+        // k = 0 on either side.
+        assert!(matches!(
+            w.append_slices(0, vec![]),
+            Err(CoreError::InvalidWindowUpdate(_))
+        ));
+        assert!(matches!(w.retire_slices(0), Err(CoreError::InvalidWindowUpdate(_))));
+        // New observations must live on the appended slices.
+        assert!(matches!(
+            w.append_slices(1, fresh_obs(0)),
+            Err(CoreError::InvalidWindowUpdate(_))
+        ));
+        // The window must stay non-empty.
+        assert!(matches!(w.retire_slices(3), Err(CoreError::InvalidWindowUpdate(_))));
+        // The rejected updates left the window untouched and functional.
+        assert_eq!(w.nt(), 3);
+        w.append_slices(1, fresh_obs(3)).unwrap();
+        assert_eq!(w.nt(), 4);
+    }
+
+    #[test]
+    fn streaming_window_requires_gaussian_likelihood() {
+        let (model, theta0) = toy_model();
+        let poisson = Arc::new(
+            CoregionalModel::new(
+                &model.mesh,
+                model.dims.nt,
+                model.spde.temporal.dt,
+                model.dims.nv,
+                model.dims.nr,
+                model
+                    .observations
+                    .iter()
+                    .cloned()
+                    .map(|mut o| {
+                        o.value = o.value.abs().round();
+                        o
+                    })
+                    .collect(),
+            )
+            .unwrap()
+            .with_likelihood(dalia_model::Likelihood::Poisson)
+            .unwrap(),
+        );
+        let mut settings = InlaSettings::dalia(1);
+        settings.max_iter = 2;
+        let s = session(&poisson, &theta0, settings);
+        let result = s.run(&theta0).unwrap();
+        assert!(matches!(
+            s.streaming_window(&result),
+            Err(CoreError::InvalidWindowUpdate(_))
+        ));
     }
 }

@@ -31,7 +31,7 @@ pub mod settings;
 pub mod snapshot;
 pub mod solver;
 
-pub use engine::{InlaEngine, InlaResult, InlaSession, InlaSessionBuilder};
+pub use engine::{InlaEngine, InlaResult, InlaSession, InlaSessionBuilder, StreamingWindow};
 pub use objective::{
     conditional_mode, evaluate_fobj_with, evaluate_fobj_with_inner, FobjResult, InnerModeResult,
     InnerSettings,
@@ -64,6 +64,10 @@ pub enum CoreError {
     HessianNotPositiveDefinite,
     /// The engine settings failed validation (see [`InlaSettings::validate`]).
     InvalidSettings(String),
+    /// A streaming window update was rejected before touching the solver
+    /// (wrong observation time indices, non-Gaussian likelihood, window
+    /// shrunk to nothing — see [`engine::StreamingWindow`]).
+    InvalidWindowUpdate(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -77,6 +81,9 @@ impl std::fmt::Display for CoreError {
                 write!(f, "negative Hessian at the mode is not positive definite")
             }
             CoreError::InvalidSettings(reason) => write!(f, "invalid engine settings: {reason}"),
+            CoreError::InvalidWindowUpdate(reason) => {
+                write!(f, "invalid streaming window update: {reason}")
+            }
         }
     }
 }

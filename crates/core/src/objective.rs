@@ -347,7 +347,7 @@ pub fn evaluate_fobj_with(
             a session reuses solver workspaces across evaluations instead of rebuilding them per call"
 )]
 pub fn evaluate_fobj(
-    model: &CoregionalModel,
+    model: &std::sync::Arc<CoregionalModel>,
     prior: &ThetaPrior,
     theta: &[f64],
     settings: &InlaSettings,
@@ -365,7 +365,7 @@ mod tests {
     use dalia_mesh::{Domain, Point, TriangleMesh};
     use dalia_model::Observation;
 
-    fn toy_model(nv: usize) -> (CoregionalModel, ThetaPrior, Vec<f64>) {
+    fn toy_model(nv: usize) -> (std::sync::Arc<CoregionalModel>, ThetaPrior, Vec<f64>) {
         let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
         let nt = 3;
         let nr = 1;
@@ -383,7 +383,7 @@ mod tests {
                 }
             }
         }
-        let model = CoregionalModel::new(&mesh, nt, 1.0, nv, nr, obs).unwrap();
+        let model = std::sync::Arc::new(CoregionalModel::new(&mesh, nt, 1.0, nv, nr, obs).unwrap());
         let hyper = ModelHyper::default_for(nv, 0.7, 2.0);
         let theta = hyper.to_theta();
         let prior = ThetaPrior::weakly_informative(&theta, 2.0);
@@ -391,7 +391,7 @@ mod tests {
     }
 
     fn evaluate(
-        model: &CoregionalModel,
+        model: &std::sync::Arc<CoregionalModel>,
         prior: &ThetaPrior,
         theta: &[f64],
         settings: InlaSettings,

@@ -333,7 +333,7 @@ mod tests {
     use dalia_mesh::{Domain, Point, TriangleMesh};
     use dalia_model::{CoregionalModel, ModelHyper, Observation, ThetaPrior};
 
-    fn toy() -> (CoregionalModel, ThetaPrior, Vec<f64>) {
+    fn toy() -> (std::sync::Arc<CoregionalModel>, ThetaPrior, Vec<f64>) {
         let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
         let nt = 2;
         let mut obs = Vec::new();
@@ -348,17 +348,17 @@ mod tests {
                 });
             }
         }
-        let model = CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs).unwrap();
+        let model = std::sync::Arc::new(CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs).unwrap());
         let theta = ModelHyper::default_for(1, 0.7, 2.0).to_theta();
         let prior = ThetaPrior::weakly_informative(&theta, 1.5);
         (model, prior, theta)
     }
 
-    fn session<'m>(
-        model: &'m CoregionalModel,
+    fn session(
+        model: &std::sync::Arc<CoregionalModel>,
         prior: &ThetaPrior,
         settings: InlaSettings,
-    ) -> InlaSession<'m> {
+    ) -> InlaSession {
         InlaEngine::builder(model).prior(prior.clone()).settings(settings).build().unwrap()
     }
 

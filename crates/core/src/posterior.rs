@@ -66,8 +66,21 @@ pub fn normal_quantile(p: f64) -> f64 {
 
 /// The ± multiplier of a central Gaussian credible interval at `level`
 /// (e.g. `credible_z(0.95) ≈ 1.96`).
+///
+/// The level is clamped into the open interval `(0, 1)` before the quantile
+/// is evaluated, so the boundary levels stay finite instead of silently
+/// producing ±inf/NaN interval bounds: `level = 0.0` collapses to a
+/// zero-width interval at the center, `level = 1.0` saturates at the widest
+/// interval the quantile approximation supports (`z ≈ 8.2`).
+///
+/// # Panics
+///
+/// Panics on a non-finite level (NaN survives the clamp and is rejected by
+/// [`normal_quantile`]'s domain check).
 fn credible_z(level: f64) -> f64 {
-    assert!(level > 0.0 && level < 1.0, "credible level {level} outside (0, 1)");
+    // Largest representable level strictly below 1: the matching quantile
+    // argument 0.5 * (1 + level) still rounds to a double < 1.0.
+    let level = level.clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON);
     normal_quantile(0.5 * (1.0 + level))
 }
 
@@ -271,7 +284,7 @@ mod tests {
     use dalia_model::{ModelHyper, Observation};
     use serinv::{pobtaf, pobtasi};
 
-    fn toy_model() -> (CoregionalModel, ModelHyper) {
+    fn toy_model() -> (std::sync::Arc<CoregionalModel>, ModelHyper) {
         let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
         let nt = 2;
         let mut obs = Vec::new();
@@ -286,7 +299,7 @@ mod tests {
                 });
             }
         }
-        let model = CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs).unwrap();
+        let model = std::sync::Arc::new(CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs).unwrap());
         let hyper = ModelHyper::default_for(1, 0.7, 2.0);
         (model, hyper)
     }
@@ -337,6 +350,27 @@ mod tests {
     }
 
     #[test]
+    fn boundary_credible_levels_stay_finite() {
+        // Regression: levels 0.0 and 1.0 used to reach `(-2 p.ln()).sqrt()`
+        // unguarded and return ±inf/NaN interval bounds. They now clamp into
+        // the open interval: 0.0 collapses onto the mode, 1.0 saturates at
+        // the approximation's widest finite interval.
+        let h = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let m = HyperMarginals::from_hessian(vec![0.5, -0.2], &h).unwrap();
+        let (l0, u0) = m.credible_interval_at(0, 0.0);
+        assert!(l0.is_finite() && u0.is_finite());
+        assert!((u0 - l0).abs() < 1e-12, "level 0 must collapse to the mode");
+        assert!((l0 - m.mode[0]).abs() < 1e-12);
+        let (l1, u1) = m.credible_interval_at(0, 1.0);
+        assert!(l1.is_finite() && u1.is_finite(), "level 1 produced ({l1}, {u1})");
+        let (l99, u99) = m.credible_interval_at(0, 0.99);
+        assert!(l1 < l99 && u99 < u1, "saturated interval must contain the 99% one");
+        // The saturated multiplier is the documented ≈8.2 ceiling.
+        let z = (u1 - m.mode[0]) / m.sd[0];
+        assert!(z > 8.0 && z < 8.5, "saturated z {z}");
+    }
+
+    #[test]
     fn hyper_marginals_regularizes_indefinite_hessian() {
         let h = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // indefinite
         let m = HyperMarginals::from_hessian(vec![0.0, 0.0], &h).unwrap();
@@ -344,7 +378,7 @@ mod tests {
     }
 
     fn marginals_for(
-        model: &CoregionalModel,
+        model: &std::sync::Arc<CoregionalModel>,
         hyper: &ModelHyper,
         settings: &InlaSettings,
     ) -> LatentMarginals {

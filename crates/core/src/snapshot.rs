@@ -25,6 +25,7 @@ use dalia_model::{CoregionalModel, ModelHyper, PredictionPlan, PredictionTarget}
 use dalia_sparse::SparseCholesky;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use serinv::{pobtas, pobtas_lt, BtaCholesky};
+use std::sync::Arc;
 
 /// An owned, backend-independent Cholesky factor of the conditional precision
 /// `Q_c`, extracted by [`LatentSolver::snapshot_factor`](crate::solver::LatentSolver::snapshot_factor).
@@ -51,9 +52,15 @@ impl SnapshotFactor {
     }
 
     /// `log |Q_c|`.
+    ///
+    /// BTA factors entering a snapshot had their diagonals validated at
+    /// factorization time (see [`serinv::SerinvError::IndefiniteLogdet`]), so
+    /// the structured check cannot fire here.
     pub fn logdet(&self) -> f64 {
         match self {
-            SnapshotFactor::Bta(f) => f.logdet(),
+            SnapshotFactor::Bta(f) => {
+                f.logdet().expect("factor diagonal validated at factorization")
+            }
             SnapshotFactor::Sparse(f) => f.logdet(),
         }
     }
@@ -113,8 +120,8 @@ pub enum VarianceMode {
 ///
 /// All methods take `&self`; the type is `Send + Sync` (asserted by test).
 /// See the [module docs](self) for the lifecycle.
-pub struct PosteriorSnapshot<'m> {
-    model: &'m CoregionalModel,
+pub struct PosteriorSnapshot {
+    model: Arc<CoregionalModel>,
     hyper_mode: ModelHyper,
     factor: SnapshotFactor,
     latent: LatentMarginals,
@@ -123,9 +130,9 @@ pub struct PosteriorSnapshot<'m> {
     backend_name: &'static str,
 }
 
-impl<'m> PosteriorSnapshot<'m> {
+impl PosteriorSnapshot {
     pub(crate) fn from_parts(
-        model: &'m CoregionalModel,
+        model: Arc<CoregionalModel>,
         hyper_mode: ModelHyper,
         latent: LatentMarginals,
         hyper: HyperMarginals,
@@ -138,8 +145,8 @@ impl<'m> PosteriorSnapshot<'m> {
     }
 
     /// The model the snapshot was fitted on.
-    pub fn model(&self) -> &'m CoregionalModel {
-        self.model
+    pub fn model(&self) -> &CoregionalModel {
+        &self.model
     }
 
     /// The hyperparameters at the posterior mode, in structured form.
@@ -304,12 +311,20 @@ impl<'m> PosteriorSnapshot<'m> {
     }
 }
 
-/// One standard-normal variate via Box–Muller. `1 - u` keeps the log argument
-/// in `(0, 1]` (the shim's uniform is `[0, 1)`).
+/// One standard-normal variate via Box–Muller.
 fn standard_normal(rng: &mut StdRng) -> f64 {
-    let u1 = 1.0 - rng.random();
-    let u2 = rng.random();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    normal_from_uniforms(rng.random(), rng.random())
+}
+
+/// Box–Muller transform of two uniforms. The log argument is `1 - u1`, which
+/// for a `[0, 1)` uniform lies in `(0, 1]` — but any generator (or caller)
+/// that can yield `u1 == 1.0` exactly would produce `ln(0) = -∞` and an
+/// infinite draw, so the argument is clamped into `(0, 1]` at the smallest
+/// positive double, turning the degenerate input into an extreme but finite
+/// tail draw (|z| ≈ 37.6) instead of poisoning the sample with ±∞.
+fn normal_from_uniforms(u1: f64, u2: f64) -> f64 {
+    let log_arg = (1.0 - u1).clamp(f64::MIN_POSITIVE, 1.0);
+    (-2.0 * log_arg.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 #[cfg(test)]
@@ -321,7 +336,7 @@ mod tests {
     use dalia_mesh::{Domain, Point, TriangleMesh};
     use dalia_model::Observation;
 
-    fn toy_model() -> (CoregionalModel, Vec<f64>) {
+    fn toy_model() -> (std::sync::Arc<CoregionalModel>, Vec<f64>) {
         let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
         let nt = 3;
         let mut obs = Vec::new();
@@ -337,16 +352,16 @@ mod tests {
                 });
             }
         }
-        let model = CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs).unwrap();
+        let model = std::sync::Arc::new(CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs).unwrap());
         let theta0 = ModelHyper::default_for(1, 0.7, 2.0).to_theta();
         (model, theta0)
     }
 
-    fn snapshot_for<'m>(
-        model: &'m CoregionalModel,
+    fn snapshot_for(
+        model: &std::sync::Arc<CoregionalModel>,
         theta0: &[f64],
         settings: InlaSettings,
-    ) -> PosteriorSnapshot<'m> {
+    ) -> PosteriorSnapshot {
         let session = InlaEngine::builder(model).settings(settings).max_iter(2).build().unwrap();
         let result = session.run(theta0).unwrap();
         result.into_snapshot(&session).unwrap()
@@ -359,9 +374,31 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_uniform_yields_finite_normal_draw() {
+        // Regression: `u1 == 1.0` used to reach `ln(0) = -∞` and emit an
+        // infinite posterior draw. The clamped transform turns it into the
+        // most extreme finite tail draw the doubles support instead.
+        let z = normal_from_uniforms(1.0, 0.0);
+        assert!(z.is_finite(), "degenerate u1 produced {z}");
+        assert!(z > 37.0 && z < 38.5, "expected the documented ≈37.6 tail, got {z}");
+        // The other boundary and an interior point stay well-behaved too.
+        assert_eq!(normal_from_uniforms(0.0, 0.25), 0.0);
+        let mid = normal_from_uniforms(0.5, 0.3);
+        assert!(mid.is_finite() && mid.abs() < 38.5);
+        // And no (u1, u2) pair on a coarse sweep of the closed square can
+        // produce a non-finite draw.
+        for i in 0..=20 {
+            for j in 0..=20 {
+                let z = normal_from_uniforms(i as f64 / 20.0, j as f64 / 20.0);
+                assert!(z.is_finite(), "({i}, {j}) -> {z}");
+            }
+        }
+    }
+
+    #[test]
     fn snapshot_is_send_and_sync() {
         fn require_send_sync<T: Send + Sync>() {}
-        require_send_sync::<PosteriorSnapshot<'_>>();
+        require_send_sync::<PosteriorSnapshot>();
         require_send_sync::<SnapshotFactor>();
     }
 

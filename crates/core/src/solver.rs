@@ -39,9 +39,11 @@ use dalia_la::{Matrix, PackBuffer};
 use dalia_model::{CoregionalModel, ModelHyper};
 use dalia_sparse::{ops, CholeskySymbolic, CsrMatrix, SparseCholesky, SparseError};
 use serinv::{
-    d_pobtaf, d_pobtas, d_pobtasi, pobtaf, pobtaf_with, pobtas, pobtasi_with, BtaCholesky,
-    BtaMatrix, DistBtaCholesky, Partitioning,
+    d_pobtaf, d_pobtas, d_pobtasi, pobtaf, pobtaf_extend_scheduled, pobtaf_retire_scheduled,
+    pobtaf_with, pobtas, pobtasi_with, BtaCholesky, BtaMatrix, DistBtaCholesky, InteriorSchedule,
+    Partitioning, StreamPacks,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Wall-clock seconds spent in each phase of the solver pipeline, centralized
@@ -143,6 +145,45 @@ pub trait LatentSolver: Send + Sync {
     /// neither `Q_p` nor its factorization is touched.
     fn refactorize_conditional(&mut self, weights: &[f64]) -> Result<(), CoreError>;
 
+    /// Advance this solver to `model`, whose temporal window **grew** by
+    /// trailing time slices, re-factorizing only the affected trailing block
+    /// columns of the conditional factor where the representation permits
+    /// (the BTA backends; the sparse backend falls back to a full
+    /// refactorization with a fresh symbolic analysis).
+    ///
+    /// Requirements: `model` shares the mesh and `(nv, nr)` of the current
+    /// model (same block structure), keeps the current observations as a
+    /// prefix (appended observations may only reference the new slices), and
+    /// the conditional factor must be at the initial working weights for the
+    /// **same** `hyper` — i.e. a `factorize`/`factorize_conditional` at
+    /// `hyper` precedes this call, with no intervening
+    /// [`refactorize_conditional`](Self::refactorize_conditional). Afterwards
+    /// the solver is in conditional-only state on the new window (as after
+    /// `factorize_conditional`): [`logdet_qp`](Self::logdet_qp) is
+    /// unavailable until the next full `factorize`.
+    ///
+    /// For the BTA backends the advanced factor is **bitwise identical** to a
+    /// cold sequential factorization of the new window at any thread count.
+    fn extend_window(
+        &mut self,
+        model: Arc<CoregionalModel>,
+        hyper: &ModelHyper,
+    ) -> Result<(), CoreError>;
+
+    /// Advance this solver to `model`, whose temporal window **shrank** by
+    /// retiring leading time slices (with the surviving observations
+    /// re-indexed to the new window). Retiring the head invalidates every
+    /// factor column — column 0's Schur complement cascades through the whole
+    /// elimination — so all backends refactorize fully, but the BTA backends
+    /// recycle the factor storage and warm pack lanes in place. Same
+    /// preconditions and post-state as [`extend_window`](Self::extend_window)
+    /// otherwise.
+    fn retire_window(
+        &mut self,
+        model: Arc<CoregionalModel>,
+        hyper: &ModelHyper,
+    ) -> Result<(), CoreError>;
+
     /// The joint design matrix `Λ·A` assembled by the last `factorize`.
     fn design(&self) -> &CsrMatrix;
 
@@ -201,6 +242,7 @@ impl SolverBackend {
     /// use dalia_core::settings::SolverBackend;
     /// use dalia_mesh::{Domain, Point, TriangleMesh};
     /// use dalia_model::{CoregionalModel, ModelHyper, Observation};
+    /// use std::sync::Arc;
     ///
     /// let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
     /// let obs: Vec<Observation> = (0..3)
@@ -212,7 +254,7 @@ impl SolverBackend {
     ///         value: 0.1 * t as f64,
     ///     })
     ///     .collect();
-    /// let model = CoregionalModel::new(&mesh, 3, 1.0, 1, 1, obs).unwrap();
+    /// let model = Arc::new(CoregionalModel::new(&mesh, 3, 1.0, 1, 1, obs).unwrap());
     ///
     /// // One dispatch point for every backend; the session layer does this
     /// // once per S1 lane and reuses the solver for every θ.
@@ -222,17 +264,17 @@ impl SolverBackend {
     /// // Q_c = Q_p + AᵀDA ⪰ Q_p, so the conditional log-determinant dominates.
     /// assert!(solver.logdet_qc() > solver.logdet_qp());
     /// ```
-    pub fn build<'m>(&self, model: &'m CoregionalModel) -> Box<dyn LatentSolver + 'm> {
+    pub fn build(&self, model: &Arc<CoregionalModel>) -> Box<dyn LatentSolver> {
         match *self {
             SolverBackend::Bta { partitions, load_balance } => {
                 let p = partitions.clamp(1, model.dims.nt);
                 if p > 1 {
-                    Box::new(DistributedBtaSolver::new(model, p, load_balance))
+                    Box::new(DistributedBtaSolver::new(model.clone(), p, load_balance))
                 } else {
-                    Box::new(SequentialBtaSolver::new(model))
+                    Box::new(SequentialBtaSolver::new(model.clone()))
                 }
             }
-            SolverBackend::SparseGeneral => Box::new(SparseCholeskySolver::new(model)),
+            SolverBackend::SparseGeneral => Box::new(SparseCholeskySolver::new(model.clone())),
         }
     }
 }
@@ -240,8 +282,8 @@ impl SolverBackend {
 /// Shared BTA workspace: assembled `Q_p` / `Q_c` block storage (re-filled in
 /// place per θ), the panel-packing scratch of the blocked dense kernels, and
 /// the design matrix of the last assembly.
-struct BtaWorkspace<'m> {
-    model: &'m CoregionalModel,
+struct BtaWorkspace {
+    model: Arc<CoregionalModel>,
     qp: BtaMatrix,
     qc: BtaMatrix,
     pack: PackBuffer,
@@ -249,17 +291,35 @@ struct BtaWorkspace<'m> {
     timers: PhaseTimers,
 }
 
-impl<'m> BtaWorkspace<'m> {
-    fn new(model: &'m CoregionalModel) -> Self {
-        let d = &model.dims;
+impl BtaWorkspace {
+    fn new(model: Arc<CoregionalModel>) -> Self {
+        let d = model.dims;
         Self {
-            model,
             qp: BtaMatrix::zeros(d.nt, d.block_size(), d.arrow_size()),
             qc: BtaMatrix::zeros(d.nt, d.block_size(), d.arrow_size()),
             pack: PackBuffer::new(),
             design: None,
             timers: PhaseTimers::default(),
+            model,
         }
+    }
+
+    /// Swap in a model whose temporal window differs from the current one but
+    /// whose block structure (mesh, `nv`, `nr`) matches, resizing the `qp` /
+    /// `qc` block storage to the new number of time steps in place. The cached
+    /// design is cleared; the next [`assemble`](Self::assemble) refills
+    /// everything for the new window.
+    fn set_window_model(&mut self, model: Arc<CoregionalModel>) {
+        let d = model.dims;
+        assert_eq!(
+            (self.qp.b, self.qp.a),
+            (d.block_size(), d.arrow_size()),
+            "window update must preserve the block structure (mesh, nv, nr)"
+        );
+        resize_window(&mut self.qp, d.nt);
+        resize_window(&mut self.qc, d.nt);
+        self.design = None;
+        self.model = model;
     }
 
     /// Re-fill `qp` and `qc` in place for `hyper`; records assembly time.
@@ -290,28 +350,59 @@ impl<'m> BtaWorkspace<'m> {
     }
 }
 
+/// Resize a BTA matrix's block storage to `nt` time steps in place, keeping
+/// the existing block allocations where possible (growth appends zero blocks,
+/// shrinkage truncates). Values are not meaningful afterwards — callers
+/// re-assemble into the resized storage.
+fn resize_window(m: &mut BtaMatrix, nt: usize) {
+    let (b, a) = (m.b, m.a);
+    m.diag.resize_with(nt, || Matrix::zeros(b, b));
+    m.sub.resize_with(nt.saturating_sub(1), || Matrix::zeros(b, b));
+    m.arrow.resize_with(nt, || Matrix::zeros(a, b));
+    m.n = nt;
+}
+
+/// Validate a freshly produced BTA factor's diagonal eagerly (via the
+/// structured [`logdet`](BtaCholesky::logdet) check) so that indefinite or
+/// NaN-contaminated factorizations surface as a typed error at factorize time
+/// rather than as a poisoned log-determinant later.
+fn validated(f: BtaCholesky) -> Result<BtaCholesky, CoreError> {
+    f.logdet().map_err(CoreError::Solver)?;
+    Ok(f)
+}
+
+/// [`validated`] for the distributed factor representation.
+fn validated_dist(f: DistBtaCholesky) -> Result<DistBtaCholesky, CoreError> {
+    f.logdet().map_err(CoreError::Solver)?;
+    Ok(f)
+}
+
 /// Sequential BTA solver (`pobtaf`/`pobtas`/`pobtasi`): the single-device
-/// DALIA / INLA_DIST path. Factor storage is recycled between factorizations.
-pub struct SequentialBtaSolver<'m> {
-    ws: BtaWorkspace<'m>,
+/// DALIA / INLA_DIST path. Factor storage is recycled between factorizations,
+/// and [`extend_window`](LatentSolver::extend_window) /
+/// [`retire_window`](LatentSolver::retire_window) advance the conditional
+/// factor in place through the incremental streaming kernels.
+pub struct SequentialBtaSolver {
+    ws: BtaWorkspace,
+    stream: StreamPacks,
     fp: Option<BtaCholesky>,
     fc: Option<BtaCholesky>,
 }
 
-impl<'m> SequentialBtaSolver<'m> {
+impl SequentialBtaSolver {
     /// Create a solver with freshly allocated workspaces for `model`.
-    pub fn new(model: &'m CoregionalModel) -> Self {
-        Self { ws: BtaWorkspace::new(model), fp: None, fc: None }
+    pub fn new(model: Arc<CoregionalModel>) -> Self {
+        Self { ws: BtaWorkspace::new(model), stream: StreamPacks::new(), fp: None, fc: None }
     }
 }
 
-impl LatentSolver for SequentialBtaSolver<'_> {
+impl LatentSolver for SequentialBtaSolver {
     fn backend_name(&self) -> &'static str {
         "bta-sequential"
     }
 
     fn model(&self) -> &CoregionalModel {
-        self.ws.model
+        &self.ws.model
     }
 
     fn factorize(&mut self, hyper: &ModelHyper) -> Result<(), CoreError> {
@@ -320,11 +411,13 @@ impl LatentSolver for SequentialBtaSolver<'_> {
         // Recycle the previous factors' block storage for the new factors and
         // reuse the kernel pack buffers: zero allocations once warm.
         let fp_store = self.fp.take().map(|f| f.blocks);
-        self.fp =
-            Some(pobtaf_with(&self.ws.qp, fp_store, &mut self.ws.pack).map_err(CoreError::Solver)?);
+        self.fp = Some(validated(
+            pobtaf_with(&self.ws.qp, fp_store, &mut self.ws.pack).map_err(CoreError::Solver)?,
+        )?);
         let fc_store = self.fc.take().map(|f| f.blocks);
-        self.fc =
-            Some(pobtaf_with(&self.ws.qc, fc_store, &mut self.ws.pack).map_err(CoreError::Solver)?);
+        self.fc = Some(validated(
+            pobtaf_with(&self.ws.qc, fc_store, &mut self.ws.pack).map_err(CoreError::Solver)?,
+        )?);
         self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
         Ok(())
     }
@@ -334,8 +427,9 @@ impl LatentSolver for SequentialBtaSolver<'_> {
         let t0 = Instant::now();
         self.fp = None;
         let fc_store = self.fc.take().map(|f| f.blocks);
-        self.fc =
-            Some(pobtaf_with(&self.ws.qc, fc_store, &mut self.ws.pack).map_err(CoreError::Solver)?);
+        self.fc = Some(validated(
+            pobtaf_with(&self.ws.qc, fc_store, &mut self.ws.pack).map_err(CoreError::Solver)?,
+        )?);
         self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
         Ok(())
     }
@@ -344,9 +438,54 @@ impl LatentSolver for SequentialBtaSolver<'_> {
         self.ws.reweight_qc(weights);
         let t0 = Instant::now();
         let fc_store = self.fc.take().map(|f| f.blocks);
-        self.fc =
-            Some(pobtaf_with(&self.ws.qc, fc_store, &mut self.ws.pack).map_err(CoreError::Solver)?);
+        self.fc = Some(validated(
+            pobtaf_with(&self.ws.qc, fc_store, &mut self.ws.pack).map_err(CoreError::Solver)?,
+        )?);
         self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    fn extend_window(
+        &mut self,
+        model: Arc<CoregionalModel>,
+        hyper: &ModelHyper,
+    ) -> Result<(), CoreError> {
+        assert!(
+            model.dims.nt > self.ws.model.dims.nt,
+            "extend_window: the new window must have more time steps"
+        );
+        let mut fc =
+            self.fc.take().expect("LatentSolver: factorize must be called before extend_window");
+        self.fp = None;
+        self.ws.set_window_model(model);
+        self.ws.assemble(hyper);
+        let t0 = Instant::now();
+        pobtaf_extend_scheduled(&mut fc, &self.ws.qc, &mut self.stream, InteriorSchedule::Stealable)
+            .map_err(CoreError::Solver)?;
+        self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
+        self.fc = Some(validated(fc)?);
+        Ok(())
+    }
+
+    fn retire_window(
+        &mut self,
+        model: Arc<CoregionalModel>,
+        hyper: &ModelHyper,
+    ) -> Result<(), CoreError> {
+        assert!(
+            model.dims.nt < self.ws.model.dims.nt,
+            "retire_window: the new window must have fewer time steps"
+        );
+        let mut fc =
+            self.fc.take().expect("LatentSolver: factorize must be called before retire_window");
+        self.fp = None;
+        self.ws.set_window_model(model);
+        self.ws.assemble(hyper);
+        let t0 = Instant::now();
+        pobtaf_retire_scheduled(&mut fc, &self.ws.qc, &mut self.stream, InteriorSchedule::Stealable)
+            .map_err(CoreError::Solver)?;
+        self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
+        self.fc = Some(validated(fc)?);
         Ok(())
     }
 
@@ -355,11 +494,19 @@ impl LatentSolver for SequentialBtaSolver<'_> {
     }
 
     fn logdet_qp(&self) -> f64 {
-        self.fp.as_ref().expect("LatentSolver: factorize must be called first").logdet()
+        self.fp
+            .as_ref()
+            .expect("LatentSolver: factorize must be called first")
+            .logdet()
+            .expect("factor diagonal validated at factorization")
     }
 
     fn logdet_qc(&self) -> f64 {
-        self.fc.as_ref().expect("LatentSolver: factorize must be called first").logdet()
+        self.fc
+            .as_ref()
+            .expect("LatentSolver: factorize must be called first")
+            .logdet()
+            .expect("factor diagonal validated at factorization")
     }
 
     fn solve_mean(&mut self, rhs: &[f64]) -> Vec<f64> {
@@ -406,42 +553,108 @@ impl LatentSolver for SequentialBtaSolver<'_> {
 /// Distributed (time-domain partitioned) BTA solver
 /// (`d_pobtaf`/`d_pobtas`/`d_pobtasi`): the multi-device DALIA path. The
 /// load-balanced [`Partitioning`] is derived once at construction and reused
-/// for every factorization.
-pub struct DistributedBtaSolver<'m> {
-    ws: BtaWorkspace<'m>,
+/// for every factorization; window updates rebuild it for the new number of
+/// time steps.
+///
+/// Streaming window updates switch the conditional factor to the *monolithic*
+/// (`DistBtaCholesky::Sequential`) representation: the nested-dissection
+/// partitioned factor interleaves permuted interiors with a reduced system,
+/// so trailing-block reuse does not apply to it. The first window update
+/// after a partitioned factorization pays one cold sequential factorization;
+/// subsequent extends are incremental. The next full
+/// `factorize`/`factorize_conditional` returns to the partitioned scheme.
+pub struct DistributedBtaSolver {
+    ws: BtaWorkspace,
     part: Partitioning,
+    partitions: usize,
+    load_balance: f64,
+    stream: StreamPacks,
     fp: Option<DistBtaCholesky>,
     fc: Option<DistBtaCholesky>,
 }
 
-impl<'m> DistributedBtaSolver<'m> {
+impl DistributedBtaSolver {
     /// Create a solver with `partitions` time-domain partitions and the given
     /// load-balancing factor. `partitions` must lie in `[1, nt]`.
-    pub fn new(model: &'m CoregionalModel, partitions: usize, load_balance: f64) -> Self {
+    pub fn new(model: Arc<CoregionalModel>, partitions: usize, load_balance: f64) -> Self {
         let part = Partitioning::load_balanced(model.dims.nt, partitions, load_balance);
-        Self { ws: BtaWorkspace::new(model), part, fp: None, fc: None }
+        Self {
+            ws: BtaWorkspace::new(model),
+            part,
+            partitions,
+            load_balance,
+            stream: StreamPacks::new(),
+            fp: None,
+            fc: None,
+        }
     }
 
     /// The cached time-domain partitioning.
     pub fn partitioning(&self) -> &Partitioning {
         &self.part
     }
+
+    /// Shared tail of `extend_window` / `retire_window`: swap in the new
+    /// window model, rebuild the partitioning for the new `nt` (used by the
+    /// next full factorization), re-assemble, and advance the conditional
+    /// factor in the monolithic representation via `advance`.
+    fn advance_window(
+        &mut self,
+        model: Arc<CoregionalModel>,
+        hyper: &ModelHyper,
+        advance: impl FnOnce(
+            &mut BtaCholesky,
+            &BtaMatrix,
+            &mut StreamPacks,
+        ) -> Result<(), serinv::SerinvError>,
+    ) -> Result<(), CoreError> {
+        let fc =
+            self.fc.take().expect("LatentSolver: factorize must be called before a window update");
+        self.fp = None;
+        self.part = Partitioning::load_balanced(
+            model.dims.nt,
+            self.partitions.clamp(1, model.dims.nt),
+            self.load_balance,
+        );
+        self.ws.set_window_model(model);
+        self.ws.assemble(hyper);
+        let t0 = Instant::now();
+        let mono = match fc {
+            // Already monolithic (a previous window update): advance in place.
+            DistBtaCholesky::Sequential(mut f) => {
+                advance(&mut f, &self.ws.qc, &mut self.stream).map_err(CoreError::Solver)?;
+                f
+            }
+            // Partitioned: the nested-dissection layout cannot be advanced by
+            // trailing columns — pay one cold sequential factorization of the
+            // new window (warm pack lanes, no reusable storage to recycle).
+            DistBtaCholesky::Partitioned { .. } => {
+                pobtaf_with(&self.ws.qc, None, &mut self.ws.pack).map_err(CoreError::Solver)?
+            }
+        };
+        self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
+        let mono = validated(mono)?;
+        self.fc = Some(DistBtaCholesky::Sequential(mono));
+        Ok(())
+    }
 }
 
-impl LatentSolver for DistributedBtaSolver<'_> {
+impl LatentSolver for DistributedBtaSolver {
     fn backend_name(&self) -> &'static str {
         "bta-distributed"
     }
 
     fn model(&self) -> &CoregionalModel {
-        self.ws.model
+        &self.ws.model
     }
 
     fn factorize(&mut self, hyper: &ModelHyper) -> Result<(), CoreError> {
         self.ws.assemble(hyper);
         let t0 = Instant::now();
-        self.fp = Some(d_pobtaf(&self.ws.qp, &self.part).map_err(CoreError::Solver)?);
-        self.fc = Some(d_pobtaf(&self.ws.qc, &self.part).map_err(CoreError::Solver)?);
+        self.fp =
+            Some(validated_dist(d_pobtaf(&self.ws.qp, &self.part).map_err(CoreError::Solver)?)?);
+        self.fc =
+            Some(validated_dist(d_pobtaf(&self.ws.qc, &self.part).map_err(CoreError::Solver)?)?);
         self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
         Ok(())
     }
@@ -450,7 +663,8 @@ impl LatentSolver for DistributedBtaSolver<'_> {
         self.ws.assemble(hyper);
         let t0 = Instant::now();
         self.fp = None;
-        self.fc = Some(d_pobtaf(&self.ws.qc, &self.part).map_err(CoreError::Solver)?);
+        self.fc =
+            Some(validated_dist(d_pobtaf(&self.ws.qc, &self.part).map_err(CoreError::Solver)?)?);
         self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
         Ok(())
     }
@@ -458,9 +672,38 @@ impl LatentSolver for DistributedBtaSolver<'_> {
     fn refactorize_conditional(&mut self, weights: &[f64]) -> Result<(), CoreError> {
         self.ws.reweight_qc(weights);
         let t0 = Instant::now();
-        self.fc = Some(d_pobtaf(&self.ws.qc, &self.part).map_err(CoreError::Solver)?);
+        self.fc =
+            Some(validated_dist(d_pobtaf(&self.ws.qc, &self.part).map_err(CoreError::Solver)?)?);
         self.ws.timers.factorize_seconds += t0.elapsed().as_secs_f64();
         Ok(())
+    }
+
+    fn extend_window(
+        &mut self,
+        model: Arc<CoregionalModel>,
+        hyper: &ModelHyper,
+    ) -> Result<(), CoreError> {
+        assert!(
+            model.dims.nt > self.ws.model.dims.nt,
+            "extend_window: the new window must have more time steps"
+        );
+        self.advance_window(model, hyper, |f, qc, packs| {
+            pobtaf_extend_scheduled(f, qc, packs, InteriorSchedule::Stealable)
+        })
+    }
+
+    fn retire_window(
+        &mut self,
+        model: Arc<CoregionalModel>,
+        hyper: &ModelHyper,
+    ) -> Result<(), CoreError> {
+        assert!(
+            model.dims.nt < self.ws.model.dims.nt,
+            "retire_window: the new window must have fewer time steps"
+        );
+        self.advance_window(model, hyper, |f, qc, packs| {
+            pobtaf_retire_scheduled(f, qc, packs, InteriorSchedule::Stealable)
+        })
     }
 
     fn design(&self) -> &CsrMatrix {
@@ -468,11 +711,19 @@ impl LatentSolver for DistributedBtaSolver<'_> {
     }
 
     fn logdet_qp(&self) -> f64 {
-        self.fp.as_ref().expect("LatentSolver: factorize must be called first").logdet()
+        self.fp
+            .as_ref()
+            .expect("LatentSolver: factorize must be called first")
+            .logdet()
+            .expect("factor diagonal validated at factorization")
     }
 
     fn logdet_qc(&self) -> f64 {
-        self.fc.as_ref().expect("LatentSolver: factorize must be called first").logdet()
+        self.fc
+            .as_ref()
+            .expect("LatentSolver: factorize must be called first")
+            .logdet()
+            .expect("factor diagonal validated at factorization")
     }
 
     fn solve_mean(&mut self, rhs: &[f64]) -> Vec<f64> {
@@ -497,7 +748,12 @@ impl LatentSolver for DistributedBtaSolver<'_> {
         // the portable monolithic form — a one-time cost paid at snapshot
         // extraction, not per query.
         assert!(self.fc.is_some(), "LatentSolver: factorize must be called first");
-        let fc = pobtaf(&self.ws.qc).map_err(CoreError::Solver)?;
+        // A window update already holds the monolithic factor — clone it
+        // instead of re-factorizing.
+        if let Some(DistBtaCholesky::Sequential(f)) = self.fc.as_ref() {
+            return Ok(SnapshotFactor::Bta(f.clone()));
+        }
+        let fc = validated(pobtaf(&self.ws.qc).map_err(CoreError::Solver)?)?;
         Ok(SnapshotFactor::Bta(fc))
     }
 
@@ -525,8 +781,8 @@ impl LatentSolver for DistributedBtaSolver<'_> {
 /// General sparse Cholesky solver (the R-INLA / PARDISO-like baseline). The
 /// symbolic analyses of `Q_p` and `Q_c` are cached per sparsity pattern, so
 /// repeat factorizations run the numeric phase only.
-pub struct SparseCholeskySolver<'m> {
-    model: &'m CoregionalModel,
+pub struct SparseCholeskySolver {
+    model: Arc<CoregionalModel>,
     sym_qp: Option<CholeskySymbolic>,
     sym_qc: Option<CholeskySymbolic>,
     qp: Option<CsrMatrix>,
@@ -536,9 +792,9 @@ pub struct SparseCholeskySolver<'m> {
     timers: PhaseTimers,
 }
 
-impl<'m> SparseCholeskySolver<'m> {
+impl SparseCholeskySolver {
     /// Create a solver with empty symbolic caches for `model`.
-    pub fn new(model: &'m CoregionalModel) -> Self {
+    pub fn new(model: Arc<CoregionalModel>) -> Self {
         Self {
             model,
             sym_qp: None,
@@ -583,13 +839,13 @@ fn factor_with_cached_symbolic(
     Ok(f)
 }
 
-impl LatentSolver for SparseCholeskySolver<'_> {
+impl LatentSolver for SparseCholeskySolver {
     fn backend_name(&self) -> &'static str {
         "sparse-general"
     }
 
     fn model(&self) -> &CoregionalModel {
-        self.model
+        &self.model
     }
 
     fn factorize(&mut self, hyper: &ModelHyper) -> Result<(), CoreError> {
@@ -630,6 +886,46 @@ impl LatentSolver for SparseCholeskySolver<'_> {
             Some(factor_with_cached_symbolic(&mut self.sym_qc, &qc).map_err(CoreError::SparseSolver)?);
         self.timers.factorize_seconds += t1.elapsed().as_secs_f64();
         Ok(())
+    }
+
+    fn extend_window(
+        &mut self,
+        model: Arc<CoregionalModel>,
+        hyper: &ModelHyper,
+    ) -> Result<(), CoreError> {
+        // The general sparse factor has no trailing-block structure to reuse —
+        // fall back to a full conditional refactorization of the new window.
+        // The window change alters the sparsity pattern, so the symbolic cache
+        // re-analyzes automatically (PatternMismatch path).
+        assert!(
+            model.dims.nt > self.model.dims.nt,
+            "extend_window: the new window must have more time steps"
+        );
+        assert_eq!(
+            (model.dims.block_size(), model.dims.arrow_size()),
+            (self.model.dims.block_size(), self.model.dims.arrow_size()),
+            "window update must preserve the block structure (mesh, nv, nr)"
+        );
+        self.model = model;
+        self.factorize_conditional(hyper)
+    }
+
+    fn retire_window(
+        &mut self,
+        model: Arc<CoregionalModel>,
+        hyper: &ModelHyper,
+    ) -> Result<(), CoreError> {
+        assert!(
+            model.dims.nt < self.model.dims.nt,
+            "retire_window: the new window must have fewer time steps"
+        );
+        assert_eq!(
+            (model.dims.block_size(), model.dims.arrow_size()),
+            (self.model.dims.block_size(), self.model.dims.arrow_size()),
+            "window update must preserve the block structure (mesh, nv, nr)"
+        );
+        self.model = model;
+        self.factorize_conditional(hyper)
     }
 
     fn design(&self) -> &CsrMatrix {
@@ -703,12 +999,10 @@ mod tests {
     use dalia_mesh::{Domain, Point, TriangleMesh};
     use dalia_model::Observation;
 
-    fn toy_model(nv: usize) -> (CoregionalModel, ModelHyper) {
-        let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
-        let nt = 3;
+    fn window_obs(nv: usize, t_range: std::ops::Range<usize>) -> Vec<Observation> {
         let mut obs = Vec::new();
         for v in 0..nv {
-            for t in 0..nt {
+            for t in t_range.clone() {
                 for &(x, y) in &[(0.25, 0.25), (0.75, 0.5), (0.4, 0.85)] {
                     obs.push(Observation {
                         var: v,
@@ -720,9 +1014,17 @@ mod tests {
                 }
             }
         }
-        let model = CoregionalModel::new(&mesh, nt, 1.0, nv, 1, obs).unwrap();
+        obs
+    }
+
+    fn windowed_model(nv: usize, nt: usize) -> Arc<CoregionalModel> {
+        let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+        Arc::new(CoregionalModel::new(&mesh, nt, 1.0, nv, 1, window_obs(nv, 0..nt)).unwrap())
+    }
+
+    fn toy_model(nv: usize) -> (Arc<CoregionalModel>, ModelHyper) {
         let hyper = ModelHyper::default_for(nv, 0.7, 2.0);
-        (model, hyper)
+        (windowed_model(nv, 3), hyper)
     }
 
     fn backends() -> Vec<SolverBackend> {
@@ -844,6 +1146,154 @@ mod tests {
         assert!(t.total_seconds() >= t.solver_seconds());
         solver.reset_timers();
         assert_eq!(solver.timers(), PhaseTimers::default());
+    }
+
+    /// Observations ordered time-outer so that a window extension appends to
+    /// the list (old observations stay a prefix — the streaming precondition).
+    fn stream_obs(nv: usize, t_range: std::ops::Range<usize>) -> Vec<Observation> {
+        let mut obs = Vec::new();
+        for t in t_range {
+            for v in 0..nv {
+                for &(x, y) in &[(0.25, 0.25), (0.75, 0.5), (0.4, 0.85)] {
+                    obs.push(Observation {
+                        var: v,
+                        t,
+                        loc: Point::new(x, y),
+                        covariates: vec![1.0],
+                        value: 0.3 * (v as f64) + 0.2 * (t as f64) + 0.1 * x,
+                    });
+                }
+            }
+        }
+        obs
+    }
+
+    fn stream_models(
+        nv: usize,
+        nt_old: usize,
+        nt_new: usize,
+    ) -> (Arc<CoregionalModel>, Arc<CoregionalModel>) {
+        let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+        let old_obs = stream_obs(nv, 0..nt_old);
+        let mut all_obs = old_obs.clone();
+        all_obs.extend(stream_obs(nv, nt_old..nt_new));
+        let old = Arc::new(CoregionalModel::new(&mesh, nt_old, 1.0, nv, 1, old_obs).unwrap());
+        let new = Arc::new(CoregionalModel::new(&mesh, nt_new, 1.0, nv, 1, all_obs).unwrap());
+        (old, new)
+    }
+
+    /// Conditional-only results of a solver: `(logdet_qc, mean, variances)`.
+    fn conditional_results(
+        solver: &mut Box<dyn LatentSolver>,
+        model: &CoregionalModel,
+        hyper: &ModelHyper,
+    ) -> (f64, Vec<f64>, Vec<f64>) {
+        let info = model.information_vector(hyper, solver.design());
+        let mean = solver.solve_mean(&info);
+        let vars = solver.selected_inverse_diag();
+        (solver.logdet_qc(), mean, vars)
+    }
+
+    fn assert_bitwise_eq(a: &(f64, Vec<f64>, Vec<f64>), b: &(f64, Vec<f64>, Vec<f64>), tag: &str) {
+        assert_eq!(a.0.to_bits(), b.0.to_bits(), "{tag}: logdet_qc");
+        for (x, y) in a.1.iter().zip(&b.1) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{tag}: mean");
+        }
+        for (x, y) in a.2.iter().zip(&b.2) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{tag}: variances");
+        }
+    }
+
+    fn extended_results(
+        backend: SolverBackend,
+        hyper: &ModelHyper,
+        old: &Arc<CoregionalModel>,
+        new: &Arc<CoregionalModel>,
+    ) -> (f64, Vec<f64>, Vec<f64>) {
+        let mut solver = backend.build(old);
+        solver.factorize(hyper).unwrap();
+        solver.extend_window(new.clone(), hyper).unwrap();
+        conditional_results(&mut solver, new, hyper)
+    }
+
+    #[test]
+    fn extend_window_matches_cold_factorization_bitwise() {
+        let hyper = ModelHyper::default_for(2, 0.7, 2.0);
+        let (old, new) = stream_models(2, 4, 6);
+
+        // Cold sequential reference on the full new window. The distributed
+        // backend's window mode holds a monolithic sequential factor, so the
+        // sequential cold factorization is the reference for both.
+        let seq = SolverBackend::Bta { partitions: 1, load_balance: 1.0 };
+        let mut cold = seq.build(&new);
+        cold.factorize_conditional(&hyper).unwrap();
+        let reference = conditional_results(&mut cold, &new, &hyper);
+
+        for backend in [seq, SolverBackend::Bta { partitions: 3, load_balance: 1.3 }] {
+            let got = extended_results(backend, &hyper, &old, &new);
+            assert_bitwise_eq(&got, &reference, "extend(1 thread)");
+
+            let got4 = dalia_pool::ThreadPool::new(4)
+                .install(|| extended_results(backend, &hyper, &old, &new));
+            assert_bitwise_eq(&got4, &reference, "extend(4 threads)");
+        }
+
+        // The sparse fallback refactorizes fully — identical to a cold sparse
+        // conditional factorization of the new window.
+        let mut cold_sp = SolverBackend::SparseGeneral.build(&new);
+        cold_sp.factorize_conditional(&hyper).unwrap();
+        let ref_sp = conditional_results(&mut cold_sp, &new, &hyper);
+        let got_sp = extended_results(SolverBackend::SparseGeneral, &hyper, &old, &new);
+        assert_bitwise_eq(&got_sp, &ref_sp, "extend(sparse fallback)");
+    }
+
+    #[test]
+    fn retire_window_matches_cold_factorization_bitwise() {
+        let hyper = ModelHyper::default_for(1, 0.7, 2.0);
+        let (retired, full) = stream_models(1, 4, 6);
+
+        let seq = SolverBackend::Bta { partitions: 1, load_balance: 1.0 };
+        let mut cold = seq.build(&retired);
+        cold.factorize_conditional(&hyper).unwrap();
+        let reference = conditional_results(&mut cold, &retired, &hyper);
+
+        for backend in [seq, SolverBackend::Bta { partitions: 3, load_balance: 1.3 }] {
+            let mut solver = backend.build(&full);
+            solver.factorize(&hyper).unwrap();
+            solver.retire_window(retired.clone(), &hyper).unwrap();
+            let got = conditional_results(&mut solver, &retired, &hyper);
+            assert_bitwise_eq(&got, &reference, "retire");
+        }
+    }
+
+    #[test]
+    fn distributed_returns_to_partitioned_scheme_after_window_update() {
+        let hyper = ModelHyper::default_for(1, 0.7, 2.0);
+        let (old, new) = stream_models(1, 4, 6);
+        let backend = SolverBackend::Bta { partitions: 3, load_balance: 1.3 };
+
+        let mut streamed = backend.build(&old);
+        streamed.factorize(&hyper).unwrap();
+        streamed.extend_window(new.clone(), &hyper).unwrap();
+        // A subsequent full factorization rebuilds the partitioned scheme for
+        // the new window and matches a cold distributed solver bitwise.
+        streamed.factorize(&hyper).unwrap();
+        let mut cold = backend.build(&new);
+        cold.factorize(&hyper).unwrap();
+        assert_eq!(streamed.logdet_qp().to_bits(), cold.logdet_qp().to_bits());
+        assert_eq!(streamed.logdet_qc().to_bits(), cold.logdet_qc().to_bits());
+    }
+
+    #[test]
+    fn extend_window_leaves_solver_in_conditional_only_state() {
+        let hyper = ModelHyper::default_for(1, 0.7, 2.0);
+        let (old, new) = stream_models(1, 3, 4);
+        let mut solver = SolverBackend::Bta { partitions: 1, load_balance: 1.0 }.build(&old);
+        solver.factorize(&hyper).unwrap();
+        solver.extend_window(new.clone(), &hyper).unwrap();
+        assert_eq!(solver.model().dims.nt, 4);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| solver.logdet_qp()));
+        assert!(err.is_err(), "logdet_qp must be unavailable after a window update");
     }
 
     #[test]

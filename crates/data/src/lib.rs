@@ -16,5 +16,5 @@ pub use configs::{all_configs, ap1, mb1, mb2, sa1, wa1, wa2, wa2_mesh_ladder, Da
 pub use synthetic::{
     correlation, elevation_km, generate_count_dataset, generate_exceedance_dataset,
     generate_pollution_dataset, generate_univariate_dataset, observation_grid, sample_poisson,
-    CountGroundTruth, GroundTruth, SmoothField,
+    CountGroundTruth, GroundTruth, SmoothField, StreamingSource,
 };

@@ -154,6 +154,120 @@ pub fn generate_pollution_dataset(
     (observations, GroundTruth { hyper, elevation_effects, intercepts, noise_sd })
 }
 
+
+/// A deterministic stream of arriving observation slices — the synthetic
+/// stand-in for a live feed (e.g. hourly CAMS updates) driving a
+/// [`StreamingWindow`](../../dalia_core/struct.StreamingWindow.html).
+///
+/// The source reproduces [`generate_pollution_dataset`] slice by slice:
+/// `StreamingSource::new(domain, grid, seed)` followed by `nt` calls to
+/// [`next_slice`](Self::next_slice) yields exactly the observations of
+/// `generate_pollution_dataset(domain, grid, nt, seed)`, in the same order
+/// with the same values — so a streaming consumer and a batch refit see
+/// bit-identical data, which is what the streaming parity tests rely on.
+pub struct StreamingSource {
+    domain: Domain,
+    grid: Vec<Point>,
+    fields: Vec<SmoothField>,
+    truth: GroundTruth,
+    rng: StdRng,
+    next_t: usize,
+}
+
+impl StreamingSource {
+    /// Open a trivariate pollution stream over `grid` (same ground-truth
+    /// structure as [`generate_pollution_dataset`]).
+    pub fn new(domain: &Domain, grid: &[Point], seed: u64) -> Self {
+        let nv = 3;
+        let hyper = ModelHyper {
+            range_s: vec![0.35 * domain.width(); nv],
+            range_t: vec![6.0; nv],
+            sigmas: vec![1.0, 1.1, 0.9],
+            lambdas: vec![0.95, -0.45, -0.25],
+            noise_prec: vec![25.0, 25.0, 25.0],
+        };
+        let elevation_effects = vec![-0.45, -0.55, 1.27];
+        let intercepts = vec![12.0, 18.0, 45.0];
+        let noise_sd: Vec<f64> = hyper.noise_prec.iter().map(|p| 1.0 / p.sqrt()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fields: Vec<SmoothField> = (0..nv)
+            .map(|i| SmoothField::new(&mut rng, hyper.range_s[i], hyper.range_t[i], 48))
+            .collect();
+        Self {
+            domain: *domain,
+            grid: grid.to_vec(),
+            fields,
+            truth: GroundTruth { hyper, elevation_effects, intercepts, noise_sd },
+            rng,
+            next_t: 0,
+        }
+    }
+
+    /// Ground truth shared by every slice the source will ever emit.
+    pub fn truth(&self) -> &GroundTruth {
+        &self.truth
+    }
+
+    /// Number of slices emitted so far (the absolute time index of the slice
+    /// the next [`next_slice`](Self::next_slice) call produces).
+    pub fn slices_emitted(&self) -> usize {
+        self.next_t
+    }
+
+    /// Number of observations in every slice (`3 · grid.len()`).
+    pub fn slice_len(&self) -> usize {
+        3 * self.grid.len()
+    }
+
+    /// The next arriving slice, with observations tagged with their absolute
+    /// time index from the start of the stream.
+    pub fn next_slice(&mut self) -> Vec<Observation> {
+        let t = self.next_t;
+        self.next_t += 1;
+        self.slice_tagged(t, t)
+    }
+
+    /// The next arriving slice, re-tagged with a *window-relative* time index
+    /// — what `StreamingWindow::append_slices` expects once old slices have
+    /// been retired and the window's time axis no longer starts at the
+    /// stream's origin. The latent field still evolves along the stream's
+    /// absolute clock.
+    pub fn next_slice_for(&mut self, window_t: usize) -> Vec<Observation> {
+        let t = self.next_t;
+        self.next_t += 1;
+        self.slice_tagged(t, window_t)
+    }
+
+    fn slice_tagged(&mut self, stream_t: usize, tag_t: usize) -> Vec<Observation> {
+        let nv = self.fields.len();
+        let lambda = self.truth.hyper.lambda_matrix();
+        let mut slice = Vec::with_capacity(nv * self.grid.len());
+        for p in &self.grid {
+            let elev = elevation_km(&self.domain, p);
+            let u: Vec<f64> =
+                self.fields.iter().map(|f| f.eval(p.x, p.y, stream_t as f64)).collect();
+            for k in 0..nv {
+                let mut latent = 0.0;
+                for l in 0..=k {
+                    latent += lambda[(k, l)] * u[l];
+                }
+                let noise =
+                    self.rng.random_range(-1.0..1.0) * self.truth.noise_sd[k] * 1.732;
+                let value =
+                    self.truth.intercepts[k] + self.truth.elevation_effects[k] * elev + latent + noise;
+                slice.push(Observation {
+                    var: k,
+                    t: tag_t,
+                    loc: *p,
+                    covariates: vec![1.0, elev],
+                    value,
+                });
+            }
+        }
+        slice
+    }
+}
+
 /// Generate a univariate spatio-temporal dataset with a known fixed effect
 /// (used by the quickstart example and the recovery integration tests).
 pub fn generate_univariate_dataset(
@@ -496,6 +610,44 @@ mod tests {
                 "count {} outside [0, {n}]",
                 o.value
             );
+        }
+    }
+
+    #[test]
+    fn streaming_source_matches_batch_prefix_bitwise() {
+        let domain = Domain::unit_square();
+        let grid = observation_grid(&domain, 4, 3);
+        let nt = 5;
+        let (batch, _) = generate_pollution_dataset(&domain, &grid, nt, 7);
+        let mut stream = StreamingSource::new(&domain, &grid, 7);
+        let mut streamed = Vec::new();
+        for _ in 0..nt {
+            streamed.extend(stream.next_slice());
+        }
+        assert_eq!(stream.slices_emitted(), nt);
+        assert_eq!(batch.len(), streamed.len());
+        for (a, b) in batch.iter().zip(&streamed) {
+            assert_eq!(a.var, b.var);
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.value.to_bits(), b.value.to_bits(), "stream diverged from batch");
+        }
+    }
+
+    #[test]
+    fn streaming_source_retags_window_relative_slices() {
+        let domain = Domain::unit_square();
+        let grid = observation_grid(&domain, 3, 3);
+        let mut a = StreamingSource::new(&domain, &grid, 11);
+        let mut b = StreamingSource::new(&domain, &grid, 11);
+        let _ = a.next_slice();
+        let _ = b.next_slice();
+        let absolute = a.next_slice();
+        let retagged = b.next_slice_for(4);
+        assert_eq!(a.slice_len(), absolute.len());
+        for (x, y) in absolute.iter().zip(&retagged) {
+            assert_eq!(x.t, 1);
+            assert_eq!(y.t, 4, "window-relative tag must be honored");
+            assert_eq!(x.value.to_bits(), y.value.to_bits(), "retagging must not change values");
         }
     }
 

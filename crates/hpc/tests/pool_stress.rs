@@ -349,7 +349,7 @@ fn skewed_partition_layout_completes_within_2x_of_balanced() {
                     let mut rhs = rhs0.clone();
                     d_pobtas_scheduled(&f, &mut rhs, InteriorSchedule::Stealable);
                     let sel = d_pobtasi_scheduled(&f, InteriorSchedule::Stealable);
-                    f.logdet() + rhs.as_slice()[0] + sel.blocks.diag[0].as_slice()[0]
+                    f.logdet().unwrap() + rhs.as_slice()[0] + sel.blocks.diag[0].as_slice()[0]
                 })
             };
             let _ = run();

@@ -29,6 +29,7 @@
 //! [`BtaCholesky::logdet`] reads `log |Q| = 2 Σ log L_ii` — one of the three
 //! terms of every INLA objective evaluation.
 
+use crate::SerinvError;
 use dalia_la::Matrix;
 
 /// Symmetric block-tridiagonal matrix with arrowhead, lower-triangle storage.
@@ -249,17 +250,37 @@ pub struct BtaCholesky {
 
 impl BtaCholesky {
     /// Log-determinant of the factorized matrix: `2 Σ log diag(L)`.
-    pub fn logdet(&self) -> f64 {
+    ///
+    /// Every factor diagonal entry must be strictly positive and finite —
+    /// a zero, negative or NaN pivot means the factorization did not produce
+    /// a valid Cholesky factor (e.g. NaN model inputs sail through `potrf`'s
+    /// pivot check because every comparison with NaN is false). Instead of
+    /// silently returning NaN that would corrupt `f(θ)` and the BFGS line
+    /// search downstream, this reports the offending entry as a structured
+    /// [`SerinvError::IndefiniteLogdet`].
+    pub fn logdet(&self) -> Result<f64, SerinvError> {
         let mut s = 0.0;
-        for d in &self.blocks.diag {
+        for (block, d) in self.blocks.diag.iter().enumerate() {
             for i in 0..self.blocks.b {
-                s += d[(i, i)].ln();
+                let v = d[(i, i)];
+                if !(v > 0.0) || !v.is_finite() {
+                    return Err(SerinvError::IndefiniteLogdet { block, index: i, value: v });
+                }
+                s += v.ln();
             }
         }
         for i in 0..self.blocks.a {
-            s += self.blocks.tip[(i, i)].ln();
+            let v = self.blocks.tip[(i, i)];
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(SerinvError::IndefiniteLogdet {
+                    block: self.blocks.n,
+                    index: i,
+                    value: v,
+                });
+            }
+            s += v.ln();
         }
-        2.0 * s
+        Ok(2.0 * s)
     }
 
     /// Dense lower-triangular factor (testing only).
@@ -325,6 +346,44 @@ mod tests {
         assert_eq!(m.diag[0][(0, 0)], 3.0);
         assert_eq!(m.tip[(0, 0)], 3.0);
         assert_eq!(m.diag[1][(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn logdet_rejects_nonpositive_and_nonfinite_factor_diagonals() {
+        let base = test_matrix(3, 2, 1, 5);
+        let good = crate::sequential::pobtaf(&base).unwrap();
+        assert!(good.logdet().unwrap().is_finite());
+
+        // A deliberately indefinite matrix must fail at factorization time
+        // with a structured error, never reach a NaN logdet.
+        let mut indefinite = base.clone();
+        for i in 0..indefinite.b {
+            indefinite.diag[1][(i, i)] -= 1e3;
+        }
+        match crate::sequential::pobtaf(&indefinite) {
+            Err(SerinvError::Factorization { block, .. }) => assert_eq!(block, 1),
+            other => panic!("expected a factorization error, got {other:?}"),
+        }
+
+        // A factor whose diagonal was corrupted (the NaN-input case that
+        // sails through potrf's pivot check) reports the offending entry
+        // instead of silently returning NaN.
+        let mut bad = good.clone();
+        bad.blocks.diag[2][(1, 1)] = -0.5;
+        match bad.logdet() {
+            Err(SerinvError::IndefiniteLogdet { block: 2, index: 1, value }) => {
+                assert_eq!(value, -0.5);
+            }
+            other => panic!("expected IndefiniteLogdet, got {other:?}"),
+        }
+        let mut nan = good.clone();
+        nan.blocks.tip[(0, 0)] = f64::NAN;
+        match nan.logdet() {
+            Err(SerinvError::IndefiniteLogdet { block: 3, index: 0, value }) => {
+                assert!(value.is_nan());
+            }
+            other => panic!("expected IndefiniteLogdet at the tip, got {other:?}"),
+        }
     }
 
     #[test]

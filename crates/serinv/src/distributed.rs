@@ -156,19 +156,32 @@ pub enum DistBtaCholesky {
 
 impl DistBtaCholesky {
     /// Log-determinant of the factorized matrix.
-    pub fn logdet(&self) -> f64 {
+    ///
+    /// Like [`BtaCholesky::logdet`], a zero, negative or non-finite factor
+    /// diagonal entry is reported as [`SerinvError::IndefiniteLogdet`]
+    /// (with the block index in the *global* time-block numbering) instead
+    /// of silently contributing NaN to the objective.
+    pub fn logdet(&self) -> Result<f64, SerinvError> {
         match self {
             DistBtaCholesky::Sequential(f) => f.logdet(),
             DistBtaCholesky::Partitioned { partitions, reduced, .. } => {
                 let mut s = 0.0;
                 for pf in partitions {
-                    for d in &pf.l_diag {
+                    for (j, d) in pf.l_diag.iter().enumerate() {
                         for i in 0..d.nrows() {
-                            s += d[(i, i)].ln();
+                            let v = d[(i, i)];
+                            if !(v > 0.0) || !v.is_finite() {
+                                return Err(SerinvError::IndefiniteLogdet {
+                                    block: pf.interior.0 + j,
+                                    index: i,
+                                    value: v,
+                                });
+                            }
+                            s += v.ln();
                         }
                     }
                 }
-                2.0 * s + reduced.logdet()
+                Ok(2.0 * s + reduced.logdet()?)
             }
         }
     }
@@ -203,25 +216,25 @@ pub enum InteriorSchedule {
 /// the fork overhead (a `trsm` at `b = 48` is a few microseconds), so the
 /// stealable schedule falls back to the sequential column step. Scheduling
 /// only — results are bitwise identical either way.
-const STEAL_MIN_BLOCK: usize = 48;
+pub(crate) const STEAL_MIN_BLOCK: usize = 48;
 
 /// Dedicated pack-buffer lanes for the stealable interior elimination: one
 /// per concurrent `join` subtask, reused across all block columns of the
 /// partition, so the packed micro-kernels never contend for workspace and a
 /// warm partition task allocates nothing per column.
-struct InteriorPacks {
+pub(crate) struct InteriorPacks {
     /// Critical path (`potrf`) + sub-diagonal `trsm` + `D_{j+1}` propagation.
-    diag: PackBuffer,
+    pub(crate) diag: PackBuffer,
     /// Left-separator fill `trsm` + `W_{j+1}`/`C_{j+1}` propagation.
-    left: PackBuffer,
+    pub(crate) left: PackBuffer,
     /// Arrow-panel `trsm`.
-    arrow: PackBuffer,
+    pub(crate) arrow: PackBuffer,
     /// Schur accumulation onto the reduced system.
-    schur: PackBuffer,
+    pub(crate) schur: PackBuffer,
 }
 
 impl InteriorPacks {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         InteriorPacks {
             diag: PackBuffer::new(),
             left: PackBuffer::new(),
@@ -234,7 +247,12 @@ impl InteriorPacks {
 /// Run three independent subtasks of one column step, either as a
 /// `join`-structured fork (stealable by idle pool workers) or inline. The
 /// subtasks write disjoint outputs, so the fork changes scheduling only.
-fn run3(split: bool, f: impl FnOnce() + Send, g: impl FnOnce() + Send, h: impl FnOnce() + Send) {
+pub(crate) fn run3(
+    split: bool,
+    f: impl FnOnce() + Send,
+    g: impl FnOnce() + Send,
+    h: impl FnOnce() + Send,
+) {
     if split {
         dalia_pool::join(f, || {
             dalia_pool::join(g, h);
@@ -249,7 +267,7 @@ fn run3(split: bool, f: impl FnOnce() + Send, g: impl FnOnce() + Send, h: impl F
 /// Two-subtask variant of [`run3`] for column steps with only a pair of
 /// independent lanes (the reduced-system `trsm` pair, the solve's carried /
 /// external update split).
-fn run2(split: bool, f: impl FnOnce() + Send, g: impl FnOnce() + Send) {
+pub(crate) fn run2(split: bool, f: impl FnOnce() + Send, g: impl FnOnce() + Send) {
     if split {
         dalia_pool::join(f, g);
     } else {
@@ -1240,10 +1258,11 @@ mod tests {
 
         // Log-determinants agree.
         assert!(
-            (seq.logdet() - dist.logdet()).abs() < 1e-8 * (1.0 + seq.logdet().abs()),
+            (seq.logdet().unwrap() - dist.logdet().unwrap()).abs()
+                < 1e-8 * (1.0 + seq.logdet().unwrap().abs()),
             "logdet mismatch for P={p}: {} vs {}",
-            seq.logdet(),
-            dist.logdet()
+            seq.logdet().unwrap(),
+            dist.logdet().unwrap()
         );
 
         // Solves agree.
@@ -1353,7 +1372,11 @@ mod tests {
                 _ => panic!("{tag}: l_right presence mismatch in partition {p}"),
             }
         }
-        assert_eq!(rx.logdet().to_bits(), ry.logdet().to_bits(), "{tag}: reduced logdet");
+        assert_eq!(
+            rx.logdet().unwrap().to_bits(),
+            ry.logdet().unwrap().to_bits(),
+            "{tag}: reduced logdet"
+        );
         assert_chol_bitwise_equal(rx, ry, &format!("{tag}: reduced factor"));
     }
 
@@ -1564,10 +1587,11 @@ mod tests {
         let seq = pobtaf(&m).unwrap();
         let dist = d_pobtaf(&m, &part).unwrap();
         assert!(
-            (seq.logdet() - dist.logdet()).abs() < 1e-8 * (1.0 + seq.logdet().abs()),
+            (seq.logdet().unwrap() - dist.logdet().unwrap()).abs()
+                < 1e-8 * (1.0 + seq.logdet().unwrap().abs()),
             "skewed logdet mismatch: {} vs {}",
-            seq.logdet(),
-            dist.logdet()
+            seq.logdet().unwrap(),
+            dist.logdet().unwrap()
         );
         let rhs0 = test_rhs(m.dim(), 2);
         let mut rhs_seq = rhs0.clone();

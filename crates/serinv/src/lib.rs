@@ -12,12 +12,15 @@
 //! * [`distributed`] — `d_pobtaf` / `d_pobtas` / `d_pobtasi`, the
 //!   nested-dissection partitioned variants executed in parallel over
 //!   partitions (the in-process analogue of the paper's multi-GPU scheme),
+//! * [`streaming`] — `pobtaf_extend` / `pobtaf_retire`, incremental
+//!   trailing-block refactorization for sliding temporal windows,
 //! * [`testing`] — deterministic SPD test matrices.
 
 pub mod bta;
 pub mod distributed;
 pub mod partition;
 pub mod sequential;
+pub mod streaming;
 pub mod testing;
 
 pub use bta::{BtaCholesky, BtaMatrix};
@@ -29,6 +32,9 @@ pub use partition::Partitioning;
 pub use sequential::{
     pobtaf, pobtaf_reusing, pobtaf_with, pobtas, pobtas_lt, pobtas_vec, pobtasi, pobtasi_with,
     BtaSelectedInverse,
+};
+pub use streaming::{
+    pobtaf_extend, pobtaf_extend_scheduled, pobtaf_retire, pobtaf_retire_scheduled, StreamPacks,
 };
 
 /// Errors produced by the structured solvers.
@@ -42,6 +48,18 @@ pub enum SerinvError {
         /// The underlying dense kernel error.
         source: dalia_la::LaError,
     },
+    /// A log-determinant was requested from a factor whose diagonal holds a
+    /// zero, negative or non-finite entry — the factorization did not produce
+    /// a valid Cholesky factor (typically NaN model inputs that pass through
+    /// `potrf`'s pivot check, since every comparison with NaN is false).
+    IndefiniteLogdet {
+        /// Index of the offending block (`n` refers to the arrow tip).
+        block: usize,
+        /// Row index of the offending diagonal entry within the block.
+        index: usize,
+        /// The offending factor diagonal value.
+        value: f64,
+    },
 }
 
 impl std::fmt::Display for SerinvError {
@@ -50,6 +68,11 @@ impl std::fmt::Display for SerinvError {
             SerinvError::Factorization { block, source } => {
                 write!(f, "BTA factorization failed at block column {block}: {source}")
             }
+            SerinvError::IndefiniteLogdet { block, index, value } => write!(
+                f,
+                "BTA factor is not a valid Cholesky factor: diagonal entry {index} of block \
+                 {block} is {value} (expected a strictly positive finite pivot)"
+            ),
         }
     }
 }

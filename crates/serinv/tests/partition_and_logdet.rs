@@ -70,7 +70,7 @@ fn sequential_and_distributed_logdet_agree() {
             for &lb in &[1.0f64, 1.6] {
                 let part = Partitioning::load_balanced(n, p, lb);
                 let dist = d_pobtaf(&m, &part).expect("distributed factorization failed");
-                let (ls, ld) = (seq.logdet(), dist.logdet());
+                let (ls, ld) = (seq.logdet().unwrap(), dist.logdet().unwrap());
                 assert!(
                     (ls - ld).abs() < 1e-8 * (1.0 + ls.abs()),
                     "logdet mismatch for n={n} b={b} a={a} P={p} lb={lb}: {ls} vs {ld}"

@@ -31,6 +31,7 @@
 //! use dalia_mesh::{Domain, Point, TriangleMesh};
 //! use dalia_model::{CoregionalModel, ModelHyper, Observation, PredictionTarget};
 //! use dalia_serve::{InlaService, ServeConfig};
+//! use std::sync::Arc;
 //!
 //! let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
 //! let obs: Vec<Observation> = (0..3)
@@ -42,12 +43,12 @@
 //!         value: 0.1 * t as f64,
 //!     })
 //!     .collect();
-//! let model = CoregionalModel::new(&mesh, 3, 1.0, 1, 1, obs).unwrap();
+//! let model = Arc::new(CoregionalModel::new(&mesh, 3, 1.0, 1, 1, obs).unwrap());
 //! let theta0 = ModelHyper::default_for(1, 0.7, 2.0).to_theta();
 //! let session = InlaEngine::builder(&model).max_iter(2).build().unwrap();
 //! let snapshot = session.run(&theta0).unwrap().into_snapshot(&session).unwrap();
 //!
-//! let service = InlaService::new(snapshot, ServeConfig::default());
+//! let service = InlaService::new(snapshot, ServeConfig::default()).unwrap();
 //! let served = service
 //!     .predict(
 //!         &[PredictionTarget { var: 0, t: 1, loc: Point::new(0.5, 0.5), covariates: vec![1.0] }],
@@ -81,6 +82,8 @@ pub enum ServeError {
         /// The snapshot's latent dimension.
         dim: usize,
     },
+    /// The service configuration failed [`ServeConfig::validate`].
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -89,6 +92,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Core(e) => write!(f, "serve: {e}"),
             ServeError::IndexOutOfRange { index, dim } => {
                 write!(f, "serve: latent index {index} out of range (latent dimension {dim})")
+            }
+            ServeError::InvalidConfig(reason) => {
+                write!(f, "serve: invalid service configuration: {reason}")
             }
         }
     }
@@ -116,6 +122,28 @@ pub struct ServeConfig {
     /// Worker threads of the service's own execution pool; `0` shares the
     /// process-global `dalia-pool` instead of owning one.
     pub workers: usize,
+}
+
+impl ServeConfig {
+    /// Validate the configuration, wired like
+    /// [`InlaSettings::validate`](dalia_core::InlaSettings::validate): called
+    /// by [`InlaService::new`], which refuses to construct a service from a
+    /// nonsensical configuration instead of misbehaving later.
+    ///
+    /// Rejects `max_batch == 0` (the leader's window-close condition
+    /// `pending >= max_batch` would hold vacuously, silently degrading every
+    /// batch to size 1 while claiming to coalesce — and any future splitting
+    /// drain would divide by it).
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_batch must be at least 1 (0 would close every batching window \
+                 before a single request is admitted)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for ServeConfig {
@@ -253,23 +281,25 @@ impl PoolHandle {
 /// All methods take `&self`; share the service by reference (or `Arc`) across
 /// any number of client threads. See the [crate docs](self) for the
 /// coalescing policy and determinism contract.
-pub struct InlaService<'m> {
-    snapshot: PosteriorSnapshot<'m>,
+pub struct InlaService {
+    snapshot: PosteriorSnapshot,
     config: ServeConfig,
     pool: PoolHandle,
     queue: BatchQueue,
     stats: Mutex<ServiceStats>,
 }
 
-impl<'m> InlaService<'m> {
-    /// Wrap `snapshot` in a service with the given admission configuration.
-    pub fn new(snapshot: PosteriorSnapshot<'m>, config: ServeConfig) -> Self {
+impl InlaService {
+    /// Wrap `snapshot` in a service with the given admission configuration,
+    /// validating the configuration first (see [`ServeConfig::validate`]).
+    pub fn new(snapshot: PosteriorSnapshot, config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
         let pool = if config.workers == 0 {
             PoolHandle::Global
         } else {
             PoolHandle::Owned(ThreadPool::new(config.workers))
         };
-        Self {
+        Ok(Self {
             snapshot,
             config,
             pool,
@@ -278,11 +308,22 @@ impl<'m> InlaService<'m> {
                 leader_cv: Condvar::new(),
             },
             stats: Mutex::new(ServiceStats::default()),
-        }
+        })
+    }
+
+    /// Swap the frozen snapshot for `next`, returning the previous one — the
+    /// serving side of a streaming window: the owner advances a
+    /// [`StreamingWindow`](dalia_core::StreamingWindow), freezes it with its
+    /// cheap re-snapshot path, and swaps it in here without tearing down the
+    /// service, its pool, or its batching queue. Requires `&mut self` (i.e. a
+    /// quiescent service); under an `Arc`-shared service, swap at the
+    /// `Arc` level instead.
+    pub fn swap_snapshot(&mut self, next: PosteriorSnapshot) -> PosteriorSnapshot {
+        std::mem::replace(&mut self.snapshot, next)
     }
 
     /// The frozen snapshot the service answers from.
-    pub fn snapshot(&self) -> &PosteriorSnapshot<'m> {
+    pub fn snapshot(&self) -> &PosteriorSnapshot {
         &self.snapshot
     }
 
@@ -292,7 +333,7 @@ impl<'m> InlaService<'m> {
     }
 
     /// Unwrap the service, recovering the snapshot.
-    pub fn into_snapshot(self) -> PosteriorSnapshot<'m> {
+    pub fn into_snapshot(self) -> PosteriorSnapshot {
         self.snapshot
     }
 
@@ -440,7 +481,7 @@ impl<'m> InlaService<'m> {
 }
 
 /// Pure request execution against the frozen snapshot.
-fn execute(snapshot: &PosteriorSnapshot<'_>, kind: RequestKind) -> Response {
+fn execute(snapshot: &PosteriorSnapshot, kind: RequestKind) -> Response {
     match kind {
         RequestKind::Predict { plan, mode, response_scale } => Response::Prediction(
             if response_scale {
@@ -463,7 +504,7 @@ mod tests {
     use dalia_mesh::{Domain, Point, TriangleMesh};
     use dalia_model::{CoregionalModel, ModelHyper, Observation};
 
-    fn toy_model() -> (CoregionalModel, Vec<f64>) {
+    fn toy_model() -> (std::sync::Arc<CoregionalModel>, Vec<f64>) {
         let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
         let nt = 3;
         let mut obs = Vec::new();
@@ -478,23 +519,23 @@ mod tests {
                 });
             }
         }
-        let model = CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs).unwrap();
+        let model = std::sync::Arc::new(CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs).unwrap());
         let theta0 = ModelHyper::default_for(1, 0.7, 2.0).to_theta();
         (model, theta0)
     }
 
-    fn service_for<'m>(
-        model: &'m CoregionalModel,
+    fn service_for(
+        model: &std::sync::Arc<CoregionalModel>,
         theta0: &[f64],
         config: ServeConfig,
-    ) -> InlaService<'m> {
+    ) -> InlaService {
         let session = InlaEngine::builder(model)
             .settings(InlaSettings::dalia(1))
             .max_iter(2)
             .build()
             .unwrap();
         let snapshot = session.run(theta0).unwrap().into_snapshot(&session).unwrap();
-        InlaService::new(snapshot, config)
+        InlaService::new(snapshot, config).unwrap()
     }
 
     fn targets_near(seed: usize) -> Vec<PredictionTarget> {
@@ -634,5 +675,70 @@ mod tests {
         let e = ServeError::IndexOutOfRange { index: 9, dim: 4 };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("4"));
+        let e = ServeError::InvalidConfig("max_batch must be at least 1".into());
+        assert!(e.to_string().contains("max_batch"));
+    }
+
+    #[test]
+    fn zero_max_batch_is_rejected_at_construction() {
+        assert!(matches!(
+            ServeConfig { max_batch: 0, ..ServeConfig::default() }.validate(),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        let (model, theta0) = toy_model();
+        let session = InlaEngine::builder(&model)
+            .settings(InlaSettings::dalia(1))
+            .max_iter(2)
+            .build()
+            .unwrap();
+        let snapshot = session.run(&theta0).unwrap().into_snapshot(&session).unwrap();
+        assert!(matches!(
+            InlaService::new(snapshot, ServeConfig { max_batch: 0, ..ServeConfig::default() }),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_swap_follows_an_advancing_window() {
+        let (model, theta0) = toy_model();
+        let session = InlaEngine::builder(&model)
+            .settings(InlaSettings::dalia(1))
+            .max_iter(2)
+            .build()
+            .unwrap();
+        let result = session.run(&theta0).unwrap();
+        let snapshot = session.snapshot(&result).unwrap();
+        let mut svc = InlaService::new(snapshot, ServeConfig::default()).unwrap();
+        assert_eq!(svc.snapshot().model().dims.nt, 3);
+
+        // Advance the window by one slice and swap the cheap re-snapshot in.
+        let mut w = session.streaming_window(&result).unwrap();
+        w.append_slices(
+            1,
+            vec![dalia_model::Observation {
+                var: 0,
+                t: 3,
+                loc: Point::new(0.45, 0.55),
+                covariates: vec![1.0],
+                value: 0.2,
+            }],
+        )
+        .unwrap();
+        let old = svc.swap_snapshot(w.snapshot().unwrap());
+        assert_eq!(old.model().dims.nt, 3);
+        assert_eq!(svc.snapshot().model().dims.nt, 4);
+        // The swapped-in snapshot serves the grown window.
+        let served = svc
+            .predict(
+                &[PredictionTarget {
+                    var: 0,
+                    t: 3,
+                    loc: Point::new(0.5, 0.5),
+                    covariates: vec![1.0],
+                }],
+                VarianceMode::Exact,
+            )
+            .unwrap();
+        assert!(served.value.sd[0].is_finite() && served.value.sd[0] > 0.0);
     }
 }

@@ -18,7 +18,7 @@ use std::time::Duration;
 const CLIENTS: usize = 12;
 const ROUNDS: usize = 4;
 
-fn toy_model() -> (CoregionalModel, Vec<f64>) {
+fn toy_model() -> (std::sync::Arc<CoregionalModel>, Vec<f64>) {
     let mesh = TriangleMesh::structured(Domain::unit_square(), 4, 4);
     let nt = 4;
     let mut obs = Vec::new();
@@ -34,12 +34,12 @@ fn toy_model() -> (CoregionalModel, Vec<f64>) {
             });
         }
     }
-    let model = CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs).unwrap();
+    let model = std::sync::Arc::new(CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs).unwrap());
     let theta0 = ModelHyper::default_for(1, 0.7, 2.0).to_theta();
     (model, theta0)
 }
 
-fn fit<'m>(model: &'m CoregionalModel, theta0: &[f64]) -> (InlaSession<'m>, InlaResult) {
+fn fit(model: &std::sync::Arc<CoregionalModel>, theta0: &[f64]) -> (InlaSession, InlaResult) {
     let session = InlaEngine::builder(model)
         .settings(InlaSettings::dalia(1))
         .max_iter(2)
@@ -80,7 +80,7 @@ fn bits(xs: &[f64]) -> Vec<u64> {
     xs.iter().map(|x| x.to_bits()).collect()
 }
 
-fn run_round(svc: &InlaService<'_>, client: usize, round: usize) -> RoundResult {
+fn run_round(svc: &InlaService, client: usize, round: usize) -> RoundResult {
     let targets = targets_for(client, round);
     let diag = svc.predict(&targets, VarianceMode::Diagonal).unwrap().value;
     let exact = svc.predict(&targets, VarianceMode::Exact).unwrap().value;
@@ -141,7 +141,8 @@ fn concurrent_batched_serving_is_bitwise_identical_to_sequential() {
         InlaService::new(result.clone().into_snapshot(&session).unwrap(), ServeConfig {
             batch_window: Duration::ZERO,
             ..ServeConfig::default()
-        });
+        })
+        .unwrap();
     for client in 0..CLIENTS {
         for round in 0..ROUNDS {
             let got = run_round(&unbatched, client, round);
@@ -159,7 +160,8 @@ fn concurrent_batched_serving_is_bitwise_identical_to_sequential() {
         batch_window: Duration::from_millis(5),
         max_batch: 6,
         workers: 4,
-    });
+    })
+    .unwrap();
     let results: Vec<Vec<RoundResult>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..CLIENTS)
             .map(|client| {
@@ -190,4 +192,56 @@ fn concurrent_batched_serving_is_bitwise_identical_to_sequential() {
         stats.batches,
         stats.requests
     );
+}
+
+#[test]
+fn zero_window_under_many_concurrent_clients_is_bitwise_identical() {
+    // `batch_window: Duration::ZERO` means every leader closes its batch
+    // immediately — under 12 concurrent clients most batches are singletons,
+    // racing constantly on the admission queue. The determinism contract
+    // must hold in this degenerate-batching regime too.
+    let (model, theta0) = toy_model();
+    let (session, result) = fit(&model, &theta0);
+
+    let snapshot = session.snapshot(&result).unwrap();
+    let sequential = InlaService::new(snapshot, ServeConfig {
+        batch_window: Duration::ZERO,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut reference = Vec::with_capacity(CLIENTS * ROUNDS);
+    for client in 0..CLIENTS {
+        for round in 0..ROUNDS {
+            reference.push(run_round(&sequential, client, round));
+        }
+    }
+
+    let service = InlaService::new(result.into_snapshot(&session).unwrap(), ServeConfig {
+        batch_window: Duration::ZERO,
+        max_batch: 4,
+        workers: 4,
+    })
+    .unwrap();
+    let results: Vec<Vec<RoundResult>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let service = &service;
+                s.spawn(move || {
+                    (0..ROUNDS).map(|round| run_round(service, client, round)).collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (client, rounds) in results.iter().enumerate() {
+        for (round, got) in rounds.iter().enumerate() {
+            assert_eq!(
+                *got,
+                reference[client * ROUNDS + round],
+                "zero-window concurrent service diverged for client {client} round {round}"
+            );
+        }
+    }
+    assert_eq!(service.stats().requests as usize, CLIENTS * ROUNDS * 4);
 }

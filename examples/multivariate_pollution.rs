@@ -18,7 +18,9 @@ fn main() {
 
     // Trivariate coregional model with intercept + elevation fixed effects.
     let mesh = TriangleMesh::with_approx_nodes(domain, 60);
-    let model = CoregionalModel::new(&mesh, 5, 1.0, 3, 2, observations).expect("model");
+    let model = std::sync::Arc::new(
+        CoregionalModel::new(&mesh, 5, 1.0, 3, 2, observations).expect("model"),
+    );
     println!("mesh nodes: {}, latent dimension: {}", model.dims.ns, model.dims.latent_dim());
 
     let mut hyper0 = ModelHyper::default_for(3, 0.3 * domain.width(), 4.0);

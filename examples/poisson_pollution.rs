@@ -26,12 +26,14 @@ fn main() {
     );
 
     let mesh = TriangleMesh::with_approx_nodes(domain, 60);
-    let model = CoregionalModel::new(&mesh, 6, 1.0, 1, 2, observations)
-        .expect("model")
-        .with_observation_scales(truth.scales.clone())
-        .expect("exposures")
-        .with_likelihood(Likelihood::Poisson)
-        .expect("likelihood");
+    let model = std::sync::Arc::new(
+        CoregionalModel::new(&mesh, 6, 1.0, 1, 2, observations)
+            .expect("model")
+            .with_observation_scales(truth.scales.clone())
+            .expect("exposures")
+            .with_likelihood(Likelihood::Poisson)
+            .expect("likelihood"),
+    );
     println!("mesh nodes: {}, latent dimension: {}", model.dims.ns, model.dims.latent_dim());
 
     let theta0 = ModelHyper::default_for(1, 0.3 * domain.width(), 4.0).to_theta();

@@ -20,7 +20,9 @@ fn main() {
     // 2. Build the model: a triangulated mesh, the SPDE-based spatio-temporal
     //    prior and one fixed effect.
     let mesh = TriangleMesh::structured(domain, 6, 6);
-    let model = CoregionalModel::new(&mesh, 4, 1.0, 1, 1, observations).expect("model");
+    let model = std::sync::Arc::new(
+        CoregionalModel::new(&mesh, 4, 1.0, 1, 1, observations).expect("model"),
+    );
     println!(
         "latent dimension N = {} (ns = {}, nt = {}), BTA blocks: b = {}, a = {}",
         model.dims.latent_dim(),

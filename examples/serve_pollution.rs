@@ -14,7 +14,9 @@ fn main() {
     let coarse = observation_grid(&domain, 8, 4);
     let (observations, _truth) = generate_pollution_dataset(&domain, &coarse, 5, 11);
     let mesh = TriangleMesh::with_approx_nodes(domain, 60);
-    let model = CoregionalModel::new(&mesh, 5, 1.0, 3, 2, observations).expect("model");
+    let model = std::sync::Arc::new(
+        CoregionalModel::new(&mesh, 5, 1.0, 3, 2, observations).expect("model"),
+    );
 
     let mut hyper0 = ModelHyper::default_for(3, 0.3 * domain.width(), 4.0);
     hyper0.lambdas = vec![0.8, -0.3, -0.2];
@@ -41,7 +43,8 @@ fn main() {
     let service = InlaService::new(
         snapshot,
         ServeConfig { max_batch: 16, batch_window: Duration::from_micros(500), workers: 0 },
-    );
+    )
+    .expect("valid serve config");
 
     // Eight "dashboard" clients concurrently downscale one pollutant each at
     // staggered days, look marginals up and pull posterior draws. Requests

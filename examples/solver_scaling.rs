@@ -20,7 +20,7 @@ fn main() {
     // Sequential reference.
     let t0 = Instant::now();
     let factor = pobtaf(&matrix).expect("factorization");
-    println!("sequential pobtaf: {:.3} s, logdet = {:.3}", t0.elapsed().as_secs_f64(), factor.logdet());
+    println!("sequential pobtaf: {:.3} s, logdet = {:.3}", t0.elapsed().as_secs_f64(), factor.logdet().expect("SPD factor"));
 
     let rhs0 = testing::test_rhs(matrix.dim(), 1);
     let mut rhs = rhs0.clone();
@@ -33,7 +33,7 @@ fn main() {
     let t0 = Instant::now();
     let dist = d_pobtaf(&matrix, &part).expect("distributed factorization");
     println!("\ndistributed d_pobtaf (P=4, lb=1.6): {:.3} s, logdet = {:.3}",
-             t0.elapsed().as_secs_f64(), dist.logdet());
+             t0.elapsed().as_secs_f64(), dist.logdet().expect("SPD factor"));
     let mut drhs = rhs0.clone();
     d_pobtas(&dist, &mut drhs);
     let dselinv = d_pobtasi(&dist);

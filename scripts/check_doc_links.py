@@ -16,6 +16,12 @@ file, using GitHub's slug rules (lowercase; markdown formatting stripped;
 punctuation other than hyphens/underscores removed; spaces become hyphens; duplicate
 slugs get ``-1``, ``-2``, ... suffixes).
 
+Repo paths mentioned in inline code spans are checked as well: a prose doc
+that says ``examples/streaming_pollution.rs`` or ``BENCH_stream.json`` names
+a file that must exist at the repository root — stale references to renamed
+examples, scripts or committed benchmark snapshots fail CI just like broken
+links.
+
 Exit code 0 when all links resolve, 1 otherwise (one line per broken link).
 Run from anywhere: paths are anchored at this script's parent repository.
 """
@@ -89,6 +95,22 @@ def anchors_of(path: Path, cache: dict[Path, set[str]]) -> set[str]:
     return anchors
 
 
+# A code span counts as a repo-path reference when it is a bare relative
+# path into one of these roots, or a committed benchmark snapshot.
+CODE_PATH_RE = re.compile(
+    r"^(?:(?:examples|scripts|docs|crates|vendor|tests)/[\w./-]+\.\w+|BENCH_\w+\.json)$"
+)
+
+
+def code_path_refs(text: str) -> list[str]:
+    """Repo file paths referenced in inline code spans of prose markdown."""
+    return [
+        m.group(1)
+        for m in re.finditer(r"`([^`\n]+)`", text)
+        if CODE_PATH_RE.match(m.group(1))
+    ]
+
+
 def check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
     errors = []
     text = strip_code_spans(strip_fences(path.read_text(encoding="utf-8")))
@@ -110,6 +132,11 @@ def check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
         if fragment and candidate.suffix == ".md":
             if fragment not in anchors_of(candidate, anchor_cache):
                 errors.append(f"{path.relative_to(REPO)}: broken anchor -> {target}")
+    # Inline-code path references are root-relative (the prose always names
+    # them from the repository root, wherever the doc lives).
+    for ref in code_path_refs(strip_fences(path.read_text(encoding="utf-8"))):
+        if not (REPO / ref).exists():
+            errors.append(f"{path.relative_to(REPO)}: missing file reference -> `{ref}`")
     return errors
 
 

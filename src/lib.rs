@@ -24,7 +24,7 @@
 //!     covariates: vec![1.0],
 //!     value: 0.3,
 //! }];
-//! let model = CoregionalModel::new(&mesh, 2, 1.0, 1, 1, obs).unwrap();
+//! let model = std::sync::Arc::new(CoregionalModel::new(&mesh, 2, 1.0, 1, 1, obs).unwrap());
 //! let theta0 = ModelHyper::default_for(1, 0.5, 2.0).to_theta();
 //! let session = InlaEngine::builder(&model)
 //!     .prior(ThetaPrior::weakly_informative(&theta0, 3.0))
@@ -60,13 +60,13 @@ pub mod prelude {
         conditional_mode, normal_quantile, predict, response_correlations, InlaEngine,
         InlaResult, InlaSession, InlaSessionBuilder, InlaSettings, InnerModeResult,
         InnerSettings, LatentSolver, PhaseTimers, PosteriorSnapshot, SolverBackend,
-        VarianceMode,
+        StreamingWindow, VarianceMode,
     };
     #[allow(deprecated)]
     pub use dalia_core::evaluate_fobj;
     pub use dalia_data::{
         generate_count_dataset, generate_exceedance_dataset, generate_pollution_dataset,
-        generate_univariate_dataset, observation_grid, DatasetConfig,
+        generate_univariate_dataset, observation_grid, DatasetConfig, StreamingSource,
     };
     pub use dalia_hpc::{dalia_iteration_time, gh200, rinla_iteration_time, ModelDims as PerfModelDims};
     pub use dalia_la::Matrix;

@@ -11,6 +11,7 @@
 //! pool on top of the explicit pools pinned here).
 
 use dalia::prelude::*;
+use std::sync::Arc;
 
 struct BackendResult {
     name: &'static str,
@@ -21,7 +22,7 @@ struct BackendResult {
 }
 
 fn run_backend(
-    model: &CoregionalModel,
+    model: &Arc<CoregionalModel>,
     hyper: &ModelHyper,
     name: &'static str,
     backend: SolverBackend,
@@ -57,7 +58,7 @@ fn parity_case(nv: usize, nt: usize, partitions: usize) {
             }
         }
     }
-    let model = CoregionalModel::new(&mesh, nt, 1.0, nv, 1, obs).unwrap();
+    let model = Arc::new(CoregionalModel::new(&mesh, nt, 1.0, nv, 1, obs).unwrap());
     let mut hyper = ModelHyper::default_for(nv, 0.6, 2.0);
     if nv > 1 {
         for l in hyper.lambdas.iter_mut() {
@@ -106,7 +107,7 @@ fn parity_case(nv: usize, nt: usize, partitions: usize) {
 }
 
 /// Deterministic small count/exceedance fixture for `lik`.
-fn nongaussian_model(lik: Likelihood) -> (CoregionalModel, ThetaPrior, Vec<f64>) {
+fn nongaussian_model(lik: Likelihood) -> (Arc<CoregionalModel>, ThetaPrior, Vec<f64>) {
     let domain = Domain::unit_square();
     let mesh = TriangleMesh::structured(domain, 4, 4);
     let nt = 3;
@@ -134,12 +135,14 @@ fn nongaussian_model(lik: Likelihood) -> (CoregionalModel, ThetaPrior, Vec<f64>)
     }
     // Scales first: `with_likelihood` validates observation values against
     // the current scales (Bernoulli counts must fit inside `trials`).
-    let model = CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs)
-        .unwrap()
-        .with_observation_scales(scales)
-        .unwrap()
-        .with_likelihood(lik)
-        .unwrap();
+    let model = Arc::new(
+        CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs)
+            .unwrap()
+            .with_observation_scales(scales)
+            .unwrap()
+            .with_likelihood(lik)
+            .unwrap(),
+    );
     let theta = ModelHyper::default_for(1, 0.6, 2.0).to_theta();
     let prior = ThetaPrior::weakly_informative(&theta, 2.0);
     (model, prior, theta)

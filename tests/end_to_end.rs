@@ -3,18 +3,19 @@
 //! and that known quantities are recovered.
 
 use dalia::prelude::*;
+use std::sync::Arc;
 
-fn univariate_setup() -> (CoregionalModel, Vec<f64>, f64) {
+fn univariate_setup() -> (Arc<CoregionalModel>, Vec<f64>, f64) {
     let domain = Domain::unit_square();
     let beta_true = 1.5;
     let (obs, _) = generate_univariate_dataset(&domain, 25, 3, beta_true, 13);
     let mesh = TriangleMesh::structured(domain, 5, 5);
-    let model = CoregionalModel::new(&mesh, 3, 1.0, 1, 1, obs).unwrap();
+    let model = Arc::new(CoregionalModel::new(&mesh, 3, 1.0, 1, 1, obs).unwrap());
     let theta0 = ModelHyper::default_for(1, 0.4, 3.0).to_theta();
     (model, theta0, beta_true)
 }
 
-fn session<'m>(model: &'m CoregionalModel, theta0: &[f64], settings: InlaSettings) -> InlaSession<'m> {
+fn session(model: &Arc<CoregionalModel>, theta0: &[f64], settings: InlaSettings) -> InlaSession {
     InlaEngine::builder(model)
         .prior(ThetaPrior::weakly_informative(theta0, 3.0))
         .settings(settings)

@@ -17,8 +17,9 @@
 #![allow(clippy::excessive_precision)]
 
 use dalia::prelude::*;
+use std::sync::Arc;
 
-fn toy_model(nv: usize) -> (CoregionalModel, ThetaPrior, Vec<f64>) {
+fn toy_model(nv: usize) -> (Arc<CoregionalModel>, ThetaPrior, Vec<f64>) {
     let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
     let nt = 3;
     let nr = 1;
@@ -36,7 +37,7 @@ fn toy_model(nv: usize) -> (CoregionalModel, ThetaPrior, Vec<f64>) {
             }
         }
     }
-    let model = CoregionalModel::new(&mesh, nt, 1.0, nv, nr, obs).unwrap();
+    let model = Arc::new(CoregionalModel::new(&mesh, nt, 1.0, nv, nr, obs).unwrap());
     let hyper = ModelHyper::default_for(nv, 0.7, 2.0);
     let theta = hyper.to_theta();
     let prior = ThetaPrior::weakly_informative(&theta, 2.0);

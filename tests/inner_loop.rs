@@ -16,12 +16,13 @@
 //!    matches a fresh factorization at the same weights.
 
 use dalia::prelude::*;
+use std::sync::Arc;
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 const TOL: f64 = 1e-10;
 
-fn fixture(lik: Likelihood, values: &[f64]) -> (CoregionalModel, ModelHyper) {
+fn fixture(lik: Likelihood, values: &[f64]) -> (Arc<CoregionalModel>, ModelHyper) {
     let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
     let nt = 2;
     let locs = [(0.2, 0.3), (0.7, 0.6), (0.45, 0.85), (0.85, 0.2)];
@@ -50,12 +51,14 @@ fn fixture(lik: Likelihood, values: &[f64]) -> (CoregionalModel, ModelHyper) {
             scales.push(scale);
         }
     }
-    let model = CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs)
-        .unwrap()
-        .with_observation_scales(scales)
-        .unwrap()
-        .with_likelihood(lik)
-        .unwrap();
+    let model = Arc::new(
+        CoregionalModel::new(&mesh, nt, 1.0, 1, 1, obs)
+            .unwrap()
+            .with_observation_scales(scales)
+            .unwrap()
+            .with_likelihood(lik)
+            .unwrap(),
+    );
     let hyper = ModelHyper::default_for(1, 0.6, 2.0);
     (model, hyper)
 }

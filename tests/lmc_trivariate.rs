@@ -3,23 +3,24 @@
 //! coupling structure planted by the synthetic pollution generator.
 
 use dalia::prelude::*;
+use std::sync::Arc;
 
-fn trivariate_setup() -> (CoregionalModel, ModelHyper, dalia::data::GroundTruth) {
+fn trivariate_setup() -> (Arc<CoregionalModel>, ModelHyper, dalia::data::GroundTruth) {
     let domain = Domain::northern_italy_like();
     let coarse = observation_grid(&domain, 7, 4);
     let (obs, truth) = generate_pollution_dataset(&domain, &coarse, 4, 21);
     let mesh = TriangleMesh::with_approx_nodes(domain, 48);
-    let model = CoregionalModel::new(&mesh, 4, 1.0, 3, 2, obs).unwrap();
+    let model = Arc::new(CoregionalModel::new(&mesh, 4, 1.0, 3, 2, obs).unwrap());
     let mut hyper0 = ModelHyper::default_for(3, 0.3 * domain.width(), 4.0);
     hyper0.lambdas = vec![0.8, -0.3, -0.2];
     (model, hyper0, truth)
 }
 
-fn session_with<'m>(
-    model: &'m CoregionalModel,
+fn session_with(
+    model: &Arc<CoregionalModel>,
     theta0: &[f64],
     settings: InlaSettings,
-) -> InlaSession<'m> {
+) -> InlaSession {
     InlaEngine::builder(model)
         .prior(ThetaPrior::weakly_informative(theta0, 3.0))
         .settings(settings)

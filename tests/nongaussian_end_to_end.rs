@@ -12,6 +12,7 @@
 //! tightly.
 
 use dalia::prelude::*;
+use std::sync::Arc;
 
 struct Fit {
     backend: &'static str,
@@ -30,12 +31,14 @@ fn fit_all_backends(lik: Likelihood, seed: u64) -> (Vec<Fit>, dalia::data::Count
         Likelihood::Gaussian => unreachable!("non-Gaussian recovery test"),
     };
     let mesh = TriangleMesh::structured(domain, 5, 5);
-    let model = CoregionalModel::new(&mesh, nt, 1.0, 1, 2, obs)
-        .unwrap()
-        .with_observation_scales(truth.scales.clone())
-        .unwrap()
-        .with_likelihood(lik)
-        .unwrap();
+    let model = Arc::new(
+        CoregionalModel::new(&mesh, nt, 1.0, 1, 2, obs)
+            .unwrap()
+            .with_observation_scales(truth.scales.clone())
+            .unwrap()
+            .with_likelihood(lik)
+            .unwrap(),
+    );
     let theta0 = ModelHyper::default_for(1, 0.3, 3.0).to_theta();
 
     let mut fits = Vec::new();

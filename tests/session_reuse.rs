@@ -5,10 +5,11 @@
 //! leftover factor values) that tolerance-based comparisons would let slip.
 
 use dalia::prelude::*;
+use std::sync::Arc;
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-fn toy_model(nv: usize) -> (CoregionalModel, Vec<f64>) {
+fn toy_model(nv: usize) -> (Arc<CoregionalModel>, Vec<f64>) {
     let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
     let nt = 3;
     let mut obs = Vec::new();
@@ -25,7 +26,7 @@ fn toy_model(nv: usize) -> (CoregionalModel, Vec<f64>) {
             }
         }
     }
-    let model = CoregionalModel::new(&mesh, nt, 1.0, nv, 1, obs).unwrap();
+    let model = Arc::new(CoregionalModel::new(&mesh, nt, 1.0, nv, 1, obs).unwrap());
     let theta0 = ModelHyper::default_for(nv, 0.6, 2.0).to_theta();
     (model, theta0)
 }
@@ -185,5 +186,88 @@ proptest! {
         d in vec(-0.3f64..0.3, 4),
     ) {
         check_parallel_vs_sequential_session(&d);
+    }
+}
+
+/// Streaming level: `append_slices` on a fitted window equals a cold full
+/// factorization of the extended window at the same pinned θ̂, bit for bit —
+/// mean, marginal sds and conditional log-determinant — at 1 and at 4
+/// threads. This extends the stateful-reuse contract above to the streaming
+/// kernels: the incremental trailing-column elimination must replay exactly
+/// the cold kernel sequence, regardless of how the pool schedules it.
+#[test]
+fn streaming_append_is_bitwise_identical_to_full_refit() {
+    let mesh = TriangleMesh::structured(Domain::unit_square(), 3, 3);
+    let window_obs = |range: std::ops::Range<usize>| -> Vec<Observation> {
+        let mut obs = Vec::new();
+        for t in range {
+            for &(x, y) in &[(0.25, 0.3), (0.7, 0.55), (0.45, 0.85)] {
+                obs.push(Observation {
+                    var: 0,
+                    t,
+                    loc: Point::new(x, y),
+                    covariates: vec![1.0],
+                    value: 0.15 * (t as f64) + 0.1 * x - 0.05 * y,
+                });
+            }
+        }
+        obs
+    };
+    let nt_old = 4;
+    let k = 2;
+    let old = Arc::new(
+        CoregionalModel::new(&mesh, nt_old, 1.0, 1, 1, window_obs(0..nt_old)).unwrap(),
+    );
+    let mut full_obs = window_obs(0..nt_old);
+    full_obs.extend(window_obs(nt_old..nt_old + k));
+    let full = Arc::new(
+        CoregionalModel::new(&mesh, nt_old + k, 1.0, 1, 1, full_obs).unwrap(),
+    );
+    let theta0 = ModelHyper::default_for(1, 0.6, 2.0).to_theta();
+
+    for backend in [
+        SolverBackend::Bta { partitions: 1, load_balance: 1.0 },
+        SolverBackend::Bta { partitions: 3, load_balance: 1.3 },
+    ] {
+        // Fit the old window once; its θ̂ pins everything downstream.
+        let mut settings = InlaSettings::dalia(1);
+        settings.backend = backend;
+        settings.max_iter = 2;
+        let session = InlaEngine::builder(&old)
+            .prior(ThetaPrior::weakly_informative(&theta0, 3.0))
+            .settings(settings)
+            .build()
+            .unwrap();
+        let result = session.run(&theta0).unwrap();
+        let hyper_mode = ModelHyper::from_theta(1, &result.hyper.mode);
+
+        // Full-refit reference: a cold conditional factorization of the
+        // extended window at the pinned θ̂ (sequential BTA — the streaming
+        // window's factor is monolithic on every BTA backend).
+        let mut cold =
+            SolverBackend::Bta { partitions: 1, load_balance: 1.0 }.build(&full);
+        cold.factorize_conditional(&hyper_mode).unwrap();
+        let info = full.information_vector(&hyper_mode, cold.design());
+        let ref_mean = cold.solve_mean(&info);
+        let ref_sd: Vec<f64> =
+            cold.selected_inverse_diag().iter().map(|v| v.max(0.0).sqrt()).collect();
+        let ref_logdet = cold.logdet_qc();
+
+        for threads in [1usize, 4] {
+            let window = dalia::pool::ThreadPool::new(threads).install(|| {
+                let mut w = session.streaming_window(&result).unwrap();
+                w.append_slices(k, window_obs(nt_old..nt_old + k)).unwrap();
+                w
+            });
+            let tag = format!("streaming append [{backend:?}, {threads} threads]");
+            assert_bits_eq(&window.latent().mean, &ref_mean, &tag);
+            assert_bits_eq(&window.latent().sd, &ref_sd, &tag);
+            let snap = window.snapshot().unwrap();
+            assert_eq!(
+                snap.logdet_qc().to_bits(),
+                ref_logdet.to_bits(),
+                "{tag}: logdet_qc"
+            );
+        }
     }
 }

@@ -40,7 +40,8 @@ use dalia_model::{CoregionalModel, ModelHyper};
 use dalia_sparse::{ops, CholeskySymbolic, CsrMatrix, SparseCholesky, SparseError};
 use serinv::{
     d_pobtaf, d_pobtas, d_pobtasi, pobtaf, pobtaf_extend_scheduled, pobtaf_retire_scheduled,
-    pobtaf_with, pobtas, pobtasi_with, BtaCholesky, BtaMatrix, DistBtaCholesky, InteriorSchedule,
+    pobtaf_with, pobtas, pobtas_with, pobtasi_with, BtaCholesky, BtaMatrix, DistBtaCholesky,
+    InteriorSchedule,
     Partitioning, StreamPacks,
 };
 use std::sync::Arc;
@@ -294,10 +295,17 @@ struct BtaWorkspace {
 impl BtaWorkspace {
     fn new(model: Arc<CoregionalModel>) -> Self {
         let d = model.dims;
+        // The session-owned pack keeps a keyed cache of packed factor panels:
+        // within one θ evaluation the `Q_p`/`Q_c` factorizations, solves and
+        // selected inversions re-read the same factor blocks, and the cache
+        // lets them pack each panel exactly once. Every value-write path
+        // (assemble / reweight) invalidates it below.
+        let mut pack = PackBuffer::new();
+        pack.enable_panel_reuse(true);
         Self {
             qp: BtaMatrix::zeros(d.nt, d.block_size(), d.arrow_size()),
             qc: BtaMatrix::zeros(d.nt, d.block_size(), d.arrow_size()),
-            pack: PackBuffer::new(),
+            pack,
             design: None,
             timers: PhaseTimers::default(),
             model,
@@ -325,6 +333,9 @@ impl BtaWorkspace {
     /// Re-fill `qp` and `qc` in place for `hyper`; records assembly time.
     fn assemble(&mut self, hyper: &ModelHyper) {
         let t0 = Instant::now();
+        // New θ, new values: cached packed panels from the previous
+        // evaluation's factors must not survive the rewrite.
+        self.pack.invalidate_panels();
         self.model.assemble_qp_bta_into(hyper, &mut self.qp);
         self.qc.copy_values_from(&self.qp);
         let design = self.model.extend_qp_to_qc(hyper, &mut self.qc);
@@ -343,6 +354,9 @@ impl BtaWorkspace {
         let t0 = Instant::now();
         let design =
             self.design.as_ref().expect("LatentSolver: factorize must be called first");
+        // The conditional factor's storage is about to be re-filled with new
+        // values (inner Newton re-weighting): drop its cached panels.
+        self.pack.invalidate_panels();
         self.qc.copy_values_from(&self.qp);
         let congruence = ops::congruence_diag(design, weights);
         self.model.add_congruence_to_bta(&congruence, &mut self.qc);
@@ -513,7 +527,9 @@ impl LatentSolver for SequentialBtaSolver {
         let fc = self.fc.as_ref().expect("LatentSolver: factorize must be called first");
         let t0 = Instant::now();
         let mut m = dalia_la::Matrix::col_vector(rhs);
-        pobtas(fc, &mut m);
+        // The session pack serves the factor panels cached at factorization
+        // time, so repeated mean solves re-pack nothing.
+        pobtas_with(fc, &mut m, &mut self.ws.pack);
         let out = m.col(0).to_vec();
         self.ws.timers.solve_seconds += t0.elapsed().as_secs_f64();
         out

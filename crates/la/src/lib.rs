@@ -19,8 +19,12 @@ pub mod blas;
 pub mod chol;
 pub mod eigen;
 pub mod matrix;
+pub mod tune;
 
-pub use blas::{PackBuffer, Side, Trans, Triangle};
+pub use blas::{
+    blocking, kernel_tier, set_blocking, set_kernel_tier, supported_kernel_tiers, KernelTier,
+    PackBuffer, Side, Trans, Triangle,
+};
 pub use chol::{
     cholesky, logdet_from_cholesky, potrf, potrf_reference, potrf_with, potrs, potrs_vec,
     spd_inverse, spd_solve_vec,

@@ -1,0 +1,314 @@
+//! Per-host cache-blocking autotuner for the packed level-3 engine.
+//!
+//! The BLIS-style engine in [`crate::blas`] is governed by three blocking
+//! parameters `(MC, KC, NC)` (see [`crate::blas::blocking`]). The best values
+//! depend on the host's cache hierarchy and on the active
+//! [`KernelTier`] — the hard-coded defaults that
+//! served the AVX2 tier at 256³ lose ~2× at 512³ once the packed B panel
+//! falls out of L3. This module provides:
+//!
+//! - a tiny persisted cache file (schema [`TUNE_SCHEMA`]) mapping each tier
+//!   to its tuned triple, stored under `target/` by default and overridable
+//!   via the `DALIA_TUNE_CACHE` environment variable;
+//! - `initial_config`, the read-only lookup the first
+//!   [`blocking`](crate::blas::blocking) call uses to seed the process-wide
+//!   blocking — any missing, unreadable, corrupt, truncated, or
+//!   stale-schema cache falls back to [`default_config`], never a panic;
+//! - [`autotune`] / [`autotune_and_persist`], the sweep that measures a
+//!   512³ gemm per candidate triple and persists the winner (run by
+//!   `kernel_bench`, not by library code — tuning is an explicit,
+//!   bench-time act).
+//!
+//! The cache file is plain text so it stays inspectable and diffable:
+//!
+//! ```text
+//! dalia-tune v1
+//! avx2 128 256 512
+//! avx512 256 256 512
+//! ```
+
+use crate::blas::{self, KernelTier, PackBuffer, Trans};
+use crate::matrix::Matrix;
+use std::path::{Path, PathBuf};
+
+/// First line of a valid tune-cache file; bump on any format change so stale
+/// caches from older builds are ignored (fall back to defaults) rather than
+/// misparsed.
+pub const TUNE_SCHEMA: &str = "dalia-tune v1";
+
+/// One `(MC, KC, NC)` blocking triple for one kernel tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockConfig {
+    /// Rows of the packed op(A) macro-panel (L2-resident).
+    pub mc: usize,
+    /// Depth of both packed panels.
+    pub kc: usize,
+    /// Columns of the packed op(B) macro-panel (L3-resident).
+    pub nc: usize,
+}
+
+/// The built-in blocking every tier starts from when no tuned value is
+/// available — the constants the engine shipped with before the autotuner.
+pub fn default_config(_tier: KernelTier) -> BlockConfig {
+    BlockConfig { mc: 128, kc: 256, nc: 256 }
+}
+
+/// Blocking used to seed the process on first use: the persisted tuned value
+/// for `tier` when the cache file at [`cache_path`] has one, else
+/// [`default_config`]. Any read or parse problem silently falls back.
+pub(crate) fn initial_config(tier: KernelTier) -> BlockConfig {
+    load_from(&cache_path(), tier).unwrap_or_else(|| default_config(tier))
+}
+
+/// Location of the persisted tune cache: `DALIA_TUNE_CACHE` when set and
+/// non-empty, else `target/dalia_tune_cache.txt` next to the workspace
+/// build artifacts.
+pub fn cache_path() -> PathBuf {
+    match std::env::var("DALIA_TUNE_CACHE") {
+        Ok(p) if !p.trim().is_empty() => PathBuf::from(p),
+        _ => PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/dalia_tune_cache.txt"
+        )),
+    }
+}
+
+/// Parse a tune-cache file's contents. Returns `None` unless the first line
+/// is exactly [`TUNE_SCHEMA`]; later lines are `"<tier> <mc> <kc> <nc>"`
+/// records, and individually malformed lines are skipped (a partial cache is
+/// still useful). Values outside `[32, 2048]` invalidate their line.
+pub fn parse(contents: &str) -> Option<Vec<(KernelTier, BlockConfig)>> {
+    let mut lines = contents.lines();
+    if lines.next().map(str::trim) != Some(TUNE_SCHEMA) {
+        return None;
+    }
+    let mut out = Vec::new();
+    for line in lines {
+        let mut it = line.split_whitespace();
+        let (Some(name), Some(mc), Some(kc), Some(nc), None) =
+            (it.next(), it.next(), it.next(), it.next(), it.next())
+        else {
+            continue;
+        };
+        let Some(tier) = KernelTier::from_name(name) else { continue };
+        let (Ok(mc), Ok(kc), Ok(nc)) =
+            (mc.parse::<usize>(), kc.parse::<usize>(), nc.parse::<usize>())
+        else {
+            continue;
+        };
+        if [mc, kc, nc].iter().any(|&v| !(32..=2048).contains(&v)) {
+            continue;
+        }
+        out.push((tier, BlockConfig { mc, kc, nc }));
+    }
+    Some(out)
+}
+
+/// Read the tuned blocking for `tier` from the cache file at `path`.
+/// `None` on any read error, schema mismatch, or missing tier record — the
+/// caller falls back to [`default_config`].
+pub fn load_from(path: &Path, tier: KernelTier) -> Option<BlockConfig> {
+    let contents = std::fs::read_to_string(path).ok()?;
+    parse(&contents)?.into_iter().rev().find(|(t, _)| *t == tier).map(|(_, c)| c)
+}
+
+/// Serialize `records` in the cache-file format ([`TUNE_SCHEMA`] header plus
+/// one line per tier).
+pub fn render(records: &[(KernelTier, BlockConfig)]) -> String {
+    let mut s = String::from(TUNE_SCHEMA);
+    s.push('\n');
+    for (tier, c) in records {
+        s.push_str(&format!("{} {} {} {}\n", tier.name(), c.mc, c.kc, c.nc));
+    }
+    s
+}
+
+/// Write `records` to the cache file at `path` (parent directories are
+/// created as needed). Errors are returned, not panicked, so bench harnesses
+/// can degrade to in-memory tuning on read-only checkouts.
+pub fn store_at(path: &Path, records: &[(KernelTier, BlockConfig)]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, render(records))
+}
+
+/// Candidate triples swept by [`autotune`]: every combination of
+/// `MC ∈ {64, 128, 256}`, `KC ∈ {128, 256, 512}`, `NC ∈ {128, 256, 512}`.
+pub fn candidates() -> Vec<BlockConfig> {
+    let mut out = Vec::with_capacity(27);
+    for mc in [64, 128, 256] {
+        for kc in [128, 256, 512] {
+            for nc in [128, 256, 512] {
+                out.push(BlockConfig { mc, kc, nc });
+            }
+        }
+    }
+    out
+}
+
+/// Measure one candidate: seconds for a single `C += A·B` at `n`³ under the
+/// current process blocking, run single-threaded so the measurement reflects
+/// the per-core engine rather than pool scheduling.
+fn measure_gemm(n: usize, a: &Matrix, b: &Matrix, c: &mut Matrix, pack: &mut PackBuffer) -> f64 {
+    debug_assert_eq!(a.shape(), (n, n));
+    let start = std::time::Instant::now();
+    blas::gemm_with(pack, Trans::No, Trans::No, 1.0, a, b, 1.0, c);
+    start.elapsed().as_secs_f64()
+}
+
+/// Sweep [`candidates`] for `tier` on a 512³ gemm (the size where the
+/// default blocking falls off L3) and return the fastest triple with its
+/// measured GFLOP/s. Forces `tier` for the duration and restores the
+/// previous tier and blocking before returning; the winner is **not**
+/// installed — callers decide via [`crate::blas::set_blocking`] or
+/// [`store_at`].
+///
+/// Returns `None` when `tier` is unsupported on this host.
+pub fn autotune(tier: KernelTier) -> Option<(BlockConfig, f64)> {
+    autotune_sized(tier, 512)
+}
+
+/// [`autotune`] at an explicit problem size (tests use small sizes).
+pub fn autotune_sized(tier: KernelTier, n: usize) -> Option<(BlockConfig, f64)> {
+    if !tier.is_supported() {
+        return None;
+    }
+    let prev_tier = blas::kernel_tier();
+    let prev_blocking = blas::blocking();
+    blas::set_kernel_tier(tier);
+
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17 + 3) % 41) as f64 / 20.5 - 1.0);
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 29 + 7) % 37) as f64 / 18.5 - 1.0);
+    let mut c = Matrix::zeros(n, n);
+    let mut pack = PackBuffer::new();
+    let flops = blas::gemm_flops(n, n, n);
+
+    // Warm the buffers and the instruction cache once before timing.
+    measure_gemm(n, &a, &b, &mut c, &mut pack);
+
+    let pool = dalia_pool::ThreadPool::new(1);
+    let mut best: Option<(BlockConfig, f64)> = None;
+    for cand in candidates() {
+        blas::set_blocking(cand.mc, cand.kc, cand.nc);
+        // Single worker: the sweep scores the sequential engine.
+        let secs = pool.install(|| measure_gemm(n, &a, &b, &mut c, &mut pack));
+        let gflops = flops as f64 / secs / 1e9;
+        if best.is_none_or(|(_, g)| gflops > g) {
+            best = Some((cand, gflops));
+        }
+    }
+
+    blas::set_blocking(prev_blocking.0, prev_blocking.1, prev_blocking.2);
+    blas::set_kernel_tier(prev_tier);
+    best
+}
+
+/// Autotune every supported tier, persist the winners to [`cache_path`], and
+/// return the records. The process tier and blocking are restored afterwards;
+/// call [`crate::blas::set_blocking`] with a returned record to adopt one.
+/// Persistence failures are reported but non-fatal (the records still come
+/// back for in-memory use).
+pub fn autotune_and_persist() -> Vec<(KernelTier, BlockConfig, f64)> {
+    let mut records = Vec::new();
+    for tier in blas::supported_kernel_tiers() {
+        if let Some((cfg, gflops)) = autotune(tier) {
+            records.push((tier, cfg, gflops));
+        }
+    }
+    let to_store: Vec<(KernelTier, BlockConfig)> =
+        records.iter().map(|&(t, c, _)| (t, c)).collect();
+    let path = cache_path();
+    if let Err(e) = store_at(&path, &to_store) {
+        eprintln!("dalia-la: could not persist tune cache to {}: {e}", path.display());
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    // These tests exercise only the pure parse/render/load/store layer: the
+    // actual sweep mutates the process-wide blocking, which would race the
+    // bitwise and parity tests sharing this test binary. The sweep runs in
+    // `kernel_bench` (and its plumbing is covered by the integration test in
+    // `crates/la/tests/autotune_cache.rs`, which serializes around it).
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_through_render() {
+        let records = vec![
+            (KernelTier::Portable, BlockConfig { mc: 64, kc: 128, nc: 512 }),
+            (KernelTier::Avx2, BlockConfig { mc: 128, kc: 256, nc: 256 }),
+            (KernelTier::Avx512, BlockConfig { mc: 256, kc: 512, nc: 512 }),
+        ];
+        assert_eq!(parse(&render(&records)), Some(records));
+    }
+
+    #[test]
+    fn parse_rejects_stale_or_missing_schema() {
+        assert_eq!(parse(""), None);
+        assert_eq!(parse("dalia-tune v0\navx2 128 256 256\n"), None);
+        assert_eq!(parse("avx2 128 256 256\n"), None);
+    }
+
+    #[test]
+    fn parse_skips_malformed_lines_and_out_of_range_values() {
+        let contents = "dalia-tune v1\n\
+                        avx2 128 256\n\
+                        avx2 128 256 256 99\n\
+                        sse9 128 256 256\n\
+                        avx2 16 256 256\n\
+                        avx2 128 256 4096\n\
+                        avx2 abc 256 256\n\
+                        avx512 256 512 512\n";
+        assert_eq!(
+            parse(contents),
+            Some(vec![(KernelTier::Avx512, BlockConfig { mc: 256, kc: 512, nc: 512 })])
+        );
+    }
+
+    #[test]
+    fn last_record_for_a_tier_wins() {
+        let contents = "dalia-tune v1\navx2 64 128 128\navx2 256 512 512\n";
+        let parsed = parse(contents).expect("valid schema");
+        let found = parsed.into_iter().rev().find(|(t, _)| *t == KernelTier::Avx2);
+        assert_eq!(found, Some((KernelTier::Avx2, BlockConfig { mc: 256, kc: 512, nc: 512 })));
+    }
+
+    #[test]
+    fn load_from_missing_or_corrupt_file_is_none() {
+        let dir = std::env::temp_dir().join("dalia_tune_test_corrupt");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        assert_eq!(load_from(&dir.join("nonexistent.txt"), KernelTier::Avx2), None);
+        let truncated = dir.join("truncated.txt");
+        std::fs::write(&truncated, "dalia-tu").expect("write");
+        assert_eq!(load_from(&truncated, KernelTier::Avx2), None);
+        let binary = dir.join("binary.txt");
+        std::fs::write(&binary, [0u8, 159, 146, 150]).expect("write");
+        assert_eq!(load_from(&binary, KernelTier::Avx2), None);
+    }
+
+    #[test]
+    fn store_and_load_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join("dalia_tune_test_roundtrip");
+        let path = dir.join("nested").join("cache.txt");
+        let cfg = BlockConfig { mc: 256, kc: 512, nc: 128 };
+        store_at(&path, &[(KernelTier::Portable, cfg)]).expect("store");
+        assert_eq!(load_from(&path, KernelTier::Portable), Some(cfg));
+        assert_eq!(load_from(&path, KernelTier::Avx2), None);
+    }
+
+    #[test]
+    fn candidate_grid_is_the_documented_27() {
+        let c = candidates();
+        assert_eq!(c.len(), 27);
+        assert!(c.contains(&BlockConfig { mc: 128, kc: 256, nc: 256 }), "defaults are swept");
+    }
+
+    #[test]
+    fn default_config_matches_pre_autotuner_constants() {
+        for tier in KernelTier::ALL {
+            assert_eq!(default_config(tier), BlockConfig { mc: 128, kc: 256, nc: 256 });
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Integration test for the blocking autotuner's persisted cache: the
+//! `DALIA_TUNE_CACHE` path override, determinism given a fixed cache file,
+//! an actual (small) sweep, and fallback on a corrupted cache.
+//!
+//! Everything lives in ONE `#[test]` because the sweep mutates the global
+//! blocking configuration and the process environment; a single test per
+//! binary means no intra-process races (and other integration binaries run
+//! in their own processes).
+
+use dalia_la::tune::{self, BlockConfig};
+use dalia_la::KernelTier;
+
+#[test]
+fn tune_cache_override_sweep_and_fallback() {
+    let dir = std::env::temp_dir().join(format!("dalia_tune_test_{}", std::process::id()));
+    let path = dir.join("nested").join("tune.txt");
+
+    // Env override redirects the cache path (read at call time, not startup).
+    std::env::set_var("DALIA_TUNE_CACHE", &path);
+    assert_eq!(tune::cache_path(), path);
+
+    // A stored record round-trips through the overridden path, and repeated
+    // loads of a fixed cache file are deterministic.
+    let cfg = BlockConfig { mc: 64, kc: 512, nc: 128 };
+    tune::store_at(&tune::cache_path(), &[(KernelTier::Portable, cfg)])
+        .expect("store_at creates parent dirs and writes");
+    let first = tune::load_from(&tune::cache_path(), KernelTier::Portable);
+    let second = tune::load_from(&tune::cache_path(), KernelTier::Portable);
+    assert_eq!(first, Some(cfg));
+    assert_eq!(first, second, "fixed cache file must load deterministically");
+
+    // A real (small) sweep on the best supported tier: returns a candidate
+    // from the documented grid with a positive rate, and restores the global
+    // blocking and tier it mutates while measuring.
+    let tier = dalia_la::kernel_tier();
+    let blocking_before = dalia_la::blocking();
+    let (best, gflops) = tune::autotune_sized(tier, 96).expect("supported tier sweeps");
+    assert!(tune::candidates().contains(&best), "winner {best:?} not in candidate grid");
+    assert!(gflops.is_finite() && gflops > 0.0, "nonsensical rate {gflops}");
+    assert_eq!(dalia_la::blocking(), blocking_before, "sweep must restore blocking");
+    assert_eq!(dalia_la::kernel_tier(), tier, "sweep must restore the kernel tier");
+
+    // Persisting the winner and loading it back agrees.
+    tune::store_at(&tune::cache_path(), &[(tier, best)]).expect("persist winner");
+    assert_eq!(tune::load_from(&tune::cache_path(), tier), Some(best));
+
+    // Corrupt cache (binary garbage, then a truncated header): load falls
+    // back to None without panicking, and the defaults still apply.
+    std::fs::write(&path, [0u8, 159, 146, 150]).unwrap();
+    assert_eq!(tune::load_from(&path, tier), None);
+    std::fs::write(&path, "dalia-tu").unwrap();
+    assert_eq!(tune::load_from(&path, tier), None);
+
+    // Dropping the override falls back to the workspace-target default path.
+    std::env::remove_var("DALIA_TUNE_CACHE");
+    assert!(
+        tune::cache_path().ends_with("target/dalia_tune_cache.txt"),
+        "default cache path should live under target/, got {:?}",
+        tune::cache_path()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

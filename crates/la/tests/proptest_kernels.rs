@@ -3,7 +3,7 @@
 //! random shapes, transposes, alpha/beta prefactors and degenerate dimensions
 //! (0, 1, and sizes straddling the micro-tile and panel boundaries).
 
-use dalia_la::blas::{self, reference, Side, Trans, Triangle};
+use dalia_la::blas::{self, reference, KernelTier, Side, Trans, Triangle};
 use dalia_la::{chol, Matrix};
 use proptest::prelude::*;
 use proptest::test_runner::TestRng;
@@ -170,6 +170,100 @@ proptest! {
         prop_assert!(chol::potrf(&mut a_blk).is_err());
         prop_assert!(chol::potrf_reference(&mut a_ref).is_err());
     }
+}
+
+/// Forced-dispatch parity wall: the full level-3 suite (gemm / syrk / trsm /
+/// potrf, including degenerate and tile-edge dimensions) must match the
+/// reference loops to 1e-12 under **every** kernel tier this host supports.
+/// `blas::set_kernel_tier` forces each tier in turn — so CI runs under
+/// `DALIA_KERNEL_TIER=portable` and `avx2` exercise the same wall through the
+/// env override too — and unsupported tiers self-skip with a logged line.
+/// The entry tier is restored afterwards.
+#[test]
+fn forced_dispatch_parity_wall() {
+    let entry_tier = blas::kernel_tier();
+    for tier in KernelTier::ALL {
+        if !blas::set_kernel_tier(tier) {
+            println!("skipping {} parity wall: tier not supported on this host", tier.name());
+            continue;
+        }
+        assert_eq!(blas::kernel_tier(), tier);
+        let mut rng = TestRng::deterministic(0x5125_0000 + tier as u64);
+        // Dimensions straddling both micro-tile shapes (8×4 and 16×8), the
+        // 64-wide triangular panel boundary, and the packed-path threshold.
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 33, 64, 65, 96, 130] {
+            let k = 65 + (n % 3);
+            // gemm, all four transpose combinations.
+            for (ta, tb) in
+                [(Trans::No, Trans::No), (Trans::No, Trans::Yes), (Trans::Yes, Trans::No), (Trans::Yes, Trans::Yes)]
+            {
+                let a = match ta {
+                    Trans::No => rand_matrix(&mut rng, n, k),
+                    Trans::Yes => rand_matrix(&mut rng, k, n),
+                };
+                let b = match tb {
+                    Trans::No => rand_matrix(&mut rng, k, n.max(1)),
+                    Trans::Yes => rand_matrix(&mut rng, n.max(1), k),
+                };
+                let c0 = rand_matrix(&mut rng, n, n.max(1));
+                let mut c_blk = c0.clone();
+                blas::gemm(ta, tb, 1.1, &a, &b, -0.3, &mut c_blk);
+                let mut c_ref = c0;
+                reference::gemm(ta, tb, 1.1, &a, &b, -0.3, &mut c_ref);
+                assert!(
+                    c_blk.max_abs_diff(&c_ref) < 1e-12,
+                    "gemm tier={} {ta:?}/{tb:?} n={n}",
+                    tier.name()
+                );
+            }
+
+            // syrk, lower and full.
+            let s = rand_matrix(&mut rng, n, k);
+            let c0 = rand_matrix(&mut rng, n, n);
+            let mut c_blk = c0.clone();
+            let mut c_ref = c0.clone();
+            blas::syrk_lower(Trans::No, -0.9, &s, 0.7, &mut c_blk);
+            reference::syrk_lower(Trans::No, -0.9, &s, 0.7, &mut c_ref);
+            assert!(c_blk.max_abs_diff(&c_ref) < 1e-12, "syrk_lower tier={} n={n}", tier.name());
+            let mut f_blk = c0.clone();
+            let mut f_ref = c0;
+            blas::syrk_full(Trans::Yes, 1.2, &s.transpose(), -0.4, &mut f_blk);
+            reference::syrk_full(Trans::Yes, 1.2, &s.transpose(), -0.4, &mut f_ref);
+            assert!(f_blk.max_abs_diff(&f_ref) < 1e-12, "syrk_full tier={} n={n}", tier.name());
+
+            // trsm, all side/trans combinations on the lower triangle.
+            let l = rand_lower(&mut rng, n);
+            for (side, trans) in [
+                (Side::Left, Trans::No),
+                (Side::Left, Trans::Yes),
+                (Side::Right, Trans::No),
+                (Side::Right, Trans::Yes),
+            ] {
+                let b0 = match side {
+                    Side::Left => rand_matrix(&mut rng, n, k),
+                    Side::Right => rand_matrix(&mut rng, k, n),
+                };
+                let mut b_blk = b0.clone();
+                blas::trsm(side, Triangle::Lower, trans, &l, &mut b_blk);
+                let mut b_ref = b0;
+                reference::trsm(side, Triangle::Lower, trans, &l, &mut b_ref);
+                assert!(
+                    b_blk.max_abs_diff(&b_ref) < 1e-12,
+                    "trsm tier={} {side:?}/{trans:?} n={n}",
+                    tier.name()
+                );
+            }
+
+            // potrf across the panel boundary.
+            let spd = rand_spd(&mut rng, n);
+            let mut p_blk = spd.clone();
+            let mut p_ref = spd;
+            chol::potrf(&mut p_blk).unwrap();
+            chol::potrf_reference(&mut p_ref).unwrap();
+            assert!(p_blk.max_abs_diff(&p_ref) < 1e-12, "potrf tier={} n={n}", tier.name());
+        }
+    }
+    assert!(blas::set_kernel_tier(entry_tier), "restoring the entry tier cannot fail");
 }
 
 /// Deterministic sweep of the dimensions where tile and panel edge handling

@@ -30,7 +30,8 @@ pub use distributed::{
 };
 pub use partition::Partitioning;
 pub use sequential::{
-    pobtaf, pobtaf_reusing, pobtaf_with, pobtas, pobtas_lt, pobtas_vec, pobtasi, pobtasi_with,
+    pobtaf, pobtaf_reusing, pobtaf_with, pobtas, pobtas_lt, pobtas_lt_with, pobtas_vec,
+    pobtas_with, pobtasi, pobtasi_with,
     BtaSelectedInverse,
 };
 pub use streaming::{

@@ -71,10 +71,44 @@ pub fn pobtaf_with(
     Ok(BtaCholesky { blocks: m })
 }
 
+/// Register every block of `m` with the panel cache of `pack`.
+///
+/// `fresh = true` (factorization entry) promises the blocks are about to be
+/// overwritten once and then only read — cached panels overlapping them are
+/// dropped. `fresh = false` (solve / selected-inversion entry on a finished
+/// factor) promises the blocks are unchanged since the last registration, so
+/// panels packed during the factorization are served straight back.
+/// No-ops unless [`PackBuffer::enable_panel_reuse`] is on.
+fn register_bta_blocks(pack: &mut PackBuffer, m: &BtaMatrix, fresh: bool) {
+    if !pack.panel_reuse_enabled() {
+        return;
+    }
+    let reg: fn(&mut PackBuffer, &[f64]) =
+        if fresh { PackBuffer::register_stable } else { PackBuffer::register_stable_readonly };
+    for d in &m.diag {
+        reg(pack, d.as_slice());
+    }
+    for s in &m.sub {
+        reg(pack, s.as_slice());
+    }
+    for c in &m.arrow {
+        reg(pack, c.as_slice());
+    }
+    reg(pack, m.tip.as_slice());
+}
+
 /// The factorization kernel: overwrite `m` with its block Cholesky factor.
+///
+/// The factor blocks are write-once-then-read within the sweep (each block is
+/// finalized by its potrf/trsm before any kernel packs panels from it), so
+/// they are registered as stable packing sources: with panel reuse enabled on
+/// `pack`, the `L_ii` panels shared by the sub-diagonal and arrow `trsm`s —
+/// and the factor panels re-read by later [`pobtas`] / [`pobtasi`] sweeps —
+/// are packed exactly once.
 pub(crate) fn factor_in_place(m: &mut BtaMatrix, pack: &mut PackBuffer) -> Result<(), SerinvError> {
     let n = m.n;
     let has_arrow = m.a > 0;
+    register_bta_blocks(pack, m, true);
 
     for i in 0..n {
         // Factorize the diagonal block: D_i = L_ii L_iiᵀ.
@@ -120,11 +154,23 @@ pub(crate) fn factor_in_place(m: &mut BtaMatrix, pack: &mut PackBuffer) -> Resul
 /// The right-hand side is a dense `N × k` matrix, overwritten with the
 /// solution.
 pub fn pobtas(factor: &BtaCholesky, rhs: &mut Matrix) {
+    let mut pack = PackBuffer::new();
+    pobtas_with(factor, rhs, &mut pack);
+}
+
+/// [`pobtas`] with an explicit kernel packing workspace.
+///
+/// The factor blocks are registered with the panel cache as read-only stable
+/// sources, so repeated solves against one factor (the conditional-mean
+/// solves of an inner Newton loop, posterior draws) re-use the factor panels
+/// packed by the factorization instead of re-packing them per sweep.
+pub fn pobtas_with(factor: &BtaCholesky, rhs: &mut Matrix, pack: &mut PackBuffer) {
     let m = &factor.blocks;
     let (n, b, a) = (m.n, m.b, m.a);
     assert_eq!(rhs.nrows(), m.dim(), "pobtas: rhs dimension mismatch");
     let k = rhs.ncols();
     let a0 = n * b;
+    register_bta_blocks(pack, m, false);
 
     // Forward substitution: L y = rhs.
     for i in 0..n {
@@ -132,24 +178,24 @@ pub fn pobtas(factor: &BtaCholesky, rhs: &mut Matrix) {
             // rhs_i -= B_{i-1} y_{i-1}.
             let y_prev = rhs.block((i - 1) * b, 0, b, k);
             let mut update = Matrix::zeros(b, k);
-            blas::gemm(Trans::No, Trans::No, 1.0, &m.sub[i - 1], &y_prev, 0.0, &mut update);
+            blas::gemm_with(pack, Trans::No, Trans::No, 1.0, &m.sub[i - 1], &y_prev, 0.0, &mut update);
             rhs.add_block(i * b, 0, -1.0, &update);
         }
         let mut yi = rhs.block(i * b, 0, b, k);
-        blas::trsm(Side::Left, Triangle::Lower, Trans::No, &m.diag[i], &mut yi);
+        blas::trsm_with(pack, Side::Left, Triangle::Lower, Trans::No, &m.diag[i], &mut yi);
         rhs.set_block(i * b, 0, &yi);
         if a > 0 {
             // rhs_T -= C_i y_i.
             let mut update = Matrix::zeros(a, k);
-            blas::gemm(Trans::No, Trans::No, 1.0, &m.arrow[i], &yi, 0.0, &mut update);
+            blas::gemm_with(pack, Trans::No, Trans::No, 1.0, &m.arrow[i], &yi, 0.0, &mut update);
             rhs.add_block(a0, 0, -1.0, &update);
         }
     }
     if a > 0 {
         let mut yt = rhs.block(a0, 0, a, k);
-        blas::trsm(Side::Left, Triangle::Lower, Trans::No, &m.tip, &mut yt);
+        blas::trsm_with(pack, Side::Left, Triangle::Lower, Trans::No, &m.tip, &mut yt);
         // Backward: x_T = L_TTᵀ \ y_T.
-        blas::trsm(Side::Left, Triangle::Lower, Trans::Yes, &m.tip, &mut yt);
+        blas::trsm_with(pack, Side::Left, Triangle::Lower, Trans::Yes, &m.tip, &mut yt);
         rhs.set_block(a0, 0, &yt);
     }
 
@@ -159,14 +205,14 @@ pub fn pobtas(factor: &BtaCholesky, rhs: &mut Matrix) {
         if i + 1 < n {
             // y_i -= B_iᵀ x_{i+1}.
             let x_next = rhs.block((i + 1) * b, 0, b, k);
-            blas::gemm(Trans::Yes, Trans::No, -1.0, &m.sub[i], &x_next, 1.0, &mut yi);
+            blas::gemm_with(pack, Trans::Yes, Trans::No, -1.0, &m.sub[i], &x_next, 1.0, &mut yi);
         }
         if a > 0 {
             // y_i -= C_iᵀ x_T.
             let x_t = rhs.block(a0, 0, a, k);
-            blas::gemm(Trans::Yes, Trans::No, -1.0, &m.arrow[i], &x_t, 1.0, &mut yi);
+            blas::gemm_with(pack, Trans::Yes, Trans::No, -1.0, &m.arrow[i], &x_t, 1.0, &mut yi);
         }
-        blas::trsm(Side::Left, Triangle::Lower, Trans::Yes, &m.diag[i], &mut yi);
+        blas::trsm_with(pack, Side::Left, Triangle::Lower, Trans::Yes, &m.diag[i], &mut yi);
         rhs.set_block(i * b, 0, &yi);
     }
 }
@@ -187,15 +233,23 @@ pub fn pobtas_vec(factor: &BtaCholesky, rhs: &[f64]) -> Vec<f64> {
 /// `Lᵀ⁻¹ L⁻¹ = (L Lᵀ)⁻¹ = Q⁻¹`, so `μ + Lᵀ⁻¹ z` is an exact draw from
 /// `N(μ, Q⁻¹)` at the cost of one backward sweep per right-hand-side column.
 pub fn pobtas_lt(factor: &BtaCholesky, rhs: &mut Matrix) {
+    let mut pack = PackBuffer::new();
+    pobtas_lt_with(factor, rhs, &mut pack);
+}
+
+/// [`pobtas_lt`] with an explicit kernel packing workspace (factor blocks
+/// registered read-only with the panel cache, like [`pobtas_with`]).
+pub fn pobtas_lt_with(factor: &BtaCholesky, rhs: &mut Matrix, pack: &mut PackBuffer) {
     let m = &factor.blocks;
     let (n, b, a) = (m.n, m.b, m.a);
     assert_eq!(rhs.nrows(), m.dim(), "pobtas_lt: rhs dimension mismatch");
     let k = rhs.ncols();
     let a0 = n * b;
+    register_bta_blocks(pack, m, false);
 
     if a > 0 {
         let mut xt = rhs.block(a0, 0, a, k);
-        blas::trsm(Side::Left, Triangle::Lower, Trans::Yes, &m.tip, &mut xt);
+        blas::trsm_with(pack, Side::Left, Triangle::Lower, Trans::Yes, &m.tip, &mut xt);
         rhs.set_block(a0, 0, &xt);
     }
     for i in (0..n).rev() {
@@ -203,14 +257,14 @@ pub fn pobtas_lt(factor: &BtaCholesky, rhs: &mut Matrix) {
         if i + 1 < n {
             // y_i -= B_iᵀ x_{i+1}.
             let x_next = rhs.block((i + 1) * b, 0, b, k);
-            blas::gemm(Trans::Yes, Trans::No, -1.0, &m.sub[i], &x_next, 1.0, &mut yi);
+            blas::gemm_with(pack, Trans::Yes, Trans::No, -1.0, &m.sub[i], &x_next, 1.0, &mut yi);
         }
         if a > 0 {
             // y_i -= C_iᵀ x_T.
             let x_t = rhs.block(a0, 0, a, k);
-            blas::gemm(Trans::Yes, Trans::No, -1.0, &m.arrow[i], &x_t, 1.0, &mut yi);
+            blas::gemm_with(pack, Trans::Yes, Trans::No, -1.0, &m.arrow[i], &x_t, 1.0, &mut yi);
         }
-        blas::trsm(Side::Left, Triangle::Lower, Trans::Yes, &m.diag[i], &mut yi);
+        blas::trsm_with(pack, Side::Left, Triangle::Lower, Trans::Yes, &m.diag[i], &mut yi);
         rhs.set_block(i * b, 0, &yi);
     }
 }
@@ -249,11 +303,15 @@ pub fn pobtasi(factor: &BtaCholesky) -> BtaSelectedInverse {
 }
 
 /// [`pobtasi`] with an explicit kernel packing workspace threaded through the
-/// backward block sweep (pure `trsm` / `gemm` work).
+/// backward block sweep (pure `trsm` / `gemm` work). The factor blocks are
+/// registered read-only with the panel cache, so a selected inversion right
+/// after a factorization (or a repeated one on an unchanged factor) re-uses
+/// the factor panels instead of re-packing them.
 pub fn pobtasi_with(factor: &BtaCholesky, pack: &mut PackBuffer) -> BtaSelectedInverse {
     let m = &factor.blocks;
     let (n, b, a) = (m.n, m.b, m.a);
     let mut inv = BtaMatrix::zeros(n, b, a);
+    register_bta_blocks(pack, m, false);
 
     // Σ_TT = L_TT^{-T} L_TT^{-1}.
     if a > 0 {

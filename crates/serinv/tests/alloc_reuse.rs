@@ -95,3 +95,44 @@ fn solve_and_selinv_do_not_clone_reduced_blocks_per_partition() {
 // headroom — tighter than the former per-partition clone overhead.
 const SOLVE_ALLOC_BUDGET: usize = 95;
 const SELINV_ALLOC_BUDGET: usize = 190;
+
+#[test]
+fn warm_solve_and_selinv_take_the_zero_repack_fast_path() {
+    use dalia_la::PackBuffer;
+    use serinv::{pobtaf_with, pobtas_with, pobtasi_with};
+
+    // b = 64 puts the inner gemm/syrk calls exactly at the packed-path
+    // threshold (64·8·64 and 64³ ≥ the naive-kernel cutoff), so the solve and
+    // selected inversion actually fetch panels of the registered factor.
+    let (n, b, a) = (3, 64, 8);
+    let m = test_matrix(n, b, a, 9);
+    let pool = dalia_pool::ThreadPool::new(1);
+
+    pool.install(|| {
+        let mut pack = PackBuffer::new();
+        pack.enable_panel_reuse(true);
+        let factor = pobtaf_with(&m, None, &mut pack).expect("factorizes");
+
+        // Warm pass: populates the panel cache for every factor-block panel
+        // the solve and selected inverse touch.
+        let mut rhs = test_rhs(m.dim(), 8);
+        pobtas_with(&factor, &mut rhs, &mut pack);
+        let _ = pobtasi_with(&factor, &mut pack);
+        let (h1, m1) = pack.panel_stats();
+        assert!(m1 > 0, "warm-up should have packed factor panels");
+
+        // Steady state on the unchanged factor: every eligible panel fetch
+        // must be served from the cache — zero repacks.
+        let mut rhs2 = test_rhs(m.dim(), 8);
+        pobtas_with(&factor, &mut rhs2, &mut pack);
+        let _ = pobtasi_with(&factor, &mut pack);
+        let (h2, m2) = pack.panel_stats();
+        assert_eq!(
+            m2 - m1,
+            0,
+            "warm solve/selinv repacked {} panels of an unchanged factor",
+            m2 - m1
+        );
+        assert!(h2 > h1, "warm solve/selinv should hit the panel cache");
+    });
+}

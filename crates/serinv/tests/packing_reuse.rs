@@ -1,0 +1,92 @@
+//! Bitwise packing-reuse wall: warm-session BTA factorizations with the
+//! keyed panel cache enabled must be **bit-identical** to pack-per-call,
+//! across the `Q_p`/`Q_c` factorization pair, across simulated BFGS
+//! iterations (values rewritten, cache invalidated, storage recycled), and
+//! at 1 and 4 pinned worker threads.
+//!
+//! The cache can only change *when* a panel is packed, never *what* it
+//! contains — `pack_panel` is deterministic in its inputs — so every factor
+//! block, solve and selected-inverse output must match the cache-disabled
+//! run bit for bit. Any drift here means a stale panel was served.
+
+use dalia_la::PackBuffer;
+use serinv::testing::{test_matrix, test_rhs};
+use serinv::{pobtaf_with, pobtas_with, pobtasi_with};
+
+/// Run a 3-iteration "BFGS" session: per iteration, assemble fresh `Q_p` /
+/// `Q_c` values, factorize both recycling the previous factors' storage,
+/// then solve and selected-invert against the conditional factor. Returns
+/// every output bit produced, plus the final `(hits, misses)` panel stats.
+fn session(threads: usize, reuse: bool) -> (Vec<u64>, (u64, u64)) {
+    // b = 64 crosses the packed-path threshold (64³ ≥ the naive cutoff), so
+    // the factorization and selected inversion run the cache-blocked engine.
+    let (n, b, a) = (4usize, 64usize, 8usize);
+    let pool = dalia_pool::ThreadPool::new(threads);
+    pool.install(|| {
+        let mut pack = PackBuffer::new();
+        pack.enable_panel_reuse(reuse);
+        let mut fp_store = None;
+        let mut fc_store = None;
+        let mut bits = Vec::new();
+        for iter in 0..3u64 {
+            // The assemble path contract: values change → panels invalid.
+            pack.invalidate_panels();
+            let qp = test_matrix(n, b, a, 100 + iter);
+            let qc = test_matrix(n, b, a, 200 + iter);
+            let fp = pobtaf_with(&qp, fp_store.take(), &mut pack).expect("qp factorizes");
+            let fc = pobtaf_with(&qc, fc_store.take(), &mut pack).expect("qc factorizes");
+            let mut rhs = test_rhs(qc.dim(), 8);
+            pobtas_with(&fc, &mut rhs, &mut pack);
+            let sel = pobtasi_with(&fc, &mut pack);
+            for f in [&fp, &fc] {
+                for d in &f.blocks.diag {
+                    bits.extend(d.as_slice().iter().map(|v| v.to_bits()));
+                }
+                for s in &f.blocks.sub {
+                    bits.extend(s.as_slice().iter().map(|v| v.to_bits()));
+                }
+                for c in &f.blocks.arrow {
+                    bits.extend(c.as_slice().iter().map(|v| v.to_bits()));
+                }
+                bits.extend(f.blocks.tip.as_slice().iter().map(|v| v.to_bits()));
+            }
+            bits.extend(rhs.as_slice().iter().map(|v| v.to_bits()));
+            bits.extend(sel.diagonal().iter().map(|v| v.to_bits()));
+            fp_store = Some(fp.blocks);
+            fc_store = Some(fc.blocks);
+        }
+        (bits, pack.panel_stats())
+    })
+}
+
+#[test]
+fn warm_session_with_panel_reuse_is_bitwise_identical_to_pack_per_call() {
+    for threads in [1usize, 4] {
+        let (cold, cold_stats) = session(threads, false);
+        let (warm, warm_stats) = session(threads, true);
+        assert_eq!(cold_stats, (0, 0), "disabled cache must not count fetches");
+        assert!(
+            warm_stats.0 > 0,
+            "warm session must hit the panel cache (hits={}, misses={})",
+            warm_stats.0,
+            warm_stats.1
+        );
+        assert_eq!(cold.len(), warm.len());
+        let drift = cold.iter().zip(&warm).position(|(c, w)| c != w);
+        assert_eq!(
+            drift, None,
+            "panel-cache reuse drifted from pack-per-call at {threads} threads (first \
+             differing output word: {drift:?})"
+        );
+    }
+}
+
+#[test]
+fn warm_session_outputs_are_thread_count_invariant() {
+    // The BTA kernels are bitwise deterministic across pool widths; the panel
+    // cache must preserve that (its panels are keyed per PackBuffer and the
+    // parallel-gemm leaves use their own thread-local, cache-disabled packs).
+    let (one, _) = session(1, true);
+    let (four, _) = session(4, true);
+    assert_eq!(one, four, "warm-session outputs changed with the worker thread count");
+}
